@@ -1,0 +1,27 @@
+"""Ablation: realistic multi-port implementations (paper Section 1).
+
+Regenerates the argument behind the paper's motivation: banked and
+replicated 4-port caches fall short of the ideal assumption, while the
+decoupled (2+2) design built from simple 2-port structures stays
+competitive with the ideal 4-port cache.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import ablation_multiport
+from repro.utils import geometric_mean
+
+
+def bench_ablation_multiport(benchmark):
+    rows = benchmark.pedantic(ablation_multiport.run,
+                              kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("ablation_multiport", ablation_multiport.render(rows))
+
+    def avg(name):
+        return geometric_mean(row[name] for row in rows.values())
+
+    assert avg("banked(4+0)") < 0.98
+    assert avg("replicated(4+0)") < 0.98
+    assert avg("ideal(2+2)") > 0.92
+    assert avg("ideal(2+2)") > avg("banked(4+0)")

@@ -1,0 +1,32 @@
+"""Ablation: window sizing (ROB and LVAQ) on the (3+2) machine."""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import ablation_window
+from repro.utils import geometric_mean
+
+
+def bench_ablation_window(benchmark):
+    def run_both():
+        return (ablation_window.run_rob(scale=SCALE),
+                ablation_window.run_lvaq(scale=SCALE))
+
+    rob_rows, lvaq_rows = benchmark.pedantic(run_both, rounds=1,
+                                             iterations=1)
+    save_result("ablation_window",
+                ablation_window.render(rob_rows, lvaq_rows))
+
+    def rob_avg(size):
+        return geometric_mean(row[size] for row in rob_rows.values())
+
+    def lvaq_avg(size):
+        return geometric_mean(row[size] for row in lvaq_rows.values())
+
+    # a small window starves the machine; returns diminish as it grows
+    assert rob_avg(32) < rob_avg(64) < rob_avg(128) <= rob_avg(256)
+    assert rob_avg(128) / rob_avg(64) > rob_avg(256) / rob_avg(128)
+    # LVAQ capacity is a real resource for local-heavy programs: shrinking
+    # it hurts monotonically (these are the three most local-heavy
+    # programs; the paper's 64 entries are well spent)
+    assert lvaq_avg(8) < lvaq_avg(16) < lvaq_avg(32) < lvaq_avg(64)
+    assert lvaq_avg(32) > 0.75

@@ -1,0 +1,29 @@
+"""Section 4.4 discussion: the 2KB fast L1 alternative.
+
+Paper claim: the small cache's higher miss rate negates its latency win
+"unless the L2 cache latency is less than four cycles".
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import disc_small_l1
+from repro.utils import geometric_mean
+
+
+def bench_disc_small_l1(benchmark):
+    rows = benchmark.pedantic(disc_small_l1.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    text = disc_small_l1.render(rows)
+    crossover = disc_small_l1.crossover_latency(rows)
+    save_result("disc_small_l1",
+                text + f"\n\ncrossover L2 latency: {crossover} cycles "
+                       "(paper: < 4 cycles)")
+
+    latencies = sorted(next(iter(rows.values())))
+    means = {lat: geometric_mean(row[lat] for row in rows.values())
+             for lat in latencies}
+    # the small cache's advantage decays with L2 latency...
+    assert means[2] > means[12]
+    # ...and is gone by the base machine's 12-cycle L2
+    assert means[12] < 1.0
+    assert crossover <= 8

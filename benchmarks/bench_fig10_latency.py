@@ -1,0 +1,36 @@
+"""Figure 10: sensitivity to cache access latency.
+
+Paper shape: (4+0) with a 3-cycle hit loses noticeably versus its 2-cycle
+variant (and can fall below (2+0)); (2+2) beats the 3-cycle (4+0) on
+integer programs but not on the FP programs, whose local/non-local streams
+are poorly interleaved.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig10_latency
+from repro.utils import geometric_mean
+from repro.workloads.spec import FP_PROGRAMS, INT_PROGRAMS
+
+
+def bench_fig10_latency(benchmark):
+    rows = benchmark.pedantic(fig10_latency.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig10_latency", fig10_latency.render(rows))
+
+    for name, row in rows.items():
+        assert row["(4+0) 3cyc"] <= row["(4+0)"] + 0.01, name
+
+    # Decoupling beats the slow big cache on the local-heavy integer
+    # programs (the paper reports this for all integer programs; in our
+    # calibration the mid-local ones — go, m88ksim, ijpeg — stay slightly
+    # ahead on (4+0)@3cyc; see EXPERIMENTS.md).
+    for name in ("130.li", "147.vortex", "126.gcc"):
+        assert rows[name]["(2+2)"] >= rows[name]["(4+0) 3cyc"] - 0.01, name
+    int_22 = geometric_mean(rows[p]["(2+2)"] for p in INT_PROGRAMS)
+    int_40slow = geometric_mean(rows[p]["(4+0) 3cyc"] for p in INT_PROGRAMS)
+    assert int_22 > int_40slow - 0.05
+
+    fp_22 = geometric_mean(rows[p]["(2+2)"] for p in FP_PROGRAMS)
+    fp_40 = geometric_mean(rows[p]["(4+0)"] for p in FP_PROGRAMS)
+    assert fp_40 >= fp_22 - 0.02  # FP programs prefer the unified cache

@@ -1,0 +1,25 @@
+"""Figure 11: per-program (N+M) surfaces for gcc, li, vortex and swim.
+
+Paper shape: when bandwidth is scarce (N=2), adding a two-port LVC gives
+li a >25% speedup; with ample bandwidth (N=4) the LVC is worth little.
+swim barely reacts to the LVC at any N.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig11_programs
+
+
+def bench_fig11_programs(benchmark):
+    rows = benchmark.pedantic(fig11_programs.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig11_programs", fig11_programs.render(rows))
+
+    li = rows["130.li"]
+    gain_n2 = li[(2, 2)] / li[(2, 0)]
+    gain_n4 = li[(4, 2)] / li[(4, 0)]
+    assert gain_n2 > 1.20       # paper: "spectacular speedup of over 25%"
+    assert gain_n4 < gain_n2 - 0.1
+
+    swim = rows["102.swim"]
+    assert swim[(2, 2)] / swim[(2, 0)] < 1.10

@@ -1,0 +1,22 @@
+"""Figure 2: memory access instruction frequencies.
+
+Paper shape: ~30% of loads and ~48% of stores are local on average; local
+references are 10% (compress) to ~70% (vortex) of all memory references.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig2_memfreq
+
+
+def bench_fig2_memfreq(benchmark):
+    rows = benchmark.pedantic(fig2_memfreq.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig2_memfreq", fig2_memfreq.render(rows))
+
+    by_name = {row.program: row for row in rows}
+    # vortex is the local-heavy extreme; compress the light one
+    assert by_name["147.vortex"].local_mem_frac > 0.6
+    assert by_name["129.compress"].local_mem_frac < 0.2
+    average = sum(r.local_mem_frac for r in rows) / len(rows)
+    assert 0.2 < average < 0.5  # paper: ~36%

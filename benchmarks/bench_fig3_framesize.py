@@ -1,0 +1,20 @@
+"""Figure 3: dynamic frame-size distribution of the integer programs.
+
+Paper shape: dynamic frames are tiny (mean ~3 words); the distribution has
+a short body and a thin large-frame tail.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig3_framesize
+
+
+def bench_fig3_framesize(benchmark):
+    hists = benchmark.pedantic(fig3_framesize.run, kwargs={"scale": SCALE},
+                               rounds=1, iterations=1)
+    save_result("fig3_framesize", fig3_framesize.render(hists))
+
+    pooled = fig3_framesize.pooled(hists)
+    assert pooled.percentile(0.5) <= 6     # typical frames are a few words
+    assert pooled.mean() < 20
+    assert pooled.max() <= 300             # paper: largest frame 282 words

@@ -1,0 +1,23 @@
+"""Figure 5: relative performance of (N+0) configurations vs (16+0).
+
+Paper shape: performance saturates by 3-4 ports; li/vortex are the most
+bandwidth-sensitive programs.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig5_bandwidth
+
+
+def bench_fig5_bandwidth(benchmark):
+    rows = benchmark.pedantic(fig5_bandwidth.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig5_bandwidth", fig5_bandwidth.render(rows))
+
+    average = fig5_bandwidth.average_curve(rows)
+    # monotone saturation
+    assert average[1] < average[2] < average[3] <= average[4] + 0.01
+    assert average[4] > 0.85
+    # li and vortex most sensitive at one port
+    most_sensitive = min(rows, key=lambda p: rows[p][1])
+    assert most_sensitive in ("130.li", "147.vortex")

@@ -1,0 +1,41 @@
+"""Figure 6: LVC miss rate vs LVC size (0.5-4 KB, direct-mapped).
+
+Paper shape: a 2 KB LVC exceeds 99% hit rate for every program except
+126.gcc; 4 KB reaches 99.5%+ for all.  Also reports the Section 4.2.1 L2
+traffic change from adding a 2 KB LVC (li/vortex see real reductions).
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig6_lvc_miss
+from repro.stats.report import Table
+
+
+def bench_fig6_lvc_miss(benchmark):
+    rows = benchmark.pedantic(fig6_lvc_miss.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig6_lvc_miss", fig6_lvc_miss.render(rows))
+
+    # Short traces inflate cold-miss rates; only hold the paper's 99% line
+    # at (near-)full scale.
+    hit99_bound = 0.01 if SCALE >= 0.8 else 0.02
+    for name, curve in rows.items():
+        # monotone non-increasing with size
+        assert curve[512] >= curve[1024] >= curve[2048] >= curve[4096]
+        if name != "126.gcc":
+            assert curve[2048] < hit99_bound, name
+    assert rows["126.gcc"][2048] > 0.005
+    assert rows["126.gcc"][512] == max(r[512] for r in rows.values())
+
+
+def bench_fig6_l2_traffic(benchmark):
+    change = benchmark.pedantic(fig6_lvc_miss.l2_traffic_change,
+                                kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    table = Table(["program", "L2 traffic (3+2)/(3+0)"], precision=3,
+                  title="Section 4.2.1: relative L2 traffic with a 2KB LVC")
+    for name, value in change.items():
+        table.add_row(name, value)
+    save_result("fig6_l2_traffic", table.render())
+    assert change["130.li"] <= 1.05
+    assert change["147.vortex"] <= 1.05

@@ -1,0 +1,27 @@
+"""Figure 7: (N+M) performance relative to (2+0), no LVAQ optimizations.
+
+Paper shape: (N+1) degrades vs (N+0) (poor load balance: the one-port LVC
+becomes the bottleneck); (N+2) restores and beats (N+0); three or more LVC
+ports add little.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig7_ports
+
+
+def bench_fig7_ports(benchmark):
+    rows = benchmark.pedantic(fig7_ports.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig7_ports", fig7_ports.render(rows))
+
+    average = fig7_ports.average_surface(rows)
+    # (N+2) beats (N+0) for every N
+    for n in (2, 3, 4):
+        assert average[(n, 2)] > average[(n, 0)]
+        # beyond two LVC ports the marginal gain is small
+        assert average[(n, 16)] / average[(n, 3)] < 1.06
+    # the one-port LVC hurts the most local-heavy program
+    vortex = rows["147.vortex"]
+    for n in (3, 4):
+        assert vortex[(n, 1)] < vortex[(n, 0)]

@@ -1,0 +1,28 @@
+"""Figure 8: access combining under (3+1) and (3+2).
+
+Paper shape: two-way combining gains ~8% at (3+1) and ~2% at (3+2) on
+average; li/vortex are the big winners (bursty save/restore traffic);
+combining matters more when LVC bandwidth is scarcer.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig8_combining
+from repro.utils import geometric_mean
+
+
+def bench_fig8_combining(benchmark):
+    rows = benchmark.pedantic(fig8_combining.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig8_combining", fig8_combining.render(rows))
+
+    def avg(n, m, degree):
+        return geometric_mean(row[(n, m, degree)] for row in rows.values())
+
+    # combining helps, and helps more at one port than at two
+    assert avg(3, 1, 2) > 1.01
+    assert avg(3, 1, 2) > avg(3, 2, 2)
+    # four-way over two-way is a smaller step than two-way over none
+    assert avg(3, 1, 4) / avg(3, 1, 2) < avg(3, 1, 2)
+    # vortex is an outlier beneficiary
+    assert rows["147.vortex"][(3, 1, 2)] >= avg(3, 1, 2)

@@ -1,0 +1,24 @@
+"""Figure 9: (N+M) performance with fast forwarding + two-way combining.
+
+Paper shape: compared with Figure 7, the (N+1) configurations are
+noticeably repaired by the optimizations.
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import fig7_ports, fig9_optimized
+
+
+def bench_fig9_optimized(benchmark):
+    rows = benchmark.pedantic(fig9_optimized.run, kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("fig9_optimized", fig9_optimized.render(rows))
+
+    plain = fig7_ports.run(scale=SCALE)
+    optimized_avg = fig7_ports.average_surface(rows)
+    plain_avg = fig7_ports.average_surface(plain)
+    # the optimizations repair the (N+1) configurations
+    for n in (2, 3, 4):
+        assert optimized_avg[(n, 1)] > plain_avg[(n, 1)]
+    # and never hurt the well-provisioned ones
+    assert optimized_avg[(3, 2)] >= plain_avg[(3, 2)] - 0.02

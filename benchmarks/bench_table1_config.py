@@ -1,0 +1,12 @@
+"""Table 1: the base machine model (consistency check + print)."""
+
+from conftest import save_result
+
+from repro.experiments import table1_config
+
+
+def bench_table1_config(benchmark):
+    rows = benchmark.pedantic(table1_config.run, rounds=1, iterations=1)
+    text = table1_config.render(rows)
+    save_result("table1_config", text)
+    assert all(ok for _, _, ok in rows), "machine model drifted from Table 1"

@@ -1,0 +1,15 @@
+"""Table 2: benchmark inventory with measured trace statistics."""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import table2_workloads
+
+
+def bench_table2_workloads(benchmark):
+    rows = benchmark.pedantic(table2_workloads.run,
+                              kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("table2_workloads", table2_workloads.render(rows))
+    assert len(rows) == 12
+    for row in rows:
+        assert row.trace_len > 0

@@ -1,0 +1,22 @@
+"""Table 3: fast data forwarding speedup under (3+2).
+
+Paper shape: small speedups (0 to 3.9%); 124.m88ksim gains nothing (its
+store->reload distances exceed the LVAQ residency).
+"""
+
+from conftest import SCALE, save_result
+
+from repro.experiments import table3_forwarding
+
+
+def bench_table3_forwarding(benchmark):
+    rows = benchmark.pedantic(table3_forwarding.run,
+                              kwargs={"scale": SCALE},
+                              rounds=1, iterations=1)
+    save_result("table3_forwarding", table3_forwarding.render(rows))
+
+    by_name = {row.program: row for row in rows}
+    assert abs(by_name["124.m88ksim"].speedup) < 0.03
+    for row in rows:
+        assert -0.03 < row.speedup < 0.10, row.program
+        assert 0.0 <= row.forward_rate <= 1.0

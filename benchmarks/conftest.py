@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures at
+the scale given by the ``REPRO_SCALE`` environment variable (default 1.0 =
+the scaled Table 2 trace lengths).  Rendered tables are printed and written
+to ``results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: Trace-length scale for all benchmarks.
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _report_scale():
+    print(f"\n[benchmarks running at REPRO_SCALE={SCALE}]")
+    yield

@@ -1,0 +1,91 @@
+"""Drive the whole toolchain on your own mini-C program.
+
+Shows every stage the paper's evaluation rests on: compile (with graph-
+coloring register allocation producing real spill code), execute on the
+functional VM, inspect the local/non-local classification of each memory
+access, and finally run the timing simulator on the committed stream.
+
+Run:  python examples/compiler_pipeline.py
+"""
+
+from repro import MachineConfig, Processor, run_program
+from repro.isa.disasm import disassemble_program
+from repro.lang import compile_source
+from repro.lang.frontend import CompileStats
+
+SOURCE = """
+// A toy workload: a histogram over pseudo-random keys, with a helper
+// function so the compiler emits real call/save/restore traffic.
+int histogram[64];
+
+int next_key(int state) {
+    return state * 1103515 + 12345;
+}
+
+int bucket(int key) {
+    int folded = (key >> 8) ^ key;
+    if (folded < 0) folded = -folded;
+    return folded % 64;
+}
+
+int main() {
+    int state = 7;
+    int i;
+    for (i = 0; i < 3000; i++) {
+        state = next_key(state);
+        histogram[bucket(state)]++;
+    }
+    int heaviest = 0;
+    for (i = 1; i < 64; i++) {
+        if (histogram[i] > histogram[heaviest]) heaviest = i;
+    }
+    print(heaviest);
+    printc('\\n');
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # 1. Compile.  CompileStats exposes what the register allocator did.
+    stats = CompileStats()
+    program = compile_source(SOURCE, stats=stats)
+    print(f"compiled {stats.functions} functions, "
+          f"{stats.instructions} instructions")
+    print(f"  spilled virtual registers : {stats.spilled_vregs}")
+    print(f"  frame sizes (bytes)       : {stats.frame_bytes}")
+    print()
+
+    # 2. A peek at the generated code (first 25 instructions).
+    listing = disassemble_program(program).splitlines()
+    print("generated code (head):")
+    for line in listing[:25]:
+        print("   ", line)
+    print("    ...")
+    print()
+
+    # 3. Execute on the functional VM; the trace records every committed
+    #    instruction with its memory classification.
+    vm, trace = run_program(program)
+    print(f"program output: {vm.stdout.strip()!r} (exit {vm.exit_code})")
+    tstats = trace.stats
+    print(f"dynamic instructions : {tstats.instructions}")
+    print(f"  local refs         : {tstats.local_refs} "
+          f"({tstats.local_fraction:.0%} of memory refs)")
+    print(f"  ambiguous refs     : {tstats.ambiguous_refs} "
+          "(classified by the 1-bit region predictor at dispatch)")
+    print(f"  calls / max depth  : {tstats.calls} / {tstats.max_call_depth}")
+    print(f"  mean frame size    : {tstats.frame_sizes.mean():.1f} words")
+    print()
+
+    # 4. Time it on a decoupled machine.
+    config = MachineConfig.baseline(l1_ports=2, lvc_ports=2,
+                                    fast_forwarding=True, combining=2)
+    result = Processor(config).run(trace.insts, "histogram")
+    print(f"timing on (2+2): {result.cycles} cycles, IPC {result.ipc:.2f}")
+    print(f"  LVC serviced {result.counters.get('lvc.accesses')} accesses "
+          f"at {1 - result.lvc_miss_rate:.1%} hit rate")
+
+
+if __name__ == "__main__":
+    main()

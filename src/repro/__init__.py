@@ -1,0 +1,35 @@
+"""repro — a reproduction of "Decoupling Local Variable Accesses in a
+Wide-Issue Superscalar Processor" (Cho, Yew, Lee — ISCA 1999).
+
+Public API highlights:
+
+* :class:`repro.MachineConfig` / :class:`repro.Processor` — the timing
+  simulator with the paper's ``(N+M)`` configurations.
+* :func:`repro.lang.compile_source` — the mini-C compiler.
+* :func:`repro.assemble` / :func:`repro.run_program` — assembler + VM.
+* ``repro.workloads`` — the SPEC95-like workload suite.
+* ``repro.experiments`` — one module per paper figure/table.
+"""
+
+from repro.core import (
+    DecoupleConfig,
+    MachineConfig,
+    Processor,
+    SimResult,
+)
+from repro.asm import assemble
+from repro.vm import Machine, Trace, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DecoupleConfig",
+    "MachineConfig",
+    "Processor",
+    "SimResult",
+    "assemble",
+    "Machine",
+    "Trace",
+    "run_program",
+    "__version__",
+]

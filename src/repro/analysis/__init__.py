@@ -1,0 +1,15 @@
+"""Trace analysis tools: the measurements behind the paper's Section 2."""
+
+from repro.analysis.traces import (
+    burstiness_profile,
+    classification_report,
+    reuse_distance_profile,
+    working_set_words,
+)
+
+__all__ = [
+    "burstiness_profile",
+    "classification_report",
+    "reuse_distance_profile",
+    "working_set_words",
+]

@@ -1,0 +1,5 @@
+"""Assembler: textual assembly -> :class:`repro.isa.Program`."""
+
+from repro.asm.assembler import assemble
+
+__all__ = ["assemble"]

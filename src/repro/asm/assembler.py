@@ -1,0 +1,227 @@
+"""A two-pass assembler for the repro ISA.
+
+Accepted syntax mirrors :func:`repro.isa.disasm.disassemble`::
+
+    .data
+    table:  .word 1, 2, 3
+    buffer: .space 64
+    .text
+    main:
+        li   $t0, 10
+        sw   $t0, 0($sp)      # local
+        jal  helper
+        syscall 0
+
+Comments start with ``#``.  A trailing ``# local``, ``# nonlocal`` or
+``# ambiguous`` comment on a memory instruction sets its classification
+annotation (compile-time stream-partitioning bit).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import BY_MNEMONIC, Fmt, Opcode
+from repro.isa.program import DataItem, Program
+from repro.isa.registers import parse_reg
+
+_MEM_OPERAND = re.compile(r"^(-?\d+)\((\$\w+(?:\.\w+)?)\)$")
+_LABEL_DEF = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_ANNOTATIONS = {"local": True, "nonlocal": False, "ambiguous": None}
+
+
+def _split_comment(line: str) -> Tuple[str, Optional[str]]:
+    """Strip a comment, returning (code, annotation-or-None)."""
+    if "#" not in line:
+        return line.strip(), None
+    code, comment = line.split("#", 1)
+    annotation = comment.strip().lower()
+    return code.strip(), annotation if annotation in _ANNOTATIONS else None
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {text!r}", line_no) from None
+
+
+def _parse_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",")] if text else []
+
+
+class _Assembler:
+    """State for one assembly run."""
+
+    def __init__(self, source: str, source_name: str):
+        self.source = source
+        self.source_name = source_name
+        self.instructions: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self.data: List[DataItem] = []
+        self.in_data = False
+        self.pending_data_label: Optional[str] = None
+
+    def run(self, entry: str) -> Program:
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            code, annotation = _split_comment(raw)
+            if not code:
+                continue
+            self._line(code, annotation, line_no)
+        program = Program(
+            self.instructions,
+            labels=self.labels,
+            data=self.data,
+            entry=entry,
+            source_name=self.source_name,
+        )
+        program.resolve()
+        return program
+
+    # -- directives / labels --------------------------------------------
+
+    def _line(self, code: str, annotation: Optional[str], line_no: int) -> None:
+        if code == ".data":
+            self.in_data = True
+            return
+        if code == ".text":
+            self.in_data = False
+            return
+        # A label can share a line with an instruction or directive.
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", code)
+            if not match:
+                break
+            self._define_label(match.group(1), line_no)
+            code = match.group(2).strip()
+            if not code:
+                return
+        if self.in_data:
+            self._data_line(code, line_no)
+        else:
+            self._text_line(code, annotation, line_no)
+
+    def _define_label(self, name: str, line_no: int) -> None:
+        if self.in_data:
+            self.pending_data_label = name
+            return
+        if name in self.labels:
+            raise AssemblerError(f"duplicate label {name!r}", line_no)
+        self.labels[name] = len(self.instructions)
+
+    def _data_line(self, code: str, line_no: int) -> None:
+        parts = code.split(None, 1)
+        directive = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        name = self.pending_data_label
+        self.pending_data_label = None
+        if name is None:
+            raise AssemblerError("data directive without a label", line_no)
+        if directive == ".word":
+            values = [_parse_int(v.strip(), line_no)
+                      for v in rest.split(",") if v.strip()]
+            self.data.append(DataItem(name, values))
+        elif directive == ".byte":
+            values = [_parse_int(v.strip(), line_no)
+                      for v in rest.split(",") if v.strip()]
+            self.data.append(DataItem(name, values, element_size=1))
+        elif directive == ".space":
+            nbytes = _parse_int(rest.strip(), line_no)
+            if nbytes <= 0:
+                raise AssemblerError(".space size must be positive", line_no)
+            self.data.append(DataItem(name, [0] * nbytes, element_size=1))
+        elif directive == ".float":
+            values = [float(v.strip()) for v in rest.split(",") if v.strip()]
+            self.data.append(DataItem(name, values))
+        else:
+            raise AssemblerError(f"unknown directive {directive!r}", line_no)
+
+    # -- instructions -------------------------------------------------------
+
+    def _text_line(self, code: str, annotation: Optional[str],
+                   line_no: int) -> None:
+        parts = code.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        op = BY_MNEMONIC.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+        operands = _parse_operands(operand_text)
+        try:
+            ins = self._build(op, operands, annotation, line_no)
+        except (ValueError, AssemblerError) as exc:
+            raise AssemblerError(str(exc), line_no) from None
+        self.instructions.append(ins)
+
+    def _build(self, op: Opcode, ops: List[str],
+               annotation: Optional[str], line_no: int) -> Instruction:
+        fmt = op.fmt
+        local = _ANNOTATIONS[annotation] if annotation else None
+
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblerError(
+                    f"{op.mnemonic} expects {n} operands, got {len(ops)}",
+                    line_no,
+                )
+
+        if fmt is Fmt.NONE:
+            need(0)
+            return Instruction(op)
+        if fmt is Fmt.RRR:
+            need(3)
+            return Instruction(op, rd=parse_reg(ops[0]), rs=parse_reg(ops[1]),
+                               rt=parse_reg(ops[2]))
+        if fmt is Fmt.RRI:
+            need(3)
+            return Instruction(op, rd=parse_reg(ops[0]), rs=parse_reg(ops[1]),
+                               imm=_parse_int(ops[2], line_no))
+        if fmt is Fmt.RI:
+            need(2)
+            rd = parse_reg(ops[0])
+            if op is Opcode.LA and not ops[1].lstrip("-").isdigit():
+                return Instruction(op, rd=rd, label=ops[1], imm=0)
+            return Instruction(op, rd=rd, imm=_parse_int(ops[1], line_no))
+        if fmt is Fmt.RR:
+            need(2)
+            return Instruction(op, rd=parse_reg(ops[0]), rs=parse_reg(ops[1]))
+        if fmt is Fmt.MEM:
+            need(2)
+            match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AssemblerError(
+                    f"bad memory operand {ops[1]!r}", line_no
+                )
+            offset = int(match.group(1))
+            base = parse_reg(match.group(2))
+            value = parse_reg(ops[0])
+            if op.is_load:
+                return Instruction(op, rd=value, rs=base, imm=offset,
+                                   local=local)
+            return Instruction(op, rt=value, rs=base, imm=offset, local=local)
+        if fmt is Fmt.BR2:
+            need(3)
+            return Instruction(op, rs=parse_reg(ops[0]), rt=parse_reg(ops[1]),
+                               label=ops[2], imm=0)
+        if fmt is Fmt.BR1:
+            need(2)
+            return Instruction(op, rs=parse_reg(ops[0]), label=ops[1], imm=0)
+        if fmt is Fmt.J:
+            need(1)
+            return Instruction(op, label=ops[0], imm=0)
+        if fmt is Fmt.JR:
+            need(1)
+            return Instruction(op, rs=parse_reg(ops[0]))
+        if fmt is Fmt.SYS:
+            need(1)
+            return Instruction(op, imm=_parse_int(ops[0], line_no))
+        raise AssemblerError(f"unhandled format {fmt}", line_no)
+
+
+def assemble(source: str, entry: str = "main",
+             source_name: str = "<asm>") -> Program:
+    """Assemble *source* text into a resolved :class:`Program`."""
+    return _Assembler(source, source_name).run(entry)

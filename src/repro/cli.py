@@ -1,0 +1,194 @@
+"""Command-line toolchain driver: ``repro-cc``.
+
+Subcommands:
+
+* ``run file.mc``      — compile a mini-C file and execute it on the VM;
+* ``disasm file.mc``   — compile and print the generated assembly;
+* ``sim file.mc``      — compile, execute, and time the committed stream
+  on one or more ``(N+M)`` machine configurations;
+* ``stats file.mc``    — trace characterisation (local fraction, frames,
+  reuse, classification).
+
+``file.mc`` may be ``-`` to read from stdin.  Assembly files (``.s``) are
+accepted everywhere a ``.mc`` file is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Tuple
+
+from repro.analysis import classification_report, reuse_distance_profile
+from repro.asm import assemble
+from repro.core import MachineConfig, Processor
+from repro.errors import ReproError
+from repro.isa.disasm import disassemble_program
+from repro.isa.program import Program
+from repro.lang import CompilerOptions, compile_source
+from repro.lang.frontend import CompileStats
+from repro.vm.machine import Machine
+
+
+def _load_source(path: str) -> Tuple[str, str]:
+    if path == "-":
+        return sys.stdin.read(), "<stdin>"
+    with open(path, "r") as handle:
+        return handle.read(), path
+
+
+def _build(path: str, optimize: bool = True) -> Tuple[Program, CompileStats]:
+    source, name = _load_source(path)
+    stats = CompileStats()
+    if name.endswith(".s"):
+        program = assemble(source, source_name=name)
+    else:
+        program = compile_source(
+            source, CompilerOptions(source_name=name, optimize=optimize),
+            stats=stats,
+        )
+    return program, stats
+
+
+def _parse_config(text: str) -> MachineConfig:
+    """Parse "N+M[:opt]" — e.g. "2+0", "3+2", "2+2:opt"."""
+    optimized = text.endswith(":opt")
+    if optimized:
+        text = text[: -len(":opt")]
+    try:
+        n_text, m_text = text.split("+")
+        n, m = int(n_text), int(m_text)
+    except ValueError:
+        raise ReproError(f"bad configuration {text!r}; expected N+M") from None
+    return MachineConfig.baseline(
+        l1_ports=n, lvc_ports=m,
+        fast_forwarding=optimized and m > 0,
+        combining=2 if (optimized and m > 0) else 1,
+    )
+
+
+def cmd_run(args) -> int:
+    program, _ = _build(args.file, optimize=not args.no_opt)
+    vm = Machine(program, trace=False)
+    code = vm.run(max_instructions=args.max_instructions)
+    sys.stdout.write(vm.stdout)
+    if code == -1:
+        print(f"\n[stopped after {args.max_instructions} instructions]",
+              file=sys.stderr)
+        return 2
+    return code
+
+
+def cmd_disasm(args) -> int:
+    program, stats = _build(args.file, optimize=not args.no_opt)
+    print(disassemble_program(program))
+    if stats.functions:
+        print(f"\n# {stats.functions} functions, "
+              f"{stats.instructions} instructions, "
+              f"{stats.spilled_vregs} spilled vregs", file=sys.stderr)
+    return 0
+
+
+def cmd_sim(args) -> int:
+    program, _ = _build(args.file, optimize=not args.no_opt)
+    vm = Machine(program, trace=True)
+    vm.run(max_instructions=args.max_instructions)
+    trace = vm.trace
+    assert trace is not None
+    print(f"{len(trace)} dynamic instructions "
+          f"({trace.stats.local_fraction:.0%} of memory refs local)")
+    results: List[Tuple[str, float]] = []
+    for text in args.config:
+        config = _parse_config(text)
+        result = Processor(config).run(trace.insts, args.file)
+        results.append((text, result.ipc))
+        print(f"  ({text:8s}) IPC {result.ipc:6.3f}   "
+              f"cycles {result.cycles}")
+    if len(results) > 1:
+        base = results[0][1]
+        best = max(results[1:], key=lambda r: r[1])
+        print(f"best vs {results[0][0]}: {best[0]} "
+              f"({best[1] / base - 1:+.1%})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    program, _ = _build(args.file, optimize=not args.no_opt)
+    vm = Machine(program, trace=True)
+    vm.run(max_instructions=args.max_instructions)
+    trace = vm.trace
+    assert trace is not None
+    stats = trace.stats
+    print(f"instructions : {stats.instructions}")
+    print(f"loads/stores : {stats.loads}/{stats.stores}")
+    print(f"local refs   : {stats.local_refs} "
+          f"({stats.local_fraction:.1%} of memory refs)")
+    print(f"calls        : {stats.calls} (max depth {stats.max_call_depth})")
+    if stats.frame_sizes.total:
+        print(f"frame words  : mean {stats.frame_sizes.mean():.1f}, "
+              f"max {stats.frame_sizes.max()}")
+    reuse = reuse_distance_profile(trace.insts)
+    if reuse.total:
+        print(f"reuse dist   : p50 {reuse.percentile(0.5)} instructions")
+    report = classification_report(trace.insts)
+    print(f"ambiguous    : {report.ambiguous_fraction:.2%} of refs "
+          f"(hints {report.hint_accuracy:.2%} correct)")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cc",
+        description="mini-C toolchain driver for the repro library",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="mini-C source (.mc), assembly (.s), "
+                                    "or - for stdin")
+        p.add_argument("--no-opt", action="store_true",
+                       help="disable the IR optimizer")
+        p.add_argument("--max-instructions", type=int, default=5_000_000,
+                       help="execution budget (default 5M)")
+
+    run_p = sub.add_parser("run", help="compile and execute")
+    add_common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    dis_p = sub.add_parser("disasm", help="compile and print assembly")
+    add_common(dis_p)
+    dis_p.set_defaults(func=cmd_disasm)
+
+    sim_p = sub.add_parser("sim", help="compile, execute, and time")
+    add_common(sim_p)
+    sim_p.add_argument(
+        "--config", action="append",
+        default=None,
+        help="machine config N+M[:opt]; repeatable "
+             "(default: 2+0 and 2+2:opt)",
+    )
+    sim_p.set_defaults(func=cmd_sim)
+
+    stats_p = sub.add_parser("stats", help="trace characterisation")
+    add_common(stats_p)
+    stats_p.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "config", None) is None and args.command == "sim":
+        args.config = ["2+0", "2+2:opt"]
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-cc: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"repro-cc: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The paper's contribution: the data-decoupled processor model."""
+
+from repro.core.config import DecoupleConfig, MachineConfig
+from repro.core.classify import RegionPredictor, StreamPartitioner
+from repro.core.metrics import SimResult
+from repro.core.processor import Processor
+
+__all__ = [
+    "DecoupleConfig",
+    "MachineConfig",
+    "RegionPredictor",
+    "StreamPartitioner",
+    "SimResult",
+    "Processor",
+]

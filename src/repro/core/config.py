@@ -1,0 +1,115 @@
+"""Machine configuration (paper Table 1 plus decoupling knobs).
+
+The paper's ``(N+M)`` notation means an N-port L1 data cache plus an M-port
+LVC; ``(N+0)`` is the conventional, non-decoupled machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MemSystemConfig
+
+
+class DecoupleConfig:
+    """Options specific to the data-decoupled memory pipeline."""
+
+    def __init__(
+        self,
+        fast_forwarding: bool = False,
+        combining: int = 1,
+        predictor: bool = True,
+        mispredict_penalty: int = 8,
+    ):
+        if combining < 1:
+            raise ConfigError("combining degree must be >= 1 (1 = disabled)")
+        self.fast_forwarding = fast_forwarding
+        self.combining = combining
+        self.predictor = predictor
+        self.mispredict_penalty = mispredict_penalty
+
+    def __repr__(self) -> str:
+        return (
+            f"DecoupleConfig(fast_fwd={self.fast_forwarding}, "
+            f"combining={self.combining}, predictor={self.predictor})"
+        )
+
+
+class MachineConfig:
+    """Full processor model configuration."""
+
+    def __init__(
+        self,
+        issue_width: int = 16,
+        rob_size: int = 128,
+        lsq_size: int = 64,
+        lvaq_size: int = 64,
+        ialu_units: int = 16,
+        falu_units: int = 16,
+        imultdiv_units: int = 4,
+        fmultdiv_units: int = 4,
+        mem: Optional[MemSystemConfig] = None,
+        decouple: Optional[DecoupleConfig] = None,
+    ):
+        if issue_width <= 0:
+            raise ConfigError("issue width must be positive")
+        if rob_size <= 0 or lsq_size <= 0 or lvaq_size <= 0:
+            raise ConfigError("window sizes must be positive")
+        self.issue_width = issue_width
+        self.rob_size = rob_size
+        self.lsq_size = lsq_size
+        self.lvaq_size = lvaq_size
+        self.ialu_units = ialu_units
+        self.falu_units = falu_units
+        self.imultdiv_units = imultdiv_units
+        self.fmultdiv_units = fmultdiv_units
+        self.mem = mem if mem is not None else MemSystemConfig()
+        self.decouple = decouple if decouple is not None else DecoupleConfig()
+
+    @property
+    def decoupled(self) -> bool:
+        """True when this machine has an LVAQ/LVC side."""
+        return self.mem.lvc_enabled
+
+    def notation(self) -> str:
+        """The paper's ``(N+M)`` configuration name."""
+        return self.mem.notation()
+
+    @classmethod
+    def baseline(
+        cls,
+        l1_ports: int = 2,
+        lvc_ports: int = 0,
+        fast_forwarding: bool = False,
+        combining: int = 1,
+        l1_hit_latency: int = 2,
+        lvc_hit_latency: int = 1,
+        lvc_size: int = 2 * 1024,
+        **mem_overrides,
+    ) -> "MachineConfig":
+        """The paper's base machine with an ``(N+M)`` memory system.
+
+        Defaults reproduce Table 1: 16-issue, 128-entry ROB, 64-entry LSQ,
+        32 KB 2-way L1 with a 2-cycle hit, 512 KB L2 at 12 cycles, 50-cycle
+        memory, and (when ``lvc_ports > 0``) a 2 KB direct-mapped LVC with a
+        1-cycle hit.
+        """
+        mem = MemSystemConfig(
+            l1_ports=l1_ports,
+            lvc_ports=lvc_ports,
+            l1_hit_latency=l1_hit_latency,
+            lvc_hit_latency=lvc_hit_latency,
+            lvc_size=lvc_size,
+            **mem_overrides,
+        )
+        decouple = DecoupleConfig(
+            fast_forwarding=fast_forwarding, combining=combining
+        )
+        return cls(mem=mem, decouple=decouple)
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineConfig({self.notation()}, width={self.issue_width}, "
+            f"rob={self.rob_size}, lsq={self.lsq_size})"
+        )

@@ -1,0 +1,439 @@
+"""The cycle-stepped out-of-order processor model.
+
+This is the reproduction of the paper's simulator: a 16-issue RUU/ROB
+machine (derived conceptually from SimpleScalar's sim-outorder) with a
+perfect front end, a conventional LSQ + L1 path, and — when configured —
+the decoupled LVAQ + LVC path with fast data forwarding and access
+combining.
+
+Stage order within a cycle (processed so results flow forward):
+
+1. **commit** — retire completed instructions in order; stores write their
+   cache (consuming a port) at commit.
+2. **writeback** — completions scheduled for this cycle wake dependents.
+3. **memory** — loads with known addresses access their cache or forward
+   from an earlier store in their queue; fast forwarding matches
+   sp-relative pairs before address generation; access combining merges
+   same-line LVAQ references into one port transaction.
+4. **issue** — ready instructions grab issue slots and functional units
+   (memory ops issue their address generation here).
+5. **dispatch** — decode up to ``issue_width`` instructions from the
+   committed stream into the ROB and the memory queues, steering each
+   memory reference to the LSQ or LVAQ (stream partitioning).
+
+Because the modelled front end is perfect (oracle branch prediction,
+perfect I-cache — paper Section 3.1), simulating the committed dynamic
+stream is exactly equivalent to execution-driven timing: there is no
+wrong-path work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.isa.opcodes import FuClass, LATENCY
+from repro.core.classify import StreamPartitioner
+from repro.core.config import MachineConfig
+from repro.core.metrics import SimResult
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pipeline.fu import FuPool
+from repro.pipeline.memqueue import MemQueue, MemQueueEntry
+from repro.pipeline.rob import (
+    COMPLETED,
+    DISPATCHED,
+    ISSUED,
+    Rob,
+    RobEntry,
+)
+from repro.stats.counters import CounterSet
+from repro.vm.trace import DynInst
+
+_LOAD = int(FuClass.LOAD)
+_STORE = int(FuClass.STORE)
+
+
+class Processor:
+    """One simulated machine instance; reusable across runs is NOT supported
+    — construct a fresh Processor per workload run."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.counters = CounterSet()
+        self.hierarchy = MemoryHierarchy(config.mem, self.counters)
+        self.rob = Rob(config.rob_size)
+        self.lsq = MemQueue(config.lsq_size, "lsq")
+        self.lvaq = MemQueue(config.lvaq_size, "lvaq")
+        self.fus = FuPool(config.ialu_units, config.falu_units,
+                          config.imultdiv_units, config.fmultdiv_units)
+        self.partitioner = StreamPartitioner(
+            config.decoupled, config.decouple.predictor
+        )
+        self.now = 0
+        self._events: Dict[int, List[RobEntry]] = {}
+        self._issuable: List[RobEntry] = []
+        self._producer: List[Optional[RobEntry]] = [None] * 64
+        self._seq = 0
+        self._committed = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, insts: Sequence[DynInst],
+            workload_name: str = "<trace>") -> SimResult:
+        """Simulate the dynamic stream to completion and return the result."""
+        total = len(insts)
+        index = 0
+        limit = total * 80 + 1000
+        decoupled = self.config.decoupled
+        while self._committed < total:
+            self.now += 1
+            if self.now > limit:
+                raise SimulationError(
+                    f"cycle limit exceeded ({limit}) at "
+                    f"{self._committed}/{total} committed"
+                )
+            self.hierarchy.new_cycle()
+            self.fus.new_cycle()
+            self._commit()
+            self._writeback()
+            if decoupled:
+                self._memory(self.lvaq, lvc_side=True)
+            self._memory(self.lsq, lvc_side=False)
+            self._issue()
+            index = self._dispatch(insts, index, total)
+        self.counters.set("cycles", self.now)
+        self.counters.set("instructions", total)
+        return SimResult(self.config.notation(), workload_name,
+                         self.now, total, self.counters)
+
+    # ----------------------------------------------------------------- commit
+
+    def _commit(self) -> None:
+        budget = self.config.issue_width
+        now = self.now
+        counters = self.counters
+        hierarchy = self.hierarchy
+        combining = self.config.decouple.combining
+        # Per-cycle store-combining window state: (side, line, slots left).
+        combine_side: Optional[bool] = None
+        combine_line = -1
+        combine_left = 0
+        retired_mem = False
+        while budget > 0:
+            entry = self.rob.head()
+            if entry is None or entry.state != COMPLETED:
+                break
+            qe = entry.mem
+            if qe is not None and qe.is_store:
+                use_lvc = qe.use_lvc
+                combined = (
+                    combining > 1
+                    and use_lvc
+                    and combine_side == use_lvc
+                    and combine_line == qe.line
+                    and combine_left > 0
+                )
+                if combined:
+                    combine_left -= 1
+                    counters.add("lvaq.store_combined")
+                else:
+                    ports = (hierarchy.lvc_ports if use_lvc
+                             else hierarchy.l1_ports)
+                    if ports is None or not ports.try_take(
+                            1, line=qe.line, is_store=True):
+                        counters.add("stall.store_port")
+                        break
+                    combine_side = use_lvc
+                    combine_line = qe.line
+                    combine_left = combining - 1
+                if use_lvc:
+                    hierarchy.access_lvc(qe.word << 2, True, now)
+                else:
+                    hierarchy.access_l1(qe.word << 2, True, now)
+                retired_mem = True
+            elif qe is not None:
+                retired_mem = True
+            self.rob.pop_head()
+            inst = entry.inst
+            if inst.dst >= 0 and self._producer[inst.dst] is entry:
+                self._producer[inst.dst] = None
+            entry.consumers = []
+            self._committed += 1
+            budget -= 1
+        if retired_mem:
+            self.lsq.retire_committed()
+            self.lvaq.retire_committed()
+
+    # -------------------------------------------------------------- writeback
+
+    def _writeback(self) -> None:
+        completing = self._events.pop(self.now, None)
+        if not completing:
+            return
+        now = self.now
+        issuable = self._issuable
+        for entry in completing:
+            entry.state = COMPLETED
+            entry.complete_time = now
+            produced = entry.inst.dst
+            for consumer in entry.consumers:
+                consumer.pending -= 1
+                qe = consumer.mem
+                if (qe is not None and qe.is_store and not qe.addr_known
+                        and consumer.inst.srcs
+                        and consumer.inst.srcs[0] == produced):
+                    # STA split: the store's address computes as soon as
+                    # its base register arrives, off the issue path.
+                    qe.addr_known_time = now + 1
+                    qe.word = consumer.inst.addr >> 2
+                    qe.line = consumer.inst.addr >> 5
+                if consumer.pending == 0 and consumer.state == DISPATCHED:
+                    if consumer.earliest < now:
+                        consumer.earliest = now
+                    if not consumer.in_issuable:
+                        consumer.in_issuable = True
+                        issuable.append(consumer)
+            entry.consumers = []
+
+    def _schedule(self, entry: RobEntry, when: int) -> None:
+        self._events.setdefault(when, []).append(entry)
+
+    # ----------------------------------------------------------------- memory
+
+    def _memory(self, queue: MemQueue, lvc_side: bool) -> None:
+        entries = queue.entries
+        if not entries:
+            return
+        now = self.now
+        counters = self.counters
+        hierarchy = self.hierarchy
+        ports = hierarchy.lvc_ports if lvc_side else hierarchy.l1_ports
+        fast_fwd = (lvc_side and self.config.decouple.fast_forwarding)
+        combining = (self.config.decouple.combining
+                     if lvc_side else 1)
+        unknown_seq = queue.oldest_unknown_store_seq()
+        nonsp_unknown_seq = (queue.oldest_unknown_nonsp_store_seq()
+                             if fast_fwd else unknown_seq)
+        qname = queue.name
+        ports_exhausted = ports is None or ports.available == 0
+
+        i = 0
+        n = len(entries)
+        while i < n:
+            qe = entries[i]
+            i += 1
+            if qe.serviced or qe.is_store:
+                continue
+            entry = qe.rob
+            if entry.state == COMPLETED:
+                continue
+
+            # --- fast data forwarding (LVAQ, sp-relative pairs) ---------
+            blocking_seq = unknown_seq
+            if fast_fwd and qe.sp_based:
+                source, conclusive = queue.fast_forward_source(qe)
+                if source is not None and entry.state == DISPATCHED:
+                    src_rob = source.rob
+                    if src_rob.pending == 0 and src_rob.earliest <= now:
+                        # The match resolves before address generation,
+                        # but the transfer still occupies an LVC port
+                        # (the queue datapath is the cache's): the gain
+                        # is latency and disambiguation, not bandwidth.
+                        if ports_exhausted or not ports.try_take(
+                                1, line=qe.line, is_store=False):
+                            counters.add(f"stall.{qname}_port")
+                            ports_exhausted = True
+                            continue
+                        qe.serviced = True
+                        entry.state = ISSUED
+                        entry.issue_time = now
+                        self._schedule(entry, now + 1)
+                        counters.add("lvaq.fast_forwards")
+                        continue
+                    # Matching store's data not produced yet: wait.
+                    continue
+                if conclusive:
+                    # Offsets proved independence from every earlier
+                    # sp-relative store: only non-sp stores can block.
+                    blocking_seq = nonsp_unknown_seq
+
+            # --- conventional path --------------------------------------
+            if not qe.addr_known or qe.addr_known_time > now:
+                continue
+            if entry.seq > blocking_seq:
+                continue  # blocked by an earlier unknown-address store
+            if qe.penalty and now < qe.addr_known_time + qe.penalty:
+                continue  # classification-misprediction recovery
+            source = queue.forward_source(qe)
+            if source is not None:
+                # Store-to-load forwarding still occupies a cache port:
+                # sim-outorder acquires the memory port before probing the
+                # store queue, and the paper's simulator derives from it.
+                # (The LVAQ *fast* forwarding path above is the exception —
+                # it resolves before address generation, off the cache
+                # pipeline entirely.)
+                if ports_exhausted or not ports.try_take(
+                        1, line=qe.line, is_store=False):
+                    counters.add(f"stall.{qname}_port")
+                    ports_exhausted = True
+                    continue
+                qe.serviced = True
+                self._schedule(entry, now + 1)
+                counters.add(f"{qname}.forwards")
+                continue
+            if ports_exhausted or not ports.try_take(
+                    1, line=qe.line, is_store=False):
+                counters.add(f"stall.{qname}_port")
+                ports_exhausted = True
+                continue
+            addr = qe.word << 2
+            if lvc_side:
+                result = hierarchy.access_lvc(addr, False, now)
+            else:
+                result = hierarchy.access_l1(addr, False, now)
+            qe.serviced = True
+            self._schedule(entry, result.ready)
+            # --- access combining: absorb following same-line refs -------
+            if combining > 1:
+                j = i
+                while j < n and j < i + combining - 1:
+                    cand = entries[j]
+                    j += 1
+                    if (cand.is_store or cand.serviced
+                            or not cand.addr_known
+                            or cand.addr_known_time > now
+                            or cand.line != qe.line
+                            or cand.rob.seq > unknown_seq
+                            or cand.penalty
+                            or cand.rob.state == COMPLETED):
+                        continue
+                    if queue.forward_source(cand) is not None:
+                        continue
+                    cand.serviced = True
+                    self._schedule(cand.rob, result.ready)
+                    counters.add("lvaq.load_combined")
+
+    # ------------------------------------------------------------------ issue
+
+    def _issue(self) -> None:
+        issuable = self._issuable
+        if not issuable:
+            return
+        now = self.now
+        budget = self.config.issue_width
+        fus = self.fus
+        keep: List[RobEntry] = []
+        issuable.sort(key=lambda e: e.seq)
+        for entry in issuable:
+            if entry.state != DISPATCHED:
+                entry.in_issuable = False
+                continue  # already handled (e.g. fast-forwarded load)
+            if budget == 0 or entry.earliest > now:
+                keep.append(entry)
+                continue
+            fu = entry.inst.fu
+            if not fus.try_take(fu, now):
+                keep.append(entry)
+                self.counters.add("stall.fu")
+                continue
+            budget -= 1
+            entry.state = ISSUED
+            entry.issue_time = now
+            entry.in_issuable = False
+            qe = entry.mem
+            if qe is not None:
+                # Address generation: address known next cycle (stores may
+                # already have resolved their address at dispatch).
+                if not qe.addr_known:
+                    qe.addr_known_time = now + 1
+                    inst = entry.inst
+                    qe.word = inst.addr >> 2
+                    qe.line = inst.addr >> 5
+                if qe.is_store:
+                    # Address and data both captured: ready to commit.
+                    self._schedule(entry, now + 1)
+            else:
+                self._schedule(entry, now + LATENCY[FuClass(entry.inst.fu)])
+        self._issuable = keep
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dispatch(self, insts: Sequence[DynInst], index: int,
+                  total: int) -> int:
+        rob = self.rob
+        counters = self.counters
+        now = self.now
+        line_shift = self.hierarchy.l1.geom.line_shift
+        penalty = self.config.decouple.mispredict_penalty
+        producer = self._producer
+        issuable = self._issuable
+        for _ in range(self.config.issue_width):
+            if index >= total:
+                break
+            if rob.full:
+                counters.add("stall.rob_full")
+                break
+            inst = insts[index]
+            fu = inst.fu
+            is_mem = fu == _LOAD or fu == _STORE
+            to_lvaq = False
+            mispredicted = False
+            if is_mem:
+                to_lvaq, mispredicted = self.partitioner.steer(inst)
+                queue = self.lvaq if to_lvaq else self.lsq
+                if queue.full:
+                    counters.add(f"stall.{queue.name}_full")
+                    break
+            entry = RobEntry(self._seq, inst)
+            self._seq += 1
+            pending = 0
+            for reg in inst.srcs:
+                if reg <= 0:
+                    continue  # $zero and absent operands are always ready
+                prod = producer[reg]
+                if prod is not None and prod.state != COMPLETED:
+                    prod.consumers.append(entry)
+                    pending += 1
+            entry.pending = pending
+            entry.earliest = now + 1
+            dst = inst.dst
+            if dst > 0:
+                producer[dst] = entry
+            rob.push(entry)
+            if is_mem:
+                frame_key = None
+                if inst.sp_based:
+                    frame_key = (inst.frame_id, inst.offset)
+                qe = MemQueueEntry(
+                    entry,
+                    fu == _STORE,
+                    now,
+                    sp_based=inst.sp_based,
+                    frame_key=frame_key,
+                    use_lvc=to_lvaq,
+                    penalty=penalty if mispredicted else 0,
+                )
+                entry.mem = qe
+                queue.append(qe)
+                if qe.is_store:
+                    # STA/STD split (as in sim-outorder and the R10000
+                    # address queue): the store's address computes as soon
+                    # as its base register is available — it never waits
+                    # for the store *data*, so it stops blocking younger
+                    # loads' disambiguation almost immediately.
+                    base_reg = inst.srcs[0] if inst.srcs else 0
+                    prod = producer[base_reg] if base_reg > 0 else None
+                    if prod is None or prod.state == COMPLETED:
+                        qe.addr_known_time = now + 1
+                        qe.word = inst.addr >> 2
+                        qe.line = inst.addr >> 5
+                side = "lvaq" if to_lvaq else "lsq"
+                counters.add(f"{side}.stores" if qe.is_store
+                             else f"{side}.loads")
+                if mispredicted:
+                    counters.add("classify.mispredictions")
+            if pending == 0:
+                entry.in_issuable = True
+                issuable.append(entry)
+            index += 1
+        return index

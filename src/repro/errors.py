@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch library failures without masking genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine or experiment configuration was supplied."""
+
+
+class IsaError(ReproError):
+    """An ill-formed instruction or operand was encountered."""
+
+
+class AssemblerError(ReproError):
+    """The assembler rejected its input."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class CompileError(ReproError):
+    """The mini-C compiler rejected its input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class VmError(ReproError):
+    """The functional VM hit a runtime fault (bad address, bad opcode...)."""
+
+
+class VmExit(ReproError):
+    """Raised internally when the guest program executes the exit syscall."""
+
+    def __init__(self, code: int = 0):
+        self.code = code
+        super().__init__(f"guest exited with code {code}")
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload could not be built or was queried incorrectly."""

@@ -1,0 +1,16 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale=..., programs=...) -> rows`` returning the
+data behind the paper's table or figure, and a module-level ``main()`` that
+prints it.  ``repro-experiments <name>`` (see :mod:`repro.experiments.runner`)
+is the command-line entry point.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    config_key,
+    run_sim,
+    trace_for,
+)
+
+__all__ = ["DEFAULT_SCALE", "config_key", "run_sim", "trace_for"]

@@ -1,0 +1,87 @@
+"""Shared infrastructure for the experiment modules.
+
+The simulation-result cache matters: the figures sweep many (N+M)
+configurations over the same traces, and several figures share
+configurations (e.g. the (2+0) baseline appears in Figures 7, 9, 10, 11).
+
+``REPRO_SCALE`` (environment) globally scales trace lengths; 1.0 uses the
+default scaled-Table-2 lengths, 0.25 makes every experiment 4x faster at
+some statistical noise cost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import SimResult
+from repro.core.processor import Processor
+from repro.vm.trace import Trace
+from repro.workloads.builder import build_trace
+from repro.workloads.spec import get_spec
+
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+_RESULTS: Dict[Tuple, SimResult] = {}
+
+
+def trace_for(name: str, scale: float = 1.0, seed: int = 1) -> Trace:
+    """The dynamic trace for workload *name* at the given scale."""
+    if name.startswith("mini."):
+        return build_trace(name, seed=seed)
+    length = max(10_000, int(get_spec(name).default_length * scale))
+    return build_trace(name, length=length, seed=seed)
+
+
+def config_key(config: MachineConfig) -> Tuple:
+    """A hashable signature of everything that affects simulation."""
+    mem = config.mem
+    dec = config.decouple
+    return (
+        config.issue_width, config.rob_size, config.lsq_size,
+        config.lvaq_size,
+        mem.l1_ports, mem.lvc_ports, mem.l1_size, mem.l1_assoc,
+        mem.l1_hit_latency, mem.lvc_size, mem.lvc_assoc,
+        mem.lvc_hit_latency, mem.line_bytes, mem.l2_size, mem.l2_assoc,
+        mem.l2_latency, mem.mem_latency, mem.mshr_entries,
+        mem.bus_occupancy, mem.l1_port_policy,
+        dec.fast_forwarding, dec.combining, dec.predictor,
+        dec.mispredict_penalty,
+    )
+
+
+def run_sim(workload: str, config: MachineConfig,
+            scale: float = 1.0, seed: int = 1) -> SimResult:
+    """Simulate *workload* on *config*, memoising the result."""
+    key = (workload, scale, seed, config_key(config))
+    cached = _RESULTS.get(key)
+    if cached is not None:
+        return cached
+    trace = trace_for(workload, scale, seed)
+    result = Processor(config).run(trace.insts, workload)
+    _RESULTS[key] = result
+    return result
+
+
+def clear_result_cache() -> None:
+    """Drop memoised simulation results."""
+    _RESULTS.clear()
+
+
+def nm_config(n: int, m: int, fast_forwarding: bool = False,
+              combining: int = 1, **overrides) -> MachineConfig:
+    """Shorthand for the paper's ``(N+M)`` configuration."""
+    return MachineConfig.baseline(
+        l1_ports=n, lvc_ports=m,
+        fast_forwarding=fast_forwarding, combining=combining,
+        **overrides,
+    )
+
+
+def select_programs(programs: Optional[Sequence[str]],
+                    default: Sequence[str]) -> Tuple[str, ...]:
+    """Experiment program-list plumbing with a default."""
+    if programs is None:
+        return tuple(default)
+    return tuple(programs)

@@ -1,0 +1,45 @@
+"""Figure 11: per-program (N+M) surfaces for four selected programs.
+
+126.gcc, 130.li, 147.vortex and 102.swim across N in {2,3,4} and M in
+{0,1,2,3}, with the optimizations on (as in the paper's Figure 9 setting).
+Paper shape: at N=2 adding a 2-port LVC gives >25% on ``130.li``; at N=4
+it is worth <2%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments import fig7_ports
+
+PROGRAMS = ("126.gcc", "130.li", "147.vortex", "102.swim")
+N_VALUES = (2, 3, 4)
+M_VALUES = (0, 1, 2, 3)
+
+
+def run(scale: float = DEFAULT_SCALE,
+        programs: Optional[Sequence[str]] = None,
+        ) -> Dict[str, Dict[Tuple[int, int], float]]:
+    """Relative IPC of optimized (N+M) over (2+0) for the four programs."""
+    return fig7_ports.run(
+        scale=scale,
+        programs=programs if programs is not None else PROGRAMS,
+        n_values=N_VALUES, m_values=M_VALUES,
+        fast_forwarding=True, combining=2,
+    )
+
+
+def render(rows: Dict[str, Dict[Tuple[int, int], float]]) -> str:
+    return fig7_ports.render(
+        rows,
+        title="Figure 11: per-program (N+M) performance relative to (2+0)",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

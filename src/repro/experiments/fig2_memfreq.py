@@ -1,0 +1,73 @@
+"""Figure 2: frequencies of memory access instructions.
+
+For every program: loads and stores as a fraction of all instructions, and
+the local fraction of each.  Pure trace analysis — no timing simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import DEFAULT_SCALE, select_programs, trace_for
+from repro.stats.report import Table
+from repro.workloads.spec import ALL_PROGRAMS
+
+
+class Fig2Row:
+    """One program's memory-instruction mix."""
+
+    def __init__(self, program: str, load_frac: float, store_frac: float,
+                 local_load_frac: float, local_store_frac: float,
+                 local_mem_frac: float):
+        self.program = program
+        self.load_frac = load_frac
+        self.store_frac = store_frac
+        self.local_load_frac = local_load_frac
+        self.local_store_frac = local_store_frac
+        self.local_mem_frac = local_mem_frac
+
+
+def run(scale: float = DEFAULT_SCALE,
+        programs: Optional[Sequence[str]] = None) -> List[Fig2Row]:
+    """Measure the Figure 2 statistics for every program."""
+    rows: List[Fig2Row] = []
+    for name in select_programs(programs, ALL_PROGRAMS):
+        stats = trace_for(name, scale).stats
+        loads = stats.loads or 1
+        stores = stats.stores or 1
+        rows.append(Fig2Row(
+            name,
+            stats.load_fraction,
+            stats.store_fraction,
+            stats.local_loads / loads,
+            stats.local_stores / stores,
+            stats.local_fraction,
+        ))
+    return rows
+
+
+def render(rows: List[Fig2Row]) -> str:
+    """Format the rows like the paper's figure caption data."""
+    table = Table(
+        ["program", "loads/inst", "stores/inst",
+         "local loads", "local stores", "local/mem"],
+        precision=3,
+        title="Figure 2: memory access instruction frequencies",
+    )
+    for row in rows:
+        table.add_row(row.program, row.load_frac, row.store_frac,
+                      row.local_load_frac, row.local_store_frac,
+                      row.local_mem_frac)
+    avg = lambda key: sum(getattr(r, key) for r in rows) / len(rows)
+    table.add_row("average", avg("load_frac"), avg("store_frac"),
+                  avg("local_load_frac"), avg("local_store_frac"),
+                  avg("local_mem_frac"))
+    return table.render()
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

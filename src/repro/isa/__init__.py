@@ -1,0 +1,35 @@
+"""A 32-bit MIPS-like RISC instruction set.
+
+This is the machine language shared by the mini-C compiler (`repro.lang`),
+the assembler (`repro.asm`), the functional VM (`repro.vm`) and the timing
+simulator (`repro.core` / `repro.pipeline`).
+"""
+
+from repro.isa.registers import (
+    FPR_BASE,
+    NUM_FPRS,
+    NUM_GPRS,
+    Reg,
+    fpr,
+    reg_name,
+)
+from repro.isa.opcodes import FuClass, LATENCY, Opcode
+from repro.isa.instruction import Instruction
+from repro.isa.program import DataItem, Program
+from repro.isa.disasm import disassemble
+
+__all__ = [
+    "FPR_BASE",
+    "NUM_FPRS",
+    "NUM_GPRS",
+    "Reg",
+    "fpr",
+    "reg_name",
+    "FuClass",
+    "LATENCY",
+    "Opcode",
+    "Instruction",
+    "DataItem",
+    "Program",
+    "disassemble",
+]

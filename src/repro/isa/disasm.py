@@ -1,0 +1,67 @@
+"""Textual disassembly of instructions and programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, Opcode
+from repro.isa.registers import reg_name
+
+
+def _target(ins: Instruction) -> str:
+    if ins.label is not None:
+        return ins.label
+    return str(ins.imm)
+
+
+def disassemble(ins: Instruction) -> str:
+    """Render one instruction as assembly text."""
+    op, fmt = ins.op, ins.op.fmt
+    m = op.mnemonic
+    if fmt is Fmt.NONE:
+        return m
+    if fmt is Fmt.RRR:
+        return f"{m} {reg_name(ins.rd)}, {reg_name(ins.rs)}, {reg_name(ins.rt)}"
+    if fmt is Fmt.RRI:
+        return f"{m} {reg_name(ins.rd)}, {reg_name(ins.rs)}, {ins.imm}"
+    if fmt is Fmt.RI:
+        if op is Opcode.LA and ins.label is not None:
+            return f"{m} {reg_name(ins.rd)}, {ins.label}"
+        return f"{m} {reg_name(ins.rd)}, {ins.imm}"
+    if fmt is Fmt.RR:
+        return f"{m} {reg_name(ins.rd)}, {reg_name(ins.rs)}"
+    if fmt is Fmt.MEM:
+        value = ins.rd if op.is_load else ins.rt
+        text = f"{m} {reg_name(value)}, {ins.imm}({reg_name(ins.rs)})"
+        if ins.local is True:
+            text += "  # local"
+        elif ins.local is False:
+            text += "  # nonlocal"
+        else:
+            text += "  # ambiguous"
+        return text
+    if fmt is Fmt.BR2:
+        return f"{m} {reg_name(ins.rs)}, {reg_name(ins.rt)}, {_target(ins)}"
+    if fmt is Fmt.BR1:
+        return f"{m} {reg_name(ins.rs)}, {_target(ins)}"
+    if fmt is Fmt.J:
+        return f"{m} {_target(ins)}"
+    if fmt is Fmt.JR:
+        return f"{m} {reg_name(ins.rs)}"
+    if fmt is Fmt.SYS:
+        return f"{m} {ins.imm}"
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def disassemble_program(program) -> str:
+    """Render a whole :class:`~repro.isa.program.Program` with labels."""
+    by_index = {}
+    for name, index in program.labels.items():
+        by_index.setdefault(index, []).append(name)
+    lines: List[str] = []
+    for i, ins in enumerate(program.instructions):
+        for name in sorted(by_index.get(i, [])):
+            lines.append(f"{name}:")
+        lines.append(f"    {disassemble(ins)}")
+    return "\n".join(lines)

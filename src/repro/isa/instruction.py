@@ -1,0 +1,154 @@
+"""The static instruction representation.
+
+An :class:`Instruction` is what the compiler and assembler produce and what
+the VM executes.  Operand meaning by format:
+
+* ``RRR``: ``rd <- rs op rt``
+* ``RRI``: ``rd <- rs op imm``
+* ``RI``:  ``rd <- imm`` (LI/LUI/LA)
+* ``RR``:  ``rd <- op rs``
+* ``MEM`` loads:  ``rd <- mem[rs + imm]``
+* ``MEM`` stores: ``mem[rs + imm] <- rt``
+* ``BR2``/``BR1``/``J``: ``label`` is the target (resolved to an
+  instruction index by the linker and stored in ``imm``)
+* ``JR``/``JALR``: target address in ``rs``
+
+Memory instructions carry a ``local`` annotation written by the compiler:
+``True`` (provably a stack access), ``False`` (provably not), or ``None``
+(ambiguous — e.g. a pointer that may alias a caller's frame).  This is the
+compile-time classification bit of the paper's Section 2.2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import IsaError
+from repro.isa.opcodes import Fmt, FuClass, Opcode
+from repro.isa.registers import Reg
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+class Instruction:
+    """One static machine instruction."""
+
+    __slots__ = ("op", "rd", "rs", "rt", "imm", "label", "local")
+
+    def __init__(
+        self,
+        op: Opcode,
+        rd: Optional[int] = None,
+        rs: Optional[int] = None,
+        rt: Optional[int] = None,
+        imm: Optional[int] = None,
+        label: Optional[str] = None,
+        local: Optional[bool] = None,
+    ):
+        self.op = op
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self.imm = imm
+        self.label = label
+        self.local = local
+        self._validate()
+
+    def _validate(self) -> None:
+        fmt = self.op.fmt
+        need_rd = fmt in (Fmt.RRR, Fmt.RRI, Fmt.RI, Fmt.RR)
+        if need_rd and self.rd is None:
+            raise IsaError(f"{self.op.mnemonic}: missing destination register")
+        if fmt in (Fmt.RRR, Fmt.RRI, Fmt.RR, Fmt.MEM, Fmt.BR2, Fmt.BR1,
+                   Fmt.JR) and self.rs is None:
+            raise IsaError(f"{self.op.mnemonic}: missing rs operand")
+        if fmt in (Fmt.RRR, Fmt.BR2) and self.rt is None:
+            raise IsaError(f"{self.op.mnemonic}: missing rt operand")
+        if fmt is Fmt.MEM:
+            if self.imm is None:
+                raise IsaError(f"{self.op.mnemonic}: missing offset")
+            if self.op.is_load and self.rd is None:
+                raise IsaError(f"{self.op.mnemonic}: missing load destination")
+            if self.op.is_store and self.rt is None:
+                raise IsaError(f"{self.op.mnemonic}: missing store source")
+        if fmt in (Fmt.BR2, Fmt.BR1, Fmt.J) and (
+            self.label is None and self.imm is None
+        ):
+            raise IsaError(f"{self.op.mnemonic}: missing branch target")
+
+    # -- dataflow ----------------------------------------------------------
+
+    @property
+    def reads(self) -> Tuple[int, ...]:
+        """Flat indices of registers this instruction reads."""
+        op, fmt = self.op, self.op.fmt
+        if fmt is Fmt.RRR:
+            return (self.rs, self.rt)
+        if fmt in (Fmt.RRI, Fmt.RR):
+            return (self.rs,)
+        if fmt is Fmt.MEM:
+            if op.is_store:
+                return (self.rs, self.rt)
+            return (self.rs,)
+        if fmt is Fmt.BR2:
+            return (self.rs, self.rt)
+        if fmt in (Fmt.BR1, Fmt.JR):
+            return (self.rs,)
+        if fmt is Fmt.SYS:
+            return (int(Reg.A0),)
+        return _EMPTY
+
+    @property
+    def writes(self) -> Tuple[int, ...]:
+        """Flat indices of registers this instruction writes."""
+        op, fmt = self.op, self.op.fmt
+        if fmt in (Fmt.RRR, Fmt.RRI, Fmt.RI, Fmt.RR):
+            return (self.rd,)
+        if fmt is Fmt.MEM and op.is_load:
+            return (self.rd,)
+        if op is Opcode.JAL or op is Opcode.JALR:
+            return (int(Reg.RA),)
+        if fmt is Fmt.SYS:
+            return (int(Reg.V0),)
+        return _EMPTY
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def fu(self) -> FuClass:
+        """Functional-unit class (shortcut for ``self.op.fu``)."""
+        return self.op.fu
+
+    @property
+    def mem_size(self) -> int:
+        """Access width in bytes for memory instructions."""
+        if self.op in (Opcode.LB, Opcode.SB):
+            return 1
+        return 4
+
+    def copy(self) -> "Instruction":
+        """A detached copy of this instruction."""
+        return Instruction(
+            self.op, self.rd, self.rs, self.rt, self.imm, self.label, self.local
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.op is other.op
+            and self.rd == other.rd
+            and self.rs == other.rs
+            and self.rt == other.rt
+            and self.imm == other.imm
+            and self.label == other.label
+            and self.local == other.local
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.rd, self.rs, self.rt, self.imm, self.label))
+
+    def __repr__(self) -> str:
+        from repro.isa.disasm import disassemble
+
+        return f"<{disassemble(self)}>"

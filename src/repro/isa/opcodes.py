@@ -1,0 +1,168 @@
+"""Opcode definitions, functional-unit classes, and execution latencies.
+
+Latencies follow the MIPS R10000 as required by the paper's base machine
+model (Table 1): single-cycle integer ALU, 5-cycle integer multiply,
+34-cycle integer divide, 2-cycle FP add/multiply, 12-cycle FP divide.
+Load latency is determined by the memory hierarchy, not by this table.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum, auto
+
+
+class FuClass(IntEnum):
+    """Functional-unit class an opcode executes on."""
+
+    NONE = 0  # nop / directives
+    IALU = 1
+    IMULT = 2
+    IDIV = 3
+    FADD = 4  # FP add/sub/compare/convert
+    FMUL = 5
+    FDIV = 6
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9  # conditional branches and jumps
+    SYSCALL = 10
+
+
+class Fmt(Enum):
+    """Operand formats, used by the assembler and disassembler."""
+
+    NONE = auto()  # nop
+    RRR = auto()  # op rd, rs, rt
+    RRI = auto()  # op rd, rs, imm
+    RI = auto()  # op rd, imm          (lui/li)
+    RR = auto()  # op rd, rs           (moves, converts)
+    MEM = auto()  # op rd, imm(rs)      (loads) / op rt, imm(rs) (stores)
+    BR2 = auto()  # op rs, rt, label
+    BR1 = auto()  # op rs, label
+    J = auto()  # op label
+    JR = auto()  # op rs
+    SYS = auto()  # syscall imm
+
+
+class Opcode(Enum):
+    """Every opcode of the ISA: (mnemonic, functional-unit class, format)."""
+
+    # --- integer ALU ---------------------------------------------------
+    ADD = ("add", FuClass.IALU, Fmt.RRR)
+    ADDI = ("addi", FuClass.IALU, Fmt.RRI)
+    SUB = ("sub", FuClass.IALU, Fmt.RRR)
+    AND = ("and", FuClass.IALU, Fmt.RRR)
+    ANDI = ("andi", FuClass.IALU, Fmt.RRI)
+    OR = ("or", FuClass.IALU, Fmt.RRR)
+    ORI = ("ori", FuClass.IALU, Fmt.RRI)
+    XOR = ("xor", FuClass.IALU, Fmt.RRR)
+    XORI = ("xori", FuClass.IALU, Fmt.RRI)
+    NOR = ("nor", FuClass.IALU, Fmt.RRR)
+    SLL = ("sll", FuClass.IALU, Fmt.RRI)
+    SRL = ("srl", FuClass.IALU, Fmt.RRI)
+    SRA = ("sra", FuClass.IALU, Fmt.RRI)
+    SLLV = ("sllv", FuClass.IALU, Fmt.RRR)
+    SRLV = ("srlv", FuClass.IALU, Fmt.RRR)
+    SLT = ("slt", FuClass.IALU, Fmt.RRR)
+    SLTI = ("slti", FuClass.IALU, Fmt.RRI)
+    SLTU = ("sltu", FuClass.IALU, Fmt.RRR)
+    LUI = ("lui", FuClass.IALU, Fmt.RI)
+    LI = ("li", FuClass.IALU, Fmt.RI)
+    LA = ("la", FuClass.IALU, Fmt.RI)  # load address (label imm)
+    MOVE = ("move", FuClass.IALU, Fmt.RR)
+
+    # --- integer multiply / divide -------------------------------------
+    MUL = ("mul", FuClass.IMULT, Fmt.RRR)
+    DIV = ("div", FuClass.IDIV, Fmt.RRR)
+    REM = ("rem", FuClass.IDIV, Fmt.RRR)
+
+    # --- memory ---------------------------------------------------------
+    LW = ("lw", FuClass.LOAD, Fmt.MEM)
+    LB = ("lb", FuClass.LOAD, Fmt.MEM)
+    SW = ("sw", FuClass.STORE, Fmt.MEM)
+    SB = ("sb", FuClass.STORE, Fmt.MEM)
+    LS = ("l.s", FuClass.LOAD, Fmt.MEM)  # load single FP
+    SS = ("s.s", FuClass.STORE, Fmt.MEM)  # store single FP
+
+    # --- floating point --------------------------------------------------
+    FADD = ("add.s", FuClass.FADD, Fmt.RRR)
+    FSUB = ("sub.s", FuClass.FADD, Fmt.RRR)
+    FMUL = ("mul.s", FuClass.FMUL, Fmt.RRR)
+    FDIV = ("div.s", FuClass.FDIV, Fmt.RRR)
+    FNEG = ("neg.s", FuClass.FADD, Fmt.RR)
+    FMOV = ("mov.s", FuClass.FADD, Fmt.RR)
+    CVTSW = ("cvt.s.w", FuClass.FADD, Fmt.RR)  # int (GPR) -> float (FPR)
+    CVTWS = ("cvt.w.s", FuClass.FADD, Fmt.RR)  # float (FPR) -> int (GPR)
+    CLTS = ("c.lt.s", FuClass.FADD, Fmt.RRR)  # rd (GPR) = fs < ft
+    CLES = ("c.le.s", FuClass.FADD, Fmt.RRR)
+    CEQS = ("c.eq.s", FuClass.FADD, Fmt.RRR)
+
+    # --- control flow -----------------------------------------------------
+    BEQ = ("beq", FuClass.BRANCH, Fmt.BR2)
+    BNE = ("bne", FuClass.BRANCH, Fmt.BR2)
+    BLEZ = ("blez", FuClass.BRANCH, Fmt.BR1)
+    BGTZ = ("bgtz", FuClass.BRANCH, Fmt.BR1)
+    BLTZ = ("bltz", FuClass.BRANCH, Fmt.BR1)
+    BGEZ = ("bgez", FuClass.BRANCH, Fmt.BR1)
+    J = ("j", FuClass.BRANCH, Fmt.J)
+    JAL = ("jal", FuClass.BRANCH, Fmt.J)
+    JR = ("jr", FuClass.BRANCH, Fmt.JR)
+    JALR = ("jalr", FuClass.BRANCH, Fmt.JR)
+
+    # --- system -----------------------------------------------------------
+    SYSCALL = ("syscall", FuClass.SYSCALL, Fmt.SYS)
+    NOP = ("nop", FuClass.NONE, Fmt.NONE)
+
+    def __init__(self, mnemonic: str, fu: FuClass, fmt: Fmt):
+        self.mnemonic = mnemonic
+        self.fu = fu
+        self.fmt = fmt
+
+    @property
+    def is_load(self) -> bool:
+        """True for memory loads."""
+        return self.fu is FuClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for memory stores."""
+        return self.fu is FuClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return self.fu is FuClass.LOAD or self.fu is FuClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-transfer instruction."""
+        return self.fu is FuClass.BRANCH
+
+
+#: Execution latency (cycles) per functional-unit class; loads/stores defer
+#: to the memory hierarchy.  Values follow the MIPS R10000.
+LATENCY = {
+    FuClass.NONE: 1,
+    FuClass.IALU: 1,
+    FuClass.IMULT: 5,
+    FuClass.IDIV: 34,
+    FuClass.FADD: 2,
+    FuClass.FMUL: 2,
+    FuClass.FDIV: 12,
+    FuClass.LOAD: 1,  # address generation; cache adds its hit/miss time
+    FuClass.STORE: 1,  # address generation; data written at commit
+    FuClass.BRANCH: 1,
+    FuClass.SYSCALL: 1,
+}
+
+#: Mnemonic -> Opcode lookup used by the assembler.
+BY_MNEMONIC = {op.mnemonic: op for op in Opcode}
+
+
+class Syscall(IntEnum):
+    """Syscall numbers understood by the VM (immediate of SYSCALL)."""
+
+    EXIT = 0
+    PRINT_INT = 1
+    PRINT_CHAR = 2
+    SBRK = 3
+    PRINT_FLOAT = 4

@@ -1,0 +1,124 @@
+"""Loadable program images.
+
+A :class:`Program` is the unit handed from the assembler/compiler to the VM:
+a list of instructions (the text segment, addressed by index), a symbol
+table, and initialised data items laid out in the global data segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import IsaError
+from repro.isa.instruction import Instruction
+from repro.utils import WORD_BYTES, align_up
+
+#: Base virtual address of the global data segment.
+DATA_BASE = 0x10000000
+
+#: Base virtual address of the heap (grown by the sbrk syscall).
+HEAP_BASE = 0x20000000
+
+#: Initial stack pointer (stack grows down from here).
+STACK_BASE = 0x7FFFF000
+
+#: Default stack region size used for dynamic locality classification.
+STACK_LIMIT = 0x7F000000
+
+
+class DataItem:
+    """One initialised object in the data segment."""
+
+    __slots__ = ("name", "values", "element_size")
+
+    def __init__(self, name: str, values: Sequence[Union[int, float]],
+                 element_size: int = WORD_BYTES):
+        if element_size not in (1, WORD_BYTES):
+            raise IsaError(f"unsupported element size: {element_size}")
+        self.name = name
+        self.values = list(values)
+        self.element_size = element_size
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint of this item in bytes (word aligned)."""
+        return align_up(len(self.values) * self.element_size, WORD_BYTES)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataItem({self.name!r}, n={len(self.values)}, "
+            f"elem={self.element_size}B)"
+        )
+
+
+class Program:
+    """A linked, loadable program image."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        data: Optional[Sequence[DataItem]] = None,
+        entry: str = "main",
+        source_name: str = "<anonymous>",
+    ):
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.data: List[DataItem] = list(data or [])
+        self.entry = entry
+        self.source_name = source_name
+        self._data_addresses: Dict[str, int] = {}
+        self._layout_data()
+
+    def _layout_data(self) -> None:
+        addr = DATA_BASE
+        for item in self.data:
+            if item.name in self._data_addresses:
+                raise IsaError(f"duplicate data symbol: {item.name}")
+            self._data_addresses[item.name] = addr
+            addr += item.size_bytes
+
+    @property
+    def entry_index(self) -> int:
+        """Instruction index of the entry point label."""
+        if self.entry not in self.labels:
+            raise IsaError(f"entry label {self.entry!r} not defined")
+        return self.labels[self.entry]
+
+    def data_address(self, name: str) -> int:
+        """Virtual address of a data symbol."""
+        try:
+            return self._data_addresses[name]
+        except KeyError:
+            raise IsaError(f"unknown data symbol: {name}") from None
+
+    def has_data(self, name: str) -> bool:
+        """True when *name* is a data symbol of this program."""
+        return name in self._data_addresses
+
+    def resolve(self) -> None:
+        """Resolve every symbolic operand into a concrete immediate.
+
+        Branch/jump labels become instruction indices; ``la`` labels become
+        data addresses.  Idempotent.
+        """
+        for ins in self.instructions:
+            if ins.label is None:
+                continue
+            if ins.label in self.labels:
+                ins.imm = self.labels[ins.label]
+            elif ins.label in self._data_addresses:
+                ins.imm = self._data_addresses[ins.label]
+            else:
+                raise IsaError(
+                    f"unresolved symbol {ins.label!r} in {self.source_name}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.source_name!r}, {len(self.instructions)} insts, "
+            f"{len(self.data)} data items)"
+        )

@@ -1,0 +1,128 @@
+"""Register file layout and ABI conventions.
+
+The machine has 32 general-purpose registers (GPRs) and 32 floating-point
+registers (FPRs), matching the paper's base machine model (Table 1).  To let
+the rest of the system track dataflow through a single namespace, registers
+are identified by a flat index: GPRs are 0..31 and FPRs are 32..63.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+NUM_GPRS = 32
+NUM_FPRS = 32
+FPR_BASE = 32
+TOTAL_REGS = NUM_GPRS + NUM_FPRS
+
+
+class Reg(IntEnum):
+    """GPR indices with MIPS o32-style ABI names."""
+
+    ZERO = 0  # hardwired zero
+    AT = 1  # assembler temporary
+    V0 = 2  # return value
+    V1 = 3
+    A0 = 4  # argument registers
+    A1 = 5
+    A2 = 6
+    A3 = 7
+    T0 = 8  # caller-saved temporaries
+    T1 = 9
+    T2 = 10
+    T3 = 11
+    T4 = 12
+    T5 = 13
+    T6 = 14
+    T7 = 15
+    S0 = 16  # callee-saved
+    S1 = 17
+    S2 = 18
+    S3 = 19
+    S4 = 20
+    S5 = 21
+    S6 = 22
+    S7 = 23
+    T8 = 24
+    T9 = 25
+    K0 = 26  # reserved (unused by our toolchain)
+    K1 = 27
+    GP = 28  # global pointer
+    SP = 29  # stack pointer
+    FP = 30  # frame pointer
+    RA = 31  # return address
+
+
+#: GPRs a callee must preserve across a call.
+CALLEE_SAVED = (
+    Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6, Reg.S7,
+    Reg.FP, Reg.RA,
+)
+
+#: GPRs a caller must assume are clobbered by a call.
+CALLER_SAVED = (
+    Reg.V0, Reg.V1, Reg.A0, Reg.A1, Reg.A2, Reg.A3,
+    Reg.T0, Reg.T1, Reg.T2, Reg.T3, Reg.T4, Reg.T5, Reg.T6, Reg.T7,
+    Reg.T8, Reg.T9,
+)
+
+#: GPRs the register allocator may hand out to values.
+ALLOCATABLE_GPRS = (
+    Reg.T0, Reg.T1, Reg.T2, Reg.T3, Reg.T4, Reg.T5, Reg.T6, Reg.T7,
+    Reg.T8, Reg.T9,
+    Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6, Reg.S7,
+)
+
+#: Argument-passing GPRs, in order.
+ARG_GPRS = (Reg.A0, Reg.A1, Reg.A2, Reg.A3)
+
+#: FPR flat indices the allocator may hand out (f4..f18).
+ALLOCATABLE_FPRS = tuple(range(FPR_BASE + 4, FPR_BASE + 19))
+
+#: Callee-saved FPR flat indices (f20..f30).
+CALLEE_SAVED_FPRS = tuple(range(FPR_BASE + 20, FPR_BASE + 31))
+
+#: FP return-value register (f0) as a flat index.
+FV0 = FPR_BASE + 0
+
+#: FP argument registers (f12, f13, f14, f15) as flat indices.
+ARG_FPRS = (FPR_BASE + 12, FPR_BASE + 13, FPR_BASE + 14, FPR_BASE + 15)
+
+_GPR_NAMES = {int(r): r.name.lower() for r in Reg}
+
+
+def fpr(n: int) -> int:
+    """Flat register index of FPR *n* (``fpr(0)`` is ``$f0``)."""
+    if not 0 <= n < NUM_FPRS:
+        raise ValueError(f"FPR number out of range: {n}")
+    return FPR_BASE + n
+
+
+def is_fpr(index: int) -> bool:
+    """True when a flat register index names an FPR."""
+    return FPR_BASE <= index < TOTAL_REGS
+
+
+def reg_name(index: int) -> str:
+    """Human-readable name of a flat register index."""
+    if 0 <= index < NUM_GPRS:
+        return f"${_GPR_NAMES[index]}"
+    if is_fpr(index):
+        return f"$f{index - FPR_BASE}"
+    raise ValueError(f"register index out of range: {index}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse ``$sp`` / ``$t0`` / ``$f12`` / ``$r5`` into a flat index."""
+    text = name.lstrip("$").lower()
+    if text.startswith("f") and text[1:].isdigit():
+        return fpr(int(text[1:]))
+    if text.startswith("r") and text[1:].isdigit():
+        index = int(text[1:])
+        if not 0 <= index < NUM_GPRS:
+            raise ValueError(f"GPR number out of range: {name}")
+        return index
+    for r in Reg:
+        if r.name.lower() == text:
+            return int(r)
+    raise ValueError(f"unknown register name: {name}")

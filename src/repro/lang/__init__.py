@@ -1,0 +1,19 @@
+"""The mini-C compiler.
+
+A small C-like language (ints, floats, pointers, arrays, functions,
+recursion) compiled to the repro ISA through a classic pipeline:
+
+    source --lexer--> tokens --parser--> AST --semantics--> typed AST
+           --lowering--> IR (virtual registers, basic blocks)
+           --regalloc--> IR with physical registers + spill code
+           --codegen--> repro.isa.Program
+
+Register allocation is Chaitin-Briggs graph coloring; values that do not
+get a register are *spilled to the stack frame*, which — together with
+callee-saved save/restore and argument passing — is precisely the local
+variable traffic the paper decouples.
+"""
+
+from repro.lang.frontend import CompilerOptions, compile_source
+
+__all__ = ["CompilerOptions", "compile_source"]

@@ -1,0 +1,301 @@
+"""AST node classes and the mini-C type representation."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Ty:
+    """A mini-C type: ``base`` plus pointer depth.
+
+    ``Ty('int')`` is int, ``Ty('int', 1)`` is ``int*``, etc.  Array-ness is
+    a property of declarations, not of this type object; an array of T
+    decays to ``T*`` in expressions.
+    """
+
+    __slots__ = ("base", "ptr")
+
+    def __init__(self, base: str, ptr: int = 0):
+        if base not in ("int", "float", "void"):
+            raise ValueError(f"unknown base type {base!r}")
+        self.base = base
+        self.ptr = ptr
+
+    @property
+    def is_pointer(self) -> bool:
+        """True for any pointer type."""
+        return self.ptr > 0
+
+    @property
+    def is_float(self) -> bool:
+        """True for the scalar float type (not float pointers)."""
+        return self.base == "float" and self.ptr == 0
+
+    @property
+    def is_int_like(self) -> bool:
+        """True for types held in integer registers (int and pointers)."""
+        return self.ptr > 0 or self.base == "int"
+
+    @property
+    def is_void(self) -> bool:
+        """True for plain void."""
+        return self.base == "void" and self.ptr == 0
+
+    def deref(self) -> "Ty":
+        """The pointee type; raises on non-pointers."""
+        if not self.is_pointer:
+            raise ValueError(f"cannot dereference {self}")
+        return Ty(self.base, self.ptr - 1)
+
+    def pointer_to(self) -> "Ty":
+        """The pointer-to-this type."""
+        return Ty(self.base, self.ptr + 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ty):
+            return NotImplemented
+        return self.base == other.base and self.ptr == other.ptr
+
+    def __hash__(self) -> int:
+        return hash((self.base, self.ptr))
+
+    def __repr__(self) -> str:
+        return self.base + "*" * self.ptr
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# --------------------------------------------------------------- expressions
+
+class Expr(Node):
+    """Base class for expressions; ``ty`` is set by the semantic pass."""
+
+    __slots__ = ("ty",)
+
+    def __init__(self, line: int = 0):
+        super().__init__(line)
+        self.ty: Optional[Ty] = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Ident(Expr):
+    """A variable reference; ``symbol`` is bound by the semantic pass."""
+
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.symbol = None
+
+
+class Unary(Expr):
+    """Unary ``-``, ``!``, ``*`` (deref), ``&`` (address-of)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """All binary arithmetic/comparison/logical operators."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """``target = value`` (``op`` is '', '+' or '-' for compound forms)."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, target: Expr, value: Expr, op: str = "", line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = list(args)
+
+
+class Index(Expr):
+    """``base[index]`` where base is a pointer or array."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+# ----------------------------------------------------------------- statements
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt], line: int = 0):
+        super().__init__(line)
+        self.stmts = list(stmts)
+
+
+class VarDecl(Stmt):
+    """A local declaration; ``symbol`` is bound by the semantic pass."""
+
+    __slots__ = ("ty", "name", "array_size", "init", "symbol")
+
+    def __init__(self, ty: Ty, name: str, array_size: Optional[int],
+                 init: Optional[Expr], line: int = 0):
+        super().__init__(line)
+        self.ty = ty
+        self.name = name
+        self.array_size = array_size
+        self.init = init
+        self.symbol = None
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Stmt, els: Optional[Stmt],
+                 line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Stmt], cond: Optional[Expr],
+                 step: Optional[Expr], body: Stmt, line: int = 0):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+# ----------------------------------------------------------------- top level
+
+class Param:
+    """One function parameter; ``symbol`` is bound by the semantic pass."""
+
+    __slots__ = ("ty", "name", "symbol")
+
+    def __init__(self, ty: Ty, name: str):
+        self.ty = ty
+        self.name = name
+        self.symbol = None
+
+    def __repr__(self) -> str:
+        return f"Param({self.ty}, {self.name!r})"
+
+
+class FuncDef(Node):
+    __slots__ = ("ret_ty", "name", "params", "body")
+
+    def __init__(self, ret_ty: Ty, name: str, params: Sequence[Param],
+                 body: Block, line: int = 0):
+        super().__init__(line)
+        self.ret_ty = ret_ty
+        self.name = name
+        self.params = list(params)
+        self.body = body
+
+
+class GlobalVar(Node):
+    __slots__ = ("ty", "name", "array_size", "init")
+
+    def __init__(self, ty: Ty, name: str, array_size: Optional[int],
+                 init: Optional[List[float]], line: int = 0):
+        super().__init__(line)
+        self.ty = ty
+        self.name = name
+        self.array_size = array_size
+        self.init = init
+
+
+class ProgramAst(Node):
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_: Sequence[GlobalVar],
+                 functions: Sequence[FuncDef]):
+        super().__init__(0)
+        self.globals = list(globals_)
+        self.functions = list(functions)

@@ -1,0 +1,297 @@
+"""Code generation: allocated IR -> machine instructions.
+
+Responsibilities:
+
+* frame layout (outgoing-argument area, spill/local slots, callee-saved
+  save area) and prologue/epilogue emission — the ``sw``/``lw`` traffic
+  this generates is annotated ``local`` and is the heart of the paper's
+  workload analysis;
+* expansion of IR comparison pseudo-ops into real instruction sequences;
+* the float literal pool (floats are loaded from the data segment);
+* translating every memory access with its compile-time locality
+  annotation (local / nonlocal / ambiguous).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, Syscall
+from repro.isa.program import DataItem
+from repro.isa.registers import FPR_BASE, Reg
+from repro.lang.ir import FrameSlot, IrFunction, IrInstr, VReg
+from repro.lang.regalloc import AllocationResult
+from repro.utils import align_up
+
+_SP = int(Reg.SP)
+_RA = int(Reg.RA)
+_AT = int(Reg.AT)
+_ZERO = int(Reg.ZERO)
+_A0 = int(Reg.A0)
+_V0 = int(Reg.V0)
+
+_BIN_OPS = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "div": Opcode.DIV, "rem": Opcode.REM, "and": Opcode.AND,
+    "or": Opcode.OR, "xor": Opcode.XOR, "shl": Opcode.SLLV,
+    "shr": Opcode.SRLV, "slt": Opcode.SLT,
+    "fadd": Opcode.FADD, "fsub": Opcode.FSUB, "fmul": Opcode.FMUL,
+    "fdiv": Opcode.FDIV, "fslt": Opcode.CLTS, "fsle": Opcode.CLES,
+    "fseq": Opcode.CEQS,
+}
+
+_BINI_OPS = {"add": Opcode.ADDI, "shl": Opcode.SLL, "shr": Opcode.SRA,
+             "and": Opcode.ANDI, "or": Opcode.ORI, "xor": Opcode.XORI,
+             "slt": Opcode.SLTI}
+
+_INTRINSIC_SYSCALLS = {
+    "@print": Syscall.PRINT_INT,
+    "@printc": Syscall.PRINT_CHAR,
+    "@printfl": Syscall.PRINT_FLOAT,
+    "@sbrk": Syscall.SBRK,
+}
+
+
+class FloatPool:
+    """Deduplicated pool of float literals placed in the data segment."""
+
+    def __init__(self) -> None:
+        self._values: Dict[float, str] = {}
+
+    def label_for(self, value: float) -> str:
+        """Data symbol holding *value* (allocating it on first use)."""
+        label = self._values.get(value)
+        if label is None:
+            label = f"__flt{len(self._values)}"
+            self._values[value] = label
+        return label
+
+    def data_items(self) -> List[DataItem]:
+        """One single-word DataItem per pooled literal."""
+        return [DataItem(label, [value])
+                for value, label in self._values.items()]
+
+
+class FunctionCodegen:
+    """Emits machine code for one allocated IR function."""
+
+    def __init__(self, func: IrFunction, allocation: AllocationResult,
+                 pool: FloatPool):
+        self.func = func
+        self.allocation = allocation
+        self.pool = pool
+        self.out: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self.frame_size = 0
+        self._save_offsets: Dict[int, int] = {}
+        self._saves_ra = False
+
+    # -- frame layout --------------------------------------------------------
+
+    def _layout_frame(self) -> None:
+        offset = 4 * max(0, self.func.max_outgoing_args - 4)
+        for slot in self.func.slots:
+            slot.offset = offset
+            offset += 4 * slot.words
+        self._saves_ra = self.func.has_calls
+        saved = sorted(self.allocation.used_callee_saved())
+        for reg in saved:
+            self._save_offsets[reg] = offset
+            offset += 4
+        if self._saves_ra:
+            self._save_offsets[_RA] = offset
+            offset += 4
+        self.frame_size = align_up(offset, 8)
+
+    # -- emission helpers ----------------------------------------------------
+
+    def _emit(self, op: Opcode, **kwargs) -> None:
+        self.out.append(Instruction(op, **kwargs))
+
+    def _label_here(self, name: str) -> None:
+        if name in self.labels:
+            raise CompileError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.out)
+
+    def _color(self, reg: Optional[VReg]) -> int:
+        assert reg is not None
+        return self.allocation.color(reg)
+
+    # -- driver -------------------------------------------------------------
+
+    def generate(self) -> Tuple[List[Instruction], Dict[str, int]]:
+        """Produce the instruction list and label map for this function."""
+        self._layout_frame()
+        self._label_here(self.func.name)
+        self._prologue()
+        for instr in self.func.body:
+            self._gen(instr)
+        self._epilogue()
+        return self.out, self.labels
+
+    def _prologue(self) -> None:
+        if self.frame_size:
+            self._emit(Opcode.ADDI, rd=_SP, rs=_SP, imm=-self.frame_size)
+        for reg, offset in sorted(self._save_offsets.items(),
+                                  key=lambda kv: kv[1]):
+            if reg >= FPR_BASE:
+                self._emit(Opcode.SS, rt=reg, rs=_SP, imm=offset, local=True)
+            else:
+                self._emit(Opcode.SW, rt=reg, rs=_SP, imm=offset, local=True)
+
+    def _epilogue(self) -> None:
+        self._label_here(self.func.exit_label + "__code")
+        for reg, offset in sorted(self._save_offsets.items(),
+                                  key=lambda kv: kv[1]):
+            if reg >= FPR_BASE:
+                self._emit(Opcode.LS, rd=reg, rs=_SP, imm=offset, local=True)
+            else:
+                self._emit(Opcode.LW, rd=reg, rs=_SP, imm=offset, local=True)
+        if self.frame_size:
+            self._emit(Opcode.ADDI, rd=_SP, rs=_SP, imm=self.frame_size)
+        self._emit(Opcode.JR, rs=_RA)
+
+    # -- instruction selection ----------------------------------------------
+
+    def _gen(self, instr: IrInstr) -> None:
+        kind = instr.kind
+        if kind == "li":
+            self._emit(Opcode.LI, rd=self._color(instr.dst), imm=instr.imm)
+        elif kind == "lfi":
+            label = self.pool.label_for(float(instr.imm))
+            self._emit(Opcode.LA, rd=_AT, label=label, imm=0)
+            self._emit(Opcode.LS, rd=self._color(instr.dst), rs=_AT, imm=0,
+                       local=False)
+        elif kind == "mov":
+            dst = self._color(instr.dst)
+            src = self._color(instr.a)
+            if dst != src:
+                op = Opcode.FMOV if instr.dst.is_float else Opcode.MOVE
+                self._emit(op, rd=dst, rs=src)
+        elif kind == "bin":
+            self._gen_bin(instr)
+        elif kind == "bini":
+            op = _BINI_OPS.get(instr.op)
+            if op is None:
+                raise CompileError(f"bad bini op {instr.op!r}")
+            self._emit(op, rd=self._color(instr.dst),
+                       rs=self._color(instr.a), imm=instr.imm)
+        elif kind == "cvt":
+            if instr.op == "if":
+                self._emit(Opcode.CVTSW, rd=self._color(instr.dst),
+                           rs=self._color(instr.a))
+            else:
+                self._emit(Opcode.CVTWS, rd=self._color(instr.dst),
+                           rs=self._color(instr.a))
+        elif kind == "load" or kind == "store":
+            self._gen_mem(instr)
+        elif kind == "la_frame":
+            slot = instr.base[1]
+            assert isinstance(slot, FrameSlot)
+            self._emit(Opcode.ADDI, rd=self._color(instr.dst), rs=_SP,
+                       imm=slot.offset + instr.imm)
+        elif kind == "la_global":
+            self._emit(Opcode.LA, rd=self._color(instr.dst),
+                       label=instr.sym, imm=0)
+            if instr.imm:
+                dst = self._color(instr.dst)
+                self._emit(Opcode.ADDI, rd=dst, rs=dst, imm=instr.imm)
+        elif kind == "call":
+            self._gen_call(instr)
+        elif kind == "ret":
+            pass  # value already in $v0/$f0; the jmp to exit follows
+        elif kind == "label":
+            if instr.sym == self.func.exit_label:
+                # The epilogue carries this label.
+                self.labels[instr.sym] = len(self.out)
+            else:
+                self._label_here(instr.sym)
+        elif kind == "jmp":
+            target = instr.sym
+            if target == self.func.exit_label:
+                target = self.func.exit_label
+            self._emit(Opcode.J, label=target, imm=0)
+        elif kind == "br":
+            op = Opcode.BEQ if instr.invert else Opcode.BNE
+            self._emit(op, rs=self._color(instr.a), rt=_ZERO,
+                       label=instr.sym, imm=0)
+        else:
+            raise CompileError(f"cannot generate code for {kind!r}")
+
+    def _gen_bin(self, instr: IrInstr) -> None:
+        op = instr.op
+        dst = self._color(instr.dst)
+        a = self._color(instr.a)
+        b = self._color(instr.b)
+        direct = _BIN_OPS.get(op)
+        if op == "sle":
+            # a <= b  ==  !(b < a)
+            self._emit(Opcode.SLT, rd=dst, rs=b, rt=a)
+            self._emit(Opcode.XORI, rd=dst, rs=dst, imm=1)
+        elif op == "seq":
+            self._emit(Opcode.LI, rd=_AT, imm=1)
+            self._emit(Opcode.XOR, rd=dst, rs=a, rt=b)
+            self._emit(Opcode.SLTU, rd=dst, rs=dst, rt=_AT)
+        elif op == "sne":
+            self._emit(Opcode.XOR, rd=dst, rs=a, rt=b)
+            self._emit(Opcode.SLTU, rd=dst, rs=_ZERO, rt=dst)
+        elif op == "fsne":
+            self._emit(Opcode.CEQS, rd=dst, rs=a, rt=b)
+            self._emit(Opcode.XORI, rd=dst, rs=dst, imm=1)
+        elif direct is not None:
+            self._emit(direct, rd=dst, rs=a, rt=b)
+        else:
+            raise CompileError(f"bad binary op {op!r}")
+
+    def _gen_mem(self, instr: IrInstr) -> None:
+        is_store = instr.kind == "store"
+        is_float = instr.is_float
+        value = self._color(instr.a if is_store else instr.dst)
+        base = instr.base
+        locality = instr.locality
+        if isinstance(base, VReg):
+            base_reg = self._color(base)
+            offset = instr.imm
+        else:
+            tag, payload = base
+            if tag == "frame":
+                assert isinstance(payload, FrameSlot)
+                base_reg = _SP
+                offset = payload.offset + instr.imm
+            elif tag == "incoming":
+                base_reg = _SP
+                offset = self.frame_size + 4 * int(payload) + instr.imm
+            elif tag == "outgoing":
+                base_reg = _SP
+                offset = 4 * int(payload) + instr.imm
+            elif tag == "global":
+                self._emit(Opcode.LA, rd=_AT, label=str(payload), imm=0)
+                base_reg = _AT
+                offset = instr.imm
+            else:
+                raise CompileError(f"bad memory base {tag!r}")
+        if is_store:
+            op = Opcode.SS if is_float else Opcode.SW
+            self._emit(op, rt=value, rs=base_reg, imm=offset, local=locality)
+        else:
+            op = Opcode.LS if is_float else Opcode.LW
+            self._emit(op, rd=value, rs=base_reg, imm=offset, local=locality)
+
+    def _gen_call(self, instr: IrInstr) -> None:
+        syscall = _INTRINSIC_SYSCALLS.get(instr.sym)
+        if syscall is not None:
+            self._emit(Opcode.SYSCALL, imm=int(syscall))
+            return
+        self._emit(Opcode.JAL, label=instr.sym, imm=0)
+
+
+def generate_startup() -> Tuple[List[Instruction], Dict[str, int]]:
+    """The __start stub: call main, pass its result to the exit syscall."""
+    instructions = [
+        Instruction(Opcode.JAL, label="main", imm=0),
+        Instruction(Opcode.MOVE, rd=_A0, rs=_V0),
+        Instruction(Opcode.SYSCALL, imm=int(Syscall.EXIT)),
+    ]
+    return instructions, {"__start": 0}

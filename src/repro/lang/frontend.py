@@ -1,0 +1,95 @@
+"""Compiler driver: mini-C source text -> loadable Program."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import DataItem, Program
+from repro.lang.codegen import FloatPool, FunctionCodegen, generate_startup
+from repro.lang.lowering import lower_function
+from repro.lang.optimizer import optimize
+from repro.lang.parser import parse
+from repro.lang.regalloc import allocate
+from repro.lang.semantics import analyze
+
+
+class CompilerOptions:
+    """Compilation knobs."""
+
+    def __init__(self, source_name: str = "<mini-c>",
+                 optimize: bool = True):
+        self.source_name = source_name
+        self.optimize = optimize
+
+
+class CompileStats:
+    """Observability into one compilation (used by tests and examples)."""
+
+    def __init__(self) -> None:
+        self.functions = 0
+        self.instructions = 0
+        self.spilled_vregs = 0
+        self.spill_rounds = 0
+        self.frame_bytes: Dict[str, int] = {}
+        self.ops_folded = 0
+        self.ops_removed = 0
+
+
+def compile_source(source: str, options: CompilerOptions = None,
+                   stats: CompileStats = None) -> Program:
+    """Compile mini-C *source* into a resolved, runnable Program."""
+    if options is None:
+        options = CompilerOptions()
+    ast = parse(source)
+    analyzer = analyze(ast)
+
+    pool = FloatPool()
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    start_code, start_labels = generate_startup()
+    instructions.extend(start_code)
+    labels.update(start_labels)
+
+    for func in ast.functions:
+        ir = lower_function(func, analyzer)
+        if options.optimize:
+            folded, removed = optimize(ir)
+            if stats is not None:
+                stats.ops_folded += folded
+                stats.ops_removed += removed
+        allocation = allocate(ir)
+        codegen = FunctionCodegen(ir, allocation, pool)
+        code, func_labels = codegen.generate()
+        offset = len(instructions)
+        for name, index in func_labels.items():
+            labels[name] = index + offset
+        instructions.extend(code)
+        if stats is not None:
+            stats.functions += 1
+            stats.instructions += len(code)
+            stats.spilled_vregs += allocation.spilled
+            stats.spill_rounds = max(stats.spill_rounds,
+                                     allocation.spill_rounds)
+            stats.frame_bytes[func.name] = codegen.frame_size
+
+    data: List[DataItem] = []
+    for gvar in ast.globals:
+        count = gvar.array_size if gvar.array_size is not None else 1
+        if gvar.init is not None:
+            values = list(gvar.init) + [0] * (count - len(gvar.init))
+        else:
+            values = [0] * count
+        data.append(DataItem(gvar.name, values))
+    data.extend(pool.data_items())
+
+    program = Program(
+        instructions,
+        labels=labels,
+        data=data,
+        entry="__start",
+        source_name=options.source_name,
+    )
+    program.resolve()
+    return program

@@ -1,0 +1,198 @@
+"""Intermediate representation: virtual registers and linear IR.
+
+The IR is a linear list of instructions per function with labels; basic
+blocks are recovered by the liveness pass.  Virtual registers are typed
+(int-like vs float); precolored registers (ABI argument/return registers at
+call boundaries) are ordinary VRegs with ``phys`` set to a flat machine
+register index.
+
+Instruction kinds and their operands:
+
+====================  =======================================================
+kind                  meaning
+====================  =======================================================
+``li``                dst <- imm (int)
+``lfi``               dst <- imm (float constant)
+``mov``               dst <- a
+``bin``               dst <- a <op> b; op in BIN_INT_OPS / BIN_FLOAT_OPS
+``cvt``               dst <- convert(a); op is 'if' (int→float) or 'fi'
+``load``/``store``    memory access; ``base`` is a VReg, ('frame', slot) or
+                      ('global', name); ``imm`` is the byte offset;
+                      ``locality`` is True/False/None (compile-time bit)
+``la_frame``          dst <- $sp + slot offset (address of a frame object)
+``la_global``         dst <- address of a global
+``call``              call ``sym``; args already moved to precolored regs
+``ret``               jump to the function epilogue
+``label``             branch target; ``sym`` is the label name
+``jmp``               unconditional branch to ``sym``
+``br``                branch to ``sym`` when a != 0 (or == 0 if ``invert``)
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+BIN_INT_OPS = (
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor",
+    "shl", "shr", "slt", "sle", "sgt", "sge", "seq", "sne",
+)
+BIN_FLOAT_OPS = (
+    "fadd", "fsub", "fmul", "fdiv",
+    "fslt", "fsle", "fsgt", "fsge", "fseq", "fsne",
+)
+
+
+class VReg:
+    """A virtual (or precolored physical) register."""
+
+    __slots__ = ("id", "is_float", "phys")
+
+    def __init__(self, id_: int, is_float: bool = False,
+                 phys: Optional[int] = None):
+        self.id = id_
+        self.is_float = is_float
+        self.phys = phys
+
+    @property
+    def precolored(self) -> bool:
+        """True when this VReg is pinned to a physical register."""
+        return self.phys is not None
+
+    def __repr__(self) -> str:
+        if self.precolored:
+            from repro.isa.registers import reg_name
+
+            return f"<{reg_name(self.phys)}>"
+        prefix = "f" if self.is_float else "v"
+        return f"%{prefix}{self.id}"
+
+
+class FrameSlot:
+    """A stack-frame object (addressed local, array, or spill slot)."""
+
+    __slots__ = ("name", "words", "offset", "is_spill")
+
+    def __init__(self, name: str, words: int, is_spill: bool = False):
+        self.name = name
+        self.words = words
+        self.offset = -1  # byte offset from $sp, assigned by codegen
+        self.is_spill = is_spill
+
+    def __repr__(self) -> str:
+        kind = "spill" if self.is_spill else "local"
+        return f"FrameSlot({self.name!r}, {self.words}w, {kind})"
+
+
+#: A memory base operand in load/store IR instructions.
+Base = Union[VReg, Tuple[str, object]]
+
+
+class IrInstr:
+    """One IR instruction (see module docstring for the field layout)."""
+
+    __slots__ = ("kind", "dst", "a", "b", "op", "imm", "sym", "base",
+                 "args", "locality", "invert", "is_float", "depth")
+
+    def __init__(self, kind: str, dst: Optional[VReg] = None,
+                 a: Optional[VReg] = None, b: Optional[VReg] = None,
+                 op: str = "", imm=0, sym: str = "",
+                 base: Optional[Base] = None,
+                 args: Optional[List[VReg]] = None,
+                 locality: Optional[bool] = False,
+                 invert: bool = False, is_float: bool = False,
+                 depth: int = 0):
+        self.kind = kind
+        self.dst = dst
+        self.a = a
+        self.b = b
+        self.op = op
+        self.imm = imm
+        self.sym = sym
+        self.base = base
+        self.args = args if args is not None else []
+        self.locality = locality
+        self.invert = invert
+        self.is_float = is_float
+        self.depth = depth
+
+    # -- dataflow helpers ---------------------------------------------------
+
+    def uses(self) -> List[VReg]:
+        """VRegs read by this instruction."""
+        kind = self.kind
+        if kind == "mov" or kind == "cvt":
+            return [self.a]
+        if kind == "bin":
+            return [self.a, self.b]
+        if kind == "bini":
+            return [self.a]
+        if kind == "load":
+            return [self.base] if isinstance(self.base, VReg) else []
+        if kind == "store":
+            out = [self.a]
+            if isinstance(self.base, VReg):
+                out.append(self.base)
+            return out
+        if kind == "br":
+            return [self.a]
+        if kind == "call":
+            return list(self.args)
+        if kind == "ret":
+            return list(self.args)
+        return []
+
+    def defs(self) -> List[VReg]:
+        """VRegs written by this instruction."""
+        if self.dst is not None:
+            return [self.dst]
+        return []
+
+    def __repr__(self) -> str:
+        parts = [self.kind]
+        if self.op:
+            parts.append(self.op)
+        if self.dst is not None:
+            parts.append(f"dst={self.dst}")
+        if self.a is not None:
+            parts.append(f"a={self.a}")
+        if self.b is not None:
+            parts.append(f"b={self.b}")
+        if self.sym:
+            parts.append(f"sym={self.sym}")
+        if self.base is not None:
+            parts.append(f"base={self.base}")
+        return f"IrInstr({' '.join(parts)})"
+
+
+class IrFunction:
+    """A function after lowering: linear IR plus frame bookkeeping."""
+
+    def __init__(self, name: str, has_calls: bool = False):
+        self.name = name
+        self.body: List[IrInstr] = []
+        self.slots: List[FrameSlot] = []
+        self.has_calls = has_calls
+        self.max_outgoing_args = 0
+        self.exit_label = f"{name}__exit"
+        self._next_vreg = 0
+
+    def new_vreg(self, is_float: bool = False) -> VReg:
+        """Allocate a fresh virtual register."""
+        self._next_vreg += 1
+        return VReg(self._next_vreg, is_float)
+
+    def new_slot(self, name: str, words: int,
+                 is_spill: bool = False) -> FrameSlot:
+        """Allocate a stack-frame slot."""
+        slot = FrameSlot(name, words, is_spill)
+        self.slots.append(slot)
+        return slot
+
+    def emit(self, instr: IrInstr) -> IrInstr:
+        """Append one instruction."""
+        self.body.append(instr)
+        return instr
+
+    def __repr__(self) -> str:
+        return f"IrFunction({self.name!r}, {len(self.body)} instrs)"

@@ -1,0 +1,167 @@
+"""Hand-written lexer for the mini-C language."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CompileError
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+_SIMPLE = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMI,
+    "^": TokenType.CARET,
+}
+
+_TWO_CHAR = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "&&": TokenType.AND_AND,
+    "||": TokenType.OR_OR,
+    "<<": TokenType.SHL,
+    ">>": TokenType.SHR,
+    "+=": TokenType.PLUS_ASSIGN,
+    "-=": TokenType.MINUS_ASSIGN,
+    "++": TokenType.PLUS_PLUS,
+    "--": TokenType.MINUS_MINUS,
+}
+
+_ONE_CHAR = {
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "&": TokenType.AMP,
+    "|": TokenType.PIPE,
+    "!": TokenType.NOT,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn mini-C source text into a token list ending with EOF."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        # comments
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            i += 2
+            column += 2
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                i += 1
+            if i + 1 >= n:
+                raise error("unterminated block comment")
+            i += 2
+            column += 2
+            continue
+        start_col = column
+        # numbers
+        if ch.isdigit():
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float:
+                        raise error("malformed number")
+                    is_float = True
+                j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token(TokenType.FLOAT_LIT, float(text),
+                                    line, start_col))
+            else:
+                tokens.append(Token(TokenType.INT_LIT, int(text),
+                                    line, start_col))
+            column += j - i
+            i = j
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = KEYWORDS.get(text, TokenType.IDENT)
+            value = text if kind is TokenType.IDENT else None
+            tokens.append(Token(kind, value, line, start_col))
+            column += j - i
+            i = j
+            continue
+        # character literal
+        if ch == "'":
+            if i + 2 < n and source[i + 2] == "'":
+                tokens.append(Token(TokenType.CHAR_LIT, ord(source[i + 1]),
+                                    line, start_col))
+                i += 3
+                column += 3
+                continue
+            if (i + 3 < n and source[i + 1] == "\\"
+                    and source[i + 3] == "'"):
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                code = escapes.get(source[i + 2])
+                if code is None:
+                    raise error(f"unknown escape \\{source[i + 2]}")
+                tokens.append(Token(TokenType.CHAR_LIT, code, line, start_col))
+                i += 4
+                column += 4
+                continue
+            raise error("malformed character literal")
+        # multi-char operators
+        pair = source[i : i + 2]
+        if pair in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[pair], None, line, start_col))
+            i += 2
+            column += 2
+            continue
+        if ch in _SIMPLE:
+            tokens.append(Token(_SIMPLE[ch], None, line, start_col))
+            i += 1
+            column += 1
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], None, line, start_col))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens

@@ -1,0 +1,132 @@
+"""Control-flow graph construction and liveness analysis over the IR.
+
+Liveness is the classic backward dataflow::
+
+    live_out(B) = union of live_in(S) for S in succ(B)
+    live_in(B)  = use(B) | (live_out(B) - def(B))
+
+iterated to a fixpoint over basic blocks, then replayed instruction by
+instruction when the register allocator builds the interference graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.lang.ir import IrFunction, IrInstr, VReg
+
+_BLOCK_ENDERS = ("jmp", "br")
+
+
+class BasicBlock:
+    """A maximal straight-line run of IR instructions."""
+
+    __slots__ = ("index", "instrs", "succ", "use", "defs",
+                 "live_in", "live_out")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.instrs: List[IrInstr] = []
+        self.succ: List[int] = []
+        self.use: Set[VReg] = set()
+        self.defs: Set[VReg] = set()
+        self.live_in: Set[VReg] = set()
+        self.live_out: Set[VReg] = set()
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.index}, {len(self.instrs)} instrs)"
+
+
+def build_cfg(func: IrFunction) -> List[BasicBlock]:
+    """Split the linear IR into basic blocks and wire successors."""
+    # Find leaders: function start, every label, every instruction after a
+    # control transfer.
+    body = func.body
+    leaders: Set[int] = {0} if body else set()
+    label_at: Dict[str, int] = {}
+    for i, instr in enumerate(body):
+        if instr.kind == "label":
+            leaders.add(i)
+            label_at[instr.sym] = i
+        elif instr.kind in _BLOCK_ENDERS and i + 1 < len(body):
+            leaders.add(i + 1)
+
+    ordered = sorted(leaders)
+    block_of_index: Dict[int, int] = {}
+    blocks: List[BasicBlock] = []
+    for bi, start in enumerate(ordered):
+        end = ordered[bi + 1] if bi + 1 < len(ordered) else len(body)
+        block = BasicBlock(bi)
+        block.instrs = body[start:end]
+        blocks.append(block)
+        block_of_index[start] = bi
+
+    def block_of_label(sym: str) -> int:
+        return block_of_index[label_at[sym]]
+
+    for bi, block in enumerate(blocks):
+        if not block.instrs:
+            continue
+        last = block.instrs[-1]
+        if last.kind == "jmp":
+            block.succ.append(block_of_label(last.sym))
+        elif last.kind == "br":
+            block.succ.append(block_of_label(last.sym))
+            if bi + 1 < len(blocks):
+                block.succ.append(bi + 1)
+        elif bi + 1 < len(blocks):
+            block.succ.append(bi + 1)
+    return blocks
+
+
+def _block_use_def(block: BasicBlock) -> None:
+    use: Set[VReg] = set()
+    defs: Set[VReg] = set()
+    for instr in block.instrs:
+        for reg in instr.uses():
+            if reg is not None and reg not in defs:
+                use.add(reg)
+        for reg in instr.defs():
+            defs.add(reg)
+    block.use = use
+    block.defs = defs
+
+
+def analyze_liveness(func: IrFunction) -> List[BasicBlock]:
+    """Build the CFG and compute per-block live-in/live-out sets."""
+    blocks = build_cfg(func)
+    for block in blocks:
+        _block_use_def(block)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            live_out: Set[VReg] = set()
+            for s in block.succ:
+                live_out |= blocks[s].live_in
+            live_in = block.use | (live_out - block.defs)
+            if live_out != block.live_out or live_in != block.live_in:
+                block.live_out = live_out
+                block.live_in = live_in
+                changed = True
+    return blocks
+
+
+def instruction_liveness(
+    block: BasicBlock,
+) -> List[Tuple[IrInstr, Set[VReg]]]:
+    """Backward walk yielding (instr, live-after-instr) pairs.
+
+    The returned list is in *reverse* instruction order, matching the order
+    an interference-graph builder wants to consume it in.
+    """
+    live = set(block.live_out)
+    out: List[Tuple[IrInstr, Set[VReg]]] = []
+    for instr in reversed(block.instrs):
+        out.append((instr, set(live)))
+        for reg in instr.defs():
+            live.discard(reg)
+        for reg in instr.uses():
+            if reg is not None:
+                live.add(reg)
+    return out

@@ -1,0 +1,639 @@
+"""Lowering: typed AST -> linear IR with virtual registers.
+
+Key decisions made here:
+
+* Scalar locals live in virtual registers unless their address is taken;
+  addressed locals and arrays get :class:`FrameSlot` objects.
+* Every memory access is annotated with its compile-time **locality**
+  (True = stack, False = data/heap, None = ambiguous).  Pointer values
+  carry a provenance lattice (local / non-local / unknown) so that e.g.
+  indexing a local array through a computed pointer is still classified
+  local, while dereferencing a pointer parameter is ambiguous — exactly
+  the `bar(&X)` situation of the paper's Figure 4.
+* Calls move arguments into precolored ABI registers ($a0..$a3 / $f12..)
+  so the register allocator sees the true interference; arguments beyond
+  four go to outgoing stack slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import CompileError
+from repro.isa.registers import FPR_BASE, Reg
+from repro.lang.ast_nodes import (
+    Assign, Binary, Block, Break, Call, Continue, Expr, ExprStmt, FloatLit,
+    For, FuncDef, Ident, If, Index, IntLit, Return, Stmt, Ty, Unary,
+    VarDecl, While,
+)
+from repro.lang.ir import FrameSlot, IrFunction, IrInstr, VReg
+from repro.lang.semantics import (
+    FuncSymbol,
+    GlobalSymbol,
+    LocalSymbol,
+    SemanticAnalyzer,
+)
+
+_ARG_GPRS = (int(Reg.A0), int(Reg.A1), int(Reg.A2), int(Reg.A3))
+_ARG_FPRS = (FPR_BASE + 12, FPR_BASE + 13, FPR_BASE + 14, FPR_BASE + 15)
+_V0 = int(Reg.V0)
+_F0 = FPR_BASE + 0
+
+#: Intrinsic call symbols understood by codegen.
+INTRINSICS = {"print": "@print", "printc": "@printc",
+              "printfl": "@printfl", "sbrk": "@sbrk"}
+
+_CMP_SWAP = {"sgt": "slt", "sge": "sle", "fsgt": "fslt", "fsge": "fsle"}
+
+# An address expression: (base, byte offset, locality).
+Addr = Tuple[Union[VReg, Tuple[str, object]], int, Optional[bool]]
+
+
+class Lowerer:
+    """Lowers one function to IR."""
+
+    def __init__(self, func: FuncDef, analyzer: SemanticAnalyzer):
+        self.func = func
+        self.analyzer = analyzer
+        self.ir = IrFunction(func.name)
+        self.env: Dict[int, Union[VReg, FrameSlot]] = {}
+        self.prov: Dict[int, Optional[bool]] = {}
+        self._labels = 0
+        self._loops: List[Tuple[str, str]] = []  # (continue, break) targets
+
+    # -- small helpers -------------------------------------------------------
+
+    def _label(self, hint: str) -> str:
+        self._labels += 1
+        return f"{self.func.name}__{hint}{self._labels}"
+
+    def _vreg(self, is_float: bool = False) -> VReg:
+        return self.ir.new_vreg(is_float)
+
+    def _emit(self, **kwargs) -> IrInstr:
+        # Loop depth weights register-allocation spill costs.
+        kwargs.setdefault("depth", len(self._loops))
+        return self.ir.emit(IrInstr(**kwargs))
+
+    def _const(self, value: int) -> VReg:
+        dst = self._vreg()
+        self._emit(kind="li", dst=dst, imm=value)
+        return dst
+
+    def _set_prov(self, vreg: VReg, locality: Optional[bool]) -> None:
+        self.prov[vreg.id] = locality
+
+    def _get_prov(self, vreg: VReg) -> Optional[bool]:
+        return self.prov.get(vreg.id)
+
+    # -- driver ---------------------------------------------------------------
+
+    def lower(self) -> IrFunction:
+        """Lower the whole function body; returns the IR function."""
+        self._lower_params()
+        self._lower_block(self.func.body)
+        # Fall off the end: void functions return implicitly; non-void
+        # functions that fall through return an undefined 0.
+        if not self.func.ret_ty.is_void:
+            zero = self._const(0)
+            ret_reg = VReg(0, self.func.ret_ty.is_float,
+                           phys=_F0 if self.func.ret_ty.is_float else _V0)
+            if self.func.ret_ty.is_float:
+                self._emit(kind="cvt", dst=ret_reg, a=zero, op="if")
+            else:
+                self._emit(kind="mov", dst=ret_reg, a=zero)
+            self._emit(kind="ret", args=[ret_reg])
+        else:
+            self._emit(kind="ret", args=[])
+        self._emit(kind="label", sym=self.ir.exit_label)
+        return self.ir
+
+    def _lower_params(self) -> None:
+        for index, param in enumerate(self.func.params):
+            symbol = param.symbol
+            assert isinstance(symbol, LocalSymbol)
+            is_float = param.ty.is_float
+            if index < 4:
+                phys = _ARG_FPRS[index] if is_float else _ARG_GPRS[index]
+                incoming = VReg(0, is_float, phys=phys)
+                if symbol.needs_memory:
+                    slot = self.ir.new_slot(param.name, 1)
+                    self.env[symbol.uid] = slot
+                    self._emit(kind="store", a=incoming,
+                               base=("frame", slot), imm=0, locality=True,
+                               is_float=is_float)
+                else:
+                    dst = self._vreg(is_float)
+                    self.env[symbol.uid] = dst
+                    self._emit(kind="mov", dst=dst, a=incoming)
+                    if param.ty.is_pointer:
+                        self._set_prov(dst, None)  # may point anywhere
+            else:
+                # Stack-passed argument: it lives in the caller's outgoing
+                # area, which is still the run-time stack (local region).
+                if symbol.needs_memory:
+                    slot = self.ir.new_slot(param.name, 1)
+                    self.env[symbol.uid] = slot
+                    tmp = self._vreg(is_float)
+                    self._emit(kind="load", dst=tmp,
+                               base=("incoming", index - 4), imm=0,
+                               locality=True, is_float=is_float)
+                    self._emit(kind="store", a=tmp, base=("frame", slot),
+                               imm=0, locality=True, is_float=is_float)
+                else:
+                    dst = self._vreg(is_float)
+                    self.env[symbol.uid] = dst
+                    self._emit(kind="load", dst=dst,
+                               base=("incoming", index - 4), imm=0,
+                               locality=True, is_float=is_float)
+                    if param.ty.is_pointer:
+                        self._set_prov(dst, None)
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, VarDecl):
+            self._lower_vardecl(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, Break):
+            if not self._loops:
+                raise CompileError("break outside a loop", stmt.line)
+            self._emit(kind="jmp", sym=self._loops[-1][1])
+        elif isinstance(stmt, Continue):
+            if not self._loops:
+                raise CompileError("continue outside a loop", stmt.line)
+            self._emit(kind="jmp", sym=self._loops[-1][0])
+        else:
+            raise CompileError(f"cannot lower {type(stmt).__name__}",
+                               stmt.line)
+
+    def _lower_vardecl(self, decl: VarDecl) -> None:
+        symbol = decl.symbol
+        assert isinstance(symbol, LocalSymbol)
+        is_float = decl.ty.is_float
+        if symbol.needs_memory:
+            words = symbol.array_size if symbol.is_array else 1
+            slot = self.ir.new_slot(decl.name, words)
+            self.env[symbol.uid] = slot
+            if decl.init is not None:
+                value = self._rvalue(decl.init, decl.ty)
+                self._emit(kind="store", a=value, base=("frame", slot),
+                           imm=0, locality=True, is_float=is_float)
+            return
+        dst = self._vreg(is_float)
+        self.env[symbol.uid] = dst
+        if decl.init is not None:
+            value = self._rvalue(decl.init, decl.ty)
+            self._emit(kind="mov", dst=dst, a=value)
+            if decl.ty.is_pointer:
+                self._set_prov(dst, self._get_prov(value))
+        else:
+            # Define the register so liveness never sees a use-before-def.
+            if is_float:
+                zero = self._const(0)
+                self._emit(kind="cvt", dst=dst, a=zero, op="if")
+            else:
+                self._emit(kind="li", dst=dst, imm=0)
+
+    def _lower_if(self, stmt: If) -> None:
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        cond = self._lower_expr(stmt.cond)
+        self._emit(kind="br", a=cond, sym=else_label, invert=True)
+        self._lower_stmt(stmt.then)
+        if stmt.els is not None:
+            self._emit(kind="jmp", sym=end_label)
+            self._emit(kind="label", sym=else_label)
+            self._lower_stmt(stmt.els)
+            self._emit(kind="label", sym=end_label)
+        else:
+            self._emit(kind="label", sym=else_label)
+
+    def _lower_while(self, stmt: While) -> None:
+        top = self._label("while")
+        end = self._label("wend")
+        self._emit(kind="label", sym=top)
+        cond = self._lower_expr(stmt.cond)
+        self._emit(kind="br", a=cond, sym=end, invert=True)
+        self._loops.append((top, end))
+        self._lower_stmt(stmt.body)
+        self._loops.pop()
+        self._emit(kind="jmp", sym=top)
+        self._emit(kind="label", sym=end)
+
+    def _lower_for(self, stmt: For) -> None:
+        top = self._label("for")
+        step_label = self._label("fstep")
+        end = self._label("fend")
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        self._emit(kind="label", sym=top)
+        if stmt.cond is not None:
+            cond = self._lower_expr(stmt.cond)
+            self._emit(kind="br", a=cond, sym=end, invert=True)
+        self._loops.append((step_label, end))
+        self._lower_stmt(stmt.body)
+        self._loops.pop()
+        self._emit(kind="label", sym=step_label)
+        if stmt.step is not None:
+            self._lower_expr(stmt.step)
+        self._emit(kind="jmp", sym=top)
+        self._emit(kind="label", sym=end)
+
+    def _lower_return(self, stmt: Return) -> None:
+        if stmt.value is None:
+            self._emit(kind="ret", args=[])
+            self._emit(kind="jmp", sym=self.ir.exit_label)
+            return
+        ret_ty = self.func.ret_ty
+        value = self._rvalue(stmt.value, ret_ty)
+        ret_reg = VReg(0, ret_ty.is_float,
+                       phys=_F0 if ret_ty.is_float else _V0)
+        self._emit(kind="mov", dst=ret_reg, a=value)
+        self._emit(kind="ret", args=[ret_reg])
+        self._emit(kind="jmp", sym=self.ir.exit_label)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _rvalue(self, expr: Expr, want: Ty) -> VReg:
+        """Lower *expr* and coerce the result to type *want*."""
+        value = self._lower_expr(expr)
+        return self._coerce(value, expr.ty, want)
+
+    def _coerce(self, value: VReg, have: Optional[Ty], want: Ty) -> VReg:
+        if have is None:
+            return value
+        if want.is_float and not have.is_float:
+            dst = self._vreg(True)
+            self._emit(kind="cvt", dst=dst, a=value, op="if")
+            return dst
+        if not want.is_float and have.is_float:
+            dst = self._vreg(False)
+            self._emit(kind="cvt", dst=dst, a=value, op="fi")
+            return dst
+        return value
+
+    def _lower_expr(self, expr: Expr) -> VReg:
+        if isinstance(expr, IntLit):
+            return self._const(expr.value)
+        if isinstance(expr, FloatLit):
+            dst = self._vreg(True)
+            self._emit(kind="lfi", dst=dst, imm=expr.value)
+            return dst
+        if isinstance(expr, Ident):
+            return self._lower_ident(expr)
+        if isinstance(expr, Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, Index):
+            base, offset, locality = self._addr_of(expr)
+            dst = self._vreg(expr.ty.is_float)
+            self._emit(kind="load", dst=dst, base=base, imm=offset,
+                       locality=locality, is_float=expr.ty.is_float)
+            if expr.ty.is_pointer:
+                self._set_prov(dst, None)
+            return dst
+        if isinstance(expr, Call):
+            return self._lower_call(expr)
+        raise CompileError(f"cannot lower {type(expr).__name__}", expr.line)
+
+    def _lower_ident(self, expr: Ident) -> VReg:
+        symbol = expr.symbol
+        if isinstance(symbol, GlobalSymbol):
+            if symbol.is_array:
+                dst = self._vreg()
+                self._emit(kind="la_global", dst=dst, sym=symbol.name)
+                self._set_prov(dst, False)
+                return dst
+            dst = self._vreg(symbol.ty.is_float)
+            self._emit(kind="load", dst=dst, base=("global", symbol.name),
+                       imm=0, locality=False, is_float=symbol.ty.is_float)
+            if symbol.ty.is_pointer:
+                self._set_prov(dst, None)
+            return dst
+        assert isinstance(symbol, LocalSymbol)
+        binding = self.env[symbol.uid]
+        if isinstance(binding, VReg):
+            return binding
+        if symbol.is_array:
+            dst = self._vreg()
+            self._emit(kind="la_frame", dst=dst, base=("frame", binding))
+            self._set_prov(dst, True)
+            return dst
+        dst = self._vreg(symbol.ty.is_float)
+        self._emit(kind="load", dst=dst, base=("frame", binding), imm=0,
+                   locality=True, is_float=symbol.ty.is_float)
+        if symbol.ty.is_pointer:
+            self._set_prov(dst, None)
+        return dst
+
+    def _lower_unary(self, expr: Unary) -> VReg:
+        if expr.op == "&":
+            base, offset, locality = self._addr_of(expr.operand)
+            return self._materialise_addr(base, offset, locality)
+        if expr.op == "*":
+            base, offset, locality = self._addr_of(expr)
+            dst = self._vreg(expr.ty.is_float)
+            self._emit(kind="load", dst=dst, base=base, imm=offset,
+                       locality=locality, is_float=expr.ty.is_float)
+            if expr.ty.is_pointer:
+                self._set_prov(dst, None)
+            return dst
+        operand = self._lower_expr(expr.operand)
+        if expr.op == "-":
+            dst = self._vreg(expr.ty.is_float)
+            if expr.ty.is_float:
+                zero = self._vreg(True)
+                int_zero = self._const(0)
+                self._emit(kind="cvt", dst=zero, a=int_zero, op="if")
+                self._emit(kind="bin", op="fsub", dst=dst, a=zero, b=operand)
+            else:
+                zero = self._const(0)
+                self._emit(kind="bin", op="sub", dst=dst, a=zero, b=operand)
+            return dst
+        if expr.op == "!":
+            value = operand
+            if expr.operand.ty is not None and expr.operand.ty.is_float:
+                value = self._coerce(operand, expr.operand.ty,
+                                     Ty("int"))
+            dst = self._vreg()
+            zero = self._const(0)
+            self._emit(kind="bin", op="seq", dst=dst, a=value, b=zero)
+            return dst
+        raise CompileError(f"cannot lower unary {expr.op!r}", expr.line)
+
+    def _lower_binary(self, expr: Binary) -> VReg:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._lower_logical(expr)
+        left_ty, right_ty = expr.left.ty, expr.right.ty
+        # pointer arithmetic: scale the integer side by the word size
+        if left_ty.is_pointer or right_ty.is_pointer:
+            return self._lower_pointer_arith(expr)
+        is_float = left_ty.is_float or right_ty.is_float
+        want = Ty("float") if is_float else Ty("int")
+        left = self._rvalue(expr.left, want)
+        right = self._rvalue(expr.right, want)
+        ir_op = self._binary_ir_op(op, is_float, expr.line)
+        result_float = is_float and op in ("+", "-", "*", "/")
+        dst = self._vreg(result_float)
+        if ir_op in _CMP_SWAP:
+            self._emit(kind="bin", op=_CMP_SWAP[ir_op], dst=dst,
+                       a=right, b=left)
+        else:
+            self._emit(kind="bin", op=ir_op, dst=dst, a=left, b=right)
+        return dst
+
+    @staticmethod
+    def _binary_ir_op(op: str, is_float: bool, line: int) -> str:
+        table = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+            "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge",
+            "==": "seq", "!=": "sne",
+        }
+        ir_op = table.get(op)
+        if ir_op is None:
+            raise CompileError(f"cannot lower binary {op!r}", line)
+        if is_float:
+            float_ok = {"add", "sub", "mul", "div",
+                        "slt", "sle", "sgt", "sge", "seq", "sne"}
+            if ir_op not in float_ok:
+                raise CompileError(f"{op!r} is not defined on floats", line)
+            return "f" + ir_op
+        return ir_op
+
+    def _lower_pointer_arith(self, expr: Binary) -> VReg:
+        op = expr.op
+        left_ty, right_ty = expr.left.ty, expr.right.ty
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            dst = self._vreg()
+            ir_op = self._binary_ir_op(op, False, expr.line)
+            if ir_op in _CMP_SWAP:
+                self._emit(kind="bin", op=_CMP_SWAP[ir_op], dst=dst,
+                           a=right, b=left)
+            else:
+                self._emit(kind="bin", op=ir_op, dst=dst, a=left, b=right)
+            return dst
+        if left_ty.is_pointer and right_ty.is_pointer:
+            if op != "-":
+                raise CompileError("invalid pointer arithmetic", expr.line)
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            diff = self._vreg()
+            self._emit(kind="bin", op="sub", dst=diff, a=left, b=right)
+            dst = self._vreg()
+            self._emit(kind="bini", op="shr", dst=dst, a=diff, imm=2)
+            return dst
+        pointer_expr = expr.left if left_ty.is_pointer else expr.right
+        int_expr = expr.right if left_ty.is_pointer else expr.left
+        pointer = self._lower_expr(pointer_expr)
+        index = self._lower_expr(int_expr)
+        scaled = self._vreg()
+        self._emit(kind="bini", op="shl", dst=scaled, a=index, imm=2)
+        dst = self._vreg()
+        ir_op = "sub" if (op == "-" and left_ty.is_pointer) else "add"
+        self._emit(kind="bin", op=ir_op, dst=dst, a=pointer, b=scaled)
+        self._set_prov(dst, self._get_prov(pointer))
+        return dst
+
+    def _lower_logical(self, expr: Binary) -> VReg:
+        dst = self._vreg()
+        end = self._label("sc")
+        zero = self._const(0)
+        left = self._lower_expr(expr.left)
+        if expr.op == "&&":
+            self._emit(kind="li", dst=dst, imm=0)
+            self._emit(kind="br", a=left, sym=end, invert=True)
+            right = self._lower_expr(expr.right)
+            self._emit(kind="bin", op="sne", dst=dst, a=right, b=zero)
+        else:
+            self._emit(kind="li", dst=dst, imm=1)
+            self._emit(kind="br", a=left, sym=end, invert=False)
+            right = self._lower_expr(expr.right)
+            self._emit(kind="bin", op="sne", dst=dst, a=right, b=zero)
+        self._emit(kind="label", sym=end)
+        return dst
+
+    def _lower_assign(self, expr: Assign) -> VReg:
+        target = expr.target
+        target_ty = target.ty
+        # register-resident scalar
+        if isinstance(target, Ident):
+            symbol = target.symbol
+            if isinstance(symbol, LocalSymbol):
+                binding = self.env[symbol.uid]
+                if isinstance(binding, VReg):
+                    value = self._assign_value(expr, binding, target_ty)
+                    self._emit(kind="mov", dst=binding, a=value)
+                    if target_ty.is_pointer:
+                        self._set_prov(binding, self._get_prov(value))
+                    return binding
+        base, offset, locality = self._addr_of(target)
+        if expr.op:
+            current = self._vreg(target_ty.is_float)
+            self._emit(kind="load", dst=current, base=base, imm=offset,
+                       locality=locality, is_float=target_ty.is_float)
+            value = self._compound(expr, current, target_ty)
+        else:
+            value = self._rvalue(expr.value, target_ty)
+        self._emit(kind="store", a=value, base=base, imm=offset,
+                   locality=locality, is_float=target_ty.is_float)
+        return value
+
+    def _assign_value(self, expr: Assign, current: VReg, ty: Ty) -> VReg:
+        if not expr.op:
+            return self._rvalue(expr.value, ty)
+        return self._compound(expr, current, ty)
+
+    def _compound(self, expr: Assign, current: VReg, ty: Ty) -> VReg:
+        if ty.is_pointer:
+            index = self._rvalue(expr.value, Ty("int"))
+            scaled = self._vreg()
+            self._emit(kind="bini", op="shl", dst=scaled, a=index, imm=2)
+            dst = self._vreg()
+            op = "add" if expr.op == "+" else "sub"
+            self._emit(kind="bin", op=op, dst=dst, a=current, b=scaled)
+            self._set_prov(dst, self._get_prov(current))
+            return dst
+        value = self._rvalue(expr.value, ty)
+        dst = self._vreg(ty.is_float)
+        if ty.is_float:
+            op = "fadd" if expr.op == "+" else "fsub"
+        else:
+            op = "add" if expr.op == "+" else "sub"
+        self._emit(kind="bin", op=op, dst=dst, a=current, b=value)
+        return dst
+
+    # -- addressing -----------------------------------------------------------
+
+    def _addr_of(self, expr: Expr) -> Addr:
+        """Compute the address of an lvalue expression."""
+        if isinstance(expr, Ident):
+            symbol = expr.symbol
+            if isinstance(symbol, GlobalSymbol):
+                return ("global", symbol.name), 0, False
+            assert isinstance(symbol, LocalSymbol)
+            binding = self.env[symbol.uid]
+            if isinstance(binding, VReg):
+                raise CompileError(
+                    f"{expr.name!r} has no address (register-resident)",
+                    expr.line,
+                )
+            return ("frame", binding), 0, True
+        if isinstance(expr, Unary) and expr.op == "*":
+            pointer = self._lower_expr(expr.operand)
+            return pointer, 0, self._get_prov(pointer)
+        if isinstance(expr, Index):
+            return self._addr_of_index(expr)
+        raise CompileError("expression has no address", expr.line)
+
+    def _addr_of_index(self, expr: Index) -> Addr:
+        base_expr = expr.base
+        # Direct array indexing with a constant index folds into the offset.
+        if isinstance(base_expr, Ident) and base_expr.symbol is not None \
+                and base_expr.symbol.is_array \
+                and isinstance(expr.index, IntLit):
+            symbol = base_expr.symbol
+            offset = 4 * expr.index.value
+            if isinstance(symbol, GlobalSymbol):
+                return ("global", symbol.name), offset, False
+            binding = self.env[symbol.uid]
+            assert isinstance(binding, FrameSlot)
+            return ("frame", binding), offset, True
+        pointer = self._lower_expr(base_expr)
+        locality = self._get_prov(pointer)
+        index = self._lower_expr(expr.index)
+        scaled = self._vreg()
+        self._emit(kind="bini", op="shl", dst=scaled, a=index, imm=2)
+        addr = self._vreg()
+        self._emit(kind="bin", op="add", dst=addr, a=pointer, b=scaled)
+        self._set_prov(addr, locality)
+        return addr, 0, locality
+
+    def _materialise_addr(self, base, offset: int,
+                          locality: Optional[bool]) -> VReg:
+        """Turn an address expression into a pointer value in a VReg."""
+        if isinstance(base, VReg):
+            if offset == 0:
+                return base
+            dst = self._vreg()
+            self._emit(kind="bini", op="add", dst=dst, a=base, imm=offset)
+            self._set_prov(dst, locality)
+            return dst
+        kind, payload = base
+        dst = self._vreg()
+        if kind == "frame":
+            self._emit(kind="la_frame", dst=dst, base=base, imm=offset)
+            self._set_prov(dst, True)
+        elif kind == "global":
+            self._emit(kind="la_global", dst=dst, sym=payload, imm=offset)
+            self._set_prov(dst, False)
+        else:
+            raise CompileError(f"cannot take address of {kind} base")
+        return dst
+
+    # -- calls --------------------------------------------------------------
+
+    def _lower_call(self, expr: Call) -> VReg:
+        func = self.analyzer.functions[expr.name]
+        assert isinstance(func, FuncSymbol)
+        arg_values: List[Tuple[VReg, bool]] = []
+        for arg, param_ty in zip(expr.args, func.param_tys):
+            value = self._rvalue(arg, param_ty)
+            arg_values.append((value, param_ty.is_float))
+        precolored: List[VReg] = []
+        for index, (value, is_float) in enumerate(arg_values):
+            if index < 4:
+                phys = _ARG_FPRS[index] if is_float else _ARG_GPRS[index]
+                slot_reg = VReg(0, is_float, phys=phys)
+                self._emit(kind="mov", dst=slot_reg, a=value)
+                precolored.append(slot_reg)
+            else:
+                self._emit(kind="store", a=value,
+                           base=("outgoing", index - 4), imm=0,
+                           locality=True, is_float=is_float)
+        self.ir.max_outgoing_args = max(self.ir.max_outgoing_args,
+                                        len(arg_values))
+        sym = INTRINSICS.get(expr.name, expr.name)
+        if not func.is_builtin:
+            self.ir.has_calls = True
+        returns_value = not func.ty.is_void
+        ret_reg: Optional[VReg] = None
+        if returns_value:
+            ret_reg = VReg(0, func.ty.is_float,
+                           phys=_F0 if func.ty.is_float else _V0)
+        self._emit(kind="call", sym=sym, args=precolored, dst=ret_reg)
+        if ret_reg is None:
+            return self._const(0)  # void result placeholder (never used)
+        dst = self._vreg(func.ty.is_float)
+        self._emit(kind="mov", dst=dst, a=ret_reg)
+        if func.ty.is_pointer:
+            # sbrk returns heap memory; other calls are unknown.
+            self._set_prov(dst, False if func.name == "sbrk" else None)
+        return dst
+
+
+def lower_function(func: FuncDef, analyzer: SemanticAnalyzer) -> IrFunction:
+    """Lower one function definition to IR."""
+    return Lowerer(func, analyzer).lower()

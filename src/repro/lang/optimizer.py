@@ -1,0 +1,189 @@
+"""IR-level optimizations: constant folding, copy propagation, dead code.
+
+These run between lowering and register allocation.  They operate within
+basic blocks (local value tracking is reset at labels and branch targets),
+which is enough to clean up the naive lowering patterns — repeated
+constant materialisation, copy chains from call-return plumbing, and dead
+computations — without needing SSA.
+
+The passes matter for fidelity as well as cleanliness: the paper's
+baseline compiler is EGCS at -O3, so the instruction stream should not be
+dominated by removable junk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.ir import IrFunction, IrInstr, VReg
+
+_FOLDABLE_INT = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 31),
+    "shr": lambda a, b: a >> (b & 31),
+    "slt": lambda a, b: int(a < b),
+    "sle": lambda a, b: int(a <= b),
+    "sgt": lambda a, b: int(a > b),
+    "sge": lambda a, b: int(a >= b),
+    "seq": lambda a, b: int(a == b),
+    "sne": lambda a, b: int(a != b),
+}
+
+#: Instruction kinds that end local value tracking (control flow joins).
+_BARRIERS = ("label",)
+
+#: Kinds with no side effects whose dead results may be removed.
+_PURE = ("li", "lfi", "mov", "bin", "bini", "cvt", "la_frame", "la_global")
+
+
+def _div_ok(a: int, b: int, op: str) -> bool:
+    return not (op in ("div", "rem") and b == 0)
+
+
+class _BlockState:
+    """Known constants and copies within one basic block."""
+
+    def __init__(self) -> None:
+        self.constants: Dict[VReg, int] = {}
+        self.copies: Dict[VReg, VReg] = {}
+
+    def invalidate(self, reg: Optional[VReg]) -> None:
+        if reg is None:
+            return
+        self.constants.pop(reg, None)
+        self.copies.pop(reg, None)
+        # anything copying *from* reg is stale now
+        stale = [dst for dst, src in self.copies.items() if src is reg]
+        for dst in stale:
+            del self.copies[dst]
+
+    def resolve(self, reg: Optional[VReg]) -> Optional[VReg]:
+        """Follow copy chains to the original source."""
+        seen = 0
+        while reg in self.copies and seen < 8:
+            reg = self.copies[reg]
+            seen += 1
+        return reg
+
+
+def fold_and_propagate(func: IrFunction) -> int:
+    """Constant folding + copy propagation; returns changed-op count."""
+    changed = 0
+    state = _BlockState()
+    for instr in func.body:
+        kind = instr.kind
+        if kind in _BARRIERS:
+            state = _BlockState()
+            continue
+        # Rewrite uses through known copies (precolored regs are pinned:
+        # never rewrite them, their identity is the ABI).
+        for field in ("a", "b"):
+            reg = getattr(instr, field)
+            if isinstance(reg, VReg) and not reg.precolored:
+                resolved = state.resolve(reg)
+                if resolved is not reg and isinstance(resolved, VReg) \
+                        and not resolved.precolored:
+                    setattr(instr, field, resolved)
+                    changed += 1
+        if isinstance(instr.base, VReg) and not instr.base.precolored:
+            resolved = state.resolve(instr.base)
+            if resolved is not instr.base and not resolved.precolored:
+                instr.base = resolved
+                changed += 1
+
+        # Fold binaries whose operands are known integer constants, or
+        # strength-reduce a bin with one constant operand into a bini.
+        if kind == "bin" and instr.op in _FOLDABLE_INT:
+            a = state.constants.get(instr.a)
+            b = state.constants.get(instr.b)
+            if a is not None and b is not None and _div_ok(a, b, instr.op):
+                value = _FOLDABLE_INT[instr.op](a, b)
+                instr.kind = "li"
+                instr.imm = value
+                instr.op = ""
+                instr.a = None
+                instr.b = None
+                changed += 1
+                kind = "li"
+            elif (b is not None and -32768 <= b <= 32767
+                    and instr.op in ("add", "and", "or", "xor",
+                                     "shl", "shr", "slt")):
+                instr.kind = "bini"
+                instr.imm = b
+                instr.b = None
+                changed += 1
+                kind = "bini"
+        elif kind == "bini" and instr.op in _FOLDABLE_INT:
+            a = state.constants.get(instr.a)
+            if a is not None:
+                value = _FOLDABLE_INT[instr.op](a, instr.imm)
+                instr.kind = "li"
+                instr.imm = value
+                instr.op = ""
+                instr.a = None
+                changed += 1
+                kind = "li"
+
+        # Update tracked facts for the destination.
+        dst = instr.dst
+        if dst is not None:
+            state.invalidate(dst)
+            if dst.precolored:
+                pass  # ABI registers: do not track
+            elif kind == "li":
+                state.constants[dst] = instr.imm
+            elif kind == "mov" and isinstance(instr.a, VReg) \
+                    and not instr.a.precolored:
+                source = state.resolve(instr.a)
+                if source is not None and not source.precolored \
+                        and source is not dst:
+                    state.copies[dst] = source
+                const = state.constants.get(instr.a)
+                if const is not None:
+                    state.constants[dst] = const
+        if kind == "call":
+            # Calls clobber precolored state only; virtual facts survive.
+            pass
+    return changed
+
+
+def eliminate_dead_code(func: IrFunction) -> int:
+    """Remove pure instructions whose results are never read."""
+    used: Set[VReg] = set()
+    for instr in func.body:
+        for reg in instr.uses():
+            if isinstance(reg, VReg):
+                used.add(reg)
+    new_body: List[IrInstr] = []
+    removed = 0
+    for instr in func.body:
+        dst = instr.dst
+        if (instr.kind in _PURE and dst is not None
+                and not dst.precolored and dst not in used):
+            removed += 1
+            continue
+        new_body.append(instr)
+    func.body = new_body
+    return removed
+
+
+def optimize(func: IrFunction, max_rounds: int = 4) -> Tuple[int, int]:
+    """Run folding/propagation and DCE to a fixpoint.
+
+    Returns (total folded/propagated, total removed).
+    """
+    total_folded = 0
+    total_removed = 0
+    for _ in range(max_rounds):
+        folded = fold_and_propagate(func)
+        removed = eliminate_dead_code(func)
+        total_folded += folded
+        total_removed += removed
+        if not folded and not removed:
+            break
+    return total_folded, total_removed

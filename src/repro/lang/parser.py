@@ -1,0 +1,343 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar sketch::
+
+    program   := (global | funcdef)*
+    global    := type IDENT ('[' INT ']')? ('=' literal)? ';'
+    funcdef   := type IDENT '(' params? ')' block
+    stmt      := block | vardecl | if | while | for | return
+               | break ';' | continue ';' | expr ';'
+    expr      := assignment with C-like precedence
+
+Increment/decrement (``i++``) desugars to a compound assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import (
+    Assign, Binary, Block, Break, Call, Continue, Expr, ExprStmt, FloatLit,
+    For, FuncDef, GlobalVar, Ident, If, Index, IntLit, Param, ProgramAst,
+    Return, Stmt, Ty, Unary, VarDecl, While,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType as T
+
+_TYPE_STARTERS = (T.KW_INT, T.KW_FLOAT, T.KW_VOID)
+
+# binary operator precedence (larger binds tighter)
+_BIN_PREC = {
+    T.OR_OR: 1,
+    T.AND_AND: 2,
+    T.PIPE: 3,
+    T.CARET: 4,
+    T.AMP: 5,
+    T.EQ: 6, T.NE: 6,
+    T.LT: 7, T.LE: 7, T.GT: 7, T.GE: 7,
+    T.SHL: 8, T.SHR: 8,
+    T.PLUS: 9, T.MINUS: 9,
+    T.STAR: 10, T.SLASH: 10, T.PERCENT: 10,
+}
+
+_BIN_NAMES = {
+    T.OR_OR: "||", T.AND_AND: "&&", T.PIPE: "|", T.CARET: "^", T.AMP: "&",
+    T.EQ: "==", T.NE: "!=", T.LT: "<", T.LE: "<=", T.GT: ">", T.GE: ">=",
+    T.SHL: "<<", T.SHR: ">>", T.PLUS: "+", T.MINUS: "-", T.STAR: "*",
+    T.SLASH: "/", T.PERCENT: "%",
+}
+
+
+class Parser:
+    """Parser state over one token stream."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not T.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, type_: T) -> bool:
+        return self.peek().type is type_
+
+    def accept(self, type_: T) -> Optional[Token]:
+        if self.check(type_):
+            return self.advance()
+        return None
+
+    def expect(self, type_: T, what: str = "") -> Token:
+        token = self.peek()
+        if token.type is not type_:
+            expected = what or type_.name
+            raise CompileError(
+                f"expected {expected}, found {token.type.name}",
+                token.line, token.column,
+            )
+        return self.advance()
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ProgramAst:
+        globals_: List[GlobalVar] = []
+        functions: List[FuncDef] = []
+        while not self.check(T.EOF):
+            ty = self._parse_type()
+            name = self.expect(T.IDENT, "identifier")
+            if self.check(T.LPAREN):
+                functions.append(self._parse_funcdef(ty, name))
+            else:
+                globals_.append(self._parse_global(ty, name))
+        return ProgramAst(globals_, functions)
+
+    def _parse_type(self) -> Ty:
+        token = self.peek()
+        if token.type is T.KW_INT:
+            base = "int"
+        elif token.type is T.KW_FLOAT:
+            base = "float"
+        elif token.type is T.KW_VOID:
+            base = "void"
+        else:
+            raise CompileError(
+                f"expected a type, found {token.type.name}",
+                token.line, token.column,
+            )
+        self.advance()
+        ptr = 0
+        while self.accept(T.STAR):
+            ptr += 1
+        return Ty(base, ptr)
+
+    def _parse_global(self, ty: Ty, name: Token) -> GlobalVar:
+        array_size = None
+        init: Optional[List[float]] = None
+        if self.accept(T.LBRACKET):
+            array_size = int(self.expect(T.INT_LIT, "array size").value)
+            self.expect(T.RBRACKET)
+        if self.accept(T.ASSIGN):
+            init = [self._parse_const_literal()]
+        self.expect(T.SEMI)
+        return GlobalVar(ty, name.value, array_size, init, name.line)
+
+    def _parse_const_literal(self) -> float:
+        negative = bool(self.accept(T.MINUS))
+        token = self.peek()
+        if token.type is T.INT_LIT or token.type is T.FLOAT_LIT \
+                or token.type is T.CHAR_LIT:
+            self.advance()
+            value = token.value
+            return -value if negative else value
+        raise CompileError(
+            "global initialisers must be literals", token.line, token.column
+        )
+
+    def _parse_funcdef(self, ret_ty: Ty, name: Token) -> FuncDef:
+        self.expect(T.LPAREN)
+        params: List[Param] = []
+        if not self.check(T.RPAREN):
+            while True:
+                pty = self._parse_type()
+                pname = self.expect(T.IDENT, "parameter name")
+                params.append(Param(pty, pname.value))
+                if not self.accept(T.COMMA):
+                    break
+        self.expect(T.RPAREN)
+        body = self._parse_block()
+        return FuncDef(ret_ty, name.value, params, body, name.line)
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        open_ = self.expect(T.LBRACE)
+        stmts: List[Stmt] = []
+        while not self.check(T.RBRACE):
+            if self.check(T.EOF):
+                raise CompileError("unterminated block", open_.line,
+                                   open_.column)
+            stmts.append(self._parse_stmt())
+        self.expect(T.RBRACE)
+        return Block(stmts, open_.line)
+
+    def _parse_stmt(self) -> Stmt:
+        token = self.peek()
+        if token.type is T.LBRACE:
+            return self._parse_block()
+        if token.type in _TYPE_STARTERS:
+            return self._parse_vardecl()
+        if token.type is T.KW_IF:
+            return self._parse_if()
+        if token.type is T.KW_WHILE:
+            return self._parse_while()
+        if token.type is T.KW_FOR:
+            return self._parse_for()
+        if token.type is T.KW_RETURN:
+            self.advance()
+            value = None if self.check(T.SEMI) else self._parse_expr()
+            self.expect(T.SEMI)
+            return Return(value, token.line)
+        if token.type is T.KW_BREAK:
+            self.advance()
+            self.expect(T.SEMI)
+            stmt = Break(token.line)
+            return stmt
+        if token.type is T.KW_CONTINUE:
+            self.advance()
+            self.expect(T.SEMI)
+            return Continue(token.line)
+        expr = self._parse_expr()
+        self.expect(T.SEMI)
+        return ExprStmt(expr, token.line)
+
+    def _parse_vardecl(self) -> VarDecl:
+        ty = self._parse_type()
+        name = self.expect(T.IDENT, "variable name")
+        array_size = None
+        init = None
+        if self.accept(T.LBRACKET):
+            array_size = int(self.expect(T.INT_LIT, "array size").value)
+            self.expect(T.RBRACKET)
+        elif self.accept(T.ASSIGN):
+            init = self._parse_expr()
+        self.expect(T.SEMI)
+        return VarDecl(ty, name.value, array_size, init, name.line)
+
+    def _parse_if(self) -> If:
+        token = self.advance()
+        self.expect(T.LPAREN)
+        cond = self._parse_expr()
+        self.expect(T.RPAREN)
+        then = self._parse_stmt()
+        els = self._parse_stmt() if self.accept(T.KW_ELSE) else None
+        return If(cond, then, els, token.line)
+
+    def _parse_while(self) -> While:
+        token = self.advance()
+        self.expect(T.LPAREN)
+        cond = self._parse_expr()
+        self.expect(T.RPAREN)
+        return While(cond, self._parse_stmt(), token.line)
+
+    def _parse_for(self) -> For:
+        token = self.advance()
+        self.expect(T.LPAREN)
+        init: Optional[Stmt] = None
+        if not self.check(T.SEMI):
+            if self.peek().type in _TYPE_STARTERS:
+                init = self._parse_vardecl()
+            else:
+                expr = self._parse_expr()
+                self.expect(T.SEMI)
+                init = ExprStmt(expr, token.line)
+        else:
+            self.advance()
+        cond = None if self.check(T.SEMI) else self._parse_expr()
+        self.expect(T.SEMI)
+        step = None if self.check(T.RPAREN) else self._parse_expr()
+        self.expect(T.RPAREN)
+        return For(init, cond, step, self._parse_stmt(), token.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_binary(0)
+        token = self.peek()
+        if token.type is T.ASSIGN:
+            self.advance()
+            return Assign(left, self._parse_assignment(), "", token.line)
+        if token.type is T.PLUS_ASSIGN:
+            self.advance()
+            return Assign(left, self._parse_assignment(), "+", token.line)
+        if token.type is T.MINUS_ASSIGN:
+            self.advance()
+            return Assign(left, self._parse_assignment(), "-", token.line)
+        return left
+
+    def _parse_binary(self, min_prec: int) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            prec = _BIN_PREC.get(token.type)
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            left = Binary(_BIN_NAMES[token.type], left, right, token.line)
+
+    def _parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.type is T.MINUS:
+            self.advance()
+            return Unary("-", self._parse_unary(), token.line)
+        if token.type is T.NOT:
+            self.advance()
+            return Unary("!", self._parse_unary(), token.line)
+        if token.type is T.STAR:
+            self.advance()
+            return Unary("*", self._parse_unary(), token.line)
+        if token.type is T.AMP:
+            self.advance()
+            return Unary("&", self._parse_unary(), token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.type is T.LBRACKET:
+                self.advance()
+                index = self._parse_expr()
+                self.expect(T.RBRACKET)
+                expr = Index(expr, index, token.line)
+            elif token.type is T.PLUS_PLUS:
+                self.advance()
+                expr = Assign(expr, IntLit(1, token.line), "+", token.line)
+            elif token.type is T.MINUS_MINUS:
+                self.advance()
+                expr = Assign(expr, IntLit(1, token.line), "-", token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.advance()
+        if token.type is T.INT_LIT or token.type is T.CHAR_LIT:
+            return IntLit(int(token.value), token.line)
+        if token.type is T.FLOAT_LIT:
+            return FloatLit(float(token.value), token.line)
+        if token.type is T.LPAREN:
+            expr = self._parse_expr()
+            self.expect(T.RPAREN)
+            return expr
+        if token.type is T.IDENT:
+            if self.check(T.LPAREN):
+                self.advance()
+                args: List[Expr] = []
+                if not self.check(T.RPAREN):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept(T.COMMA):
+                            break
+                self.expect(T.RPAREN)
+                return Call(token.value, args, token.line)
+            return Ident(token.value, token.line)
+        raise CompileError(
+            f"unexpected token {token.type.name} in expression",
+            token.line, token.column,
+        )
+
+
+def parse(source: str) -> ProgramAst:
+    """Parse mini-C source text into an (untyped) AST."""
+    return Parser(tokenize(source)).parse_program()

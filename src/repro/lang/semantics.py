@@ -1,0 +1,401 @@
+"""Semantic analysis: symbol resolution and type checking.
+
+Annotates the AST in place: every :class:`Expr` gets a ``ty``, every
+:class:`Ident`/:class:`VarDecl` gets a bound symbol.  Locals whose address
+is taken (or which are arrays) are flagged ``needs_memory`` so lowering
+gives them a stack-frame slot; everything else lives in virtual registers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import (
+    Assign, Binary, Block, Break, Call, Continue, Expr, ExprStmt, FloatLit,
+    For, FuncDef, GlobalVar, Ident, If, Index, IntLit, ProgramAst, Return,
+    Stmt, Ty, Unary, VarDecl, While,
+)
+
+INT = Ty("int")
+FLOAT = Ty("float")
+VOID = Ty("void")
+
+
+class Symbol:
+    """Base class for named entities."""
+
+    __slots__ = ("name", "ty", "array_size")
+
+    def __init__(self, name: str, ty: Ty, array_size: Optional[int] = None):
+        self.name = name
+        self.ty = ty
+        self.array_size = array_size
+
+    @property
+    def is_array(self) -> bool:
+        """True for array declarations."""
+        return self.array_size is not None
+
+
+class GlobalSymbol(Symbol):
+    """A module-level variable (data segment)."""
+
+    __slots__ = ()
+
+
+class LocalSymbol(Symbol):
+    """A function-local variable or parameter."""
+
+    __slots__ = ("uid", "needs_memory", "is_param", "param_index")
+
+    def __init__(self, name: str, ty: Ty, uid: int,
+                 array_size: Optional[int] = None,
+                 is_param: bool = False, param_index: int = -1):
+        super().__init__(name, ty, array_size)
+        self.uid = uid
+        self.needs_memory = array_size is not None
+        self.is_param = is_param
+        self.param_index = param_index
+
+
+class FuncSymbol(Symbol):
+    """A function signature."""
+
+    __slots__ = ("param_tys", "is_builtin")
+
+    def __init__(self, name: str, ret_ty: Ty, param_tys: List[Ty],
+                 is_builtin: bool = False):
+        super().__init__(name, ret_ty)
+        self.param_tys = param_tys
+        self.is_builtin = is_builtin
+
+
+BUILTINS = {
+    "print": FuncSymbol("print", VOID, [INT], is_builtin=True),
+    "printc": FuncSymbol("printc", VOID, [INT], is_builtin=True),
+    "printfl": FuncSymbol("printfl", VOID, [FLOAT], is_builtin=True),
+    "sbrk": FuncSymbol("sbrk", Ty("int", 1), [INT], is_builtin=True),
+}
+
+
+class _Scope:
+    """One lexical scope of local symbols."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol, line: int) -> None:
+        if symbol.name in self.names:
+            raise CompileError(f"redefinition of {symbol.name!r}", line)
+        self.names[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            symbol = scope.names.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None
+
+
+def _coercible(dst: Ty, src: Ty) -> bool:
+    """Implicit conversion compatibility."""
+    if dst == src:
+        return True
+    if dst.is_float and src == INT:
+        return True
+    if dst == INT and src.is_float:
+        return True
+    if dst.is_pointer and src == INT:
+        return True  # permits p = 0 and pointer/index arithmetic results
+    if dst == INT and src.is_pointer:
+        return True  # pointer truthiness / comparisons
+    return False
+
+
+class SemanticAnalyzer:
+    """Resolves and type-checks one program AST."""
+
+    def __init__(self, program: ProgramAst):
+        self.program = program
+        self.globals: Dict[str, Symbol] = {}
+        self.functions: Dict[str, FuncSymbol] = dict(BUILTINS)
+        self._uid = 0
+        self._loop_depth = 0
+        self._current: Optional[FuncDef] = None
+
+    # -- driver --------------------------------------------------------------
+
+    def analyze(self) -> None:
+        """Run the full analysis; raises CompileError on the first problem."""
+        for gvar in self.program.globals:
+            self._declare_global(gvar)
+        for func in self.program.functions:
+            if func.name in self.functions:
+                raise CompileError(
+                    f"redefinition of function {func.name!r}", func.line
+                )
+            self.functions[func.name] = FuncSymbol(
+                func.name, func.ret_ty, [p.ty for p in func.params]
+            )
+        if "main" not in self.functions:
+            raise CompileError("program has no main() function")
+        for func in self.program.functions:
+            self._check_function(func)
+
+    def _declare_global(self, gvar: GlobalVar) -> None:
+        if gvar.name in self.globals:
+            raise CompileError(f"redefinition of {gvar.name!r}", gvar.line)
+        if gvar.ty.is_void:
+            raise CompileError("void variables are not allowed", gvar.line)
+        self.globals[gvar.name] = GlobalSymbol(
+            gvar.name, gvar.ty, gvar.array_size
+        )
+
+    # -- functions ------------------------------------------------------------
+
+    def _check_function(self, func: FuncDef) -> None:
+        self._current = func
+        scope = _Scope()
+        for index, param in enumerate(func.params):
+            if param.ty.is_void:
+                raise CompileError("void parameters are not allowed",
+                                   func.line)
+            symbol = LocalSymbol(param.name, param.ty, self._next_uid(),
+                                 is_param=True, param_index=index)
+            scope.define(symbol, func.line)
+            param.symbol = symbol
+        self._check_block(func.body, scope)
+        self._current = None
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    # -- statements --------------------------------------------------------
+
+    def _check_block(self, block: Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, VarDecl):
+            self._check_vardecl(stmt, scope)
+        elif isinstance(stmt, If):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.els is not None:
+                self._check_stmt(stmt.els, scope)
+        elif isinstance(stmt, While):
+            self._check_expr(stmt.cond, scope)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, Return):
+            assert self._current is not None
+            ret_ty = self._current.ret_ty
+            if stmt.value is None:
+                if not ret_ty.is_void:
+                    raise CompileError(
+                        f"{self._current.name}: return needs a value",
+                        stmt.line,
+                    )
+            else:
+                value_ty = self._check_expr(stmt.value, scope)
+                if ret_ty.is_void:
+                    raise CompileError(
+                        f"{self._current.name}: void function returns a value",
+                        stmt.line,
+                    )
+                if not _coercible(ret_ty, value_ty):
+                    raise CompileError(
+                        f"cannot return {value_ty} as {ret_ty}", stmt.line
+                    )
+        elif isinstance(stmt, (Break, Continue)):
+            if self._loop_depth == 0:
+                raise CompileError("break/continue outside a loop", stmt.line)
+        elif isinstance(stmt, ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        else:
+            raise CompileError(f"unknown statement {type(stmt).__name__}",
+                               stmt.line)
+
+    def _check_vardecl(self, decl: VarDecl, scope: _Scope) -> None:
+        if decl.ty.is_void:
+            raise CompileError("void variables are not allowed", decl.line)
+        symbol = LocalSymbol(decl.name, decl.ty, self._next_uid(),
+                             array_size=decl.array_size)
+        scope.define(symbol, decl.line)
+        decl.symbol = symbol
+        if decl.init is not None:
+            init_ty = self._check_expr(decl.init, scope)
+            if not _coercible(decl.ty, init_ty):
+                raise CompileError(
+                    f"cannot initialise {decl.ty} with {init_ty}", decl.line
+                )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _check_expr(self, expr: Expr, scope: _Scope) -> Ty:
+        ty = self._infer(expr, scope)
+        expr.ty = ty
+        return ty
+
+    def _infer(self, expr: Expr, scope: _Scope) -> Ty:
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, FloatLit):
+            return FLOAT
+        if isinstance(expr, Ident):
+            symbol = scope.lookup(expr.name) or self.globals.get(expr.name)
+            if symbol is None:
+                raise CompileError(f"undefined variable {expr.name!r}",
+                                   expr.line)
+            expr.symbol = symbol
+            if symbol.is_array:
+                return symbol.ty.pointer_to()  # arrays decay to pointers
+            return symbol.ty
+        if isinstance(expr, Unary):
+            return self._infer_unary(expr, scope)
+        if isinstance(expr, Binary):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, Assign):
+            return self._infer_assign(expr, scope)
+        if isinstance(expr, Index):
+            base_ty = self._check_expr(expr.base, scope)
+            if not base_ty.is_pointer:
+                raise CompileError("indexing a non-pointer", expr.line)
+            index_ty = self._check_expr(expr.index, scope)
+            if index_ty != INT:
+                raise CompileError("array index must be an int", expr.line)
+            return base_ty.deref()
+        if isinstance(expr, Call):
+            return self._infer_call(expr, scope)
+        raise CompileError(f"unknown expression {type(expr).__name__}",
+                           expr.line)
+
+    def _infer_unary(self, expr: Unary, scope: _Scope) -> Ty:
+        if expr.op == "&":
+            target = expr.operand
+            if isinstance(target, Ident):
+                ty = self._check_expr(target, scope)
+                symbol = target.symbol
+                if isinstance(symbol, LocalSymbol):
+                    symbol.needs_memory = True
+                if symbol.is_array:
+                    return ty  # &array == array (already decayed)
+                return ty.pointer_to()
+            if isinstance(target, Index):
+                elem_ty = self._check_expr(target, scope)
+                return elem_ty.pointer_to()
+            raise CompileError("cannot take the address of this expression",
+                               expr.line)
+        operand_ty = self._check_expr(expr.operand, scope)
+        if expr.op == "*":
+            if not operand_ty.is_pointer:
+                raise CompileError("dereferencing a non-pointer", expr.line)
+            pointee = operand_ty.deref()
+            if pointee.is_void:
+                raise CompileError("dereferencing a void pointer", expr.line)
+            return pointee
+        if expr.op == "-":
+            if not (operand_ty == INT or operand_ty.is_float):
+                raise CompileError("unary - needs a numeric operand",
+                                   expr.line)
+            return operand_ty
+        if expr.op == "!":
+            return INT
+        raise CompileError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    def _infer_binary(self, expr: Binary, scope: _Scope) -> Ty:
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return INT
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if left != INT or right != INT:
+                raise CompileError(f"{op} needs int operands", expr.line)
+            return INT
+        # + - * / : numeric promotion, plus pointer arithmetic for + and -
+        if left.is_pointer and op in ("+", "-") and right == INT:
+            return left
+        if right.is_pointer and op == "+" and left == INT:
+            return right
+        if left.is_pointer and right.is_pointer and op == "-":
+            return INT
+        if left.is_float or right.is_float:
+            return FLOAT
+        if left == INT and right == INT:
+            return INT
+        raise CompileError(
+            f"invalid operands to {op}: {left} and {right}", expr.line
+        )
+
+    def _infer_assign(self, expr: Assign, scope: _Scope) -> Ty:
+        target = expr.target
+        if isinstance(target, Ident):
+            target_ty = self._check_expr(target, scope)
+            if target.symbol.is_array:
+                raise CompileError("cannot assign to an array", expr.line)
+        elif isinstance(target, Index) or (
+            isinstance(target, Unary) and target.op == "*"
+        ):
+            target_ty = self._check_expr(target, scope)
+        else:
+            raise CompileError("invalid assignment target", expr.line)
+        value_ty = self._check_expr(expr.value, scope)
+        if expr.op and target_ty.is_pointer:
+            if value_ty != INT:
+                raise CompileError("pointer += needs an int", expr.line)
+        elif not _coercible(target_ty, value_ty):
+            raise CompileError(
+                f"cannot assign {value_ty} to {target_ty}", expr.line
+            )
+        return target_ty
+
+    def _infer_call(self, expr: Call, scope: _Scope) -> Ty:
+        func = self.functions.get(expr.name)
+        if func is None:
+            raise CompileError(f"call to undefined function {expr.name!r}",
+                               expr.line)
+        if len(expr.args) != len(func.param_tys):
+            raise CompileError(
+                f"{expr.name} expects {len(func.param_tys)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        for arg, param_ty in zip(expr.args, func.param_tys):
+            arg_ty = self._check_expr(arg, scope)
+            if not _coercible(param_ty, arg_ty):
+                raise CompileError(
+                    f"argument type {arg_ty} incompatible with {param_ty}",
+                    expr.line,
+                )
+        return func.ty
+
+
+def analyze(program: ProgramAst) -> SemanticAnalyzer:
+    """Run semantic analysis over *program*, returning the analyzer."""
+    analyzer = SemanticAnalyzer(program)
+    analyzer.analyze()
+    return analyzer

@@ -1,0 +1,94 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    # literals / identifiers
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    CHAR_LIT = auto()
+    IDENT = auto()
+
+    # keywords
+    KW_INT = auto()
+    KW_FLOAT = auto()
+    KW_VOID = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_WHILE = auto()
+    KW_FOR = auto()
+    KW_RETURN = auto()
+    KW_BREAK = auto()
+    KW_CONTINUE = auto()
+
+    # punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+
+    # operators
+    ASSIGN = auto()
+    PLUS_ASSIGN = auto()
+    MINUS_ASSIGN = auto()
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    AMP = auto()
+    PIPE = auto()
+    CARET = auto()
+    SHL = auto()
+    SHR = auto()
+    NOT = auto()
+    AND_AND = auto()
+    OR_OR = auto()
+    EQ = auto()
+    NE = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    PLUS_PLUS = auto()
+    MINUS_MINUS = auto()
+
+    EOF = auto()
+
+
+KEYWORDS = {
+    "int": TokenType.KW_INT,
+    "float": TokenType.KW_FLOAT,
+    "void": TokenType.KW_VOID,
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+    "while": TokenType.KW_WHILE,
+    "for": TokenType.KW_FOR,
+    "return": TokenType.KW_RETURN,
+    "break": TokenType.KW_BREAK,
+    "continue": TokenType.KW_CONTINUE,
+}
+
+
+class Token:
+    """One lexical token with source position."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_: TokenType, value, line: int, column: int):
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,15 @@
+"""Memory hierarchy: caches, ports, MSHRs, L2, and main memory."""
+
+from repro.mem.cache import Cache, CacheGeometry
+from repro.mem.ports import PortArbiter
+from repro.mem.mshr import MshrFile
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheGeometry",
+    "PortArbiter",
+    "MshrFile",
+    "AccessResult",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,189 @@
+"""The full data-memory hierarchy of the modelled processor.
+
+Two first-level structures sit side by side, exactly as in Figure 1(b) of
+the paper:
+
+* the **L1 data cache** (32 KB, 2-way, 2-cycle hit in the base model), and
+* the optional **local variable cache (LVC)** (2 KB, direct-mapped,
+  1-cycle hit),
+
+both lock-up free (MSHRs) and both connected to a shared **L2 bus**; behind
+it a unified **L2** (512 KB, 4-way, 12-cycle) and 50-cycle main memory.
+
+The hierarchy is latency-annotating rather than event-driven: an access
+immediately returns the cycle at which its data will be available, with bus
+queueing folded in via a busy-until clock.  This is the standard technique
+for fast cycle simulators and preserves every effect the paper measures
+(port contention, miss latency, L2 traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.mem.cache import Cache, CacheGeometry
+from repro.mem.mshr import MshrFile
+from repro.mem.multiport import make_ports
+from repro.mem.ports import PortArbiter
+from repro.stats.counters import CounterSet
+
+
+class MemSystemConfig:
+    """Parameters of the data-memory hierarchy (paper Table 1 defaults)."""
+
+    def __init__(
+        self,
+        l1_ports: int = 2,
+        lvc_ports: int = 0,
+        l1_size: int = 32 * 1024,
+        l1_assoc: int = 2,
+        l1_hit_latency: int = 2,
+        lvc_size: int = 2 * 1024,
+        lvc_assoc: int = 1,
+        lvc_hit_latency: int = 1,
+        line_bytes: int = 32,
+        l2_size: int = 512 * 1024,
+        l2_assoc: int = 4,
+        l2_latency: int = 12,
+        mem_latency: int = 50,
+        mshr_entries: int = 8,
+        bus_occupancy: int = 1,
+        l1_port_policy: str = "ideal",
+    ):
+        if l1_ports <= 0:
+            raise ConfigError("the L1 data cache needs at least one port")
+        if lvc_ports < 0:
+            raise ConfigError("LVC port count must be non-negative")
+        self.l1_ports = l1_ports
+        self.lvc_ports = lvc_ports
+        self.l1_size = l1_size
+        self.l1_assoc = l1_assoc
+        self.l1_hit_latency = l1_hit_latency
+        self.lvc_size = lvc_size
+        self.lvc_assoc = lvc_assoc
+        self.lvc_hit_latency = lvc_hit_latency
+        self.line_bytes = line_bytes
+        self.l2_size = l2_size
+        self.l2_assoc = l2_assoc
+        self.l2_latency = l2_latency
+        self.mem_latency = mem_latency
+        self.mshr_entries = mshr_entries
+        self.bus_occupancy = bus_occupancy
+        self.l1_port_policy = l1_port_policy
+
+    @property
+    def lvc_enabled(self) -> bool:
+        """True when the configuration includes an LVC (M > 0)."""
+        return self.lvc_ports > 0
+
+    def notation(self) -> str:
+        """The paper's ``(N+M)`` configuration notation."""
+        return f"({self.l1_ports}+{self.lvc_ports})"
+
+    def __repr__(self) -> str:
+        return f"MemSystemConfig{self.notation()}"
+
+
+class AccessResult:
+    """Outcome of one first-level access."""
+
+    __slots__ = ("ready", "hit")
+
+    def __init__(self, ready: int, hit: bool):
+        self.ready = ready
+        self.hit = hit
+
+    def __repr__(self) -> str:
+        return f"AccessResult(ready={self.ready}, hit={self.hit})"
+
+
+class MemoryHierarchy:
+    """L1 + LVC + shared L2 bus + L2 + main memory."""
+
+    def __init__(self, config: MemSystemConfig,
+                 counters: Optional[CounterSet] = None):
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.l1 = Cache(
+            "l1",
+            CacheGeometry(config.l1_size, config.l1_assoc, config.line_bytes),
+            self.counters,
+        )
+        self.l2 = Cache(
+            "l2",
+            CacheGeometry(config.l2_size, config.l2_assoc, config.line_bytes),
+            self.counters,
+        )
+        self.lvc: Optional[Cache] = None
+        self.lvc_mshr: Optional[MshrFile] = None
+        self.lvc_ports: Optional[PortArbiter] = None
+        if config.lvc_enabled:
+            self.lvc = Cache(
+                "lvc",
+                CacheGeometry(config.lvc_size, config.lvc_assoc,
+                              config.line_bytes),
+                self.counters,
+            )
+            self.lvc_mshr = MshrFile(config.mshr_entries)
+            self.lvc_ports = PortArbiter(config.lvc_ports)
+        self.l1_mshr = MshrFile(config.mshr_entries)
+        self.l1_ports = make_ports(config.l1_port_policy, config.l1_ports)
+        self._bus_busy_until = 0
+
+    # -- per-cycle maintenance ---------------------------------------------
+
+    def new_cycle(self) -> None:
+        """Refill port budgets; call once at the top of every cycle."""
+        self.l1_ports.new_cycle()
+        if self.lvc_ports is not None:
+            self.lvc_ports.new_cycle()
+
+    # -- access paths ----------------------------------------------------------
+
+    def access_l1(self, addr: int, is_store: bool, now: int) -> AccessResult:
+        """One L1 transaction (the port must already be reserved)."""
+        return self._access(self.l1, self.l1_mshr,
+                            self.config.l1_hit_latency, addr, is_store, now)
+
+    def access_lvc(self, addr: int, is_store: bool, now: int) -> AccessResult:
+        """One LVC transaction (the port must already be reserved)."""
+        if self.lvc is None or self.lvc_mshr is None:
+            raise ConfigError("this configuration has no LVC")
+        return self._access(self.lvc, self.lvc_mshr,
+                            self.config.lvc_hit_latency, addr, is_store, now)
+
+    def _access(self, cache: Cache, mshr: MshrFile, hit_latency: int,
+                addr: int, is_store: bool, now: int) -> AccessResult:
+        line = cache.geom.line_of(addr)
+        pending = mshr.lookup(line, now)
+        if cache.access(addr, is_store):
+            if pending is not None:
+                # Secondary miss: tags were filled at primary-miss time but
+                # the line is still in flight — merge into the MSHR entry.
+                return AccessResult(max(pending, now + hit_latency), False)
+            return AccessResult(now + hit_latency, True)
+        ready = self._miss(now + hit_latency, addr, is_store)
+        if not mshr.allocate(line, ready, now):
+            # MSHR file full: the request queues behind the oldest fill.
+            ready += 1
+        return AccessResult(ready, False)
+
+    def _miss(self, start: int, addr: int, is_store: bool) -> int:
+        """Latency path through the shared bus, L2, and main memory."""
+        bus_at = max(start, self._bus_busy_until)
+        self._bus_busy_until = bus_at + self.config.bus_occupancy
+        self.counters.add("bus.transactions")
+        if self.l2.access(addr, is_store):
+            return bus_at + self.config.l2_latency
+        return bus_at + self.config.l2_latency + self.config.mem_latency
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def l2_traffic(self) -> int:
+        """Transactions that crossed the L1/L2 bus (the paper's §4.2.1 stat)."""
+        return self.counters.get("bus.transactions")
+
+    def __repr__(self) -> str:
+        return f"MemoryHierarchy{self.config.notation()}"

@@ -1,0 +1,62 @@
+"""Miss status holding registers (lockup-free cache support).
+
+Both L1 caches in the paper are lock-up free.  An MSHR file tracks lines
+with outstanding fills; a second miss to an in-flight line merges into the
+existing entry instead of issuing a new L2 request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+
+class MshrFile:
+    """Outstanding-miss table keyed by line number."""
+
+    __slots__ = ("entries", "_pending", "merged", "allocations", "full_events")
+
+    def __init__(self, entries: int = 8):
+        if entries <= 0:
+            raise ConfigError(f"MSHR count must be positive: {entries}")
+        self.entries = entries
+        self._pending: Dict[int, int] = {}  # line -> fill-ready cycle
+        self.merged = 0
+        self.allocations = 0
+        self.full_events = 0
+
+    def _expire(self, now: int) -> None:
+        if self._pending:
+            done = [line for line, t in self._pending.items() if t <= now]
+            for line in done:
+                del self._pending[line]
+
+    def lookup(self, line: int, now: int) -> Optional[int]:
+        """Ready time of an in-flight fill of *line*, or None.
+
+        A hit here merges the request into the existing entry.
+        """
+        self._expire(now)
+        ready = self._pending.get(line)
+        if ready is not None:
+            self.merged += 1
+        return ready
+
+    def allocate(self, line: int, ready: int, now: int) -> bool:
+        """Track a new outstanding fill; False when the file is full."""
+        self._expire(now)
+        if len(self._pending) >= self.entries:
+            self.full_events += 1
+            return False
+        self._pending[line] = ready
+        self.allocations += 1
+        return True
+
+    def occupancy(self, now: int) -> int:
+        """Number of live entries at cycle *now*."""
+        self._expire(now)
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return f"MshrFile({len(self._pending)}/{self.entries} in flight)"

@@ -1,0 +1,115 @@
+"""Realistic multi-port implementations (paper Section 1).
+
+The paper's evaluation assumes *ideal* cache ports, but its motivation
+rests on how the real techniques fall short:
+
+* **time-division multiplexing** (DEC 21264): the array runs at a clock
+  multiple — indistinguishable from ideal ports until the multiple stops
+  scaling (the paper notes it "does not scale beyond ... two");
+* **replication** (DEC 21164): loads use any copy, but every store must
+  broadcast to all copies, consuming all ports at once;
+* **interleaving/banking** (MIPS R10000): requests to the same bank in one
+  cycle conflict.
+
+These arbiters let the machine model use any of them in place of the
+ideal ports, enabling the ablation the paper argues from:
+``repro.experiments.ablation_multiport``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.mem.ports import PortArbiter
+from repro.utils import is_power_of_two
+
+
+class BankedPorts(PortArbiter):
+    """An N-bank interleaved cache: one access per bank per cycle.
+
+    Banks are selected by low line-address bits; two same-cycle requests
+    to the same bank conflict even when other banks sit idle.
+    """
+
+    __slots__ = ("banks", "_bank_busy", "bank_conflicts")
+
+    def __init__(self, banks: int):
+        if not is_power_of_two(banks):
+            raise ConfigError(f"bank count must be a power of two: {banks}")
+        super().__init__(banks)
+        self.banks = banks
+        self._bank_busy: List[bool] = [False] * banks
+        self.bank_conflicts = 0
+
+    def new_cycle(self) -> None:
+        super().new_cycle()
+        self._bank_busy = [False] * self.banks
+
+    def try_take(self, count: int = 1, line: int = 0,
+                 is_store: bool = False) -> bool:
+        if count != 1:
+            raise ValueError("banked caches service one request per bank")
+        bank = line & (self.banks - 1)
+        if self._bank_busy[bank]:
+            self.bank_conflicts += 1
+            return False
+        if not super().try_take(1):
+            return False
+        self._bank_busy[bank] = True
+        return True
+
+
+class ReplicatedPorts(PortArbiter):
+    """N replicated cache copies: N loads/cycle, but stores broadcast.
+
+    A store must write every copy to keep them coherent, so it consumes
+    the whole cycle's bandwidth; any port already used this cycle blocks
+    the store (and vice versa).
+    """
+
+    __slots__ = ("copies", "store_blocks")
+
+    def __init__(self, copies: int):
+        super().__init__(copies)
+        self.copies = copies
+        self.store_blocks = 0
+
+    def try_take(self, count: int = 1, line: int = 0,
+                 is_store: bool = False) -> bool:
+        if is_store:
+            # needs every copy's write port at once
+            if self.available < self.copies:
+                self.store_blocks += 1
+                return False
+            return super().try_take(self.copies)
+        return super().try_take(count)
+
+
+class IdealPorts(PortArbiter):
+    """The paper's assumption: any N requests per cycle (also models
+    time-division multiplexing at small N)."""
+
+    def try_take(self, count: int = 1, line: int = 0,
+                 is_store: bool = False) -> bool:
+        return super().try_take(count)
+
+
+#: Policy-name -> constructor used by the memory hierarchy.
+PORT_POLICIES = {
+    "ideal": IdealPorts,
+    "banked": BankedPorts,
+    "replicated": ReplicatedPorts,
+}
+
+
+def make_ports(policy: str, ports: int) -> PortArbiter:
+    """Construct a port arbiter for *policy* with *ports* ports/banks."""
+    try:
+        ctor = PORT_POLICIES[policy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown port policy {policy!r}; "
+            f"known: {', '.join(sorted(PORT_POLICIES))}"
+        ) from None
+    return ctor(ports)

@@ -1,0 +1,56 @@
+"""Per-cycle cache port accounting.
+
+The paper assumes *ideal* ports: an N-port cache can service any N requests
+per cycle, in any load/store combination.  A :class:`PortArbiter` is simply a
+per-cycle budget of N transactions; the processor resets it at the top of
+every cycle.  Access combining (Section 2.2.2) issues one *wide* transaction
+for multiple contiguous references, which consumes a single port.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class PortArbiter:
+    """A renewable per-cycle budget of port transactions."""
+
+    __slots__ = ("ports", "_available", "busy_transactions", "cycles_saturated")
+
+    def __init__(self, ports: int):
+        if ports < 0:
+            raise ConfigError(f"port count must be non-negative: {ports}")
+        self.ports = ports
+        self._available = ports
+        self.busy_transactions = 0
+        self.cycles_saturated = 0
+
+    def new_cycle(self) -> None:
+        """Refill the budget at the start of a cycle."""
+        if self._available == 0 and self.ports > 0:
+            self.cycles_saturated += 1
+        self._available = self.ports
+
+    @property
+    def available(self) -> int:
+        """Transactions still available this cycle."""
+        return self._available
+
+    def try_take(self, count: int = 1, line: int = 0,
+                 is_store: bool = False) -> bool:
+        """Reserve *count* port transactions; False if not enough remain.
+
+        ``line`` and ``is_store`` are ignored by ideal ports; realistic
+        policies (see :mod:`repro.mem.multiport`) use them for bank
+        selection and store broadcast.
+        """
+        if count <= 0:
+            raise ValueError("port request must be positive")
+        if self._available < count:
+            return False
+        self._available -= count
+        self.busy_transactions += count
+        return True
+
+    def __repr__(self) -> str:
+        return f"PortArbiter({self._available}/{self.ports} free)"

@@ -1,0 +1,7 @@
+"""Out-of-order pipeline building blocks (RUU/ROB model of Sohi)."""
+
+from repro.pipeline.rob import Rob, RobEntry
+from repro.pipeline.fu import FuPool
+from repro.pipeline.memqueue import MemQueue, MemQueueEntry
+
+__all__ = ["Rob", "RobEntry", "FuPool", "MemQueue", "MemQueueEntry"]

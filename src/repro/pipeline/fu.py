@@ -1,0 +1,88 @@
+"""Functional-unit pools.
+
+The base machine (paper Table 1) has 16 integer ALUs, 16 FP ALUs, 4 integer
+MULT/DIV units and 4 FP MULT/DIV units.  ALUs are fully pipelined, so they
+are modelled as a per-cycle issue budget.  Multiplies are pipelined on the
+MULT/DIV units; divides occupy a unit for their full latency (R10000
+behaviour), so those pools track per-unit busy-until times.
+
+Branches, address generation for loads/stores, and syscalls use integer-ALU
+issue slots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import FuClass, LATENCY
+
+
+class _UnitPool:
+    """A pool of units with individual busy-until times."""
+
+    __slots__ = ("free_at",)
+
+    def __init__(self, count: int):
+        self.free_at: List[int] = [0] * count
+
+    def try_take(self, now: int, occupy_until: int) -> bool:
+        free_at = self.free_at
+        for i, t in enumerate(free_at):
+            if t <= now:
+                free_at[i] = occupy_until
+                return True
+        return False
+
+
+class FuPool:
+    """All functional units of the machine."""
+
+    def __init__(self, ialu: int = 16, falu: int = 16,
+                 imultdiv: int = 4, fmultdiv: int = 4):
+        if min(ialu, falu, imultdiv, fmultdiv) <= 0:
+            raise ConfigError("every functional-unit count must be positive")
+        self.ialu = ialu
+        self.falu = falu
+        self._ialu_left = ialu
+        self._falu_left = falu
+        self._imult = _UnitPool(imultdiv)
+        self._fmult = _UnitPool(fmultdiv)
+
+    def new_cycle(self) -> None:
+        """Refill pipelined issue budgets at the start of a cycle."""
+        self._ialu_left = self.ialu
+        self._falu_left = self.falu
+
+    def try_take(self, fu: int, now: int) -> bool:
+        """Reserve a unit of class *fu* for an op issuing at cycle *now*."""
+        if fu == FuClass.IALU or fu == FuClass.LOAD or fu == FuClass.STORE \
+                or fu == FuClass.BRANCH or fu == FuClass.SYSCALL \
+                or fu == FuClass.NONE:
+            if self._ialu_left > 0:
+                self._ialu_left -= 1
+                return True
+            return False
+        if fu == FuClass.FADD:
+            if self._falu_left > 0:
+                self._falu_left -= 1
+                return True
+            return False
+        if fu == FuClass.FMUL:
+            # Pipelined: occupies the unit for one cycle only.
+            return self._fmult.try_take(now, now + 1)
+        if fu == FuClass.IMULT:
+            # Pipelined: occupies the unit for one cycle only.
+            return self._imult.try_take(now, now + 1)
+        if fu == FuClass.IDIV:
+            return self._imult.try_take(now, now + LATENCY[FuClass.IDIV])
+        if fu == FuClass.FDIV:
+            return self._fmult.try_take(now, now + LATENCY[FuClass.FDIV])
+        raise ConfigError(f"unknown functional-unit class {fu}")
+
+    def __repr__(self) -> str:
+        return (
+            f"FuPool(ialu={self.ialu}, falu={self.falu}, "
+            f"imultdiv={len(self._imult.free_at)}, "
+            f"fmultdiv={len(self._fmult.free_at)})"
+        )

@@ -1,0 +1,175 @@
+"""Memory access queues.
+
+One :class:`MemQueue` instance is the conventional load/store queue (LSQ);
+a second instance, fed only with local-variable accesses, is the paper's
+local variable access queue (LVAQ).  Both follow the sim-outorder
+discipline:
+
+* a load may go to memory only when every earlier store *in its own queue*
+  has a known address (conservative disambiguation);
+* a load whose address matches an earlier store's is satisfied by
+  store-to-load forwarding with a one-cycle delay.
+
+The LVAQ additionally supports the paper's **fast data forwarding**:
+``$sp``-relative accesses carry a (frame, offset) key that is known at
+dispatch, before effective-address computation, so a store→load pair can be
+matched (and non-matching sp-relative stores disambiguated) without waiting
+for address generation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.pipeline.rob import RobEntry
+
+#: Sentinel "no unknown store" sequence number.
+INF_SEQ = 1 << 62
+
+
+class MemQueueEntry:
+    """One load or store resident in a memory access queue."""
+
+    __slots__ = (
+        "rob", "is_store", "word", "line", "addr_known_time",
+        "dispatch_time", "serviced", "sp_based", "frame_key",
+        "use_lvc", "penalty",
+    )
+
+    def __init__(self, rob: RobEntry, is_store: bool, dispatch_time: int,
+                 sp_based: bool = False,
+                 frame_key: Optional[Tuple[int, int]] = None,
+                 use_lvc: bool = False, penalty: int = 0):
+        self.rob = rob
+        self.is_store = is_store
+        self.word = -1  # addr >> 2, filled at address generation
+        self.line = -1  # line number, filled at address generation
+        self.addr_known_time = -1  # -1 while the address is unknown
+        self.dispatch_time = dispatch_time
+        self.serviced = False
+        self.sp_based = sp_based
+        self.frame_key = frame_key
+        self.use_lvc = use_lvc
+        self.penalty = penalty  # extra cycles (classification mispredict)
+
+    @property
+    def addr_known(self) -> bool:
+        """True once address generation has completed."""
+        return self.addr_known_time >= 0
+
+    def __repr__(self) -> str:
+        kind = "ST" if self.is_store else "LD"
+        return (
+            f"MemQueueEntry({kind}, seq={self.rob.seq}, "
+            f"addr_known={self.addr_known}, serviced={self.serviced})"
+        )
+
+
+class MemQueue:
+    """A bounded, age-ordered queue of in-flight memory operations."""
+
+    def __init__(self, size: int, name: str = "lsq"):
+        if size <= 0:
+            raise SimulationError("memory queue size must be positive")
+        self.size = size
+        self.name = name
+        self.entries: List[MemQueueEntry] = []
+
+    @property
+    def full(self) -> bool:
+        """True when dispatch must stall for this queue."""
+        return len(self.entries) >= self.size
+
+    def append(self, entry: MemQueueEntry) -> None:
+        """Insert a newly dispatched memory op at the tail."""
+        if self.full:
+            raise SimulationError(f"dispatch into a full {self.name}")
+        self.entries.append(entry)
+
+    def retire_committed(self) -> None:
+        """Drop committed ops from the head (they left the window)."""
+        entries = self.entries
+        drop = 0
+        from repro.pipeline.rob import COMMITTED
+
+        while drop < len(entries) and entries[drop].rob.state == COMMITTED:
+            drop += 1
+        if drop:
+            del entries[:drop]
+
+    # -- disambiguation --------------------------------------------------------
+
+    def oldest_unknown_store_seq(self) -> int:
+        """Sequence number of the oldest store with an unknown address."""
+        for entry in self.entries:
+            if entry.is_store and not entry.addr_known:
+                return entry.rob.seq
+        return INF_SEQ
+
+    def oldest_unknown_nonsp_store_seq(self) -> int:
+        """Oldest unknown-address store that is *not* sp-relative.
+
+        Fast data forwarding can disambiguate sp-relative stores by their
+        static offsets, so only non-sp stores block the fast path.
+        """
+        for entry in self.entries:
+            if entry.is_store and not entry.addr_known and not entry.sp_based:
+                return entry.rob.seq
+        return INF_SEQ
+
+    # -- forwarding ------------------------------------------------------------
+
+    def forward_source(self, load: MemQueueEntry) -> Optional[MemQueueEntry]:
+        """Youngest earlier store writing the load's word, if any.
+
+        Assumes every earlier store has a known address (the caller enforces
+        the disambiguation rule first).
+        """
+        entries = self.entries
+        idx = entries.index(load)
+        for i in range(idx - 1, -1, -1):
+            entry = entries[i]
+            if entry.is_store and entry.word == load.word:
+                return entry
+        return None
+
+    def fast_forward_source(
+        self, load: MemQueueEntry
+    ) -> Tuple[Optional[MemQueueEntry], bool]:
+        """Offset-matched forwarding source for an sp-relative load.
+
+        Returns ``(store, conclusive)``.  ``conclusive`` is True when the
+        offset-based check fully disambiguated the load against every
+        earlier sp-relative store — i.e. either a match was found, or no
+        earlier sp-relative store shares its (frame, offset) key.  The
+        caller must still check non-sp stores separately.
+        """
+        if not load.sp_based or load.frame_key is None:
+            return None, False
+        entries = self.entries
+        idx = entries.index(load)
+        for i in range(idx - 1, -1, -1):
+            entry = entries[i]
+            if not entry.is_store:
+                continue
+            if entry.sp_based and entry.frame_key == load.frame_key:
+                return entry, True
+            if not entry.sp_based and not entry.addr_known:
+                # An unknown non-sp store may alias: not conclusive.
+                return None, False
+            if not entry.sp_based and entry.addr_known \
+                    and entry.word == load.word:
+                # A known-address aliasing store: use the normal path.
+                return None, False
+        return None, True
+
+    def occupancy(self) -> int:
+        """Number of resident entries."""
+        return len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"MemQueue({self.name!r}, {len(self.entries)}/{self.size})"

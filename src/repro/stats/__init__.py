@@ -1,0 +1,7 @@
+"""Statistics utilities: counters, histograms, and table formatting."""
+
+from repro.stats.counters import CounterSet
+from repro.stats.histogram import Histogram
+from repro.stats.report import Table, format_table
+
+__all__ = ["CounterSet", "Histogram", "Table", "format_table"]

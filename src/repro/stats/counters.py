@@ -1,0 +1,58 @@
+"""A lightweight named-counter container used by the simulators.
+
+The timing simulator bumps counters on hot paths, so this is deliberately a
+thin wrapper over a dict rather than anything clever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class CounterSet:
+    """A set of named integer counters with safe rate helpers."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount* (creating it at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter *name* (0 if never bumped)."""
+        return self._counts.get(name, 0)
+
+    def set(self, name: str, value: int) -> None:
+        """Set counter *name* to an absolute value."""
+        self._counts[name] = value
+
+    def rate(self, numer: str, denom: str, default: float = 0.0) -> float:
+        """Ratio of two counters, or *default* when the denominator is zero."""
+        d = self.get(denom)
+        return self.get(numer) / d if d else default
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add every counter of *other* into this set."""
+        for name, value in other.items():
+            self.add(name, value)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate (name, value) pairs in sorted name order."""
+        return iter(sorted(self._counts.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        """A copy of the raw counter mapping."""
+        return dict(self._counts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"CounterSet({body})"

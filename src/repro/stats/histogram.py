@@ -1,0 +1,96 @@
+"""Integer histogram with percentile queries.
+
+Used for the dynamic frame-size distribution (paper Figure 3), queue
+occupancy statistics, and reuse-distance profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class Histogram:
+    """Counts occurrences of integer-valued samples."""
+
+    __slots__ = ("_bins", "_total")
+
+    def __init__(self) -> None:
+        self._bins: Dict[int, int] = {}
+        self._total = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record *count* occurrences of *value*."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._bins[value] = self._bins.get(value, 0) + count
+        self._total += count
+
+    @property
+    def total(self) -> int:
+        """Total number of samples recorded."""
+        return self._total
+
+    def count(self, value: int) -> int:
+        """Number of samples equal to *value*."""
+        return self._bins.get(value, 0)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        if not self._total:
+            return 0.0
+        return sum(v * c for v, c in self._bins.items()) / self._total
+
+    def min(self) -> int:
+        """Smallest recorded value; raises ValueError when empty."""
+        if not self._bins:
+            raise ValueError("empty histogram")
+        return min(self._bins)
+
+    def max(self) -> int:
+        """Largest recorded value; raises ValueError when empty."""
+        if not self._bins:
+            raise ValueError("empty histogram")
+        return max(self._bins)
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v such that at least ``fraction`` of samples <= v.
+
+        ``fraction`` is in (0, 1]; raises ValueError on an empty histogram.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self._total:
+            raise ValueError("empty histogram")
+        threshold = fraction * self._total
+        seen = 0
+        for value in sorted(self._bins):
+            seen += self._bins[value]
+            if seen >= threshold:
+                return value
+        return max(self._bins)  # unreachable given the loop, kept for safety
+
+    def cumulative(self) -> List[Tuple[int, float]]:
+        """Sorted (value, cumulative fraction) pairs."""
+        if not self._total:
+            return []
+        out: List[Tuple[int, float]] = []
+        seen = 0
+        for value in sorted(self._bins):
+            seen += self._bins[value]
+            out.append((value, seen / self._total))
+        return out
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (value, count) pairs in increasing value order."""
+        return iter(sorted(self._bins.items()))
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold all samples of *other* into this histogram."""
+        for value, count in other.items():
+            self.add(value, count)
+
+    def __len__(self) -> int:
+        return len(self._bins)
+
+    def __repr__(self) -> str:
+        return f"Histogram(total={self._total}, distinct={len(self._bins)})"

@@ -1,0 +1,70 @@
+"""Plain-text table formatting for experiment output.
+
+Every experiment prints its rows through :class:`Table` so the benchmark
+harness output looks like the tables/figures in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str], precision: int = 3, title: str = ""):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.precision = precision
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; cell count must match the header count."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_render(c, self.precision) for c in cells])
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """One-shot helper building and rendering a :class:`Table`."""
+    table = Table(headers, precision=precision, title=title)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()

@@ -1,0 +1,33 @@
+"""Workloads: the SPEC95-like benchmark suite.
+
+Two trace sources:
+
+* :mod:`repro.workloads.synthetic` — per-program generators calibrated to
+  the paper's measured stream statistics (Figures 2 and 3, Table 2); these
+  drive the paper-figure reproductions.
+* :mod:`repro.workloads.builder` — real mini-C programs compiled by
+  :mod:`repro.lang` and executed by :mod:`repro.vm`; these provide genuine
+  execution-driven traces for examples and cross-validation.
+"""
+
+from repro.workloads.spec import (
+    ALL_PROGRAMS,
+    FP_PROGRAMS,
+    INT_PROGRAMS,
+    WorkloadSpec,
+    get_spec,
+)
+from repro.workloads.builder import build_trace, clear_trace_cache
+from repro.workloads.minic import MINIC_PROGRAMS, minic_source
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "FP_PROGRAMS",
+    "INT_PROGRAMS",
+    "WorkloadSpec",
+    "get_spec",
+    "build_trace",
+    "clear_trace_cache",
+    "MINIC_PROGRAMS",
+    "minic_source",
+]

@@ -1,0 +1,61 @@
+"""Trace construction with caching.
+
+``build_trace`` is the single entry point the experiment harness uses:
+SPEC95-like names (``"130.li"``) produce calibrated synthetic traces;
+``"mini.*"`` names compile and execute the corresponding mini-C program.
+Traces are cached in-process because a dozen experiments sweep dozens of
+machine configurations over the same streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.lang import CompilerOptions, compile_source
+from repro.vm import Trace
+from repro.vm.machine import Machine
+from repro.workloads.minic import MINIC_PROGRAMS
+from repro.workloads.spec import get_spec
+from repro.workloads.synthetic import generate_trace
+
+_CACHE: Dict[Tuple[str, Optional[int], int], Trace] = {}
+
+
+def build_trace(name: str, length: Optional[int] = None,
+                seed: int = 1) -> Trace:
+    """Build (or fetch from cache) the dynamic trace for workload *name*.
+
+    For synthetic workloads *length* is the number of instructions to
+    generate (default: the scaled Table 2 count).  For mini-C programs it
+    is an execution budget: the program runs to completion or until the
+    budget is exhausted, whichever comes first.
+    """
+    key = (name, length, seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    if name.startswith("mini."):
+        trace = _build_minic(name, length)
+    else:
+        trace = generate_trace(get_spec(name), length, seed)
+    _CACHE[key] = trace
+    return trace
+
+
+def _build_minic(name: str, length: Optional[int]) -> Trace:
+    if name not in MINIC_PROGRAMS:
+        raise WorkloadError(f"unknown mini-C program {name!r}")
+    source = MINIC_PROGRAMS[name][0]
+    program = compile_source(source, CompilerOptions(source_name=name))
+    vm = Machine(program, trace=True)
+    vm.run(max_instructions=length if length else 5_000_000)
+    trace = vm.trace
+    assert trace is not None
+    trace.name = name
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (tests use this to bound memory)."""
+    _CACHE.clear()

@@ -1,0 +1,457 @@
+"""Mini-C benchmark programs.
+
+Real programs, compiled with :mod:`repro.lang` and executed on
+:mod:`repro.vm`, producing genuinely execution-driven traces.  Each mirrors
+the flavour of one class of SPEC95 workloads: recursion-heavy list code,
+LZW-style compression, stencil floating point, hash-table databases, game
+search, and string processing.
+
+Every program prints a checksum so tests can verify end-to-end correctness
+of the whole toolchain (compiler -> VM -> trace).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+
+_QSORT = """
+// mini.qsort — recursion + spill pressure (li/go flavour)
+int data[512];
+
+int rand_state;
+
+int next_rand() {
+    rand_state = rand_state * 1103515 + 12345;
+    int v = rand_state >> 8;
+    if (v < 0) v = 0 - v;
+    return v;
+}
+
+void swap(int *a, int i, int j) {
+    int t = a[i];
+    a[i] = a[j];
+    a[j] = t;
+}
+
+int partition(int *a, int lo, int hi) {
+    int pivot = a[hi];
+    int i = lo - 1;
+    int j;
+    for (j = lo; j < hi; j++) {
+        if (a[j] <= pivot) {
+            i++;
+            swap(a, i, j);
+        }
+    }
+    swap(a, i + 1, hi);
+    return i + 1;
+}
+
+void qsort_range(int *a, int lo, int hi) {
+    if (lo < hi) {
+        int p = partition(a, lo, hi);
+        qsort_range(a, lo, p - 1);
+        qsort_range(a, p + 1, hi);
+    }
+}
+
+int main() {
+    int n = 512;
+    int i;
+    rand_state = 42;
+    int round;
+    int check = 0;
+    for (round = 0; round < 2; round++) {
+        for (i = 0; i < n; i++) {
+            data[i] = next_rand() % 10000;
+        }
+        qsort_range(data, 0, n - 1);
+        check += data[0] + data[n / 2] + data[n - 1];
+        for (i = 1; i < n; i++) {
+            if (data[i] < data[i - 1]) {
+                print(0 - 1);
+                return 1;
+            }
+        }
+    }
+    print(check);
+    printc('\\n');
+    return 0;
+}
+"""
+
+_COMPRESS = """
+// mini.compress — LZW-style hashing over a synthetic stream
+// (129.compress flavour: few locals, short reuse distances)
+int htab[4096];
+int codes[4096];
+int input[2048];
+
+int hash_pair(int prefix, int c) {
+    return ((prefix << 4) ^ (c * 97)) & 4095;
+}
+
+int main() {
+    int i;
+    int state = 7;
+    for (i = 0; i < 2048; i++) {
+        state = state * 75 + 74;
+        input[i] = (state >> 5) & 63;
+        if (input[i] < 0) input[i] = 0 - input[i];
+    }
+    for (i = 0; i < 4096; i++) {
+        htab[i] = 0 - 1;
+    }
+    int next_code = 64;
+    int prefix = input[0];
+    int emitted = 0;
+    int check = 0;
+    for (i = 1; i < 2048; i++) {
+        int c = input[i];
+        int h = hash_pair(prefix, c);
+        int probes = 0;
+        int found = 0 - 1;
+        while (probes < 16) {
+            if (htab[h] == (prefix << 8) + c) {
+                found = codes[h];
+                break;
+            }
+            if (htab[h] == 0 - 1) {
+                break;
+            }
+            h = (h + 1) & 4095;
+            probes++;
+        }
+        if (found >= 0) {
+            prefix = found;
+        } else {
+            emitted++;
+            check = (check + prefix * 31 + c) & 1048575;
+            if (next_code < 4096 && htab[h] == 0 - 1) {
+                htab[h] = (prefix << 8) + c;
+                codes[h] = next_code;
+                next_code++;
+            }
+            prefix = c;
+        }
+    }
+    print(check);
+    printc(' ');
+    print(emitted);
+    printc('\\n');
+    return 0;
+}
+"""
+
+_STENCIL = """
+// mini.stencil — 2D relaxation over float grids (tomcatv/swim flavour)
+float grid[1600];
+float next[1600];
+
+int main() {
+    int width = 32;
+    int i;
+    int j;
+    for (i = 0; i < width; i++) {
+        for (j = 0; j < width; j++) {
+            grid[i * width + j] = (i * 7 + j * 3) % 11 * 0.5;
+        }
+    }
+    int sweep;
+    for (sweep = 0; sweep < 4; sweep++) {
+        for (i = 1; i < width - 1; i++) {
+            for (j = 1; j < width - 1; j++) {
+                int at = i * width + j;
+                next[at] = (grid[at - 1] + grid[at + 1]
+                            + grid[at - width] + grid[at + width]) * 0.25;
+            }
+        }
+        for (i = 1; i < width - 1; i++) {
+            for (j = 1; j < width - 1; j++) {
+                int at = i * width + j;
+                grid[at] = next[at];
+            }
+        }
+    }
+    float total = 0.0;
+    for (i = 0; i < width * width; i++) {
+        total = total + grid[i];
+    }
+    int scaled = total * 1000.0;
+    print(scaled);
+    printc('\\n');
+    return 0;
+}
+"""
+
+_HASHDB = """
+// mini.hashdb — insert/lookup/delete over an open-addressed table
+// (147.vortex flavour: call-heavy, lots of save/restore traffic)
+int keys[2048];
+int vals[2048];
+int used[2048];
+
+int db_hash(int key) {
+    int h = key * 2654435;
+    if (h < 0) h = 0 - h;
+    return h & 2047;
+}
+
+int db_insert(int key, int value) {
+    int h = db_hash(key);
+    int probes = 0;
+    while (probes < 2048) {
+        if (used[h] == 0 || keys[h] == key) {
+            keys[h] = key;
+            vals[h] = value;
+            used[h] = 1;
+            return 1;
+        }
+        h = (h + 1) & 2047;
+        probes++;
+    }
+    return 0;
+}
+
+int db_lookup(int key) {
+    int h = db_hash(key);
+    int probes = 0;
+    while (probes < 2048) {
+        if (used[h] == 0) {
+            return 0 - 1;
+        }
+        if (keys[h] == key) {
+            return vals[h];
+        }
+        h = (h + 1) & 2047;
+        probes++;
+    }
+    return 0 - 1;
+}
+
+int transact(int seed, int rounds) {
+    int state = seed;
+    int acc = 0;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        state = state * 1103515 + 12345;
+        int key = (state >> 6) & 1023;
+        if ((state & 3) == 0) {
+            db_insert(key, key * 3 + 1);
+        } else {
+            int v = db_lookup(key);
+            if (v >= 0) {
+                acc = (acc + v) & 1048575;
+            }
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int check = 0;
+    int r;
+    for (r = 0; r < 3; r++) {
+        check = (check + transact(r + 17, 800)) & 1048575;
+    }
+    print(check);
+    printc('\\n');
+    return 0;
+}
+"""
+
+_TREESEARCH = """
+// mini.treesearch — alpha-beta style game-tree walk with deep recursion
+// (099.go flavour)
+int nstate;
+
+int tnext() {
+    nstate = nstate * 1103515 + 12345;
+    int v = nstate >> 7;
+    if (v < 0) v = 0 - v;
+    return v;
+}
+
+int evaluate(int position) {
+    int score = (position * 37) % 200 - 100;
+    int i;
+    int acc = score;
+    for (i = 0; i < 4; i++) {
+        acc += (position >> i) & 15;
+    }
+    return acc;
+}
+
+int search(int position, int depth, int alpha, int beta) {
+    if (depth == 0) {
+        return evaluate(position);
+    }
+    int best = 0 - 100000;
+    int move;
+    for (move = 0; move < 4; move++) {
+        int child = position * 5 + move * 3 + 1;
+        int score = 0 - search(child, depth - 1, 0 - beta, 0 - alpha);
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;
+    }
+    return best;
+}
+
+int main() {
+    nstate = 2024;
+    int total = 0;
+    int game;
+    for (game = 0; game < 6; game++) {
+        int root = tnext() % 1000;
+        total += search(root, 5, 0 - 100000, 100000);
+    }
+    print(total);
+    printc('\\n');
+    return 0;
+}
+"""
+
+_WORDCOUNT = """
+// mini.wordcount — byte-stream scanning + counting (perl/gcc flavour)
+int text[4096];
+int counts[128];
+
+int classify(int c) {
+    if (c >= 'a' && c <= 'z') return 1;
+    if (c >= '0' && c <= '9') return 2;
+    if (c == ' ' || c == '\\n') return 0;
+    return 3;
+}
+
+int main() {
+    int state = 99;
+    int i;
+    for (i = 0; i < 4096; i++) {
+        state = state * 75 + 74;
+        int r = (state >> 4) & 63;
+        if (r < 0) r = 0 - r;
+        if (r < 40) {
+            text[i] = 'a' + r % 26;
+        } else if (r < 50) {
+            text[i] = '0' + r % 10;
+        } else {
+            text[i] = ' ';
+        }
+    }
+    int words = 0;
+    int in_word = 0;
+    for (i = 0; i < 4096; i++) {
+        int kind = classify(text[i]);
+        counts[text[i] & 127]++;
+        if (kind == 1 || kind == 2) {
+            if (!in_word) {
+                words++;
+                in_word = 1;
+            }
+        } else {
+            in_word = 0;
+        }
+    }
+    int check = words;
+    for (i = 0; i < 128; i++) {
+        check = (check + counts[i] * i) & 1048575;
+    }
+    print(check);
+    printc('\\n');
+    return 0;
+}
+"""
+
+
+_LINKEDLIST = """
+// mini.linkedlist — heap-allocated list building and pointer chasing
+// (130.li flavour: heap traffic through sbrk + recursion-free walks)
+int main() {
+    // node layout: [value, next] — two words per node
+    int *head = 0;
+    int count = 96;
+    int i;
+    for (i = 0; i < count; i++) {
+        int *node = sbrk(8);
+        node[0] = i * i % 97;
+        node[1] = head;          // next pointer (stored as int address)
+        head = node;
+    }
+    int walks = 40;
+    int check = 0;
+    int w;
+    for (w = 0; w < walks; w++) {
+        int *p = head;
+        while (p != 0) {
+            check = (check + p[0] + w) & 1048575;
+            p = p[1];
+        }
+    }
+    print(check);
+    printc('\\n');
+    return 0;
+}
+"""
+
+_MATMUL = """
+// mini.matmul — blocked float matrix multiply (mgrid/su2cor flavour)
+float a[576];
+float b[576];
+float c[576];
+
+int main() {
+    int n = 24;
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            a[i * n + j] = (i + j) % 7 * 0.25;
+            b[i * n + j] = (i * 3 + j) % 5 * 0.5;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            float sum = 0.0;
+            for (k = 0; k < n; k++) {
+                sum = sum + a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = sum;
+        }
+    }
+    float trace = 0.0;
+    for (i = 0; i < n; i++) {
+        trace = trace + c[i * n + i];
+    }
+    int scaled = trace * 100.0;
+    print(scaled);
+    printc('\\n');
+    return 0;
+}
+"""
+
+#: name -> (source, expected stdout prefix or None)
+MINIC_PROGRAMS: Dict[str, Tuple[str, None]] = {
+    "mini.qsort": (_QSORT, None),
+    "mini.compress": (_COMPRESS, None),
+    "mini.stencil": (_STENCIL, None),
+    "mini.hashdb": (_HASHDB, None),
+    "mini.treesearch": (_TREESEARCH, None),
+    "mini.wordcount": (_WORDCOUNT, None),
+    "mini.linkedlist": (_LINKEDLIST, None),
+    "mini.matmul": (_MATMUL, None),
+}
+
+
+def minic_source(name: str) -> str:
+    """Source text of a mini-C benchmark program."""
+    try:
+        return MINIC_PROGRAMS[name][0]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown mini-C program {name!r}; "
+            f"known: {', '.join(sorted(MINIC_PROGRAMS))}"
+        ) from None

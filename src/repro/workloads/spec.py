@@ -1,0 +1,212 @@
+"""The benchmark registry (paper Table 2) and per-program calibration.
+
+Each :class:`WorkloadSpec` captures the stream statistics the paper
+measured for one SPEC95 program — memory instruction mix (Figure 2), local
+fractions (Figure 2), frame-size behaviour (Figure 3), call depth,
+store→load reuse distance (Section 4.2.3), floating-point content, and
+local/non-local interleaving (Section 4.3).  The synthetic generator
+reproduces these statistics; the paper's results are functions of exactly
+these statistics, not of SPEC program semantics.
+
+Instruction counts are the paper's (Table 2) divided by ``TRACE_SCALE_DIV``
+so a pure-Python cycle simulator can sweep hundreds of configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+
+#: Paper instruction counts are divided by this to get default trace lengths.
+TRACE_SCALE_DIV = 4000
+
+
+class WorkloadSpec:
+    """Calibration parameters for one benchmark program."""
+
+    def __init__(
+        self,
+        name: str,
+        paper_minst: int,
+        load_frac: float,
+        store_frac: float,
+        local_load_frac: float,
+        local_store_frac: float,
+        frame_mean: float,
+        frame_tail_prob: float,
+        frame_tail_words: int,
+        max_depth: int,
+        call_rate: float,
+        reuse_distance: int,
+        ws_words: int,
+        fp_frac: float = 0.0,
+        interleave: float = 1.0,
+        mul_frac: float = 0.02,
+        div_frac: float = 0.002,
+        ambig_frac: float = 0.005,
+        nonsp_frac: float = 0.04,
+        local_criticality: float = 0.7,
+        dep_density: float = 1.0,
+        is_fp: bool = False,
+        description: str = "",
+    ):
+        self.name = name
+        self.paper_minst = paper_minst
+        self.load_frac = load_frac
+        self.store_frac = store_frac
+        self.local_load_frac = local_load_frac
+        self.local_store_frac = local_store_frac
+        self.frame_mean = frame_mean
+        self.frame_tail_prob = frame_tail_prob
+        self.frame_tail_words = frame_tail_words
+        self.max_depth = max_depth
+        self.call_rate = call_rate
+        self.reuse_distance = reuse_distance
+        self.ws_words = ws_words
+        self.fp_frac = fp_frac
+        self.interleave = interleave
+        self.mul_frac = mul_frac
+        self.div_frac = div_frac
+        self.ambig_frac = ambig_frac
+        self.nonsp_frac = nonsp_frac
+        self.local_criticality = local_criticality
+        self.dep_density = dep_density
+        self.is_fp = is_fp
+        self.description = description
+
+    @property
+    def default_length(self) -> int:
+        """Default dynamic instruction count for generated traces."""
+        return max(20_000, self.paper_minst * 1_000_000 // TRACE_SCALE_DIV)
+
+    @property
+    def mem_frac(self) -> float:
+        """Loads + stores as a fraction of all instructions."""
+        return self.load_frac + self.store_frac
+
+    @property
+    def local_mem_frac(self) -> float:
+        """Expected fraction of memory references that are local."""
+        mem = self.mem_frac
+        if not mem:
+            return 0.0
+        return (self.load_frac * self.local_load_frac
+                + self.store_frac * self.local_store_frac) / mem
+
+    def __repr__(self) -> str:
+        return f"WorkloadSpec({self.name!r})"
+
+
+_SPECS: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        "099.go", 541, 0.21, 0.08, 0.30, 0.45,
+        frame_mean=4.0, frame_tail_prob=0.03, frame_tail_words=48,
+        max_depth=30, call_rate=0.012, reuse_distance=60, ws_words=3_000,
+        description="game tree search; branchy integer code",
+    ),
+    WorkloadSpec(
+        "124.m88ksim", 250, 0.20, 0.09, 0.25, 0.50,
+        frame_mean=6.0, frame_tail_prob=0.01, frame_tail_words=30,
+        max_depth=8, call_rate=0.004, reuse_distance=600, ws_words=2_500,
+        description="CPU simulator; long store->reload distances "
+                    "(fast forwarding finds almost nothing)",
+    ),
+    WorkloadSpec(
+        "126.gcc", 220, 0.24, 0.11, 0.35, 0.55,
+        frame_mean=10.0, frame_tail_prob=0.10, frame_tail_words=300,
+        max_depth=16, call_rate=0.014, reuse_distance=80, ws_words=6_000,
+        description="compiler; large frames and deep calls "
+                    "(highest LVC miss rate)",
+    ),
+    WorkloadSpec(
+        "129.compress", 293, 0.18, 0.06, 0.10, 0.14,
+        frame_mean=2.0, frame_tail_prob=0.0, frame_tail_words=0,
+        max_depth=3, call_rate=0.004, reuse_distance=15, ws_words=14_000,
+        local_criticality=0.95,
+        description="LZW compression; few local refs but very short reuse "
+                    "distances (~80% of local loads forward)",
+    ),
+    WorkloadSpec(
+        "130.li", 434, 0.29, 0.15, 0.45, 0.60,
+        frame_mean=3.0, frame_tail_prob=0.0, frame_tail_words=0,
+        max_depth=30, call_rate=0.030, reuse_distance=120, ws_words=1_800,
+        local_criticality=0.1, dep_density=1.8,
+        description="lisp interpreter (ctak); deep recursion, bandwidth-"
+                    "hungry; local accesses off the critical path (§4.2.3)",
+    ),
+    WorkloadSpec(
+        "132.ijpeg", 621, 0.21, 0.07, 0.28, 0.40,
+        frame_mean=6.0, frame_tail_prob=0.02, frame_tail_words=48,
+        max_depth=9, call_rate=0.008, reuse_distance=70, ws_words=4_000,
+        description="JPEG codec; blocked array processing",
+    ),
+    WorkloadSpec(
+        "134.perl", 525, 0.26, 0.13, 0.40, 0.55,
+        frame_mean=4.0, frame_tail_prob=0.02, frame_tail_words=36,
+        max_depth=16, call_rate=0.016, reuse_distance=60, ws_words=3_500,
+        description="perl interpreter (scrabbl)",
+    ),
+    WorkloadSpec(
+        "147.vortex", 284, 0.30, 0.16, 0.62, 0.82,
+        frame_mean=5.0, frame_tail_prob=0.02, frame_tail_words=40,
+        max_depth=14, call_rate=0.022, reuse_distance=40, ws_words=2_500,
+        local_criticality=0.3, dep_density=1.5,
+        description="object database; the most local-variable-heavy "
+                    "program (71% of refs local)",
+    ),
+    WorkloadSpec(
+        "101.tomcatv", 549, 0.30, 0.08, 0.10, 0.20,
+        frame_mean=2.0, frame_tail_prob=0.0, frame_tail_words=0,
+        max_depth=3, call_rate=0.001, reuse_distance=150, ws_words=20_000,
+        fp_frac=0.30, interleave=0.15, is_fp=True,
+        description="vectorized mesh generation; FP, poorly interleaved "
+                    "local/non-local streams",
+    ),
+    WorkloadSpec(
+        "102.swim", 473, 0.28, 0.07, 0.08, 0.15,
+        frame_mean=2.0, frame_tail_prob=0.0, frame_tail_words=0,
+        max_depth=3, call_rate=0.001, reuse_distance=150, ws_words=30_000,
+        fp_frac=0.30, interleave=0.12, is_fp=True,
+        description="shallow water model; FP stencil sweeps",
+    ),
+    WorkloadSpec(
+        "103.su2cor", 676, 0.26, 0.09, 0.12, 0.25,
+        frame_mean=3.0, frame_tail_prob=0.01, frame_tail_words=16,
+        max_depth=4, call_rate=0.002, reuse_distance=120, ws_words=15_000,
+        fp_frac=0.25, interleave=0.20, is_fp=True,
+        description="quantum physics Monte Carlo; FP",
+    ),
+    WorkloadSpec(
+        "107.mgrid", 684, 0.32, 0.05, 0.06, 0.10,
+        frame_mean=2.0, frame_tail_prob=0.0, frame_tail_words=0,
+        max_depth=3, call_rate=0.001, reuse_distance=180, ws_words=35_000,
+        fp_frac=0.35, interleave=0.10, is_fp=True,
+        description="multigrid solver; load-dominated FP sweeps",
+    ),
+)
+
+_BY_NAME: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+#: All twelve programs in paper order.
+ALL_PROGRAMS: Tuple[str, ...] = tuple(spec.name for spec in _SPECS)
+
+#: The eight integer programs (Figures 3, 8 use these).
+INT_PROGRAMS: Tuple[str, ...] = tuple(
+    spec.name for spec in _SPECS if not spec.is_fp
+)
+
+#: The four floating-point programs.
+FP_PROGRAMS: Tuple[str, ...] = tuple(
+    spec.name for spec in _SPECS if spec.is_fp
+)
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a workload spec by its program name (e.g. ``"130.li"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(ALL_PROGRAMS)}"
+        ) from None

@@ -1,0 +1,140 @@
+"""Tests for the assembler, including a disassembler round trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.errors import AssemblerError
+from repro.isa.disasm import disassemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DATA_BASE
+
+
+def test_minimal_program():
+    program = assemble("main:\n    nop\n")
+    assert len(program) == 1
+    assert program.entry_index == 0
+
+
+def test_instruction_formats():
+    program = assemble(
+        """
+        main:
+            li   $t0, 42
+            addi $t1, $t0, -3
+            add  $t2, $t0, $t1
+            lw   $t3, 8($sp)
+            sw   $t3, -4($sp)
+            beq  $t0, $t1, main
+            jr   $ra
+        """
+    )
+    ops = [ins.op for ins in program.instructions]
+    assert ops == [Opcode.LI, Opcode.ADDI, Opcode.ADD, Opcode.LW,
+                   Opcode.SW, Opcode.BEQ, Opcode.JR]
+
+
+def test_locality_annotations():
+    program = assemble(
+        """
+        main:
+            lw $t0, 0($sp)   # local
+            lw $t1, 0($t0)   # nonlocal
+            lw $t2, 0($t0)   # ambiguous
+            lw $t3, 0($t0)
+        """
+    )
+    locals_ = [ins.local for ins in program.instructions]
+    assert locals_ == [True, False, None, None]
+
+
+def test_data_word_directive():
+    program = assemble(
+        """
+        .data
+        tbl: .word 1, 2, 3
+        .text
+        main:
+            la $t0, tbl
+        """
+    )
+    assert program.data_address("tbl") == DATA_BASE
+    assert program.instructions[0].imm == DATA_BASE
+
+
+def test_data_space_directive():
+    program = assemble(".data\nbuf: .space 64\n.text\nmain:\n nop\n")
+    assert program.has_data("buf")
+
+
+def test_label_on_same_line_as_instruction():
+    program = assemble("main: nop\nloop: j loop\n")
+    assert program.labels["loop"] == 1
+
+
+def test_branch_resolution():
+    program = assemble(
+        """
+        main:
+            j end
+            nop
+        end:
+            nop
+        """
+    )
+    assert program.instructions[0].imm == 2
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError):
+        assemble("main:\n    frobnicate $t0\n")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblerError):
+        assemble("main:\n    add $t0, $t1\n")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError):
+        assemble("main:\n    lw $t0, nonsense\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("main:\n nop\nmain:\n nop\n")
+
+
+def test_unresolved_target_rejected():
+    with pytest.raises(Exception):
+        assemble("main:\n    j nowhere\n")
+
+
+def test_error_reports_line_number():
+    try:
+        assemble("main:\n    nop\n    bogus\n")
+    except AssemblerError as exc:
+        assert exc.line == 3
+    else:
+        pytest.fail("expected AssemblerError")
+
+
+# -- round trip: disassemble(assemble(x)) is stable --------------------------
+
+_REGS = st.sampled_from(["$t0", "$t1", "$s0", "$a0", "$v0", "$sp"])
+
+
+@given(rd=_REGS, rs=_REGS, rt=_REGS, imm=st.integers(-1024, 1023))
+def test_roundtrip_core_ops(rd, rs, rt, imm):
+    source = "\n".join([
+        "main:",
+        f"    add {rd}, {rs}, {rt}",
+        f"    addi {rd}, {rs}, {imm}",
+        f"    lw {rd}, {4 * (imm % 32)}({rs})",
+        f"    sw {rt}, {4 * (imm % 32)}({rs})",
+    ])
+    program = assemble(source)
+    text = "\n".join("    " + disassemble(i) for i in program.instructions)
+    reparsed = assemble("main:\n" + text)
+    assert reparsed.instructions == program.instructions

@@ -1,0 +1,40 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.workloads.builder import build_trace, clear_trace_cache
+
+
+@pytest.fixture(scope="session")
+def small_li_trace():
+    """A short 130.li trace shared across timing tests."""
+    return build_trace("130.li", length=15_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_vortex_trace():
+    """A short 147.vortex trace shared across timing tests."""
+    return build_trace("147.vortex", length=15_000, seed=7)
+
+
+@pytest.fixture
+def base_config():
+    """The paper's (2+0) baseline configuration."""
+    return MachineConfig.baseline(l1_ports=2, lvc_ports=0)
+
+
+@pytest.fixture
+def decoupled_config():
+    """A (2+2) configuration with both optimizations enabled."""
+    return MachineConfig.baseline(
+        l1_ports=2, lvc_ports=2, fast_forwarding=True, combining=2
+    )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _trim_cache_at_end():
+    yield
+    clear_trace_cache()

@@ -1,0 +1,66 @@
+"""Tests for machine configuration."""
+
+import pytest
+
+from repro.core.config import DecoupleConfig, MachineConfig
+from repro.errors import ConfigError
+
+
+def test_baseline_matches_paper_table1():
+    config = MachineConfig.baseline()
+    assert config.issue_width == 16
+    assert config.rob_size == 128
+    assert config.lsq_size == 64
+    assert config.lvaq_size == 64
+    assert config.ialu_units == 16
+    assert config.falu_units == 16
+    assert config.imultdiv_units == 4
+    assert config.fmultdiv_units == 4
+    mem = config.mem
+    assert mem.l1_size == 32 * 1024 and mem.l1_assoc == 2
+    assert mem.l1_hit_latency == 2
+    assert mem.l2_size == 512 * 1024 and mem.l2_assoc == 4
+    assert mem.l2_latency == 12
+    assert mem.mem_latency == 50
+    assert mem.line_bytes == 32
+
+
+def test_lvc_defaults():
+    config = MachineConfig.baseline(l1_ports=3, lvc_ports=2)
+    assert config.decoupled
+    assert config.mem.lvc_size == 2 * 1024
+    assert config.mem.lvc_assoc == 1  # direct mapped
+    assert config.mem.lvc_hit_latency == 1
+
+
+def test_notation():
+    assert MachineConfig.baseline(2, 0).notation() == "(2+0)"
+    assert MachineConfig.baseline(3, 2).notation() == "(3+2)"
+
+
+def test_not_decoupled_without_lvc_ports():
+    assert not MachineConfig.baseline(4, 0).decoupled
+
+
+def test_optimization_flags():
+    config = MachineConfig.baseline(3, 2, fast_forwarding=True, combining=4)
+    assert config.decouple.fast_forwarding
+    assert config.decouple.combining == 4
+
+
+def test_combining_degree_validated():
+    with pytest.raises(ConfigError):
+        DecoupleConfig(combining=0)
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ConfigError):
+        MachineConfig(issue_width=0)
+    with pytest.raises(ConfigError):
+        MachineConfig(rob_size=-1)
+
+
+def test_mem_overrides_pass_through():
+    config = MachineConfig.baseline(2, 2, l1_hit_latency=3, lvc_size=4096)
+    assert config.mem.l1_hit_latency == 3
+    assert config.mem.lvc_size == 4096

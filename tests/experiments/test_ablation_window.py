@@ -1,0 +1,37 @@
+"""Tests for the window-sizing ablation."""
+
+import pytest
+
+from repro.experiments import ablation_window
+
+
+def test_rob_sweep_structure():
+    rows = ablation_window.run_rob(scale=0.08, programs=("130.li",),
+                                   sizes=(64, 128))
+    row = rows["130.li"]
+    assert row[128] == pytest.approx(1.0)
+    assert row[64] < 1.0
+
+
+def test_lvaq_sweep_structure():
+    rows = ablation_window.run_lvaq(scale=0.08, programs=("130.li",),
+                                    sizes=(16, 64))
+    row = rows["130.li"]
+    assert row[64] == pytest.approx(1.0)
+    assert row[16] <= 1.0
+
+
+def test_render_combined():
+    rob = ablation_window.run_rob(scale=0.08, programs=("130.li",),
+                                  sizes=(64, 128))
+    lvaq = ablation_window.run_lvaq(scale=0.08, programs=("130.li",),
+                                    sizes=(16, 64))
+    text = ablation_window.render(rob, lvaq)
+    assert "ROB size" in text
+    assert "LVAQ size" in text
+
+
+def test_registered_in_runner():
+    from repro.experiments.runner import EXPERIMENTS
+
+    assert "ablation-window" in EXPERIMENTS

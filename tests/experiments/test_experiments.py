@@ -1,0 +1,138 @@
+"""Smoke and shape tests for the experiment harness at a reduced scale.
+
+These run every figure/table module end to end on two or three programs
+with short traces, asserting structure and basic sanity; the full paper
+shapes are covered by the benchmark harness and the integration tests.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_memfreq,
+    fig3_framesize,
+    fig5_bandwidth,
+    fig6_lvc_miss,
+    fig7_ports,
+    fig8_combining,
+    fig9_optimized,
+    fig10_latency,
+    fig11_programs,
+    table1_config,
+    table2_workloads,
+    table3_forwarding,
+)
+
+SCALE = 0.12
+FAST_PROGRAMS = ("130.li", "129.compress")
+
+
+def test_fig2_rows():
+    rows = fig2_memfreq.run(scale=SCALE, programs=FAST_PROGRAMS)
+    assert len(rows) == 2
+    li = rows[0]
+    assert 0 < li.load_frac < 0.5
+    assert 0 < li.local_mem_frac < 1
+    assert "program" in fig2_memfreq.render(rows)
+
+
+def test_fig3_histograms():
+    hists = fig3_framesize.run(scale=SCALE, programs=("130.li", "126.gcc"))
+    assert set(hists) == {"130.li", "126.gcc"}
+    pooled = fig3_framesize.pooled(hists)
+    assert pooled.total > 0
+    points = fig3_framesize.distribution_points(pooled)
+    assert points[0][0] == 0.5
+    assert fig3_framesize.render(hists)
+
+
+def test_fig5_relative_to_limit():
+    rows = fig5_bandwidth.run(scale=SCALE, programs=("130.li",),
+                              ports=(1, 2, 4))
+    curve = rows["130.li"]
+    assert curve[1] <= curve[2] <= curve[4] <= 1.02
+    assert fig5_bandwidth.average_curve(rows)[1] == pytest.approx(curve[1])
+
+
+def test_fig6_miss_rates_decrease_with_size():
+    rows = fig6_lvc_miss.run(scale=SCALE, programs=("126.gcc",))
+    curve = rows["126.gcc"]
+    assert curve[512] >= curve[2048] >= curve[4096]
+    assert fig6_lvc_miss.render(rows)
+
+
+def test_fig6_l2_traffic_helper():
+    change = fig6_lvc_miss.l2_traffic_change(scale=SCALE,
+                                             programs=("130.li",))
+    assert 0 < change["130.li"] < 2.0
+
+
+def test_fig7_surface_structure():
+    rows = fig7_ports.run(scale=SCALE, programs=("130.li",),
+                          n_values=(2,), m_values=(0, 2))
+    assert rows["130.li"][(2, 0)] == pytest.approx(1.0)
+    assert rows["130.li"][(2, 2)] > 0.9
+    assert fig7_ports.render(rows)
+
+
+def test_table3_rows():
+    rows = table3_forwarding.run(scale=SCALE, programs=FAST_PROGRAMS)
+    assert len(rows) == 2
+    for row in rows:
+        assert -0.1 < row.speedup < 0.5
+        assert 0 <= row.forward_rate <= 1
+    assert table3_forwarding.render(rows)
+
+
+def test_fig8_combining_speedups():
+    rows = fig8_combining.run(scale=SCALE, programs=("130.li",),
+                              configs=((3, 1),), degrees=(1, 2))
+    assert rows["130.li"][(3, 1, 1)] == pytest.approx(1.0)
+    assert rows["130.li"][(3, 1, 2)] >= 0.98
+    assert fig8_combining.render(rows)
+
+
+def test_fig9_uses_optimizations():
+    rows = fig9_optimized.run(scale=SCALE, programs=("130.li",),
+                              n_values=(2,), m_values=(0, 1))
+    assert (2, 1) in rows["130.li"]
+    assert fig9_optimized.render(rows)
+
+
+def test_fig10_configs_present():
+    rows = fig10_latency.run(scale=SCALE, programs=("130.li",))
+    row = rows["130.li"]
+    for name in fig10_latency.CONFIG_NAMES:
+        assert name in row
+    assert row["(2+0)"] == pytest.approx(1.0)
+    # a slower cache can never be faster
+    assert row["(4+0) 3cyc"] <= row["(4+0)"] + 0.01
+    assert fig10_latency.render(rows)
+
+
+def test_fig11_default_program_set():
+    assert fig11_programs.PROGRAMS == ("126.gcc", "130.li", "147.vortex",
+                                       "102.swim")
+
+
+def test_table1_all_match():
+    rows = table1_config.run()
+    assert all(ok for _, _, ok in rows)
+    assert "MISMATCH" not in table1_config.render(rows)
+
+
+def test_table2_rows():
+    rows = table2_workloads.run(scale=SCALE, programs=FAST_PROGRAMS)
+    assert [r.program for r in rows] == list(FAST_PROGRAMS)
+    for row in rows:
+        assert row.trace_len > 0
+        assert 0 < row.mem_frac < 0.6
+    assert table2_workloads.render(rows)
+
+
+def test_runner_lists_every_experiment():
+    from repro.experiments.runner import EXPERIMENTS
+
+    expected = {"table1", "table2", "table3", "fig2", "fig3", "fig5",
+                "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                "ablation-multiport", "ablation-window", "disc-small-l1"}
+    assert set(EXPERIMENTS) == expected

@@ -1,0 +1,59 @@
+"""Tests for the extension experiments (ablation + Section 4.4)."""
+
+import pytest
+
+from repro.experiments import ablation_multiport, disc_small_l1
+
+
+def test_ablation_structure():
+    rows = ablation_multiport.run(scale=0.1, programs=("147.vortex",))
+    row = rows["147.vortex"]
+    for name in ablation_multiport.CONFIG_NAMES:
+        assert name in row
+    assert row["ideal(4+0)"] == pytest.approx(1.0)
+    assert ablation_multiport.render(rows)
+
+
+def test_ablation_real_ports_lose():
+    rows = ablation_multiport.run(scale=0.1,
+                                  programs=("147.vortex", "130.li"))
+    for row in rows.values():
+        assert row["banked(4+0)"] < 1.0
+        assert row["replicated(4+0)"] < 1.0
+
+
+def test_ablation_decoupled_competitive():
+    """The paper's point: (2+2) with simple components rivals ideal 4+0."""
+    rows = ablation_multiport.run(scale=0.1, programs=("147.vortex",))
+    assert rows["147.vortex"]["ideal(2+2)"] > 0.9
+
+
+def test_small_l1_structure():
+    rows = disc_small_l1.run(scale=0.1, programs=("130.li",),
+                             l2_latencies=(2, 12))
+    row = rows["130.li"]
+    assert set(row) == {2, 12}
+    assert disc_small_l1.render(rows)
+
+
+def test_small_l1_better_only_with_fast_l2():
+    """Section 4.4: the small L1 wins only when the L2 is very close."""
+    rows = disc_small_l1.run(scale=0.12,
+                             programs=("130.li", "126.gcc"),
+                             l2_latencies=(2, 12))
+    for row in rows.values():
+        assert row[2] > row[12]  # faster L2 always favours the small cache
+
+
+def test_crossover_helper():
+    rows = {"x": {2: 1.05, 4: 1.01, 8: 0.98, 12: 0.95}}
+    assert disc_small_l1.crossover_latency(rows) == 4
+    rows = {"x": {2: 0.9, 4: 0.9}}
+    assert disc_small_l1.crossover_latency(rows) == 0
+
+
+def test_registered_in_runner():
+    from repro.experiments.runner import EXPERIMENTS
+
+    assert "ablation-multiport" in EXPERIMENTS
+    assert "disc-small-l1" in EXPERIMENTS

@@ -1,0 +1,89 @@
+"""Integration: source code -> compiler -> VM -> timing simulator."""
+
+import pytest
+
+from repro.core import MachineConfig, Processor
+from repro.lang import compile_source
+from repro.vm import run_program
+
+SOURCE = """
+int table[256];
+
+int mix(int a, int b) {
+    int t0 = a * 31 + b;
+    int t1 = t0 ^ (t0 >> 4);
+    return t1 & 255;
+}
+
+int churn(int rounds) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        int h = mix(i, acc);
+        table[h] = table[h] + 1;
+        acc = (acc + table[h] + h) & 65535;
+    }
+    return acc;
+}
+
+int main() {
+    print(churn(600));
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled_trace():
+    vm, trace = run_program(compile_source(SOURCE))
+    assert vm.exit_code == 0
+    return vm, trace
+
+
+def test_functional_result(compiled_trace):
+    vm, _ = compiled_trace
+    assert vm.stdout.isdigit()
+
+
+def test_trace_has_both_streams(compiled_trace):
+    _, trace = compiled_trace
+    stats = trace.stats
+    assert stats.local_refs > 0      # call save/restore traffic
+    assert stats.mem_refs > stats.local_refs  # global table traffic
+
+
+def test_timing_simulation_of_compiled_code(compiled_trace):
+    _, trace = compiled_trace
+    result = Processor(MachineConfig.baseline(2, 0)).run(trace.insts, "e2e")
+    assert result.instructions == len(trace)
+    assert 0.3 < result.ipc < 16
+
+
+def test_decoupling_consistent_on_compiled_code(compiled_trace):
+    """The decoupled machine must service exactly the same references."""
+    _, trace = compiled_trace
+    coupled = Processor(MachineConfig.baseline(2, 0)).run(trace.insts, "c")
+    decoupled = Processor(MachineConfig.baseline(2, 2)).run(trace.insts, "d")
+    c = decoupled.counters
+    assert (c.get("lvaq.loads") + c.get("lsq.loads")
+            == coupled.counters.get("lsq.loads"))
+    assert (c.get("lvaq.stores") + c.get("lsq.stores")
+            == coupled.counters.get("lsq.stores"))
+
+
+def test_optimizations_never_break_completion(compiled_trace):
+    _, trace = compiled_trace
+    config = MachineConfig.baseline(2, 2, fast_forwarding=True, combining=4)
+    result = Processor(config).run(trace.insts, "opt")
+    assert result.instructions == len(trace)
+
+
+def test_ambiguous_classification_handled(compiled_trace):
+    """Compiled code contains pointer accesses classified at run time."""
+    _, trace = compiled_trace
+    result = Processor(MachineConfig.baseline(2, 2)).run(trace.insts, "amb")
+    # every memory reference landed in exactly one queue
+    c = result.counters
+    total = (c.get("lvaq.loads") + c.get("lsq.loads")
+             + c.get("lvaq.stores") + c.get("lsq.stores"))
+    assert total == trace.stats.mem_refs

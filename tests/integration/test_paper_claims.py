@@ -1,0 +1,167 @@
+"""The paper's headline claims, verified at reduced scale.
+
+Each test asserts one qualitative result from the evaluation section
+(Section 4).  Trace lengths are reduced for test-suite runtime; the
+benchmark harness reruns the same experiments at full scale.
+"""
+
+import pytest
+
+from repro.core import MachineConfig, Processor
+from repro.workloads.builder import build_trace
+
+LENGTH = 40_000
+
+
+def simulate(program, n, m, ff=False, comb=1, **mem):
+    trace = build_trace(program, length=LENGTH, seed=1)
+    config = MachineConfig.baseline(l1_ports=n, lvc_ports=m,
+                                    fast_forwarding=ff, combining=comb,
+                                    **mem)
+    return Processor(config).run(trace.insts, program)
+
+
+# -- Figure 5 -----------------------------------------------------------------
+
+def test_bandwidth_saturates_with_ports():
+    """(Fig 5) IPC grows monotonically with ports and flattens."""
+    ipcs = [simulate("147.vortex", n, 0).ipc for n in (1, 2, 4, 16)]
+    assert ipcs[0] < ipcs[1] < ipcs[2] <= ipcs[3] * 1.01
+    # 4 ports are much closer to the limit than 1 port is
+    assert ipcs[2] / ipcs[3] > 0.75
+    assert ipcs[0] / ipcs[3] < 0.6
+
+
+def test_li_and_vortex_most_bandwidth_sensitive():
+    """(Fig 5) li/vortex lose more at 1 port than compress does."""
+    def sensitivity(program):
+        one = simulate(program, 1, 0).ipc
+        limit = simulate(program, 16, 0).ipc
+        return one / limit
+
+    assert sensitivity("130.li") < sensitivity("129.compress")
+    assert sensitivity("147.vortex") < sensitivity("129.compress")
+
+
+# -- Figure 6 -----------------------------------------------------------------
+
+def test_2kb_lvc_hit_rate_over_99_percent():
+    """(Fig 6) A 2KB LVC exceeds 99% hit rate except for gcc."""
+    for program in ("130.li", "147.vortex", "129.compress"):
+        result = simulate(program, 3, 2)
+        assert result.lvc_miss_rate < 0.01, program
+
+
+def test_gcc_is_the_lvc_miss_outlier():
+    gcc = simulate("126.gcc", 3, 2).lvc_miss_rate
+    li = simulate("130.li", 3, 2).lvc_miss_rate
+    assert gcc > 3 * li
+
+
+# -- Figure 7 -----------------------------------------------------------------
+
+def test_one_port_lvc_degrades_vortex():
+    """(Fig 7) (N+1) loses IPC on the most local-heavy program."""
+    base = simulate("147.vortex", 3, 0).ipc
+    one_port = simulate("147.vortex", 3, 1).ipc
+    assert one_port < base
+
+
+def test_two_port_lvc_restores_and_beats():
+    """(Fig 7) (N+2) beats (N+0)."""
+    base = simulate("147.vortex", 3, 0).ipc
+    two_port = simulate("147.vortex", 3, 2).ipc
+    assert two_port > base
+
+
+def test_lvc_ports_show_diminishing_returns():
+    """(Fig 7) each extra LVC port helps less than the one before."""
+    one = simulate("147.vortex", 3, 1).ipc
+    two = simulate("147.vortex", 3, 2).ipc
+    three = simulate("147.vortex", 3, 3).ipc
+    sixteen = simulate("147.vortex", 3, 16).ipc
+    assert two / one > three / two > sixteen / three
+    assert sixteen / three < 1.15
+
+
+# -- Table 3 ------------------------------------------------------------------
+
+def test_fast_forwarding_speedups_small():
+    """(Table 3) fast forwarding gives small speedups (paper: <= 3.9%)."""
+    for program in ("124.m88ksim", "130.li"):
+        base = simulate(program, 3, 2).ipc
+        fast = simulate(program, 3, 2, ff=True).ipc
+        assert -0.02 < fast / base - 1 < 0.08, program
+
+
+def test_m88ksim_gains_nothing_from_fast_forwarding():
+    """(Table 3) m88ksim's reuse distances are too long to forward."""
+    base = simulate("124.m88ksim", 3, 2).ipc
+    fast = simulate("124.m88ksim", 3, 2, ff=True).ipc
+    assert abs(fast / base - 1) < 0.03
+
+
+# -- Figure 8 -----------------------------------------------------------------
+
+def test_combining_helps_most_at_one_port():
+    """(Fig 8) two-way combining matters more at (3+1) than (3+2)."""
+    gain_1port = (simulate("147.vortex", 3, 1, comb=2).ipc
+                  / simulate("147.vortex", 3, 1).ipc)
+    gain_2port = (simulate("147.vortex", 3, 2, comb=2).ipc
+                  / simulate("147.vortex", 3, 2).ipc)
+    assert gain_1port > gain_2port
+    assert gain_1port > 1.02
+
+
+# -- Figure 10 ----------------------------------------------------------------
+
+def test_three_cycle_l1_loses_performance():
+    """(Fig 10) a 3-cycle 4-port cache loses vs the 2-cycle one."""
+    normal = simulate("099.go", 4, 0).ipc
+    slow = simulate("099.go", 4, 0, l1_hit_latency=3).ipc
+    assert slow < normal
+
+
+def test_decoupled_2plus2_competitive_with_4plus0_integer():
+    """(Fig 10) (2+2) with optimizations rivals (4+0) on integer code."""
+    decoupled = simulate("147.vortex", 2, 2, ff=True, comb=2).ipc
+    four_port = simulate("147.vortex", 4, 0).ipc
+    assert decoupled > 0.9 * four_port
+
+
+def test_fp_programs_gain_little_from_decoupling():
+    """(Fig 10 / §4.3) FP local accesses are too poorly interleaved."""
+    base = simulate("102.swim", 2, 0).ipc
+    decoupled = simulate("102.swim", 2, 2, ff=True, comb=2).ipc
+    assert decoupled / base < 1.10
+
+
+# -- Figure 11 ----------------------------------------------------------------
+
+def test_li_lvc_gain_shrinks_with_l1_ports():
+    """(Fig 11) adding an LVC helps li hugely at N=2, little at N=4."""
+    gain_n2 = (simulate("130.li", 2, 2, ff=True, comb=2).ipc
+               / simulate("130.li", 2, 0).ipc)
+    gain_n4 = (simulate("130.li", 4, 2, ff=True, comb=2).ipc
+               / simulate("130.li", 4, 0).ipc)
+    assert gain_n2 > 1.15
+    assert gain_n4 < gain_n2 - 0.1
+
+
+# -- Section 4.2.1 -------------------------------------------------------------
+
+def test_lvc_reduces_l2_traffic_for_li():
+    """(§4.2.1) li's stack/data conflicts shrink with an LVC."""
+    base = simulate("130.li", 3, 0).l2_traffic
+    with_lvc = simulate("130.li", 3, 2).l2_traffic
+    assert with_lvc <= base
+
+
+# -- Section 4.3 ---------------------------------------------------------------
+
+def test_lvc_latency_insensitive():
+    """(§4.3) a 2-cycle LVC performs nearly the same as a 1-cycle one."""
+    fast = simulate("147.vortex", 3, 2, ff=True, comb=2).ipc
+    slow = simulate("147.vortex", 3, 2, ff=True, comb=2,
+                    lvc_hit_latency=2).ipc
+    assert abs(fast - slow) / fast < 0.05

@@ -1,0 +1,101 @@
+"""Toolchain round trip: compile -> disassemble -> reassemble -> run.
+
+The disassembler's output must be valid assembler input, and the
+reassembled program must behave identically — this locks the three tools
+(compiler, disassembler, assembler) to one consistent ISA surface.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import ReproError
+from repro.isa.disasm import disassemble_program
+from repro.lang import compile_source
+from repro.vm import run_program
+
+PROGRAMS = {
+    "arith": """
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 1; i <= 20; i++) acc += i * i % 7;
+    print(acc);
+    return 0;
+}
+""",
+    "calls": """
+int add3(int a, int b, int c) { return a + b + c; }
+int twice(int x) { return add3(x, x, 0); }
+int main() { print(twice(add3(1, 2, 3))); return 0; }
+""",
+    "memory": """
+int g[8];
+int main() {
+    int local[8];
+    int i;
+    for (i = 0; i < 8; i++) { local[i] = i; g[i] = i * 2; }
+    int s = 0;
+    for (i = 0; i < 8; i++) s += local[i] + g[i];
+    print(s);
+    return 0;
+}
+""",
+    "floats": """
+float half(float x) { return x / 2.0; }
+int main() { printfl(half(7.0)); return 0; }
+""",
+}
+
+
+def _data_section(program):
+    """Render the program's data segment back to assembler directives."""
+    lines = [".data"]
+    for item in program.data:
+        if item.element_size == 1:
+            values = ", ".join(str(int(v)) for v in item.values)
+            lines.append(f"{item.name}: .byte {values}")
+        elif any(isinstance(v, float) for v in item.values):
+            values = ", ".join(str(float(v)) for v in item.values)
+            lines.append(f"{item.name}: .float {values}")
+        else:
+            values = ", ".join(str(int(v)) for v in item.values)
+            lines.append(f"{item.name}: .word {values}")
+    lines.append(".text")
+    return "\n".join(lines)
+
+
+def _roundtrip(source):
+    original = compile_source(source)
+    vm1, trace1 = run_program(original, max_instructions=1_000_000)
+
+    listing = _data_section(original) + "\n" + disassemble_program(original)
+    reassembled = assemble(listing, entry="__start")
+    vm2, trace2 = run_program(reassembled, max_instructions=1_000_000)
+    return vm1, trace1, vm2, trace2
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_roundtrip_preserves_behaviour(name):
+    vm1, trace1, vm2, trace2 = _roundtrip(PROGRAMS[name])
+    assert vm2.exit_code == vm1.exit_code
+    assert vm2.stdout == vm1.stdout
+    assert len(trace2) == len(trace1)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_roundtrip_preserves_classification(name):
+    """Locality annotations must survive the textual round trip."""
+    _, trace1, _, trace2 = _roundtrip(PROGRAMS[name])
+    hints1 = [i.local_hint for i in trace1 if i.is_mem]
+    hints2 = [i.local_hint for i in trace2 if i.is_mem]
+    assert hints1 == hints2
+
+
+def test_error_hierarchy_rooted():
+    """Every library error is catchable as ReproError."""
+    from repro import errors
+
+    for name in ("ConfigError", "IsaError", "AssemblerError",
+                 "CompileError", "VmError", "SimulationError",
+                 "WorkloadError"):
+        assert issubclass(getattr(errors, name), ReproError), name

@@ -1,0 +1,56 @@
+"""Tests for repro.isa.disasm."""
+
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def test_rrr():
+    text = disassemble(Instruction(Opcode.ADD, rd=8, rs=9, rt=10))
+    assert text == "add $t0, $t1, $t2"
+
+
+def test_mem_with_annotation():
+    local = disassemble(Instruction(Opcode.SW, rt=8, rs=29, imm=4,
+                                    local=True))
+    assert local == "sw $t0, 4($sp)  # local"
+    ambiguous = disassemble(Instruction(Opcode.LW, rd=8, rs=9, imm=0))
+    assert ambiguous.endswith("# ambiguous")
+
+
+def test_nonlocal_annotated_explicitly():
+    text = disassemble(Instruction(Opcode.LW, rd=8, rs=9, imm=0,
+                                   local=False))
+    assert text.endswith("# nonlocal")
+
+
+def test_branch_uses_label():
+    text = disassemble(Instruction(Opcode.BNE, rs=8, rt=0, label="loop",
+                                   imm=3))
+    assert text == "bne $t0, $zero, loop"
+
+
+def test_branch_falls_back_to_index():
+    text = disassemble(Instruction(Opcode.J, imm=17))
+    assert text == "j 17"
+
+
+def test_la_label():
+    text = disassemble(Instruction(Opcode.LA, rd=8, label="tbl", imm=0))
+    assert text == "la $t0, tbl"
+
+
+def test_syscall():
+    assert disassemble(Instruction(Opcode.SYSCALL, imm=1)) == "syscall 1"
+
+
+def test_program_disassembly_includes_labels():
+    program = Program(
+        [Instruction(Opcode.NOP), Instruction(Opcode.JR, rs=31)],
+        labels={"main": 0, "exit": 1},
+    )
+    text = disassemble_program(program)
+    assert "main:" in text
+    assert "exit:" in text
+    assert "jr $ra" in text

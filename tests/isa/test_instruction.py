@@ -1,0 +1,79 @@
+"""Tests for repro.isa.instruction."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+
+
+def test_rrr_reads_writes():
+    ins = Instruction(Opcode.ADD, rd=8, rs=9, rt=10)
+    assert ins.reads == (9, 10)
+    assert ins.writes == (8,)
+
+
+def test_load_reads_base_writes_dest():
+    ins = Instruction(Opcode.LW, rd=8, rs=29, imm=4)
+    assert ins.reads == (29,)
+    assert ins.writes == (8,)
+
+
+def test_store_reads_base_and_value():
+    ins = Instruction(Opcode.SW, rt=8, rs=29, imm=4)
+    assert ins.reads == (29, 8)
+    assert ins.writes == ()
+
+
+def test_jal_writes_ra():
+    ins = Instruction(Opcode.JAL, label="f", imm=0)
+    assert ins.writes == (int(Reg.RA),)
+
+
+def test_syscall_dataflow():
+    ins = Instruction(Opcode.SYSCALL, imm=1)
+    assert int(Reg.A0) in ins.reads
+    assert int(Reg.V0) in ins.writes
+
+
+def test_branch_reads_both_operands():
+    ins = Instruction(Opcode.BNE, rs=8, rt=0, label="loop", imm=0)
+    assert ins.reads == (8, 0)
+    assert ins.writes == ()
+
+
+def test_missing_operand_rejected():
+    with pytest.raises(IsaError):
+        Instruction(Opcode.ADD, rd=8, rs=9)  # no rt
+    with pytest.raises(IsaError):
+        Instruction(Opcode.LW, rd=8, rs=29)  # no offset
+    with pytest.raises(IsaError):
+        Instruction(Opcode.BEQ, rs=8, rt=9)  # no target
+
+
+def test_mem_size():
+    assert Instruction(Opcode.LW, rd=8, rs=29, imm=0).mem_size == 4
+    assert Instruction(Opcode.LB, rd=8, rs=29, imm=0).mem_size == 1
+    assert Instruction(Opcode.SB, rt=8, rs=29, imm=0).mem_size == 1
+
+
+def test_local_annotation_preserved():
+    ins = Instruction(Opcode.LW, rd=8, rs=29, imm=0, local=True)
+    assert ins.local is True
+    ins2 = Instruction(Opcode.LW, rd=8, rs=29, imm=0)
+    assert ins2.local is None
+
+
+def test_copy_is_equal_and_detached():
+    ins = Instruction(Opcode.ADDI, rd=8, rs=9, imm=5)
+    clone = ins.copy()
+    assert clone == ins
+    clone.imm = 6
+    assert clone != ins
+
+
+def test_nop_has_no_dataflow():
+    nop = Instruction(Opcode.NOP)
+    assert nop.reads == ()
+    assert nop.writes == ()

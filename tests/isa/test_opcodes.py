@@ -1,0 +1,51 @@
+"""Tests for repro.isa.opcodes."""
+
+from repro.isa.opcodes import BY_MNEMONIC, FuClass, LATENCY, Opcode
+
+
+def test_r10000_latencies():
+    """Table 1 requires MIPS R10000 instruction latencies."""
+    assert LATENCY[FuClass.IALU] == 1
+    assert LATENCY[FuClass.IMULT] == 5
+    assert LATENCY[FuClass.IDIV] == 34
+    assert LATENCY[FuClass.FADD] == 2
+    assert LATENCY[FuClass.FMUL] == 2
+    assert LATENCY[FuClass.FDIV] == 12
+
+
+def test_every_fu_class_has_a_latency():
+    for fu in FuClass:
+        assert fu in LATENCY
+
+
+def test_mnemonic_lookup_complete():
+    for op in Opcode:
+        assert BY_MNEMONIC[op.mnemonic] is op
+
+
+def test_load_store_classification():
+    assert Opcode.LW.is_load and not Opcode.LW.is_store
+    assert Opcode.SW.is_store and not Opcode.SW.is_load
+    assert Opcode.LS.is_load
+    assert Opcode.SS.is_store
+    assert Opcode.LW.is_mem and Opcode.SW.is_mem
+    assert not Opcode.ADD.is_mem
+
+
+def test_branch_classification():
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.J, Opcode.JAL, Opcode.JR,
+               Opcode.JALR, Opcode.BLEZ, Opcode.BGEZ):
+        assert op.is_branch
+    assert not Opcode.ADD.is_branch
+
+
+def test_fp_ops_on_fp_units():
+    assert Opcode.FADD.fu is FuClass.FADD
+    assert Opcode.FMUL.fu is FuClass.FMUL
+    assert Opcode.FDIV.fu is FuClass.FDIV
+    assert Opcode.CVTSW.fu is FuClass.FADD
+
+
+def test_mnemonics_unique():
+    mnemonics = [op.mnemonic for op in Opcode]
+    assert len(mnemonics) == len(set(mnemonics))

@@ -1,0 +1,75 @@
+"""Tests for repro.isa.program."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DATA_BASE, DataItem, Program
+
+
+def _jump(label):
+    return Instruction(Opcode.J, label=label, imm=0)
+
+
+def test_entry_index():
+    program = Program([_jump("main")], labels={"main": 0})
+    assert program.entry_index == 0
+
+
+def test_missing_entry_raises():
+    program = Program([_jump("x")], labels={"x": 0}, entry="main")
+    with pytest.raises(IsaError):
+        program.entry_index
+
+
+def test_data_layout_sequential():
+    data = [DataItem("a", [1, 2]), DataItem("b", [3])]
+    program = Program([], labels={}, data=data, entry="a")
+    assert program.data_address("a") == DATA_BASE
+    assert program.data_address("b") == DATA_BASE + 8
+
+
+def test_byte_items_word_aligned():
+    data = [DataItem("a", [0] * 5, element_size=1), DataItem("b", [1])]
+    program = Program([], labels={}, data=data)
+    assert program.data_address("b") == DATA_BASE + 8  # 5 bytes -> 8
+
+
+def test_duplicate_data_symbol_rejected():
+    with pytest.raises(IsaError):
+        Program([], data=[DataItem("a", [1]), DataItem("a", [2])])
+
+
+def test_unknown_data_symbol():
+    program = Program([])
+    with pytest.raises(IsaError):
+        program.data_address("nope")
+    assert not program.has_data("nope")
+
+
+def test_resolve_branch_labels():
+    ins = _jump("target")
+    program = Program([ins, Instruction(Opcode.NOP)],
+                      labels={"target": 1, "main": 0})
+    program.resolve()
+    assert ins.imm == 1
+
+
+def test_resolve_data_labels():
+    ins = Instruction(Opcode.LA, rd=8, label="tbl", imm=0)
+    program = Program([ins], labels={"main": 0},
+                      data=[DataItem("tbl", [0])])
+    program.resolve()
+    assert ins.imm == DATA_BASE
+
+
+def test_resolve_unknown_symbol_raises():
+    program = Program([_jump("ghost")], labels={"main": 0})
+    with pytest.raises(IsaError):
+        program.resolve()
+
+
+def test_data_item_bad_element_size():
+    with pytest.raises(IsaError):
+        DataItem("x", [1], element_size=2)

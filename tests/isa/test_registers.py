@@ -1,0 +1,83 @@
+"""Tests for repro.isa.registers."""
+
+import pytest
+
+from repro.isa.registers import (
+    ALLOCATABLE_GPRS,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    FPR_BASE,
+    NUM_FPRS,
+    NUM_GPRS,
+    Reg,
+    fpr,
+    is_fpr,
+    parse_reg,
+    reg_name,
+)
+
+
+def test_machine_has_paper_register_counts():
+    """Table 1: 32 GPRs and 32 FPRs."""
+    assert NUM_GPRS == 32
+    assert NUM_FPRS == 32
+
+
+def test_abi_pin_points():
+    assert int(Reg.ZERO) == 0
+    assert int(Reg.SP) == 29
+    assert int(Reg.FP) == 30
+    assert int(Reg.RA) == 31
+
+
+def test_fpr_flat_indices():
+    assert fpr(0) == FPR_BASE
+    assert fpr(31) == FPR_BASE + 31
+    with pytest.raises(ValueError):
+        fpr(32)
+    with pytest.raises(ValueError):
+        fpr(-1)
+
+
+def test_is_fpr():
+    assert not is_fpr(31)
+    assert is_fpr(32)
+    assert is_fpr(63)
+    assert not is_fpr(64)
+
+
+def test_reg_name_roundtrip_gprs():
+    for r in Reg:
+        assert parse_reg(reg_name(int(r))) == int(r)
+
+
+def test_reg_name_roundtrip_fprs():
+    for n in range(NUM_FPRS):
+        assert parse_reg(reg_name(fpr(n))) == fpr(n)
+
+
+def test_parse_numeric_gpr():
+    assert parse_reg("$r7") == 7
+
+
+def test_parse_bad_register():
+    with pytest.raises(ValueError):
+        parse_reg("$bogus")
+    with pytest.raises(ValueError):
+        parse_reg("$r99")
+
+
+def test_reg_name_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(64)
+
+
+def test_saved_sets_disjoint():
+    caller = set(CALLER_SAVED)
+    callee = set(CALLEE_SAVED)
+    assert not caller & callee
+
+
+def test_allocatable_excludes_reserved():
+    reserved = {Reg.ZERO, Reg.AT, Reg.SP, Reg.RA, Reg.GP, Reg.K0, Reg.K1}
+    assert not reserved & set(ALLOCATABLE_GPRS)

@@ -1,0 +1,171 @@
+"""Differential fuzzing: random mini-C expressions vs a Python oracle.
+
+Hypothesis builds random integer expression trees; we render each both as
+mini-C (compiled and run on the VM) and as a Python-evaluated model with
+C semantics (32-bit wrap-around, truncating division).  Any divergence is
+a bug somewhere in lexer/parser/semantics/lowering/optimizer/regalloc/
+codegen/assembler/VM.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import CompilerOptions, compile_source
+from repro.utils import to_signed32
+from repro.vm import run_program
+
+# -- expression trees ----------------------------------------------------------
+
+_BIN_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<", "<=", ">",
+            ">=", "==", "!=")
+
+_VAR_NAMES = ("a", "b", "c")
+_VAR_VALUES = {"a": 7, "b": -3, "c": 100}
+
+
+def _leaf():
+    return st.one_of(
+        st.integers(min_value=0, max_value=1000).map(lambda v: ("lit", v)),
+        st.sampled_from(_VAR_NAMES).map(lambda n: ("var", n)),
+    )
+
+
+def _node(children):
+    return st.one_of(
+        st.tuples(st.just("bin"), st.sampled_from(_BIN_OPS),
+                  children, children),
+        st.tuples(st.just("neg"), children),
+        st.tuples(st.just("not"), children),
+    )
+
+
+EXPRESSIONS = st.recursive(_leaf(), _node, max_leaves=18)
+
+
+# -- the oracle ----------------------------------------------------------------
+
+class _Skip(Exception):
+    """Raised for expressions we exclude (division by zero)."""
+
+
+def evaluate(tree) -> int:
+    kind = tree[0]
+    if kind == "lit":
+        return tree[1]
+    if kind == "var":
+        return _VAR_VALUES[tree[1]]
+    if kind == "neg":
+        return to_signed32(-evaluate(tree[1]))
+    if kind == "not":
+        return int(evaluate(tree[1]) == 0)
+    _, op, left, right = tree
+    a, b = evaluate(left), evaluate(right)
+    if op == "+":
+        return to_signed32(a + b)
+    if op == "-":
+        return to_signed32(a - b)
+    if op == "*":
+        return to_signed32(a * b)
+    if op == "/":
+        if b == 0:
+            raise _Skip()
+        q = abs(a) // abs(b)
+        return to_signed32(-q if (a < 0) != (b < 0) else q)
+    if op == "%":
+        if b == 0:
+            raise _Skip()
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return to_signed32(a - q * b)
+    if op == "&":
+        return to_signed32(a & b)
+    if op == "|":
+        return to_signed32(a | b)
+    if op == "^":
+        return to_signed32(a ^ b)
+    comparisons = {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b,
+                   "==": a == b, "!=": a != b}
+    return int(comparisons[op])
+
+
+def render(tree) -> str:
+    kind = tree[0]
+    if kind == "lit":
+        return str(tree[1])
+    if kind == "var":
+        return tree[1]
+    if kind == "neg":
+        return f"(-{render(tree[1])})"
+    if kind == "not":
+        return f"(!{render(tree[1])})"
+    _, op, left, right = tree
+    return f"({render(left)} {op} {render(right)})"
+
+
+# -- the property --------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(EXPRESSIONS)
+def test_expression_matches_oracle(tree):
+    try:
+        expected = evaluate(tree)
+    except _Skip:
+        return  # division by zero somewhere in the tree
+    source = (
+        "int main() {\n"
+        f"    int a = {_VAR_VALUES['a']};\n"
+        f"    int b = {_VAR_VALUES['b']};\n"
+        f"    int c = {_VAR_VALUES['c']};\n"
+        f"    print({render(tree)});\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    program = compile_source(source)
+    vm, _ = run_program(program, max_instructions=200_000)
+    assert vm.exit_code == 0
+    assert int(vm.stdout) == expected, source
+
+
+@settings(max_examples=25, deadline=None)
+@given(EXPRESSIONS)
+def test_optimizer_preserves_semantics(tree):
+    """Optimized and unoptimized code must print the same value."""
+    try:
+        evaluate(tree)
+    except _Skip:
+        return
+    source = (
+        "int main() { int a = 7; int b = -3; int c = 100; "
+        f"print({render(tree)}); return 0; }}"
+    )
+    outputs = []
+    for flag in (True, False):
+        vm, _ = run_program(
+            compile_source(source, CompilerOptions(optimize=flag)),
+            max_instructions=200_000,
+        )
+        outputs.append(vm.stdout)
+    assert outputs[0] == outputs[1], source
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=12))
+def test_array_sum_matches_python(values):
+    """Array writes + loop reads round-trip through the whole stack."""
+    stores = "\n".join(f"    data[{i}] = {v};"
+                       for i, v in enumerate(values))
+    source = f"""
+int data[16];
+int main() {{
+{stores}
+    int total = 0;
+    int i;
+    for (i = 0; i < {len(values)}; i++) total += data[i];
+    print(total);
+    return 0;
+}}
+"""
+    vm, _ = run_program(compile_source(source), max_instructions=500_000)
+    assert int(vm.stdout) == sum(values)

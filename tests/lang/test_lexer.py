@@ -1,0 +1,86 @@
+"""Tests for the mini-C lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType as T
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_keywords_and_identifiers():
+    assert kinds("int x") == [T.KW_INT, T.IDENT]
+    assert kinds("intx") == [T.IDENT]
+    assert kinds("float void if else while for return break continue") == [
+        T.KW_FLOAT, T.KW_VOID, T.KW_IF, T.KW_ELSE, T.KW_WHILE, T.KW_FOR,
+        T.KW_RETURN, T.KW_BREAK, T.KW_CONTINUE,
+    ]
+
+
+def test_numbers():
+    tokens = tokenize("42 3.5")
+    assert tokens[0].type is T.INT_LIT and tokens[0].value == 42
+    assert tokens[1].type is T.FLOAT_LIT and tokens[1].value == 3.5
+
+
+def test_malformed_float_rejected():
+    with pytest.raises(CompileError):
+        tokenize("1.2.3")
+
+
+def test_char_literals():
+    tokens = tokenize("'a' '\\n' ' '")
+    assert [t.value for t in tokens[:-1]] == [97, 10, 32]
+
+
+def test_bad_char_literal():
+    with pytest.raises(CompileError):
+        tokenize("'ab'")
+    with pytest.raises(CompileError):
+        tokenize("'\\q'")
+
+
+def test_two_char_operators():
+    assert kinds("== != <= >= && || << >> += -= ++ --") == [
+        T.EQ, T.NE, T.LE, T.GE, T.AND_AND, T.OR_OR, T.SHL, T.SHR,
+        T.PLUS_ASSIGN, T.MINUS_ASSIGN, T.PLUS_PLUS, T.MINUS_MINUS,
+    ]
+
+
+def test_one_char_operators():
+    assert kinds("= + - * / % & | ^ ! < >") == [
+        T.ASSIGN, T.PLUS, T.MINUS, T.STAR, T.SLASH, T.PERCENT, T.AMP,
+        T.PIPE, T.CARET, T.NOT, T.LT, T.GT,
+    ]
+
+
+def test_line_comment_skipped():
+    assert kinds("1 // comment\n2") == [T.INT_LIT, T.INT_LIT]
+
+
+def test_block_comment_skipped():
+    assert kinds("1 /* multi\nline */ 2") == [T.INT_LIT, T.INT_LIT]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(CompileError):
+        tokenize("/* forever")
+
+
+def test_positions_tracked():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(CompileError):
+        tokenize("@")
+
+
+def test_eof_always_last():
+    assert tokenize("")[-1].type is T.EOF
+    assert tokenize("x")[-1].type is T.EOF

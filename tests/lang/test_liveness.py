@@ -1,0 +1,101 @@
+"""Tests for CFG construction and liveness analysis."""
+
+from repro.lang.ir import IrFunction, IrInstr, VReg
+from repro.lang.liveness import analyze_liveness, build_cfg, instruction_liveness
+
+
+def make_func(instrs):
+    func = IrFunction("f")
+    func.body = instrs
+    return func
+
+
+def test_single_block():
+    a = VReg(1)
+    blocks = build_cfg(make_func([
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="ret", args=[]),
+    ]))
+    assert len(blocks) == 1
+    assert blocks[0].succ == []
+
+
+def test_branch_creates_two_successors():
+    cond = VReg(1)
+    blocks = build_cfg(make_func([
+        IrInstr(kind="li", dst=cond, imm=1),
+        IrInstr(kind="br", a=cond, sym="L"),
+        IrInstr(kind="li", dst=cond, imm=2),
+        IrInstr(kind="label", sym="L"),
+    ]))
+    assert len(blocks) == 3
+    assert sorted(blocks[0].succ) == [1, 2]
+    assert blocks[1].succ == [2]
+
+
+def test_jmp_single_successor():
+    blocks = build_cfg(make_func([
+        IrInstr(kind="jmp", sym="L"),
+        IrInstr(kind="li", dst=VReg(1), imm=0),  # unreachable
+        IrInstr(kind="label", sym="L"),
+    ]))
+    assert blocks[0].succ == [2]
+
+
+def test_liveness_through_straight_line():
+    a, b = VReg(1), VReg(2)
+    func = make_func([
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="mov", dst=b, a=a),
+        IrInstr(kind="ret", args=[b]),
+    ])
+    blocks = analyze_liveness(func)
+    pairs = instruction_liveness(blocks[0])
+    # in reverse order: after ret nothing; after mov b live; after li a live
+    (_, after_ret), (_, after_mov), (_, after_li) = pairs
+    assert after_ret == set()
+    assert b in after_mov
+    assert a in after_li and b not in after_li
+
+
+def test_loop_keeps_value_live():
+    i, one = VReg(1), VReg(2)
+    func = make_func([
+        IrInstr(kind="li", dst=i, imm=0),
+        IrInstr(kind="li", dst=one, imm=1),
+        IrInstr(kind="label", sym="top"),
+        IrInstr(kind="bin", op="add", dst=i, a=i, b=one),
+        IrInstr(kind="br", a=i, sym="top"),
+    ])
+    blocks = analyze_liveness(func)
+    loop_block = blocks[-1]
+    # `one` is read every iteration: live into the loop block.
+    assert one in loop_block.live_in
+    assert i in loop_block.live_in
+
+
+def test_dead_value_not_live():
+    a, b = VReg(1), VReg(2)
+    func = make_func([
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="li", dst=b, imm=2),
+        IrInstr(kind="ret", args=[b]),
+    ])
+    blocks = analyze_liveness(func)
+    assert a not in blocks[0].live_in
+    assert blocks[0].live_out == set()
+
+
+def test_branch_both_paths_merge():
+    c, x = VReg(1), VReg(2)
+    func = make_func([
+        IrInstr(kind="li", dst=x, imm=1),
+        IrInstr(kind="li", dst=c, imm=0),
+        IrInstr(kind="br", a=c, sym="skip"),
+        IrInstr(kind="mov", dst=x, a=x),
+        IrInstr(kind="label", sym="skip"),
+        IrInstr(kind="ret", args=[x]),
+    ])
+    blocks = analyze_liveness(func)
+    # x live across the branch on both paths
+    assert x in blocks[0].live_out

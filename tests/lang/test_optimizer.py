@@ -1,0 +1,197 @@
+"""Tests for the IR optimizer (constant folding, copy prop, DCE)."""
+
+import pytest
+
+from repro.lang import CompilerOptions, compile_source
+from repro.lang.frontend import CompileStats
+from repro.lang.ir import IrFunction, IrInstr, VReg
+from repro.lang.optimizer import (
+    eliminate_dead_code,
+    fold_and_propagate,
+    optimize,
+)
+from repro.vm import run_program
+
+
+def func_with(instrs):
+    f = IrFunction("f")
+    f.body = instrs
+    return f
+
+
+def test_constant_fold_bin():
+    f = IrFunction("f")
+    a, b, c = f.new_vreg(), f.new_vreg(), f.new_vreg()
+    f.body = [
+        IrInstr(kind="li", dst=a, imm=6),
+        IrInstr(kind="li", dst=b, imm=7),
+        IrInstr(kind="bin", op="mul", dst=c, a=a, b=b),
+        IrInstr(kind="ret", args=[c]),
+    ]
+    fold_and_propagate(f)
+    assert f.body[2].kind == "li"
+    assert f.body[2].imm == 42
+
+
+def test_constant_fold_bini():
+    f = IrFunction("f")
+    a, b = f.new_vreg(), f.new_vreg()
+    f.body = [
+        IrInstr(kind="li", dst=a, imm=5),
+        IrInstr(kind="bini", op="shl", dst=b, a=a, imm=2),
+        IrInstr(kind="ret", args=[b]),
+    ]
+    fold_and_propagate(f)
+    assert f.body[1].kind == "li" and f.body[1].imm == 20
+
+
+def test_no_fold_across_labels():
+    """Facts die at labels (a join point may bring other values)."""
+    f = IrFunction("f")
+    a, b = f.new_vreg(), f.new_vreg()
+    f.body = [
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="label", sym="L"),
+        IrInstr(kind="bini", op="add", dst=b, a=a, imm=1),
+        IrInstr(kind="ret", args=[b]),
+    ]
+    fold_and_propagate(f)
+    assert f.body[2].kind == "bini"  # not folded
+
+
+def test_copy_propagation():
+    f = IrFunction("f")
+    a, b, c = f.new_vreg(), f.new_vreg(), f.new_vreg()
+    f.body = [
+        # a holds an unknown (non-constant) value: address of a frame slot
+        IrInstr(kind="la_frame", dst=a, base=("frame", None)),
+        IrInstr(kind="mov", dst=b, a=a),
+        IrInstr(kind="bin", op="sub", dst=c, a=b, b=b),
+        IrInstr(kind="ret", args=[c]),
+    ]
+    fold_and_propagate(f)
+    assert f.body[2].a is a
+    assert f.body[2].b is a
+
+
+def test_copy_invalidated_on_source_redef():
+    f = IrFunction("f")
+    a, b, c = f.new_vreg(), f.new_vreg(), f.new_vreg()
+    f.body = [
+        IrInstr(kind="la_frame", dst=a, base=("frame", None)),
+        IrInstr(kind="mov", dst=b, a=a),
+        IrInstr(kind="la_global", dst=a, sym="g"),  # redefines the source
+        IrInstr(kind="bin", op="sub", dst=c, a=b, b=b),
+        IrInstr(kind="ret", args=[c]),
+    ]
+    fold_and_propagate(f)
+    assert f.body[3].a is b  # must NOT be rewritten to a
+
+
+def test_strength_reduction_to_bini():
+    f = IrFunction("f")
+    a, b, c = f.new_vreg(), f.new_vreg(), f.new_vreg()
+    f.body = [
+        IrInstr(kind="li", dst=b, imm=4),
+        IrInstr(kind="la_frame", dst=a, base=("frame", None)),
+        IrInstr(kind="bin", op="add", dst=c, a=a, b=b),
+        IrInstr(kind="ret", args=[c]),
+    ]
+    fold_and_propagate(f)
+    assert f.body[2].kind == "bini"
+    assert f.body[2].imm == 4
+
+
+def test_dead_code_removed():
+    f = IrFunction("f")
+    a, b = f.new_vreg(), f.new_vreg()
+    f.body = [
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="li", dst=b, imm=2),  # dead
+        IrInstr(kind="ret", args=[a]),
+    ]
+    removed = eliminate_dead_code(f)
+    assert removed == 1
+    assert len(f.body) == 2
+
+
+def test_stores_never_removed():
+    f = IrFunction("f")
+    a = f.new_vreg()
+    f.body = [
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="store", a=a, base=("global", "g"), locality=False),
+    ]
+    assert eliminate_dead_code(f) == 0
+
+
+def test_loads_never_removed():
+    """Loads may have observable ordering effects; keep them."""
+    f = IrFunction("f")
+    a = f.new_vreg()
+    f.body = [IrInstr(kind="load", dst=a, base=("global", "g"),
+                      locality=False)]
+    assert eliminate_dead_code(f) == 0
+
+
+def test_precolored_defs_never_removed():
+    from repro.isa.registers import Reg
+
+    f = IrFunction("f")
+    v0 = VReg(0, phys=int(Reg.V0))
+    f.body = [IrInstr(kind="li", dst=v0, imm=1)]
+    assert eliminate_dead_code(f) == 0
+
+
+def test_optimize_reaches_fixpoint():
+    f = IrFunction("f")
+    regs = [f.new_vreg() for _ in range(4)]
+    f.body = [
+        IrInstr(kind="li", dst=regs[0], imm=3),
+        IrInstr(kind="mov", dst=regs[1], a=regs[0]),
+        IrInstr(kind="bini", op="add", dst=regs[2], a=regs[1], imm=4),
+        IrInstr(kind="bini", op="mul", dst=regs[3], a=regs[2], imm=2),
+        IrInstr(kind="ret", args=[regs[2]]),
+    ]
+    folded, removed = optimize(f)
+    assert folded > 0
+    assert removed > 0  # regs[3] is dead (and mov chain collapses)
+
+
+# -- end to end: optimization must not change observable behaviour ------------
+
+_PROGRAMS = [
+    ("int main() { print(2 * 3 + 4 * 5); return 0; }", "26"),
+    ("""
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 10; i++) { acc += i * 2; }
+    print(acc);
+    return 0;
+}
+""", "90"),
+    ("""
+int twice(int x) { return x + x; }
+int main() { print(twice(10) + twice(11)); return 0; }
+""", "42"),
+]
+
+
+@pytest.mark.parametrize("source,expected", _PROGRAMS)
+def test_optimized_matches_unoptimized(source, expected):
+    for flag in (True, False):
+        program = compile_source(source, CompilerOptions(optimize=flag))
+        vm, _ = run_program(program)
+        assert vm.stdout == expected
+        assert vm.exit_code == 0
+
+
+def test_optimizer_shrinks_code():
+    source = "int main() { int x = 2 + 3; int y = x * 4; print(y); return 0; }"
+    small = CompileStats()
+    compile_source(source, CompilerOptions(optimize=True), stats=small)
+    big = CompileStats()
+    compile_source(source, CompilerOptions(optimize=False), stats=big)
+    assert small.instructions <= big.instructions
+    assert small.ops_folded + small.ops_removed > 0

@@ -1,0 +1,149 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import (
+    Assign, Binary, Block, Call, For, FuncDef, If, Index, IntLit, Return,
+    Unary, VarDecl, While,
+)
+from repro.lang.parser import parse
+
+
+def parse_main(body):
+    ast = parse("int main() { " + body + " }")
+    return ast.functions[0].body.stmts
+
+
+def first_expr(body):
+    stmt = parse_main(body)[0]
+    return stmt.expr
+
+
+def test_empty_function():
+    ast = parse("void f() { }")
+    assert ast.functions[0].name == "f"
+    assert ast.functions[0].body.stmts == []
+
+
+def test_parameters():
+    ast = parse("int f(int a, float *b) { return a; }")
+    params = ast.functions[0].params
+    assert [p.name for p in params] == ["a", "b"]
+    assert str(params[1].ty) == "float*"
+
+
+def test_global_scalar_and_array():
+    ast = parse("int g = 5; float arr[10]; int main() { return 0; }")
+    assert ast.globals[0].init == [5]
+    assert ast.globals[1].array_size == 10
+
+
+def test_global_negative_init():
+    ast = parse("int g = -3; int main() { return 0; }")
+    assert ast.globals[0].init == [-3]
+
+
+def test_precedence_mul_over_add():
+    expr = first_expr("1 + 2 * 3;")
+    assert isinstance(expr, Binary) and expr.op == "+"
+    assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+
+def test_precedence_comparison_over_logic():
+    expr = first_expr("1 < 2 && 3 < 4;")
+    assert expr.op == "&&"
+    assert expr.left.op == "<"
+
+
+def test_parentheses_override():
+    expr = first_expr("(1 + 2) * 3;")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_assignment_right_associative():
+    expr = first_expr("a = b = 1;")
+    assert isinstance(expr, Assign)
+    assert isinstance(expr.value, Assign)
+
+
+def test_compound_assignment():
+    expr = first_expr("a += 2;")
+    assert isinstance(expr, Assign) and expr.op == "+"
+
+
+def test_postincrement_desugars():
+    expr = first_expr("i++;")
+    assert isinstance(expr, Assign) and expr.op == "+"
+    assert isinstance(expr.value, IntLit) and expr.value.value == 1
+
+
+def test_unary_operators():
+    expr = first_expr("-*&x;")
+    assert isinstance(expr, Unary) and expr.op == "-"
+    assert expr.operand.op == "*"
+    assert expr.operand.operand.op == "&"
+
+
+def test_indexing_chains():
+    expr = first_expr("a[1][2];")
+    assert isinstance(expr, Index)
+    assert isinstance(expr.base, Index)
+
+
+def test_call_with_args():
+    expr = first_expr("f(1, 2 + 3);")
+    assert isinstance(expr, Call)
+    assert len(expr.args) == 2
+
+
+def test_if_else():
+    stmt = parse_main("if (1) { } else { }")[0]
+    assert isinstance(stmt, If)
+    assert stmt.els is not None
+
+
+def test_dangling_else_binds_inner():
+    stmt = parse_main("if (1) if (2) { } else { }")[0]
+    assert stmt.els is None
+    assert stmt.then.els is not None
+
+
+def test_while_and_for():
+    stmts = parse_main("while (1) { } for (int i = 0; i < 3; i++) { }")
+    assert isinstance(stmts[0], While)
+    assert isinstance(stmts[1], For)
+    assert isinstance(stmts[1].init, VarDecl)
+
+
+def test_for_with_empty_clauses():
+    stmt = parse_main("for (;;) { break; }")[0]
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_local_array_declaration():
+    stmt = parse_main("int buf[16];")[0]
+    assert isinstance(stmt, VarDecl)
+    assert stmt.array_size == 16
+
+
+def test_return_with_and_without_value():
+    stmts = parse_main("return 1; return;")
+    assert isinstance(stmts[0], Return) and stmts[0].value is not None
+    assert stmts[1].value is None
+
+
+def test_missing_semicolon():
+    with pytest.raises(CompileError):
+        parse("int main() { return 1 }")
+
+
+def test_unterminated_block():
+    with pytest.raises(CompileError):
+        parse("int main() {")
+
+
+def test_garbage_in_expression():
+    with pytest.raises(CompileError):
+        parse("int main() { 1 + ; }")

@@ -1,0 +1,138 @@
+"""Tests for the Chaitin-Briggs register allocator."""
+
+from repro.isa.registers import Reg
+from repro.lang.ir import IrFunction, IrInstr, VReg
+from repro.lang.regalloc import INT_PALETTE, allocate, build_graphs
+
+
+def test_independent_values_any_colors():
+    func = IrFunction("f")
+    a, b = func.new_vreg(), func.new_vreg()
+    func.body = [
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="ret", args=[a]),
+        IrInstr(kind="li", dst=b, imm=2),
+        IrInstr(kind="ret", args=[b]),
+    ]
+    result = allocate(func)
+    assert result.color(a) in INT_PALETTE
+    assert result.color(b) in INT_PALETTE
+    assert result.spilled == 0
+
+
+def test_interfering_values_get_distinct_colors():
+    func = IrFunction("f")
+    regs = [func.new_vreg() for _ in range(5)]
+    body = [IrInstr(kind="li", dst=r, imm=i) for i, r in enumerate(regs)]
+    # one op reading all of them keeps them simultaneously live
+    body.append(IrInstr(kind="ret", args=list(regs)))
+    func.body = body
+    result = allocate(func)
+    colors = [result.color(r) for r in regs]
+    assert len(set(colors)) == len(colors)
+
+
+def _high_pressure_function(extra=4):
+    """Define K+extra values, then consume them pairwise at the end.
+
+    Every value stays live until the consumption chain, so more values are
+    simultaneously live than registers exist — but each instruction has at
+    most two operands, as real code does.
+    """
+    func = IrFunction("f")
+    count = len(INT_PALETTE) + extra
+    regs = [func.new_vreg() for _ in range(count)]
+    body = [IrInstr(kind="li", dst=r, imm=i) for i, r in enumerate(regs)]
+    acc = regs[0]
+    for reg in regs[1:]:
+        new_acc = func.new_vreg()
+        body.append(IrInstr(kind="bin", op="add", dst=new_acc, a=acc, b=reg))
+        acc = new_acc
+    body.append(IrInstr(kind="ret", args=[acc]))
+    func.body = body
+    return func, regs
+
+
+def test_more_values_than_registers_spills():
+    func, _ = _high_pressure_function()
+    result = allocate(func)
+    assert result.spilled > 0
+    assert any(slot.is_spill for slot in func.slots)
+    assert result.spill_rounds >= 1
+
+
+def test_spill_inserts_frame_traffic():
+    func, _ = _high_pressure_function(extra=2)
+    allocate(func)
+    kinds = [i.kind for i in func.body]
+    assert "store" in kinds and "load" in kinds
+    spill_ops = [i for i in func.body if i.kind in ("store", "load")]
+    assert all(op.locality is True for op in spill_ops)
+
+
+def test_call_clobbers_force_callee_saved():
+    """A value live across a call must avoid caller-saved registers."""
+    func = IrFunction("f", has_calls=True)
+    v = func.new_vreg()
+    func.body = [
+        IrInstr(kind="li", dst=v, imm=1),
+        IrInstr(kind="call", sym="g", args=[]),
+        IrInstr(kind="ret", args=[v]),
+    ]
+    result = allocate(func)
+    from repro.isa.registers import CALLER_SAVED
+
+    assert result.color(v) not in {int(r) for r in CALLER_SAVED}
+
+
+def test_precolored_interference_respected():
+    """A value live while $a0 is live cannot be colored $a0."""
+    func = IrFunction("f")
+    v = func.new_vreg()
+    a0 = VReg(0, phys=int(Reg.A0))
+    func.body = [
+        IrInstr(kind="li", dst=v, imm=1),
+        IrInstr(kind="mov", dst=a0, a=v),
+        IrInstr(kind="call", sym="g", args=[a0]),
+        IrInstr(kind="ret", args=[v]),
+    ]
+    result = allocate(func)
+    assert result.color(v) != int(Reg.A0)
+
+
+def test_float_and_int_classes_separate():
+    func = IrFunction("f")
+    i = func.new_vreg()
+    f = func.new_vreg(is_float=True)
+    func.body = [
+        IrInstr(kind="li", dst=i, imm=1),
+        IrInstr(kind="lfi", dst=f, imm=1.5),
+        IrInstr(kind="ret", args=[i, f]),
+    ]
+    result = allocate(func)
+    assert result.color(i) < 32
+    assert result.color(f) >= 32
+
+
+def test_used_callee_saved_reported():
+    func = IrFunction("f", has_calls=True)
+    v = func.new_vreg()
+    func.body = [
+        IrInstr(kind="li", dst=v, imm=1),
+        IrInstr(kind="call", sym="g", args=[]),
+        IrInstr(kind="ret", args=[v]),
+    ]
+    result = allocate(func)
+    assert result.color(v) in result.used_callee_saved()
+
+
+def test_build_graphs_mov_does_not_self_interfere():
+    func = IrFunction("f")
+    a, b = func.new_vreg(), func.new_vreg()
+    func.body = [
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="mov", dst=b, a=a),
+        IrInstr(kind="ret", args=[b]),
+    ]
+    int_graph, _ = build_graphs(func)
+    assert b not in int_graph.adj.get(a, set())

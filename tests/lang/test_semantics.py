@@ -1,0 +1,144 @@
+"""Tests for the semantic pass (types, scoping, address-taken tracking)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.parser import parse
+from repro.lang.semantics import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def test_requires_main():
+    with pytest.raises(CompileError):
+        check("int f() { return 0; }")
+
+
+def test_undefined_variable():
+    with pytest.raises(CompileError):
+        check("int main() { return ghost; }")
+
+
+def test_redefinition_in_same_scope():
+    with pytest.raises(CompileError):
+        check("int main() { int x; int x; return 0; }")
+
+
+def test_shadowing_in_inner_scope_ok():
+    check("int main() { int x = 1; { int x = 2; } return x; }")
+
+
+def test_duplicate_function():
+    with pytest.raises(CompileError):
+        check("int f() { return 0; } int f() { return 1; } "
+              "int main() { return 0; }")
+
+
+def test_void_variable_rejected():
+    with pytest.raises(CompileError):
+        check("int main() { void x; return 0; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(CompileError):
+        check("int f(int a) { return a; } int main() { return f(); }")
+
+
+def test_unknown_function():
+    with pytest.raises(CompileError):
+        check("int main() { return nope(); }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(CompileError):
+        check("int main() { break; return 0; }")
+
+
+def test_return_value_from_void():
+    with pytest.raises(CompileError):
+        check("void f() { return 1; } int main() { return 0; }")
+
+
+def test_return_nothing_from_int():
+    with pytest.raises(CompileError):
+        check("int f() { return; } int main() { return 0; }")
+
+
+def test_int_float_coercion_allowed():
+    check("float f(int a) { return a; } int main() { return f(3); }")
+    check("int main() { float x = 1; int y = 1.5; return y; }")
+
+
+def test_pointer_arithmetic_types():
+    check("int main() { int a[4]; int *p = a + 1; return p - a; }")
+
+
+def test_deref_non_pointer_rejected():
+    with pytest.raises(CompileError):
+        check("int main() { int x; return *x; }")
+
+
+def test_index_non_pointer_rejected():
+    with pytest.raises(CompileError):
+        check("int main() { int x; return x[0]; }")
+
+
+def test_float_index_rejected():
+    with pytest.raises(CompileError):
+        check("int main() { int a[4]; float f; return a[f]; }")
+
+
+def test_mod_requires_ints():
+    with pytest.raises(CompileError):
+        check("int main() { float x; return x % 2; }")
+
+
+def test_assign_to_array_rejected():
+    with pytest.raises(CompileError):
+        check("int main() { int a[4]; int b[4]; a = b; return 0; }")
+
+
+def test_address_of_literal_rejected():
+    with pytest.raises(CompileError):
+        check("int main() { return &5; }")
+
+
+def test_address_taken_flags_needs_memory():
+    ast = parse("int main() { int x = 1; int *p = &x; int y = 2; "
+                "return *p + y; }")
+    analyze(ast)
+    decls = [s for s in ast.functions[0].body.stmts
+             if type(s).__name__ == "VarDecl"]
+    x_decl = next(d for d in decls if d.name == "x")
+    y_decl = next(d for d in decls if d.name == "y")
+    assert x_decl.symbol.needs_memory
+    assert not y_decl.symbol.needs_memory
+
+
+def test_arrays_always_need_memory():
+    ast = parse("int main() { int a[4]; return a[0]; }")
+    analyze(ast)
+    decl = ast.functions[0].body.stmts[0]
+    assert decl.symbol.needs_memory
+
+
+def test_array_decays_to_pointer():
+    ast = parse("int sum(int *p) { return p[0]; } "
+                "int main() { int a[4]; return sum(a); }")
+    analyze(ast)  # must not raise
+
+
+def test_expression_types_annotated():
+    ast = parse("int main() { float f = 1.5; int i = 2; return i; }")
+    analyze(ast)
+    decl = ast.functions[0].body.stmts[0]
+    assert decl.init.ty.is_float
+
+
+def test_comparison_yields_int():
+    ast = parse("int main() { float a; float b; return a < b; }")
+    analyze(ast)
+    ret = ast.functions[0].body.stmts[-1]
+    assert str(ret.value.ty) == "int"

@@ -1,0 +1,59 @@
+"""Tests for the per-cycle port arbiter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.ports import PortArbiter
+
+
+def test_budget_consumed():
+    ports = PortArbiter(2)
+    assert ports.try_take()
+    assert ports.try_take()
+    assert not ports.try_take()
+
+
+def test_new_cycle_refills():
+    ports = PortArbiter(1)
+    assert ports.try_take()
+    ports.new_cycle()
+    assert ports.try_take()
+
+
+def test_multi_take():
+    ports = PortArbiter(3)
+    assert ports.try_take(2)
+    assert not ports.try_take(2)
+    assert ports.try_take(1)
+
+
+def test_zero_ports_always_refuse():
+    ports = PortArbiter(0)
+    assert not ports.try_take()
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ConfigError):
+        PortArbiter(-1)
+
+
+def test_invalid_request_rejected():
+    ports = PortArbiter(2)
+    with pytest.raises(ValueError):
+        ports.try_take(0)
+
+
+def test_saturation_counted():
+    ports = PortArbiter(1)
+    ports.new_cycle()
+    ports.try_take()
+    ports.new_cycle()  # previous cycle ended exhausted
+    assert ports.cycles_saturated == 1
+
+
+def test_busy_transactions_accumulate():
+    ports = PortArbiter(4)
+    ports.try_take(3)
+    ports.new_cycle()
+    ports.try_take(1)
+    assert ports.busy_transactions == 4

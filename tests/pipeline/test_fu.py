@@ -1,0 +1,66 @@
+"""Tests for the functional-unit pools."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import FuClass
+from repro.pipeline.fu import FuPool
+
+
+def test_ialu_budget():
+    fus = FuPool(ialu=2, falu=2, imultdiv=1, fmultdiv=1)
+    assert fus.try_take(FuClass.IALU, 0)
+    assert fus.try_take(FuClass.IALU, 0)
+    assert not fus.try_take(FuClass.IALU, 0)
+    fus.new_cycle()
+    assert fus.try_take(FuClass.IALU, 1)
+
+
+def test_mem_and_branch_share_ialu():
+    fus = FuPool(ialu=1, falu=1, imultdiv=1, fmultdiv=1)
+    assert fus.try_take(FuClass.LOAD, 0)
+    assert not fus.try_take(FuClass.BRANCH, 0)
+    assert not fus.try_take(FuClass.STORE, 0)
+
+
+def test_fadd_uses_falu():
+    fus = FuPool(ialu=1, falu=1, imultdiv=1, fmultdiv=1)
+    assert fus.try_take(FuClass.FADD, 0)
+    assert not fus.try_take(FuClass.FADD, 0)
+    assert fus.try_take(FuClass.IALU, 0)  # independent pool
+
+
+def test_multiply_pipelined():
+    fus = FuPool(ialu=1, falu=1, imultdiv=1, fmultdiv=1)
+    assert fus.try_take(FuClass.IMULT, 0)
+    assert not fus.try_take(FuClass.IMULT, 0)  # one unit, one issue/cycle
+    fus.new_cycle()
+    assert fus.try_take(FuClass.IMULT, 1)  # pipelined: next cycle ok
+
+
+def test_divide_unpipelined():
+    fus = FuPool(ialu=1, falu=1, imultdiv=1, fmultdiv=1)
+    assert fus.try_take(FuClass.IDIV, 0)
+    fus.new_cycle()
+    assert not fus.try_take(FuClass.IDIV, 1)  # unit busy for 34 cycles
+    assert not fus.try_take(FuClass.IMULT, 1)  # shares the busy unit
+    assert fus.try_take(FuClass.IDIV, 40)
+
+
+def test_fdiv_occupies_fmult_unit():
+    fus = FuPool(ialu=1, falu=1, imultdiv=1, fmultdiv=1)
+    assert fus.try_take(FuClass.FDIV, 0)
+    assert not fus.try_take(FuClass.FMUL, 5)
+    assert fus.try_take(FuClass.FMUL, 12)
+
+
+def test_multiple_div_units():
+    fus = FuPool(ialu=1, falu=1, imultdiv=2, fmultdiv=1)
+    assert fus.try_take(FuClass.IDIV, 0)
+    assert fus.try_take(FuClass.IDIV, 0)
+    assert not fus.try_take(FuClass.IDIV, 0)
+
+
+def test_zero_units_rejected():
+    with pytest.raises(ConfigError):
+        FuPool(ialu=0)

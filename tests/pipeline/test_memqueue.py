@@ -1,0 +1,159 @@
+"""Tests for the memory access queues (LSQ / LVAQ mechanics)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.opcodes import FuClass
+from repro.pipeline.memqueue import INF_SEQ, MemQueue, MemQueueEntry
+from repro.pipeline.rob import COMMITTED, RobEntry
+from repro.vm.trace import DynInst
+
+
+def make_entry(seq, is_store, word=0, addr_known=True, sp_based=False,
+               frame_key=None):
+    rob = RobEntry(seq, DynInst(
+        int(FuClass.STORE if is_store else FuClass.LOAD),
+        srcs=(29,), addr=word * 4, size=4,
+    ))
+    qe = MemQueueEntry(rob, is_store, dispatch_time=0, sp_based=sp_based,
+                       frame_key=frame_key)
+    rob.mem = qe
+    if addr_known:
+        qe.addr_known_time = 1
+        qe.word = word
+        qe.line = word >> 3
+    return qe
+
+
+def test_capacity():
+    queue = MemQueue(2)
+    queue.append(make_entry(0, False))
+    queue.append(make_entry(1, False))
+    assert queue.full
+    with pytest.raises(SimulationError):
+        queue.append(make_entry(2, False))
+
+
+def test_retire_committed_from_head():
+    queue = MemQueue(4)
+    a = make_entry(0, True)
+    b = make_entry(1, False)
+    queue.append(a)
+    queue.append(b)
+    a.rob.state = COMMITTED
+    queue.retire_committed()
+    assert queue.occupancy() == 1
+    assert queue.entries[0] is b
+
+
+def test_retire_stops_at_uncommitted():
+    queue = MemQueue(4)
+    a, b, c = make_entry(0, True), make_entry(1, True), make_entry(2, True)
+    for e in (a, b, c):
+        queue.append(e)
+    c.rob.state = COMMITTED  # committed but behind uncommitted entries
+    queue.retire_committed()
+    assert queue.occupancy() == 3
+
+
+def test_oldest_unknown_store():
+    queue = MemQueue(8)
+    queue.append(make_entry(0, True, addr_known=True))
+    unknown = make_entry(1, True, addr_known=False)
+    queue.append(unknown)
+    queue.append(make_entry(2, True, addr_known=False))
+    assert queue.oldest_unknown_store_seq() == 1
+    unknown.addr_known_time = 5
+    assert queue.oldest_unknown_store_seq() == 2
+
+
+def test_no_unknown_store_is_inf():
+    queue = MemQueue(4)
+    queue.append(make_entry(0, False))
+    assert queue.oldest_unknown_store_seq() == INF_SEQ
+
+
+def test_forward_source_youngest_match():
+    queue = MemQueue(8)
+    older = make_entry(0, True, word=10)
+    newer = make_entry(1, True, word=10)
+    load = make_entry(2, False, word=10)
+    other = make_entry(3, True, word=10)  # younger than load: ignored
+    for e in (older, newer, load, other):
+        queue.append(e)
+    assert queue.forward_source(load) is newer
+
+
+def test_forward_source_no_match():
+    queue = MemQueue(8)
+    store = make_entry(0, True, word=10)
+    load = make_entry(1, False, word=11)
+    queue.append(store)
+    queue.append(load)
+    assert queue.forward_source(load) is None
+
+
+def test_fast_forward_match_by_frame_key():
+    queue = MemQueue(8)
+    store = make_entry(0, True, word=10, sp_based=True, frame_key=(3, 8))
+    load = make_entry(1, False, word=10, sp_based=True, frame_key=(3, 8),
+                      addr_known=False)
+    queue.append(store)
+    queue.append(load)
+    source, conclusive = queue.fast_forward_source(load)
+    assert source is store
+    assert conclusive
+
+
+def test_fast_forward_different_offset_is_conclusive_no_match():
+    queue = MemQueue(8)
+    store = make_entry(0, True, sp_based=True, frame_key=(3, 8),
+                       addr_known=False)
+    load = make_entry(1, False, sp_based=True, frame_key=(3, 12),
+                      addr_known=False)
+    queue.append(store)
+    queue.append(load)
+    source, conclusive = queue.fast_forward_source(load)
+    assert source is None
+    assert conclusive  # offsets disambiguate sp-relative stores exactly
+
+
+def test_fast_forward_blocked_by_unknown_nonsp_store():
+    queue = MemQueue(8)
+    pointer_store = make_entry(0, True, addr_known=False, sp_based=False)
+    load = make_entry(1, False, sp_based=True, frame_key=(3, 8),
+                      addr_known=False)
+    queue.append(pointer_store)
+    queue.append(load)
+    source, conclusive = queue.fast_forward_source(load)
+    assert source is None
+    assert not conclusive
+
+
+def test_fast_forward_different_frames_do_not_match():
+    queue = MemQueue(8)
+    store = make_entry(0, True, sp_based=True, frame_key=(3, 8))
+    load = make_entry(1, False, sp_based=True, frame_key=(4, 8),
+                      addr_known=False)
+    queue.append(store)
+    queue.append(load)
+    source, conclusive = queue.fast_forward_source(load)
+    assert source is None
+    assert conclusive
+
+
+def test_non_sp_load_never_fast_forwards():
+    queue = MemQueue(8)
+    load = make_entry(0, False, sp_based=False)
+    queue.append(load)
+    source, conclusive = queue.fast_forward_source(load)
+    assert source is None and not conclusive
+
+
+def test_oldest_unknown_nonsp_store_skips_sp_stores():
+    queue = MemQueue(8)
+    queue.append(make_entry(0, True, addr_known=False, sp_based=True,
+                            frame_key=(1, 0)))
+    queue.append(make_entry(1, True, addr_known=False, sp_based=False))
+    assert queue.oldest_unknown_store_seq() == 0
+    assert queue.oldest_unknown_nonsp_store_seq() == 1

@@ -1,0 +1,72 @@
+"""Tests for repro.stats.counters."""
+
+import pytest
+
+from repro.stats.counters import CounterSet
+
+
+def test_counters_start_at_zero():
+    counters = CounterSet()
+    assert counters.get("anything") == 0
+    assert len(counters) == 0
+
+
+def test_add_accumulates():
+    counters = CounterSet()
+    counters.add("hits")
+    counters.add("hits", 4)
+    assert counters.get("hits") == 5
+
+
+def test_set_overwrites():
+    counters = CounterSet()
+    counters.add("x", 10)
+    counters.set("x", 3)
+    assert counters.get("x") == 3
+
+
+def test_rate_divides():
+    counters = CounterSet()
+    counters.add("misses", 25)
+    counters.add("accesses", 100)
+    assert counters.rate("misses", "accesses") == 0.25
+
+
+def test_rate_zero_denominator_returns_default():
+    counters = CounterSet()
+    counters.add("misses", 5)
+    assert counters.rate("misses", "accesses") == 0.0
+    assert counters.rate("misses", "accesses", default=1.5) == 1.5
+
+
+def test_merge_adds_counters():
+    a = CounterSet()
+    b = CounterSet()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a.get("x") == 3
+    assert a.get("y") == 3
+
+
+def test_items_sorted_by_name():
+    counters = CounterSet()
+    counters.add("zebra")
+    counters.add("alpha")
+    assert [name for name, _ in counters.items()] == ["alpha", "zebra"]
+
+
+def test_contains():
+    counters = CounterSet()
+    assert "x" not in counters
+    counters.add("x")
+    assert "x" in counters
+
+
+def test_as_dict_is_a_copy():
+    counters = CounterSet()
+    counters.add("x")
+    snapshot = counters.as_dict()
+    snapshot["x"] = 99
+    assert counters.get("x") == 1

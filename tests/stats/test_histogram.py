@@ -1,0 +1,124 @@
+"""Tests for repro.stats.histogram."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.histogram import Histogram
+
+
+def test_empty_histogram():
+    hist = Histogram()
+    assert hist.total == 0
+    assert hist.mean() == 0.0
+    assert len(hist) == 0
+
+
+def test_add_and_count():
+    hist = Histogram()
+    hist.add(3)
+    hist.add(3, 2)
+    hist.add(7)
+    assert hist.count(3) == 3
+    assert hist.count(7) == 1
+    assert hist.total == 4
+
+
+def test_negative_count_rejected():
+    hist = Histogram()
+    with pytest.raises(ValueError):
+        hist.add(1, -1)
+
+
+def test_mean():
+    hist = Histogram()
+    hist.add(2, 2)
+    hist.add(8, 2)
+    assert hist.mean() == 5.0
+
+
+def test_min_max():
+    hist = Histogram()
+    hist.add(5)
+    hist.add(-3)
+    assert hist.min() == -3
+    assert hist.max() == 5
+
+
+def test_min_on_empty_raises():
+    with pytest.raises(ValueError):
+        Histogram().min()
+
+
+def test_percentile_simple():
+    hist = Histogram()
+    for value in range(1, 101):
+        hist.add(value)
+    assert hist.percentile(0.5) == 50
+    assert hist.percentile(0.99) == 99
+    assert hist.percentile(1.0) == 100
+
+
+def test_percentile_bad_fraction():
+    hist = Histogram()
+    hist.add(1)
+    with pytest.raises(ValueError):
+        hist.percentile(0.0)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        Histogram().percentile(0.5)
+
+
+def test_cumulative_is_monotone():
+    hist = Histogram()
+    hist.add(1, 5)
+    hist.add(2, 3)
+    hist.add(10, 2)
+    cumulative = hist.cumulative()
+    fractions = [f for _, f in cumulative]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_merge():
+    a = Histogram()
+    b = Histogram()
+    a.add(1, 2)
+    b.add(1, 3)
+    b.add(2, 1)
+    a.merge(b)
+    assert a.count(1) == 5
+    assert a.count(2) == 1
+    assert a.total == 6
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                max_size=200))
+def test_percentile_matches_sorted_list(samples):
+    """percentile(f) equals the value at the ceil(f*n)-th sorted position."""
+    hist = Histogram()
+    for sample in samples:
+        hist.add(sample)
+    ordered = sorted(samples)
+    for fraction in (0.1, 0.5, 0.9, 1.0):
+        threshold = fraction * len(ordered)
+        index = 0
+        seen = 0
+        for i, value in enumerate(ordered):
+            seen += 1
+            if seen >= threshold:
+                index = i
+                break
+        assert hist.percentile(fraction) == ordered[index]
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1,
+                max_size=100))
+def test_mean_matches_builtin(samples):
+    hist = Histogram()
+    for sample in samples:
+        hist.add(sample)
+    assert hist.mean() == pytest.approx(sum(samples) / len(samples))

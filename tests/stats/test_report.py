@@ -1,0 +1,53 @@
+"""Tests for repro.stats.report."""
+
+import pytest
+
+from repro.stats.report import Table, format_table
+
+
+def test_table_needs_headers():
+    with pytest.raises(ValueError):
+        Table([])
+
+
+def test_row_arity_checked():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_render_contains_cells():
+    table = Table(["name", "value"], precision=2, title="T")
+    table.add_row("x", 1.2345)
+    text = table.render()
+    assert "T" in text
+    assert "name" in text
+    assert "1.23" in text
+
+
+def test_float_precision():
+    table = Table(["v"], precision=4)
+    table.add_row(0.123456)
+    assert "0.1235" in table.render()
+
+
+def test_int_not_float_formatted():
+    table = Table(["v"])
+    table.add_row(42)
+    assert "42" in table.render()
+    assert "42.000" not in table.render()
+
+
+def test_columns_align():
+    table = Table(["aa", "b"])
+    table.add_row("x", "longcell")
+    table.add_row("longer", "y")
+    lines = table.render().splitlines()
+    # header, separator, two rows: all equal width
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_format_table_one_shot():
+    text = format_table(["p"], [[1], [2]], title="rows")
+    assert "rows" in text
+    assert "1" in text and "2" in text

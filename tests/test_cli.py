@@ -1,0 +1,113 @@
+"""Tests for the repro-cc command-line driver."""
+
+import pytest
+
+from repro.cli import _parse_config, main
+from repro.errors import ReproError
+
+PROGRAM = """
+int main() {
+    int total = 0;
+    int i;
+    for (i = 1; i <= 10; i++) total += i;
+    print(total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_parse_config():
+    config = _parse_config("3+2")
+    assert config.mem.l1_ports == 3
+    assert config.mem.lvc_ports == 2
+    assert not config.decouple.fast_forwarding
+
+
+def test_parse_config_optimized():
+    config = _parse_config("2+2:opt")
+    assert config.decouple.fast_forwarding
+    assert config.decouple.combining == 2
+
+
+def test_parse_config_rejects_garbage():
+    with pytest.raises(ReproError):
+        _parse_config("lots-of-ports")
+
+
+def test_run_command(source_file, capsys):
+    code = main(["run", source_file])
+    assert code == 0
+    assert capsys.readouterr().out == "55"
+
+
+def test_run_returns_guest_exit_code(tmp_path):
+    path = tmp_path / "fail.mc"
+    path.write_text("int main() { return 3; }")
+    assert main(["run", str(path)]) == 3
+
+
+def test_run_budget_exhaustion(tmp_path, capsys):
+    path = tmp_path / "loop.mc"
+    path.write_text("int main() { while (1) { } return 0; }")
+    code = main(["run", str(path), "--max-instructions", "500"])
+    assert code == 2
+
+
+def test_disasm_command(source_file, capsys):
+    assert main(["disasm", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out
+    assert "jal main" in out
+
+
+def test_sim_command(source_file, capsys):
+    assert main(["sim", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "(2+0" in out and "(2+2:opt" in out
+
+
+def test_sim_custom_configs(source_file, capsys):
+    assert main(["sim", source_file, "--config", "1+0",
+                 "--config", "4+0"]) == 0
+    out = capsys.readouterr().out
+    assert "(1+0" in out and "(4+0" in out
+
+
+def test_stats_command(source_file, capsys):
+    assert main(["stats", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "local refs" in out
+    assert "calls" in out
+
+
+def test_assembly_input(tmp_path, capsys):
+    path = tmp_path / "prog.s"
+    path.write_text("main:\n    li $a0, 9\n    syscall 1\n"
+                    "    li $a0, 0\n    syscall 0\n")
+    assert main(["run", str(path)]) == 0
+    assert capsys.readouterr().out == "9"
+
+
+def test_missing_file_reports_error(capsys):
+    assert main(["run", "/nonexistent/prog.mc"]) == 1
+    assert "repro-cc" in capsys.readouterr().err
+
+
+def test_compile_error_reported(tmp_path, capsys):
+    path = tmp_path / "bad.mc"
+    path.write_text("int main() { return undeclared; }")
+    assert main(["run", str(path)]) == 1
+    assert "repro-cc" in capsys.readouterr().err
+
+
+def test_no_opt_flag(source_file, capsys):
+    assert main(["run", source_file, "--no-opt"]) == 0
+    assert capsys.readouterr().out == "55"

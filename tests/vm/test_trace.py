@@ -1,0 +1,74 @@
+"""Tests for repro.vm.trace."""
+
+from repro.isa.opcodes import FuClass
+from repro.vm.trace import DynInst, NO_REG, Trace, TraceStats
+
+
+def _load(addr=0x7FFFE000, local=True, hint=True):
+    return DynInst(int(FuClass.LOAD), dst=8, srcs=(29,), addr=addr, size=4,
+                   local_hint=hint, is_local=local, sp_based=local)
+
+
+def _store(addr=0x10000000, local=False):
+    return DynInst(int(FuClass.STORE), srcs=(5, 9), addr=addr, size=4,
+                   local_hint=local, is_local=local)
+
+
+def test_dyninst_kind_predicates():
+    load = _load()
+    store = _store()
+    alu = DynInst(int(FuClass.IALU), dst=8, srcs=(9,))
+    assert load.is_load and load.is_mem and not load.is_store
+    assert store.is_store and store.is_mem and not store.is_load
+    assert not alu.is_mem
+
+
+def test_stats_counts():
+    stats = TraceStats()
+    stats.observe(_load(local=True))
+    stats.observe(_load(local=False, hint=False))
+    stats.observe(_store(local=False))
+    stats.observe(DynInst(int(FuClass.IALU), dst=8))
+    assert stats.instructions == 4
+    assert stats.loads == 2
+    assert stats.stores == 1
+    assert stats.local_loads == 1
+    assert stats.local_stores == 0
+    assert stats.mem_refs == 3
+    assert stats.local_refs == 1
+
+
+def test_stats_fractions():
+    stats = TraceStats()
+    for _ in range(3):
+        stats.observe(_load())
+    stats.observe(DynInst(int(FuClass.IALU), dst=8))
+    assert stats.load_fraction == 0.75
+    assert stats.local_fraction == 1.0
+
+
+def test_stats_ambiguous_counted():
+    stats = TraceStats()
+    stats.observe(DynInst(int(FuClass.LOAD), dst=8, addr=4, size=4,
+                          local_hint=None, is_local=True))
+    assert stats.ambiguous_refs == 1
+
+
+def test_empty_stats_fractions_are_zero():
+    stats = TraceStats()
+    assert stats.local_fraction == 0.0
+    assert stats.load_fraction == 0.0
+
+
+def test_trace_append_updates_stats():
+    trace = Trace("t")
+    trace.append(_load())
+    trace.extend([_store(), _store()])
+    assert len(trace) == 3
+    assert trace.stats.stores == 2
+    assert list(trace)[0].is_load
+
+
+def test_no_reg_sentinel():
+    inst = DynInst(int(FuClass.STORE), srcs=(1,), addr=4, size=4)
+    assert inst.dst == NO_REG

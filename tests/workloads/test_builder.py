@@ -1,0 +1,45 @@
+"""Tests for trace building and caching."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.builder import build_trace, clear_trace_cache
+
+
+def test_synthetic_by_name():
+    trace = build_trace("130.li", length=5000, seed=2)
+    assert trace.name == "130.li"
+    assert len(trace) >= 5000
+
+
+def test_cache_returns_same_object():
+    a = build_trace("130.li", length=5000, seed=2)
+    b = build_trace("130.li", length=5000, seed=2)
+    assert a is b
+
+
+def test_cache_key_includes_length_and_seed():
+    a = build_trace("130.li", length=5000, seed=2)
+    b = build_trace("130.li", length=6000, seed=2)
+    c = build_trace("130.li", length=5000, seed=3)
+    assert a is not b and a is not c
+
+
+def test_clear_cache():
+    a = build_trace("130.li", length=5000, seed=2)
+    clear_trace_cache()
+    b = build_trace("130.li", length=5000, seed=2)
+    assert a is not b
+
+
+def test_minic_by_name():
+    trace = build_trace("mini.compress", length=50_000)
+    assert trace.name == "mini.compress"
+    assert 0 < len(trace) <= 50_000
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(WorkloadError):
+        build_trace("mini.ghost")
+    with pytest.raises(WorkloadError):
+        build_trace("777.ghost")

@@ -1,0 +1,73 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import (
+    ALL_PROGRAMS,
+    FP_PROGRAMS,
+    INT_PROGRAMS,
+    get_spec,
+)
+
+
+def test_paper_program_set():
+    """Table 2: eight integer and four floating-point programs."""
+    assert len(ALL_PROGRAMS) == 12
+    assert len(INT_PROGRAMS) == 8
+    assert len(FP_PROGRAMS) == 4
+    assert set(INT_PROGRAMS) | set(FP_PROGRAMS) == set(ALL_PROGRAMS)
+
+
+def test_paper_instruction_counts():
+    """Table 2 dynamic instruction counts (in millions)."""
+    expected = {
+        "099.go": 541, "124.m88ksim": 250, "126.gcc": 220,
+        "129.compress": 293, "130.li": 434, "132.ijpeg": 621,
+        "134.perl": 525, "147.vortex": 284, "101.tomcatv": 549,
+        "102.swim": 473, "103.su2cor": 676, "107.mgrid": 684,
+    }
+    for name, minst in expected.items():
+        assert get_spec(name).paper_minst == minst
+
+
+def test_unknown_workload():
+    with pytest.raises(WorkloadError):
+        get_spec("999.nonsense")
+
+
+def test_default_length_scaled_from_paper():
+    spec = get_spec("126.gcc")
+    assert spec.default_length == 220 * 1_000_000 // 4000
+
+
+def test_vortex_is_most_local():
+    """Figure 2: 147.vortex has ~71% local refs, the suite maximum."""
+    vortex = get_spec("147.vortex").local_mem_frac
+    assert vortex == max(get_spec(p).local_mem_frac for p in ALL_PROGRAMS)
+    assert vortex > 0.6
+
+
+def test_compress_is_least_local_integer():
+    compress = get_spec("129.compress").local_mem_frac
+    assert compress == min(get_spec(p).local_mem_frac for p in INT_PROGRAMS)
+
+
+def test_average_local_fraction_near_paper():
+    """Figure 2: local refs average ~36% of memory references."""
+    avg = sum(get_spec(p).local_mem_frac for p in ALL_PROGRAMS) / 12
+    assert 0.25 < avg < 0.45
+
+
+def test_fp_programs_poorly_interleaved():
+    """Section 4.3: FP local/non-local accesses are poorly interleaved."""
+    for name in FP_PROGRAMS:
+        assert get_spec(name).interleave < 0.5
+    for name in INT_PROGRAMS:
+        assert get_spec(name).interleave == 1.0
+
+
+def test_mem_frac_reasonable():
+    for name in ALL_PROGRAMS:
+        spec = get_spec(name)
+        assert 0.2 <= spec.mem_frac <= 0.5

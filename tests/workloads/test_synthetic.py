@@ -1,0 +1,131 @@
+"""Calibration tests: generated traces must match the paper's statistics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import ALL_PROGRAMS, INT_PROGRAMS, get_spec
+from repro.workloads.synthetic import SyntheticGenerator, generate_trace
+
+LENGTH = 60_000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: generate_trace(get_spec(name), LENGTH, seed=3)
+            for name in ALL_PROGRAMS}
+
+
+def test_requested_length_respected(traces):
+    for trace in traces.values():
+        assert LENGTH <= len(trace) <= LENGTH + 40  # bursts may overshoot
+
+
+def test_load_store_fractions_match_calibration(traces):
+    """Figure 2 calibration: within 15% relative tolerance."""
+    for name, trace in traces.items():
+        spec = get_spec(name)
+        stats = trace.stats
+        assert stats.load_fraction == pytest.approx(spec.load_frac,
+                                                    rel=0.15)
+        assert stats.store_fraction == pytest.approx(spec.store_frac,
+                                                     rel=0.20)
+
+
+def test_local_fraction_matches_calibration(traces):
+    for name, trace in traces.items():
+        spec = get_spec(name)
+        assert trace.stats.local_fraction == pytest.approx(
+            spec.local_mem_frac, rel=0.2, abs=0.03
+        )
+
+
+def test_frame_sizes_small(traces):
+    """Figure 3: dynamic frames average a few words.
+
+    126.gcc is the calibrated exception: its large-frame tail (which drives
+    the paper's Figure 6 LVC miss rates) pulls its mean up.
+    """
+    for name in INT_PROGRAMS:
+        mean = traces[name].stats.frame_sizes.mean()
+        bound = 40.0 if name == "126.gcc" else 12.0
+        assert 1.0 <= mean <= bound, name
+
+
+def test_gcc_has_large_frame_tail(traces):
+    gcc = traces["126.gcc"].stats.frame_sizes
+    li = traces["130.li"].stats.frame_sizes
+    assert gcc.max() > 100
+    assert gcc.percentile(0.99) > li.percentile(0.99)
+
+
+def test_call_depths_match_spec(traces):
+    for name, trace in traces.items():
+        assert trace.stats.max_call_depth <= get_spec(name).max_depth + 1
+
+
+def test_deterministic_per_seed():
+    spec = get_spec("130.li")
+    a = generate_trace(spec, 5000, seed=9)
+    b = generate_trace(spec, 5000, seed=9)
+    assert len(a) == len(b)
+    assert all(x.fu == y.fu and x.addr == y.addr
+               for x, y in zip(a.insts, b.insts))
+
+
+def test_seeds_differ():
+    spec = get_spec("130.li")
+    a = generate_trace(spec, 5000, seed=1)
+    b = generate_trace(spec, 5000, seed=2)
+    assert any(x.addr != y.addr for x, y in zip(a.insts, b.insts))
+
+
+def test_local_refs_in_stack_region(traces):
+    from repro.isa.program import STACK_BASE, STACK_LIMIT
+
+    for trace in traces.values():
+        for inst in trace.insts[:2000]:
+            if inst.is_mem and inst.is_local:
+                assert STACK_LIMIT <= inst.addr < STACK_BASE
+
+
+def test_global_refs_below_stack(traces):
+    for trace in traces.values():
+        for inst in trace.insts[:2000]:
+            if inst.is_mem and not inst.is_local:
+                assert inst.addr < 0x20000000
+
+
+def test_sp_based_refs_have_frame_keys(traces):
+    trace = traces["147.vortex"]
+    for inst in trace.insts[:3000]:
+        if inst.is_mem and inst.sp_based:
+            assert inst.frame_id > 0 or inst.offset >= 0
+
+
+def test_ambiguous_fraction_small(traces):
+    """Section 2.2.3: <1% of references are ambiguous."""
+    for trace in traces.values():
+        stats = trace.stats
+        if stats.mem_refs:
+            assert stats.ambiguous_refs / stats.mem_refs < 0.02
+
+
+def test_fp_programs_emit_fp_ops(traces):
+    from repro.isa.opcodes import FuClass
+
+    fp_ops = sum(1 for i in traces["102.swim"].insts
+                 if i.fu in (int(FuClass.FADD), int(FuClass.FMUL)))
+    assert fp_ops > 0.1 * LENGTH
+
+
+def test_integer_programs_no_fp(traces):
+    from repro.isa.opcodes import FuClass
+
+    fp_ops = sum(1 for i in traces["130.li"].insts
+                 if i.fu in (int(FuClass.FADD), int(FuClass.FMUL)))
+    assert fp_ops == 0
+
+
+def test_bad_length_rejected():
+    with pytest.raises(WorkloadError):
+        SyntheticGenerator(get_spec("130.li"), 0)
