@@ -37,8 +37,8 @@ def _load_source(path: str) -> Tuple[str, str]:
         return handle.read(), path
 
 
-def _build(path: str, optimize: bool = True) -> Tuple[Program, CompileStats]:
-    source, name = _load_source(path)
+def _build_text(source: str, name: str,
+                optimize: bool = True) -> Tuple[Program, CompileStats]:
     stats = CompileStats()
     if name.endswith(".s"):
         program = assemble(source, source_name=name)
@@ -48,6 +48,11 @@ def _build(path: str, optimize: bool = True) -> Tuple[Program, CompileStats]:
             stats=stats,
         )
     return program, stats
+
+
+def _build(path: str, optimize: bool = True) -> Tuple[Program, CompileStats]:
+    source, name = _load_source(path)
+    return _build_text(source, name, optimize)
 
 
 def _parse_config(text: str) -> MachineConfig:
@@ -90,17 +95,17 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_sim(args) -> int:
-    program, _ = _build(args.file, optimize=not args.no_opt)
+    source, name = _load_source(args.file)
+    program, _ = _build_text(source, name, optimize=not args.no_opt)
     vm = Machine(program, trace=True)
     vm.run(max_instructions=args.max_instructions)
     trace = vm.trace
     assert trace is not None
     print(f"{len(trace)} dynamic instructions "
           f"({trace.stats.local_fraction:.0%} of memory refs local)")
+    configs = [(text, _parse_config(text)) for text in args.config]
     results: List[Tuple[str, float]] = []
-    for text in args.config:
-        config = _parse_config(text)
-        result = Processor(config).run(trace.insts, args.file)
+    for text, result in _sim_results(args, source, trace, configs):
         results.append((text, result.ipc))
         print(f"  ({text:8s}) IPC {result.ipc:6.3f}   "
               f"cycles {result.cycles}")
@@ -110,6 +115,34 @@ def cmd_sim(args) -> int:
         print(f"best vs {results[0][0]}: {best[0]} "
               f"({best[1] / base - 1:+.1%})")
     return 0
+
+
+def _sim_results(args, source, trace, configs):
+    """Yield (config text, SimResult) — on a worker pool when --jobs > 1."""
+    if getattr(args, "jobs", 1) > 1 and len(configs) > 1:
+        from repro.runtime.engine import JobEngine
+        from repro.runtime.job import SimJob
+        from repro.runtime.worker import seed_source_trace
+
+        jobs = {}
+        for text, config in configs:
+            job = SimJob(args.file, config, source_text=source,
+                         optimize=not args.no_opt,
+                         max_instructions=args.max_instructions)
+            # Fork-started workers inherit this memo, so they skip the
+            # recompile/re-execute and go straight to timing simulation.
+            seed_source_trace(job, trace)
+            jobs[text] = job
+        report = JobEngine(jobs=args.jobs).run(jobs.values())
+        for outcome in report.failed:
+            raise ReproError(
+                f"simulation failed for {outcome.job.label()}: "
+                f"{outcome.error}")
+        for text, _config in configs:
+            yield text, report.outcomes[jobs[text].key].result
+    else:
+        for text, config in configs:
+            yield text, Processor(config).run(trace.insts, args.file)
 
 
 def cmd_stats(args) -> int:
@@ -166,6 +199,10 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         help="machine config N+M[:opt]; repeatable "
              "(default: 2+0 and 2+2:opt)",
+    )
+    sim_p.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="simulate the configs on N worker processes",
     )
     sim_p.set_defaults(func=cmd_sim)
 

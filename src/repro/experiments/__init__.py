@@ -3,14 +3,26 @@
 Every module exposes ``run(scale=..., programs=...) -> rows`` returning the
 data behind the paper's table or figure, and a module-level ``main()`` that
 prints it.  ``repro-experiments <name>`` (see :mod:`repro.experiments.runner`)
-is the command-line entry point.
+is the command-line entry point; simulations flow through the
+:mod:`repro.runtime` job engine (parallel workers + persistent cache).
 """
 
 from repro.experiments.common import (
     DEFAULT_SCALE,
     config_key,
+    configure_runtime,
+    prewarm,
     run_sim,
+    runtime_session,
     trace_for,
 )
 
-__all__ = ["DEFAULT_SCALE", "config_key", "run_sim", "trace_for"]
+__all__ = [
+    "DEFAULT_SCALE",
+    "config_key",
+    "configure_runtime",
+    "prewarm",
+    "run_sim",
+    "runtime_session",
+    "trace_for",
+]

@@ -3,6 +3,9 @@
 The simulation-result cache matters: the figures sweep many (N+M)
 configurations over the same traces, and several figures share
 configurations (e.g. the (2+0) baseline appears in Figures 7, 9, 10, 11).
+``run_sim`` keeps a per-process memo and delegates misses to the
+:mod:`repro.runtime` session, which adds the persistent on-disk cache and
+(via :func:`prewarm`) the parallel worker pool.
 
 ``REPRO_SCALE`` (environment) globally scales trace lengths; 1.0 uses the
 default scaled-Table-2 lengths, 0.25 makes every experiment 4x faster at
@@ -12,11 +15,14 @@ some statistical noise cost.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig
 from repro.core.metrics import SimResult
-from repro.core.processor import Processor
+from repro.runtime.engine import EngineReport, RuntimeSession
+from repro.runtime.job import SimJob
+from repro.runtime.signature import config_signature
 from repro.vm.trace import Trace
 from repro.workloads.builder import build_trace
 from repro.workloads.spec import get_spec
@@ -24,10 +30,22 @@ from repro.workloads.spec import get_spec
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 
 _RESULTS: Dict[Tuple, SimResult] = {}
+_SESSION: Optional[RuntimeSession] = None
+
+#: When set, every cache-missing ``run_sim`` call reports its job here
+#: (the plan-fidelity tests use this to audit the scheduler's plans).
+JOB_OBSERVER: Optional[Callable[[SimJob], None]] = None
 
 
+@lru_cache(maxsize=None)
 def trace_for(name: str, scale: float = 1.0, seed: int = 1) -> Trace:
-    """The dynamic trace for workload *name* at the given scale."""
+    """The dynamic trace for workload *name* at the given scale.
+
+    Memoised per process (on top of the builder's own cache) so config
+    sweeps over one workload never recompute the scale arithmetic or
+    regenerate the trace — including inside pool workers, where each
+    process pays for a trace at most once.
+    """
     if name.startswith("mini."):
         return build_trace(name, seed=seed)
     length = max(10_000, int(get_spec(name).default_length * scale))
@@ -35,38 +53,72 @@ def trace_for(name: str, scale: float = 1.0, seed: int = 1) -> Trace:
 
 
 def config_key(config: MachineConfig) -> Tuple:
-    """A hashable signature of everything that affects simulation."""
-    mem = config.mem
-    dec = config.decouple
-    return (
-        config.issue_width, config.rob_size, config.lsq_size,
-        config.lvaq_size,
-        mem.l1_ports, mem.lvc_ports, mem.l1_size, mem.l1_assoc,
-        mem.l1_hit_latency, mem.lvc_size, mem.lvc_assoc,
-        mem.lvc_hit_latency, mem.line_bytes, mem.l2_size, mem.l2_assoc,
-        mem.l2_latency, mem.mem_latency, mem.mshr_entries,
-        mem.bus_occupancy, mem.l1_port_policy,
-        dec.fast_forwarding, dec.combining, dec.predictor,
-        dec.mispredict_penalty,
-    )
+    """A hashable signature of everything that affects simulation.
+
+    Derived generically from the configuration objects' fields (see
+    :func:`repro.runtime.signature.config_signature`), so a newly added
+    config field is covered automatically and cannot silently poison the
+    result cache.
+    """
+    return config_signature(config)
+
+
+def runtime_session() -> RuntimeSession:
+    """The active runtime session (a sequential, env-configured default
+    until :func:`configure_runtime` installs one)."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = RuntimeSession()
+    return _SESSION
+
+
+def configure_runtime(session: Optional[RuntimeSession] = None,
+                      **kwargs) -> RuntimeSession:
+    """Install the session ``run_sim``/``prewarm`` should use.
+
+    Pass a prebuilt :class:`RuntimeSession`, or keyword arguments
+    (``jobs=``, ``cache_dir=``, ``no_cache=``, ``timeout=``, ...) to build
+    one.  Returns the installed session.
+    """
+    global _SESSION
+    _SESSION = session if session is not None else RuntimeSession(**kwargs)
+    return _SESSION
+
+
+def _memo_key(job: SimJob) -> Tuple:
+    return (job.workload, job.scale, job.seed, config_key(job.config))
 
 
 def run_sim(workload: str, config: MachineConfig,
             scale: float = 1.0, seed: int = 1) -> SimResult:
     """Simulate *workload* on *config*, memoising the result."""
-    key = (workload, scale, seed, config_key(config))
+    job = SimJob(workload, config, scale=scale, seed=seed)
+    key = _memo_key(job)
     cached = _RESULTS.get(key)
     if cached is not None:
         return cached
-    trace = trace_for(workload, scale, seed)
-    result = Processor(config).run(trace.insts, workload)
+    if JOB_OBSERVER is not None:
+        JOB_OBSERVER(job)
+    result = runtime_session().simulate(job)
     _RESULTS[key] = result
     return result
 
 
+def prewarm(jobs: Iterable[SimJob]) -> EngineReport:
+    """Run *jobs* through the session's engine (deduplicated, parallel,
+    cached) and seed the in-process memo with every result, so the
+    subsequent sequential render pass is all cache hits."""
+    report = runtime_session().prewarm(jobs)
+    for outcome in report.outcomes.values():
+        if outcome.result is not None:
+            _RESULTS[_memo_key(outcome.job)] = outcome.result
+    return report
+
+
 def clear_result_cache() -> None:
-    """Drop memoised simulation results."""
+    """Drop memoised simulation results (and the trace memo)."""
     _RESULTS.clear()
+    trace_for.cache_clear()
 
 
 def nm_config(n: int, m: int, fast_forwarding: bool = False,

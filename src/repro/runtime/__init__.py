@@ -1,0 +1,46 @@
+"""repro.runtime — a parallel, cached simulation job engine.
+
+The experiment suite is a large sweep of (workload x machine-config)
+simulations, and several figures share configurations (the (2+0) baseline
+appears in Figures 7, 9, 10 and 11).  This package turns those sweeps into
+a deduplicated job graph executed by a multiprocessing worker pool with a
+persistent on-disk result cache:
+
+* :mod:`repro.runtime.signature` — stable content-addressed keys derived
+  from the config dataclasses' fields plus a code-version salt;
+* :mod:`repro.runtime.job`       — the :class:`SimJob` spec;
+* :mod:`repro.runtime.cache`     — the on-disk :class:`ResultCache`;
+* :mod:`repro.runtime.engine`    — the :class:`JobEngine` worker pool and
+  the :class:`RuntimeSession` facade used by ``experiments.common``;
+* :mod:`repro.runtime.manifest`  — run manifest + live progress reporting;
+* :mod:`repro.runtime.plans`     — per-experiment job enumeration used to
+  prewarm the cache before the (sequential, deterministic) render pass.
+
+See ``docs/runtime.md`` for the architecture and the cache layout.
+"""
+
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.engine import JobEngine, JobOutcome, RuntimeSession
+from repro.runtime.job import SimJob
+from repro.runtime.manifest import ProgressPrinter, RunManifest
+from repro.runtime.signature import (
+    canonical_json,
+    code_salt,
+    config_signature,
+    describe_config,
+)
+
+__all__ = [
+    "JobEngine",
+    "JobOutcome",
+    "ProgressPrinter",
+    "ResultCache",
+    "RunManifest",
+    "RuntimeSession",
+    "SimJob",
+    "canonical_json",
+    "code_salt",
+    "config_signature",
+    "default_cache_dir",
+    "describe_config",
+]

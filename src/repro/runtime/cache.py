@@ -1,0 +1,124 @@
+"""Persistent, content-addressed simulation-result cache.
+
+Layout (under ``--cache-dir``, ``$REPRO_CACHE_DIR``, or ``~/.cache/repro``)::
+
+    <cache_dir>/
+      v1/
+        <code_salt>/           one directory per simulator code version
+          <key[:2]>/
+            <key>.pkl          pickled SimResult
+            <key>.json         the job description (debuggability only)
+
+The two-level fan-out keeps directories small on big sweeps.  Writes are
+atomic (temp file + ``os.replace``) so concurrent workers and concurrent
+``repro-experiments`` invocations can share one cache directory; a corrupt
+or truncated entry is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.core.metrics import SimResult
+
+_FORMAT = "v1"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or the conventional per-user cache location."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+class ResultCache:
+    """On-disk result store keyed by (code salt, job key)."""
+
+    def __init__(self, root: str, salt: str):
+        self.root = root
+        self.salt = salt
+        self.dir = os.path.join(root, _FORMAT, salt)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str, suffix: str = ".pkl") -> str:
+        return os.path.join(self.dir, key[:2], key + suffix)
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for *key*, or None (corrupt entries = miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupt (e.g. a killed writer pre-os.replace on a
+            # filesystem without atomic rename): drop it and recompute.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(result, SimResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store *result* under *key* atomically."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._write_atomic(path, pickle.dumps(result, protocol=4))
+        if meta is not None:
+            self._write_atomic(self._path(key, ".json"),
+                               json.dumps(meta, sort_keys=True,
+                                          indent=2).encode("utf-8"))
+        self.writes += 1
+
+    @staticmethod
+    def _write_atomic(path: str, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups this session (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters for the run manifest."""
+        return {
+            "dir": self.dir,
+            "salt": self.salt,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultCache({self.dir!r}, hits={self.hits}, misses={self.misses})"

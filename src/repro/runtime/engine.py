@@ -1,0 +1,394 @@
+"""The job engine: deduplicated fan-out over a process pool, with cache.
+
+Scheduling model
+----------------
+
+``JobEngine.run`` takes any iterable of :class:`SimJob` specs and:
+
+1. **dedupes** them by content-addressed key (the (2+0) baseline shows up
+   in four different figures — it runs once);
+2. answers what it can from the :class:`ResultCache`;
+3. fans the misses out across a ``ProcessPoolExecutor``, dispatching in
+   workload order so each worker's per-process trace memo gets reuse;
+4. enforces a **per-job timeout** (a wave-dispatch deadline per future),
+   **bounded retries**, and **graceful degradation**: a hung worker is
+   killed and the pool rebuilt; a died worker (``BrokenProcessPool``)
+   retries and finally falls back to in-process execution; an engine that
+   cannot create a pool at all just runs everything inline.
+
+Determinism: a simulation is a pure function of its job spec, so parallel
+execution is bit-identical to sequential execution — the engine only
+changes *when* a result is computed, never *what* it is.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.metrics import SimResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import SimJob
+from repro.runtime.signature import code_salt
+from repro.runtime.worker import execute_job
+
+ProgressFn = Callable[[str, "JobOutcome", int, int], None]
+
+
+class JobOutcome:
+    """What happened to one deduplicated job."""
+
+    __slots__ = ("job", "status", "result", "wall", "attempts", "worker",
+                 "error")
+
+    def __init__(self, job: SimJob, status: str,
+                 result: Optional[SimResult] = None, wall: float = 0.0,
+                 attempts: int = 0, worker: str = "inline",
+                 error: Optional[str] = None):
+        self.job = job
+        self.status = status      # "cached" | "ran" | "failed" | "timeout"
+        self.result = result
+        self.wall = wall
+        self.attempts = attempts
+        self.worker = worker      # "cache" | "pool" | "inline"
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("cached", "ran")
+
+    def __repr__(self) -> str:
+        return (f"JobOutcome({self.job.label()}, {self.status}, "
+                f"wall={self.wall:.2f}s)")
+
+
+class EngineReport:
+    """Aggregate view of one ``JobEngine.run`` call."""
+
+    def __init__(self, outcomes: Dict[str, JobOutcome], elapsed: float,
+                 duplicates: int, workers: int):
+        self.outcomes = outcomes
+        self.elapsed = elapsed
+        self.duplicates = duplicates
+        self.workers = workers
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "cached")
+
+    @property
+    def ran(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "ran")
+
+    @property
+    def failed(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes.values() if not o.ok]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = len(self.outcomes)
+        return self.cached / total if total else 0.0
+
+    @property
+    def busy(self) -> float:
+        """Total worker-seconds spent simulating (excludes cache hits)."""
+        return sum(o.wall for o in self.outcomes.values()
+                   if o.status == "ran")
+
+    @property
+    def utilization(self) -> float:
+        """Busy worker-seconds over available worker-seconds."""
+        capacity = self.elapsed * max(1, self.workers)
+        return min(1.0, self.busy / capacity) if capacity else 0.0
+
+    def results(self) -> Dict[str, SimResult]:
+        """key -> SimResult for every successful job."""
+        return {key: o.result for key, o in self.outcomes.items()
+                if o.result is not None}
+
+
+class JobEngine:
+    """Runs a batch of jobs with dedup, cache, pool, timeout and retries."""
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 progress: Optional[ProgressFn] = None,
+                 max_pool_rebuilds: int = 3):
+        if jobs < 1:
+            raise ValueError("worker count must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self._rebuilds = 0
+
+    # -- public entry -------------------------------------------------------
+
+    def run(self, jobs: Iterable[SimJob],
+            execute: Callable[[SimJob], SimResult] = execute_job
+            ) -> EngineReport:
+        """Execute every job (deduplicated), returning per-job outcomes."""
+        started = time.monotonic()
+        unique: Dict[str, SimJob] = {}
+        duplicates = 0
+        for job in jobs:
+            if job.key in unique:
+                duplicates += 1
+            else:
+                unique[job.key] = job
+        self._total = len(unique)
+        self._done = 0
+        outcomes: Dict[str, JobOutcome] = {}
+        pending: List[str] = []
+        for key, job in unique.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                self._finish(outcomes, key,
+                             JobOutcome(job, "cached", cached,
+                                        worker="cache"))
+            else:
+                pending.append(key)
+        # Workload-major order maximises per-process trace-memo reuse.
+        pending.sort(key=lambda k: (unique[k].workload, unique[k].scale,
+                                    unique[k].seed))
+        if pending:
+            # The pool path is also what enforces per-job timeouts, so a
+            # single pending job still goes parallel when one is set.
+            if self.jobs > 1 and (len(pending) > 1
+                                  or self.timeout is not None):
+                self._run_pool(unique, pending, outcomes, execute)
+            else:
+                self._run_inline(unique, pending, outcomes, execute)
+        ordered = {key: outcomes[key] for key in unique}
+        return EngineReport(ordered, time.monotonic() - started,
+                            duplicates, self.jobs)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _finish(self, outcomes: Dict[str, JobOutcome], key: str,
+                outcome: JobOutcome) -> None:
+        outcomes[key] = outcome
+        self._done += 1
+        if outcome.status == "ran" and self.cache is not None:
+            self.cache.put(key, outcome.result,
+                           meta=outcome.job.describe())
+        if self.progress is not None:
+            self.progress(outcome.status, outcome, self._done, self._total)
+
+    # -- sequential path ----------------------------------------------------
+
+    def _run_inline(self, unique: Dict[str, SimJob], pending: List[str],
+                    outcomes: Dict[str, JobOutcome],
+                    execute: Callable[[SimJob], SimResult]) -> None:
+        for key in pending:
+            job = unique[key]
+            t0 = time.monotonic()
+            try:
+                result = execute(job)
+            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                self._finish(outcomes, key,
+                             JobOutcome(job, "failed", None,
+                                        time.monotonic() - t0, 1, "inline",
+                                        f"{type(exc).__name__}: {exc}"))
+            else:
+                self._finish(outcomes, key,
+                             JobOutcome(job, "ran", result,
+                                        time.monotonic() - t0, 1, "inline"))
+
+    # -- parallel path ------------------------------------------------------
+
+    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
+        try:
+            return ProcessPoolExecutor(max_workers=self.jobs)
+        except Exception:  # noqa: BLE001 - no multiprocessing available
+            return None
+
+    @staticmethod
+    def _stop_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even when a worker is hung."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - Python < 3.9
+            pool.shutdown(wait=False)
+        except Exception:  # noqa: BLE001
+            pass
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _rebuild_pool(self, pool: Optional[ProcessPoolExecutor]
+                      ) -> Optional[ProcessPoolExecutor]:
+        if pool is not None:
+            self._stop_pool(pool)
+        self._rebuilds += 1
+        if self._rebuilds > self.max_pool_rebuilds:
+            return None
+        return self._make_pool()
+
+    def _run_pool(self, unique: Dict[str, SimJob], pending: List[str],
+                  outcomes: Dict[str, JobOutcome],
+                  execute: Callable[[SimJob], SimResult]) -> None:
+        pool = self._make_pool()
+        if pool is None:
+            self._run_inline(unique, pending, outcomes, execute)
+            return
+        queue = deque(pending)
+        attempts: Dict[str, int] = {key: 0 for key in pending}
+        in_flight: Dict[object, tuple] = {}  # future -> (key, t0, deadline)
+        inline_later: List[str] = []
+        try:
+            while queue or in_flight:
+                if pool is None:
+                    inline_later.extend(queue)
+                    queue.clear()
+                    break
+                while queue and len(in_flight) < self.jobs:
+                    key = queue.popleft()
+                    attempts[key] += 1
+                    now = time.monotonic()
+                    deadline = (now + self.timeout
+                                if self.timeout is not None else None)
+                    try:
+                        future = pool.submit(execute, unique[key])
+                    except Exception:  # noqa: BLE001 - pool already broken
+                        pool = self._rebuild_pool(pool)
+                        queue.appendleft(key)
+                        attempts[key] -= 1
+                        break
+                    in_flight[future] = (key, now, deadline)
+                if not in_flight:
+                    continue
+                wait_for = None
+                now = time.monotonic()
+                deadlines = [d for (_k, _t, d) in in_flight.values()
+                             if d is not None]
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines) - now)
+                done, _ = wait(set(in_flight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                if done:
+                    broke = False
+                    for future in done:
+                        key, t0, _deadline = in_flight.pop(future)
+                        job = unique[key]
+                        wall = time.monotonic() - t0
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            broke = True
+                            queue.appendleft(key)
+                            break
+                        except Exception as exc:  # noqa: BLE001
+                            if attempts[key] <= self.retries:
+                                queue.append(key)
+                            else:
+                                self._finish(
+                                    outcomes, key,
+                                    JobOutcome(job, "failed", None, wall,
+                                               attempts[key], "pool",
+                                               f"{type(exc).__name__}: "
+                                               f"{exc}"))
+                        else:
+                            self._finish(outcomes, key,
+                                         JobOutcome(job, "ran", result,
+                                                    wall, attempts[key],
+                                                    "pool"))
+                    if broke:
+                        # Every other in-flight future died with the pool.
+                        for future, (key, _t0, _d) in in_flight.items():
+                            if attempts[key] <= self.retries:
+                                queue.append(key)
+                            else:
+                                inline_later.append(key)
+                        in_flight.clear()
+                        pool = self._rebuild_pool(pool)
+                    continue
+                # wait() timed out: at least one job blew its deadline.
+                now = time.monotonic()
+                expired = [f for f, (_k, _t, d) in in_flight.items()
+                           if d is not None and now >= d]
+                if not expired:
+                    continue
+                for future in expired:
+                    key, t0, _d = in_flight.pop(future)
+                    job = unique[key]
+                    if attempts[key] <= self.retries:
+                        queue.append(key)
+                    else:
+                        self._finish(outcomes, key,
+                                     JobOutcome(job, "timeout", None,
+                                                now - t0, attempts[key],
+                                                "pool",
+                                                f"exceeded {self.timeout}s"))
+                # The hung worker poisons its slot; survivors are requeued
+                # (no attempt charged) and the pool is rebuilt.
+                for future, (key, _t0, _d) in in_flight.items():
+                    attempts[key] -= 1
+                    queue.appendleft(key)
+                in_flight.clear()
+                pool = self._rebuild_pool(pool)
+        finally:
+            if pool is not None:
+                self._stop_pool(pool)
+        if inline_later:
+            # Workers died repeatedly on these jobs: last resort inline.
+            self._run_inline(unique, inline_later, outcomes, execute)
+
+
+class RuntimeSession:
+    """The facade ``experiments.common`` and the CLIs build on.
+
+    Owns the cache handle and the engine knobs; ``simulate`` is the
+    single-job fast path ``run_sim`` uses, ``prewarm`` is the batch
+    entry the experiment runner uses to fill the cache in parallel.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 no_cache: bool = False, timeout: Optional[float] = None,
+                 retries: int = 1, progress: Optional[ProgressFn] = None):
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.salt = code_salt()
+        if no_cache:
+            self.cache: Optional[ResultCache] = None
+        elif cache_dir:
+            self.cache = ResultCache(cache_dir, self.salt)
+        elif os.environ.get("REPRO_CACHE_DIR"):
+            self.cache = ResultCache(os.environ["REPRO_CACHE_DIR"],
+                                     self.salt)
+        else:
+            self.cache = None
+
+    def engine(self) -> JobEngine:
+        """A fresh engine with this session's knobs."""
+        return JobEngine(jobs=self.jobs, cache=self.cache,
+                         timeout=self.timeout, retries=self.retries,
+                         progress=self.progress)
+
+    def simulate(self, job: SimJob) -> SimResult:
+        """Run one job inline, going through the cache."""
+        if self.cache is not None:
+            cached = self.cache.get(job.key)
+            if cached is not None:
+                return cached
+        result = execute_job(job)
+        if self.cache is not None:
+            self.cache.put(job.key, result, meta=job.describe())
+        return result
+
+    def prewarm(self, jobs: Iterable[SimJob],
+                execute: Callable[[SimJob], SimResult] = execute_job
+                ) -> EngineReport:
+        """Dedupe + fan out *jobs*, filling the cache; returns the report."""
+        return self.engine().run(jobs, execute=execute)

@@ -1,0 +1,84 @@
+"""The unit of work the job engine schedules: one timing simulation.
+
+A :class:`SimJob` fully describes a simulation so that any worker process
+can reproduce it from scratch: either a named workload (``"130.li"``,
+``"mini.qsort"``) at a scale/seed, or an inline mini-C / assembly source
+text (the ``repro-cc sim`` path — content-addressed by the source itself,
+so editing the file naturally misses the cache).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.config import MachineConfig
+from repro.runtime.signature import canonical_json, describe_config, digest
+
+
+class SimJob:
+    """Spec of one (workload x config) timing simulation."""
+
+    __slots__ = ("workload", "config", "scale", "seed", "source_text",
+                 "optimize", "max_instructions", "_key")
+
+    def __init__(
+        self,
+        workload: str,
+        config: MachineConfig,
+        scale: float = 1.0,
+        seed: int = 1,
+        source_text: Optional[str] = None,
+        optimize: bool = True,
+        max_instructions: Optional[int] = None,
+    ):
+        self.workload = workload
+        self.config = config
+        self.scale = scale
+        self.seed = seed
+        self.source_text = source_text
+        self.optimize = optimize
+        self.max_instructions = max_instructions
+        self._key: Optional[str] = None
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-serialisable description covering everything that can
+        affect the simulation's result."""
+        body: Dict[str, Any] = {
+            "workload": self.workload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": describe_config(self.config),
+        }
+        if self.source_text is not None:
+            body["source"] = {
+                "sha256": digest(self.source_text),
+                "optimize": self.optimize,
+                "max_instructions": self.max_instructions,
+            }
+        return body
+
+    @property
+    def key(self) -> str:
+        """Content-addressed identity (hex SHA-256 of the description)."""
+        if self._key is None:
+            self._key = digest(canonical_json(self.describe()))
+        return self._key
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        return f"{self.workload} {self.config.notation()}"
+
+    # SimJob crosses process boundaries via pickle; drop the memoised key
+    # so tampering with a config after construction can't ship a stale key.
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__
+                if name != "_key"}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._key = None
+
+    def __repr__(self) -> str:
+        return (f"SimJob({self.workload!r}, {self.config.notation()}, "
+                f"scale={self.scale}, seed={self.seed})")

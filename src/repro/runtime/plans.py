@@ -1,0 +1,147 @@
+"""Per-experiment job enumeration (the scheduler's shopping list).
+
+``jobs_for(name, scale)`` mirrors each experiment module's default sweep —
+using the *same* constants the modules themselves export — so the runner
+can prewarm the cache in parallel before the (sequential) render pass.
+
+Fidelity here is a performance concern, never a correctness one: the
+render pass recomputes anything a plan missed, and a planned job that the
+experiment no longer needs just warms an unused cache entry.  The test
+suite asserts the plans stay in sync with what the experiments actually
+execute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.experiments import (
+    ablation_multiport,
+    ablation_window,
+    disc_small_l1,
+    fig5_bandwidth,
+    fig7_ports,
+    fig8_combining,
+    fig11_programs,
+)
+from repro.experiments.common import nm_config
+from repro.runtime.job import SimJob
+from repro.workloads.spec import ALL_PROGRAMS, INT_PROGRAMS
+
+
+def _jobs(programs: Sequence[str], configs: Iterable, scale: float
+          ) -> List[SimJob]:
+    configs = list(configs)
+    return [SimJob(name, config, scale=scale)
+            for name in programs for config in configs]
+
+
+def _fig7_like(scale: float, programs: Sequence[str],
+               n_values: Sequence[int], m_values: Sequence[int],
+               fast_forwarding: bool, combining: int) -> List[SimJob]:
+    out: List[SimJob] = []
+    for name in programs:
+        out.append(SimJob(name, nm_config(2, 0), scale=scale))
+        for n in n_values:
+            for m in m_values:
+                config = nm_config(n, m, fast_forwarding=fast_forwarding,
+                                   combining=combining if m else 1)
+                out.append(SimJob(name, config, scale=scale))
+    return out
+
+
+def _plan_table3(scale: float) -> List[SimJob]:
+    return _jobs(ALL_PROGRAMS,
+                 [nm_config(3, 2), nm_config(3, 2, fast_forwarding=True)],
+                 scale)
+
+
+def _plan_fig5(scale: float) -> List[SimJob]:
+    ports = list(fig5_bandwidth.PORT_COUNTS) + [fig5_bandwidth.LIMIT_PORTS]
+    return _jobs(ALL_PROGRAMS, [nm_config(n, 0) for n in ports], scale)
+
+
+def _plan_fig7(scale: float) -> List[SimJob]:
+    return _fig7_like(scale, ALL_PROGRAMS, fig7_ports.N_VALUES,
+                      fig7_ports.M_VALUES, False, 1)
+
+
+def _plan_fig8(scale: float) -> List[SimJob]:
+    configs = [nm_config(n, m, combining=degree)
+               for n, m in fig8_combining.CONFIGS
+               for degree in fig8_combining.DEGREES]
+    return _jobs(INT_PROGRAMS, configs, scale)
+
+
+def _plan_fig9(scale: float) -> List[SimJob]:
+    return _fig7_like(scale, ALL_PROGRAMS, fig7_ports.N_VALUES,
+                      fig7_ports.M_VALUES, True, 2)
+
+
+def _plan_fig10(scale: float) -> List[SimJob]:
+    configs = [
+        nm_config(2, 0),
+        nm_config(2, 2, fast_forwarding=True, combining=2),
+        nm_config(4, 0),
+        nm_config(4, 0, l1_hit_latency=3),
+    ]
+    return _jobs(ALL_PROGRAMS, configs, scale)
+
+
+def _plan_fig11(scale: float) -> List[SimJob]:
+    return _fig7_like(scale, fig11_programs.PROGRAMS,
+                      fig11_programs.N_VALUES, fig11_programs.M_VALUES,
+                      True, 2)
+
+
+def _plan_ablation_multiport(scale: float) -> List[SimJob]:
+    return _jobs(INT_PROGRAMS, ablation_multiport._configs().values(),
+                 scale)
+
+
+def _plan_ablation_window(scale: float) -> List[SimJob]:
+    configs = ([ablation_window._config(rob=size)
+                for size in ablation_window.ROB_SIZES]
+               + [ablation_window._config(lvaq=size)
+                  for size in ablation_window.LVAQ_SIZES])
+    return _jobs(ablation_window.PROGRAMS, configs, scale)
+
+
+def _plan_disc_small_l1(scale: float) -> List[SimJob]:
+    configs = []
+    for latency in disc_small_l1.L2_LATENCIES:
+        configs.append(nm_config(2, 0, l2_latency=latency))
+        configs.append(nm_config(2, 0, l1_size=2 * 1024, l1_assoc=1,
+                                 l1_hit_latency=1, l2_latency=latency))
+    return _jobs(INT_PROGRAMS, configs, scale)
+
+
+#: Experiments absent here (table1/table2/fig2/fig3/fig6) run no timing
+#: simulations in their ``main()`` — there is nothing to prewarm.
+PLANNERS: Dict[str, Callable[[float], List[SimJob]]] = {
+    "table3": _plan_table3,
+    "fig5": _plan_fig5,
+    "fig7": _plan_fig7,
+    "fig8": _plan_fig8,
+    "fig9": _plan_fig9,
+    "fig10": _plan_fig10,
+    "fig11": _plan_fig11,
+    "ablation-multiport": _plan_ablation_multiport,
+    "ablation-window": _plan_ablation_window,
+    "disc-small-l1": _plan_disc_small_l1,
+}
+
+
+def jobs_for(name: str, scale: float) -> List[SimJob]:
+    """Every timing simulation experiment *name* will request (pre-dedup)."""
+    planner = PLANNERS.get(name)
+    return planner(scale) if planner is not None else []
+
+
+def collect(names: Iterable[str], scale: float) -> List[SimJob]:
+    """The union of all named experiments' jobs (dedup happens in the
+    engine, but the shared (2+0) baselines already collapse there)."""
+    out: List[SimJob] = []
+    for name in names:
+        out.extend(jobs_for(name, scale))
+    return out

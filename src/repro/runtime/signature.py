@@ -1,0 +1,134 @@
+"""Stable content-addressed signatures for simulation jobs.
+
+Two ingredients make a cache key:
+
+* the **config signature** — derived *generically* from the configuration
+  objects' instance fields, so a newly added ``MachineConfig`` /
+  ``MemSystemConfig`` / ``DecoupleConfig`` field is picked up automatically
+  and can never silently poison the result cache;
+* the **code-version salt** — a hash over the source files of every
+  subpackage that affects simulation results, so editing the simulator
+  invalidates stale cached results without any manual version bump.
+
+Everything here must be stable across interpreter runs and across
+processes: no builtin ``hash``, no dict-iteration-order dependence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Tuple
+
+_SCALARS = (bool, int, float, str, bytes, type(None))
+
+#: Subpackages (and modules) whose source participates in the code salt.
+#: ``experiments``/``runtime``/``cli`` are deliberately excluded: they
+#: orchestrate simulations but cannot change a simulation's result.
+_SALT_SOURCES = (
+    "analysis",
+    "asm",
+    "core",
+    "isa",
+    "lang",
+    "mem",
+    "pipeline",
+    "stats",
+    "vm",
+    "workloads",
+    "errors.py",
+    "utils.py",
+)
+
+
+def describe_value(value: Any) -> Any:
+    """*value* as a JSON-serialisable structure, recursing into objects."""
+    if isinstance(value, _SCALARS):
+        if isinstance(value, bytes):
+            return value.hex()
+        return value
+    if isinstance(value, (list, tuple)):
+        return [describe_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): describe_value(v) for k, v in sorted(value.items())}
+    if hasattr(value, "__dict__"):
+        body: Dict[str, Any] = {"__type__": type(value).__name__}
+        for name, attr in sorted(vars(value).items()):
+            body[name] = describe_value(attr)
+        return body
+    raise TypeError(
+        f"cannot derive a stable signature from {type(value).__name__!r}"
+    )
+
+
+def describe_config(config: Any) -> Dict[str, Any]:
+    """Every field of *config* (recursively) as a JSON-serialisable dict."""
+    return describe_value(config)
+
+
+def _freeze(value: Any) -> Any:
+    """A hashable (tuple-based) mirror of :func:`describe_value` output."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple((k, _freeze(v)) for k, v in sorted(value.items()))
+    return value
+
+
+def config_signature(config: Any) -> Tuple:
+    """A hashable signature covering *every* field of *config*.
+
+    Unlike a hand-maintained field list, this cannot drift when a config
+    class grows a knob.
+    """
+    return _freeze(describe_config(config))
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON used for hashing and for manifest payloads."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def digest(text: str) -> str:
+    """Hex SHA-256 of *text*."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+_CODE_SALT: Dict[str, str] = {}
+
+
+def code_salt() -> str:
+    """Hash of the simulator's source code (cached per process).
+
+    ``REPRO_CACHE_SALT`` overrides the computed value — tests use this to
+    exercise invalidation, and deployments can pin it to share a cache
+    across trivially different checkouts.
+    """
+    override = os.environ.get("REPRO_CACHE_SALT")
+    if override:
+        return override
+    cached = _CODE_SALT.get("salt")
+    if cached is not None:
+        return cached
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    hasher = hashlib.sha256()
+    for entry in _SALT_SOURCES:
+        path = os.path.join(package_root, entry)
+        for source in sorted(_python_files(path)):
+            hasher.update(os.path.relpath(source, package_root).encode())
+            with open(source, "rb") as handle:
+                hasher.update(handle.read())
+    salt = hasher.hexdigest()[:16]
+    _CODE_SALT["salt"] = salt
+    return salt
+
+
+def _python_files(path: str):
+    if os.path.isfile(path):
+        yield path
+        return
+    for root, _dirs, files in os.walk(path):
+        for name in files:
+            if name.endswith(".py"):
+                yield os.path.join(root, name)

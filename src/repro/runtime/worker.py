@@ -1,0 +1,72 @@
+"""Job execution — runs inside worker processes (and in-process fallback).
+
+Kept import-light and top-level so :mod:`concurrent.futures` can ship jobs
+to freshly spawned interpreters on any start method.  Traces are memoised
+per process: a worker that receives several configs of the same workload
+(the common case — the scheduler dispatches jobs in workload order) only
+builds the trace once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.metrics import SimResult
+from repro.core.processor import Processor
+from repro.runtime.job import SimJob
+from repro.vm.trace import Trace
+
+_SOURCE_TRACES: Dict[Tuple, Trace] = {}
+
+
+def trace_for_job(job: SimJob) -> Trace:
+    """Build (or fetch from the per-process memo) the job's trace."""
+    if job.source_text is None:
+        from repro.experiments.common import trace_for
+
+        return trace_for(job.workload, job.scale, job.seed)
+    key = (job.workload, job.source_text, job.optimize,
+           job.max_instructions)
+    cached = _SOURCE_TRACES.get(key)
+    if cached is not None:
+        return cached
+    trace = _trace_from_source(job)
+    _SOURCE_TRACES[key] = trace
+    return trace
+
+
+def seed_source_trace(job: SimJob, trace: Trace) -> None:
+    """Pre-populate the per-process memo with an already-built trace.
+
+    Callers that have executed the program once (e.g. ``repro-cc sim``
+    prints trace statistics before timing) seed the memo so fork-started
+    workers inherit the trace instead of recompiling.
+    """
+    _SOURCE_TRACES[(job.workload, job.source_text, job.optimize,
+                    job.max_instructions)] = trace
+
+
+def _trace_from_source(job: SimJob) -> Trace:
+    from repro.asm import assemble
+    from repro.lang import CompilerOptions, compile_source
+    from repro.vm.machine import Machine
+
+    if job.workload.endswith(".s"):
+        program = assemble(job.source_text, source_name=job.workload)
+    else:
+        program = compile_source(
+            job.source_text,
+            CompilerOptions(source_name=job.workload,
+                            optimize=job.optimize),
+        )
+    vm = Machine(program, trace=True)
+    vm.run(max_instructions=job.max_instructions or 5_000_000)
+    trace = vm.trace
+    assert trace is not None
+    return trace
+
+
+def execute_job(job: SimJob) -> SimResult:
+    """Run one timing simulation to completion (pure; no cache I/O)."""
+    trace = trace_for_job(job)
+    return Processor(job.config).run(trace.insts, job.workload)

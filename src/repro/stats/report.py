@@ -57,6 +57,18 @@ class Table:
         return self.render()
 
 
+def format_duration(seconds: float) -> str:
+    """Humanised wall time: ``"87ms"``, ``"4.6s"``, ``"2m06s"``."""
+    if seconds < 0:
+        raise ValueError("durations cannot be negative")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:02.0f}s"
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Cell]],

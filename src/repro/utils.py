@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Iterable, Iterator, List, Sequence, TypeVar
 
@@ -70,6 +71,19 @@ def geometric_mean(values: Iterable[float]) -> float:
             raise ValueError("geometric mean requires positive values")
         product *= v
     return product ** (1.0 / len(values))
+
+
+def stable_hash(*parts: object) -> int:
+    """A 31-bit hash of *parts* that is stable across interpreter runs.
+
+    Python's builtin ``hash`` salts strings per process (PYTHONHASHSEED),
+    so seeding an RNG from it makes "deterministic" traces differ from run
+    to run — and poisons any persistent result cache.  This helper hashes
+    the ``repr`` of the parts through SHA-256 instead.
+    """
+    text = "\x1f".join(repr(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[16:20], "little") & 0x7FFFFFFF
 
 
 def make_rng(seed: int) -> random.Random:

@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 from repro.errors import WorkloadError
 from repro.isa.opcodes import FuClass
 from repro.isa.program import DATA_BASE, STACK_BASE
-from repro.utils import make_rng
+from repro.utils import make_rng, stable_hash
 from repro.vm.trace import DynInst, NO_REG, Trace
 from repro.workloads.spec import WorkloadSpec
 
@@ -73,7 +73,7 @@ class SyntheticGenerator:
             raise WorkloadError("trace length must be positive")
         self.spec = spec
         self.length = length
-        self.rng = make_rng(hash((spec.name, seed)) & 0x7FFFFFFF)
+        self.rng = make_rng(stable_hash(spec.name, seed))
         self.trace = Trace(spec.name)
         self._emitted = 0
         self._counts = {

@@ -1,0 +1,123 @@
+"""The repro-experiments CLI: --list, multiple names, --keep-going,
+exit codes, prewarm + manifest plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import common, runner
+from repro.runtime import plans
+from repro.runtime.job import SimJob
+
+
+@pytest.fixture(autouse=True)
+def _isolate_runtime(monkeypatch):
+    """Keep each CLI invocation's session out of the shared module state."""
+    monkeypatch.setattr(common, "_SESSION", None)
+    yield
+    common.clear_result_cache()
+    common._SESSION = None
+
+
+def test_list_prints_every_experiment(capsys):
+    assert runner.main(["--list"]) == 0
+    printed = capsys.readouterr().out.split()
+    assert printed == sorted(runner.EXPERIMENTS)
+
+
+def test_no_experiments_is_a_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        runner.main([])
+    assert exc.value.code == 2
+
+
+def test_unknown_experiment_is_a_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        runner.main(["not-a-figure"])
+    assert exc.value.code == 2
+
+
+def _fake_experiments(monkeypatch, log):
+    def ok():
+        log.append("ok")
+        print("ok output")
+
+    def boom():
+        log.append("boom")
+        raise RuntimeError("injected failure")
+
+    monkeypatch.setattr(runner, "EXPERIMENTS", {"ok": ok, "boom": boom})
+
+
+def test_failure_aborts_without_keep_going(monkeypatch, capsys):
+    log = []
+    _fake_experiments(monkeypatch, log)
+    rc = runner.main(["boom", "ok", "--no-cache"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert log == ["boom"]  # "ok" never ran
+    assert "boom" in captured.err
+    assert "injected failure" in captured.err
+
+
+def test_keep_going_runs_the_rest_and_reports(monkeypatch, capsys):
+    log = []
+    _fake_experiments(monkeypatch, log)
+    rc = runner.main(["boom", "ok", "--keep-going", "--no-cache"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert log == ["boom", "ok"]
+    assert "ok output" in captured.out
+    assert "1 experiment(s) failed: boom" in captured.err
+
+
+def test_multiple_names_run_in_order(monkeypatch, capsys):
+    log = []
+    _fake_experiments(monkeypatch, log)
+    rc = runner.main(["ok", "ok", "--no-cache"])
+    assert rc == 0
+    assert log == ["ok"]  # duplicates collapse
+    assert "[ok took" in capsys.readouterr().out
+
+
+def test_prewarm_writes_manifest_and_seeds_results(monkeypatch, tmp_path,
+                                                   capsys):
+    ran = []
+
+    def fake_main():
+        # The render phase must find the prewarmed result in the memo.
+        result = common.run_sim("130.li", common.nm_config(2, 0),
+                                scale=0.12)
+        ran.append(result.cycles)
+
+    monkeypatch.setattr(runner, "EXPERIMENTS", {"fake": fake_main})
+    monkeypatch.setitem(
+        plans.PLANNERS, "fake",
+        lambda scale: [SimJob("130.li", common.nm_config(2, 0),
+                              scale=0.12)])
+    manifest_path = tmp_path / "manifest.json"
+    rc = runner.main(["fake", "--jobs", "1",
+                      "--cache-dir", str(tmp_path / "cache"),
+                      "--manifest", str(manifest_path)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert ran and ran[0] > 0
+    assert "[runtime]" in captured.err
+    payload = json.loads(manifest_path.read_text())
+    assert payload["jobs_total"] == 1
+    assert payload["jobs_ran"] == 1
+    assert payload["jobs"][0]["workload"] == "130.li"
+    assert payload["jobs"][0]["status"] == "ran"
+
+    # Second invocation: warm cache, manifest reports the hit rate.
+    monkeypatch.setattr(common, "_SESSION", None)
+    common.clear_result_cache()
+    rc = runner.main(["fake", "--jobs", "1",
+                      "--cache-dir", str(tmp_path / "cache"),
+                      "--manifest", str(manifest_path)])
+    assert rc == 0
+    payload = json.loads(manifest_path.read_text())
+    assert payload["jobs_cached"] == 1
+    assert payload["cache_hit_rate"] == 1.0

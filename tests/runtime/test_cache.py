@@ -1,0 +1,88 @@
+"""On-disk result cache: roundtrips, salt invalidation, corruption."""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.metrics import SimResult
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.stats.counters import CounterSet
+
+KEY = "ab" + "0" * 62
+
+
+def _result(cycles: int = 100) -> SimResult:
+    counters = CounterSet()
+    counters.add("l1.accesses", 10)
+    counters.add("l1.misses", 2)
+    return SimResult("(2+0)", "130.li", cycles, 250, counters)
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path), salt="s1")
+    assert cache.get(KEY) is None
+    cache.put(KEY, _result(), meta={"workload": "130.li"})
+    loaded = cache.get(KEY)
+    assert loaded is not None
+    assert loaded.cycles == 100
+    assert loaded.counters.get("l1.misses") == 2
+    assert cache.hits == 1 and cache.misses == 1 and cache.writes == 1
+    assert 0 < cache.hit_rate < 1
+
+
+def test_meta_sidecar_written(tmp_path):
+    cache = ResultCache(str(tmp_path), salt="s1")
+    cache.put(KEY, _result(), meta={"workload": "130.li"})
+    meta_path = os.path.join(cache.dir, KEY[:2], KEY + ".json")
+    assert os.path.exists(meta_path)
+
+
+def test_code_salt_invalidates(tmp_path):
+    """A new code version must never serve results from an old one."""
+    old = ResultCache(str(tmp_path), salt="code-v1")
+    old.put(KEY, _result())
+    new = ResultCache(str(tmp_path), salt="code-v2")
+    assert new.get(KEY) is None
+    # ... while the old version's entries stay untouched.
+    assert old.get(KEY) is not None
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
+    cache = ResultCache(str(tmp_path), salt="s1")
+    cache.put(KEY, _result())
+    path = os.path.join(cache.dir, KEY[:2], KEY + ".pkl")
+    with open(path, "wb") as handle:
+        handle.write(b"\x80\x04 truncated garbage")
+    assert cache.get(KEY) is None
+    assert not os.path.exists(path)
+    # And a recompute repopulates it.
+    cache.put(KEY, _result(cycles=77))
+    assert cache.get(KEY).cycles == 77
+
+
+def test_non_result_payload_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path), salt="s1")
+    path = os.path.join(cache.dir, KEY[:2], KEY + ".pkl")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    import pickle
+
+    with open(path, "wb") as handle:
+        pickle.dump({"not": "a result"}, handle)
+    assert cache.get(KEY) is None
+
+
+def test_default_cache_dir_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+    assert default_cache_dir() == "/tmp/somewhere"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", "/tmp/xdg")
+    assert default_cache_dir() == os.path.join("/tmp/xdg", "repro")
+
+
+def test_stats_payload(tmp_path):
+    cache = ResultCache(str(tmp_path), salt="s1")
+    cache.put(KEY, _result())
+    cache.get(KEY)
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["writes"] == 1
+    assert stats["salt"] == "s1"

@@ -1,0 +1,81 @@
+"""Scheduler plans: fidelity to what experiments actually run, and
+cross-figure dedup of shared configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common, fig8_combining, fig10_latency
+from repro.runtime import plans
+from repro.runtime.engine import RuntimeSession
+
+SCALE = 0.12
+TWO_PROGRAMS = ("130.li", "129.compress")
+
+
+@pytest.fixture
+def observed_jobs(monkeypatch):
+    """Record every cache-missing job run_sim executes, hermetically."""
+    common.clear_result_cache()
+    monkeypatch.setattr(common, "_SESSION", RuntimeSession(no_cache=True))
+    observed = []
+    monkeypatch.setattr(common, "JOB_OBSERVER", observed.append)
+    yield observed
+    common.clear_result_cache()
+
+
+def test_fig10_plan_matches_execution(observed_jobs, monkeypatch):
+    """The prewarm plan covers exactly the sims the figure executes."""
+    monkeypatch.setattr(plans, "ALL_PROGRAMS", TWO_PROGRAMS)
+    monkeypatch.setattr(fig10_latency, "ALL_PROGRAMS", TWO_PROGRAMS)
+    planned = {job.key for job in plans.jobs_for("fig10", SCALE)}
+    fig10_latency.run(scale=SCALE)
+    executed = {job.key for job in observed_jobs}
+    assert executed == planned
+
+
+def test_fig8_plan_matches_execution(observed_jobs, monkeypatch):
+    monkeypatch.setattr(plans, "INT_PROGRAMS", ("130.li",))
+    monkeypatch.setattr(fig8_combining, "INT_PROGRAMS", ("130.li",))
+    planned = {job.key for job in plans.jobs_for("fig8", SCALE)}
+    fig8_combining.run(scale=SCALE)
+    executed = {job.key for job in observed_jobs}
+    assert executed == planned
+
+
+def test_trace_only_experiments_plan_nothing():
+    for name in ("table1", "table2", "fig2", "fig3", "fig6"):
+        assert plans.jobs_for(name, SCALE) == []
+
+
+def test_every_planner_name_is_a_real_experiment():
+    from repro.experiments.runner import EXPERIMENTS
+
+    assert set(plans.PLANNERS) <= set(EXPERIMENTS)
+
+
+def test_shared_baseline_dedupes_across_figures():
+    """The (2+0) baseline appears in fig7/fig9/fig10/fig11 — the engine
+    must see those as the same key."""
+    jobs = plans.collect(["fig7", "fig9", "fig10", "fig11"], SCALE)
+    keys = {job.key for job in jobs}
+    assert len(keys) < len(jobs)
+    # Specifically: per program, (2+0) shows up in several plans but maps
+    # to a single key.
+    li_baseline = {job.key for job in jobs
+                   if job.workload == "130.li"
+                   and job.config.notation() == "(2+0)"
+                   and not job.config.decouple.fast_forwarding
+                   and job.config.decouple.combining == 1
+                   and job.config.mem.l2_latency == 12
+                   and job.config.mem.l1_hit_latency == 2
+                   and job.config.mem.l1_size == 32 * 1024}
+    assert len(li_baseline) == 1
+
+
+def test_collect_covers_all(monkeypatch):
+    all_jobs = plans.collect(sorted(plans.PLANNERS), SCALE)
+    assert len(all_jobs) > 500
+    for job in all_jobs:
+        assert job.scale == SCALE
+        assert job.seed == 1

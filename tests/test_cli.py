@@ -81,6 +81,17 @@ def test_sim_custom_configs(source_file, capsys):
     assert "(1+0" in out and "(4+0" in out
 
 
+def test_sim_parallel_matches_sequential(source_file, capsys):
+    """--jobs fans configs out to workers; output must be identical."""
+    configs = ["--config", "1+0", "--config", "2+0", "--config", "2+2:opt"]
+    assert main(["sim", source_file] + configs) == 0
+    sequential = capsys.readouterr().out
+    assert main(["sim", source_file, "--jobs", "2"] + configs) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == sequential
+    assert "best vs 1+0" in parallel
+
+
 def test_stats_command(source_file, capsys):
     assert main(["stats", source_file]) == 0
     out = capsys.readouterr().out
