@@ -7,7 +7,9 @@ Subcommands:
 * ``sim file.mc``      — compile, execute, and time the committed stream
   on one or more ``(N+M)`` machine configurations;
 * ``stats file.mc``    — trace characterisation (local fraction, frames,
-  reuse, classification).
+  reuse, classification);
+* ``perf``             — benchmark the simulator core itself against the
+  frozen seed model (see :mod:`repro.perf`).
 
 ``file.mc`` may be ``-`` to read from stdin.  Assembly files (``.s``) are
 accepted everywhere a ``.mc`` file is.
@@ -169,6 +171,42 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro.perf import bench
+
+    if args.profile:
+        print(bench.profile_run(args.profile, length=args.length,
+                                seed=args.seed))
+        return 0
+    workloads = args.workloads or (
+        bench.QUICK_WORKLOADS if args.quick else bench.DEFAULT_WORKLOADS)
+    length = args.length
+    if length is None:
+        length = bench.QUICK_LENGTH if args.quick else bench.DEFAULT_LENGTH
+    report = bench.run_benchmark(
+        workloads=workloads,
+        config_name=args.config,
+        length=length,
+        seed=args.seed,
+        warmup=args.warmup,
+        repeat=args.repeat,
+        compare=not args.no_compare,
+    )
+    print(bench.format_report(report))
+    if args.output:
+        bench.write_report(report, args.output)
+        print(f"\nwrote {args.output}")
+    if args.check:
+        baseline = bench.load_report(args.check)
+        failures = bench.check_regression(report, baseline,
+                                          tolerance=args.tolerance)
+        for failure in failures:
+            print(f"repro-cc perf: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cc",
@@ -209,6 +247,37 @@ def make_parser() -> argparse.ArgumentParser:
     stats_p = sub.add_parser("stats", help="trace characterisation")
     add_common(stats_p)
     stats_p.set_defaults(func=cmd_stats)
+
+    perf_p = sub.add_parser(
+        "perf", help="benchmark the simulator core vs the seed model")
+    perf_p.add_argument("--quick", action="store_true",
+                        help="small workload subset at a shorter length")
+    perf_p.add_argument("--workloads", nargs="+", metavar="NAME",
+                        help="explicit workload list (default: SPEC95 set)")
+    perf_p.add_argument("--config", default="2+2:opt",
+                        help="golden config notation (default 2+2:opt, "
+                             "the paper's Figure 9 machine)")
+    perf_p.add_argument("--length", type=int, default=None,
+                        help="dynamic instructions per workload")
+    perf_p.add_argument("--seed", type=int, default=1,
+                        help="trace-generation seed")
+    perf_p.add_argument("--warmup", type=int, default=1,
+                        help="discarded rounds per workload (default 1)")
+    perf_p.add_argument("--repeat", type=int, default=3,
+                        help="timed rounds per workload (default 3)")
+    perf_p.add_argument("--no-compare", action="store_true",
+                        help="time only the optimized core")
+    perf_p.add_argument("--output", metavar="PATH",
+                        help="write BENCH_core.json here")
+    perf_p.add_argument("--check", metavar="BASELINE",
+                        help="fail if throughput regresses vs this "
+                             "BENCH_core.json")
+    perf_p.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression for --check "
+                             "(default 0.20)")
+    perf_p.add_argument("--profile", metavar="WORKLOAD",
+                        help="cProfile one workload instead of benchmarking")
+    perf_p.set_defaults(func=cmd_perf)
     return parser
 
 

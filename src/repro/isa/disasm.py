@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Fmt, Opcode
+from repro.isa.opcodes import Fmt, LATENCY_BY_INT, Opcode
 from repro.isa.registers import reg_name
 
 
@@ -54,8 +54,14 @@ def disassemble(ins: Instruction) -> str:
     raise AssertionError(f"unhandled format {fmt}")
 
 
-def disassemble_program(program) -> str:
-    """Render a whole :class:`~repro.isa.program.Program` with labels."""
+def disassemble_program(program, annotate_latency: bool = False) -> str:
+    """Render a whole :class:`~repro.isa.program.Program` with labels.
+
+    With ``annotate_latency`` each line carries the execution latency the
+    timing simulator will charge — read from the same int-indexed
+    ``LATENCY_BY_INT`` table the issue stage uses, so the listing can
+    never drift from the model.
+    """
     by_index = {}
     for name, index in program.labels.items():
         by_index.setdefault(index, []).append(name)
@@ -63,5 +69,8 @@ def disassemble_program(program) -> str:
     for i, ins in enumerate(program.instructions):
         for name in sorted(by_index.get(i, [])):
             lines.append(f"{name}:")
-        lines.append(f"    {disassemble(ins)}")
+        text = disassemble(ins)
+        if annotate_latency:
+            text = f"{text:<40s} ; {LATENCY_BY_INT[int(ins.op.fu)]}c"
+        lines.append(f"    {text}")
     return "\n".join(lines)

@@ -154,6 +154,13 @@ LATENCY = {
     FuClass.SYSCALL: 1,
 }
 
+#: ``LATENCY`` as a plain list indexed by ``int(FuClass)``.  Hot paths (the
+#: processor's issue stage, the FU pools, the disassembler's annotations)
+#: index this instead of constructing a ``FuClass`` per lookup — enum
+#: construction is ~10x the cost of a list index and the timing simulator
+#: performs one per issued instruction.
+LATENCY_BY_INT = [LATENCY[fu] for fu in sorted(FuClass, key=int)]
+
 #: Mnemonic -> Opcode lookup used by the assembler.
 BY_MNEMONIC = {op.mnemonic: op for op in Opcode}
 

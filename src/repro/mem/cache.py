@@ -70,6 +70,14 @@ class Cache:
         # Each set is an MRU-ordered list of line numbers.
         self._sets: List[List[int]] = [[] for _ in range(geometry.num_sets)]
         self._dirty: Set[int] = set()
+        # Counter names precomputed (an f-string per access is measurable
+        # on the simulator's hot path), bumped through the CounterSet's
+        # backing dict; the lazy get() keeps never-bumped names absent.
+        self._counts = self.counters._counts
+        self._k_accesses = name + ".accesses"
+        self._k_hits = name + ".hits"
+        self._k_misses = name + ".misses"
+        self._k_writebacks = name + ".writebacks"
 
     # -- queries -------------------------------------------------------------
 
@@ -81,19 +89,22 @@ class Cache:
     def access(self, addr: int, is_store: bool) -> bool:
         """Look up *addr*; allocate on miss.  Returns hit/miss."""
         geom = self.geom
-        line = geom.line_of(addr)
-        ways = self._sets[geom.set_of(line)]
-        counters = self.counters
-        counters.add(f"{self.name}.accesses")
+        line = addr >> geom.line_shift
+        ways = self._sets[line & geom.set_mask]
+        counts = self._counts
+        key = self._k_accesses
+        counts[key] = counts.get(key, 0) + 1
         if line in ways:
-            counters.add(f"{self.name}.hits")
+            key = self._k_hits
+            counts[key] = counts.get(key, 0) + 1
             if ways[0] != line:
                 ways.remove(line)
                 ways.insert(0, line)
             if is_store:
                 self._dirty.add(line)
             return True
-        counters.add(f"{self.name}.misses")
+        key = self._k_misses
+        counts[key] = counts.get(key, 0) + 1
         self._fill(line, ways)
         if is_store:
             self._dirty.add(line)
@@ -104,7 +115,9 @@ class Cache:
             victim = ways.pop()
             if victim in self._dirty:
                 self._dirty.discard(victim)
-                self.counters.add(f"{self.name}.writebacks")
+                counts = self._counts
+                key = self._k_writebacks
+                counts[key] = counts.get(key, 0) + 1
         ways.insert(0, line)
 
     def invalidate(self, addr: int) -> bool:

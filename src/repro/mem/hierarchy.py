@@ -130,6 +130,8 @@ class MemoryHierarchy:
         self.l1_mshr = MshrFile(config.mshr_entries)
         self.l1_ports = make_ports(config.l1_port_policy, config.l1_ports)
         self._bus_busy_until = 0
+        #: Hit/miss of the most recent first-level access (set by ``_ready``).
+        self.last_hit = False
 
     # -- per-cycle maintenance ---------------------------------------------
 
@@ -143,31 +145,46 @@ class MemoryHierarchy:
 
     def access_l1(self, addr: int, is_store: bool, now: int) -> AccessResult:
         """One L1 transaction (the port must already be reserved)."""
-        return self._access(self.l1, self.l1_mshr,
-                            self.config.l1_hit_latency, addr, is_store, now)
+        ready = self.ready_l1(addr, is_store, now)
+        return AccessResult(ready, self.last_hit)
 
     def access_lvc(self, addr: int, is_store: bool, now: int) -> AccessResult:
         """One LVC transaction (the port must already be reserved)."""
+        ready = self.ready_lvc(addr, is_store, now)
+        return AccessResult(ready, self.last_hit)
+
+    def ready_l1(self, addr: int, is_store: bool, now: int) -> int:
+        """:meth:`access_l1` without the result object (hot path): returns
+        the fill-ready cycle and leaves hit/miss in ``last_hit``."""
+        return self._ready(self.l1, self.l1_mshr,
+                           self.config.l1_hit_latency, addr, is_store, now)
+
+    def ready_lvc(self, addr: int, is_store: bool, now: int) -> int:
+        """:meth:`access_lvc` without the result object (hot path)."""
         if self.lvc is None or self.lvc_mshr is None:
             raise ConfigError("this configuration has no LVC")
-        return self._access(self.lvc, self.lvc_mshr,
-                            self.config.lvc_hit_latency, addr, is_store, now)
+        return self._ready(self.lvc, self.lvc_mshr,
+                           self.config.lvc_hit_latency, addr, is_store, now)
 
-    def _access(self, cache: Cache, mshr: MshrFile, hit_latency: int,
-                addr: int, is_store: bool, now: int) -> AccessResult:
-        line = cache.geom.line_of(addr)
+    def _ready(self, cache: Cache, mshr: MshrFile, hit_latency: int,
+               addr: int, is_store: bool, now: int) -> int:
+        line = addr >> cache.geom.line_shift
         pending = mshr.lookup(line, now)
         if cache.access(addr, is_store):
             if pending is not None:
                 # Secondary miss: tags were filled at primary-miss time but
                 # the line is still in flight — merge into the MSHR entry.
-                return AccessResult(max(pending, now + hit_latency), False)
-            return AccessResult(now + hit_latency, True)
+                self.last_hit = False
+                t = now + hit_latency
+                return pending if pending > t else t
+            self.last_hit = True
+            return now + hit_latency
+        self.last_hit = False
         ready = self._miss(now + hit_latency, addr, is_store)
         if not mshr.allocate(line, ready, now):
             # MSHR file full: the request queues behind the oldest fill.
             ready += 1
-        return AccessResult(ready, False)
+        return ready
 
     def _miss(self, start: int, addr: int, is_store: bool) -> int:
         """Latency path through the shared bus, L2, and main memory."""

@@ -37,19 +37,28 @@ class MshrFile:
 
         A hit here merges the request into the existing entry.
         """
-        self._expire(now)
-        ready = self._pending.get(line)
+        pending = self._pending
+        if not pending:
+            return None
+        done = [ln for ln, t in pending.items() if t <= now]
+        for ln in done:
+            del pending[ln]
+        ready = pending.get(line)
         if ready is not None:
             self.merged += 1
         return ready
 
     def allocate(self, line: int, ready: int, now: int) -> bool:
         """Track a new outstanding fill; False when the file is full."""
-        self._expire(now)
-        if len(self._pending) >= self.entries:
+        pending = self._pending
+        if pending:
+            done = [ln for ln, t in pending.items() if t <= now]
+            for ln in done:
+                del pending[ln]
+        if len(pending) >= self.entries:
             self.full_events += 1
             return False
-        self._pending[line] = ready
+        pending[line] = ready
         self.allocations += 1
         return True
 

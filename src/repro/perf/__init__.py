@@ -1,0 +1,7 @@
+"""Performance tooling: golden-equivalence harness and benchmark runner.
+
+``repro.perf.reference`` keeps a frozen copy of the straightforward
+simulator core; ``repro.perf.golden`` checks the optimized core against it
+bit-for-bit; ``repro.perf.bench`` measures simulated-instructions-per-
+second and emits ``BENCH_core.json`` (run via ``repro-cc perf``).
+"""

@@ -1,0 +1,249 @@
+"""Microbenchmark harness for the simulator core (``repro-cc perf``).
+
+Measures simulated-instructions-per-second of the optimized
+:class:`repro.core.processor.Processor` and, optionally, of the frozen
+seed core, reporting the speedup ratio the performance work is judged by.
+
+Methodology notes, learned the hard way on shared hardware:
+
+* **Interleaved rounds.**  Machine speed drifts on the scale of seconds
+  (frequency scaling, co-tenants).  Timing all new-core rounds and then
+  all reference rounds folds that drift straight into the ratio.  The
+  harness instead alternates new/reference rounds per workload, so both
+  cores sample the same drift.
+* **Best-of-N.**  A timing run can only be slowed down by interference,
+  never sped up, so the minimum over rounds is the best estimate of true
+  cost.  Means/medians are reported for context only.
+* **Warmup.**  The first round touches cold code objects (and the trace
+  builder's caches); warmup rounds are run and discarded.
+
+Results are emitted as ``BENCH_core.json`` so CI can diff throughput
+against a committed baseline (:func:`check_regression`).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+from time import perf_counter_ns
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.processor import Processor
+from repro.perf.golden import FIG9_CONFIG, golden_config
+
+#: Schema tag for BENCH_core.json; bump on incompatible layout changes.
+SCHEMA = "repro.perf.bench/1"
+
+#: Workloads benchmarked by default: the paper's full SPEC95 subset.
+DEFAULT_WORKLOADS = (
+    "099.go", "124.m88ksim", "126.gcc", "129.compress",
+    "130.li", "132.ijpeg", "134.perl", "147.vortex",
+    "101.tomcatv", "102.swim", "103.su2cor", "107.mgrid",
+)
+
+#: ``--quick`` subset: one pointer-heavy, one loop-heavy, one FP workload.
+QUICK_WORKLOADS = ("129.compress", "130.li", "102.swim")
+
+DEFAULT_LENGTH = 60_000
+QUICK_LENGTH = 20_000
+
+
+def _time_run(processor_cls, insts, config: MachineConfig,
+              workload: str) -> int:
+    """Wall nanoseconds of one simulation of *insts* on a fresh core."""
+    core = processor_cls(config)
+    t0 = perf_counter_ns()
+    core.run(insts, workload)
+    return perf_counter_ns() - t0
+
+
+def bench_workload(
+    workload: str,
+    insts,
+    config: MachineConfig,
+    warmup: int = 1,
+    repeat: int = 3,
+    compare: bool = True,
+) -> Dict:
+    """Benchmark one workload; returns its BENCH_core.json entry.
+
+    With ``compare`` the seed core is timed in the same pass, one round
+    of each per iteration (see the module docstring for why).
+    """
+    from repro.perf.reference import ReferenceProcessor
+
+    n_insts = len(insts)
+    for _ in range(warmup):
+        _time_run(Processor, insts, config, workload)
+        if compare:
+            _time_run(ReferenceProcessor, insts, config, workload)
+    new_ns: List[int] = []
+    ref_ns: List[int] = []
+    for _ in range(repeat):
+        new_ns.append(_time_run(Processor, insts, config, workload))
+        if compare:
+            ref_ns.append(
+                _time_run(ReferenceProcessor, insts, config, workload))
+
+    def _stats(samples: List[int]) -> Dict:
+        best = min(samples)
+        return {
+            "best_ns": best,
+            "mean_ns": int(statistics.fmean(samples)),
+            "median_ns": int(statistics.median(samples)),
+            "stdev_ns": int(statistics.stdev(samples)) if len(samples) > 1
+            else 0,
+            "kips": round(n_insts / best * 1e6, 1),
+        }
+
+    entry = {
+        "workload": workload,
+        "instructions": n_insts,
+        "repeat": repeat,
+        "optimized": _stats(new_ns),
+    }
+    if compare:
+        entry["reference"] = _stats(ref_ns)
+        entry["speedup"] = round(min(ref_ns) / min(new_ns), 3)
+    return entry
+
+
+def run_benchmark(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    config: Optional[MachineConfig] = None,
+    config_name: str = FIG9_CONFIG,
+    length: int = DEFAULT_LENGTH,
+    seed: int = 1,
+    warmup: int = 1,
+    repeat: int = 3,
+    compare: bool = True,
+) -> Dict:
+    """Full benchmark sweep; returns the BENCH_core.json document.
+
+    The aggregate ``speedup_vs_reference`` is the ratio of summed
+    best-round times (total work done per unit time), with the geometric
+    mean of per-workload ratios alongside it.
+    """
+    from repro.workloads.builder import build_trace
+
+    if config is None:
+        config = golden_config(config_name)
+    entries = []
+    for workload in workloads:
+        insts = build_trace(workload, length=length, seed=seed).insts
+        entries.append(
+            bench_workload(workload, insts, config,
+                           warmup=warmup, repeat=repeat, compare=compare))
+
+    total_insts = sum(e["instructions"] for e in entries)
+    total_new = sum(e["optimized"]["best_ns"] for e in entries)
+    aggregate = {
+        "instructions": total_insts,
+        "kips": round(total_insts / total_new * 1e6, 1),
+    }
+    if compare:
+        total_ref = sum(e["reference"]["best_ns"] for e in entries)
+        aggregate["speedup_vs_reference"] = round(total_ref / total_new, 3)
+        aggregate["speedup_geomean"] = round(
+            statistics.geometric_mean(e["speedup"] for e in entries), 3)
+
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "config": config_name,
+        "length": length,
+        "seed": seed,
+        "warmup": warmup,
+        "repeat": repeat,
+        "workloads": entries,
+        "aggregate": aggregate,
+    }
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     tolerance: float = 0.20) -> List[str]:
+    """Throughput-regression check against a committed baseline.
+
+    Compares aggregate kips; a drop of more than ``tolerance`` (fraction)
+    fails.  Absolute kips varies across machines, so CI compares a run
+    against a baseline produced *in the same job*, or applies a generous
+    tolerance to the committed one.  Returns failure messages (empty =
+    pass).
+    """
+    failures: List[str] = []
+    base_kips = baseline.get("aggregate", {}).get("kips")
+    cur_kips = current.get("aggregate", {}).get("kips")
+    if not base_kips or not cur_kips:
+        return ["baseline or current report lacks aggregate kips"]
+    floor = base_kips * (1.0 - tolerance)
+    if cur_kips < floor:
+        failures.append(
+            f"aggregate throughput regressed: {cur_kips:.0f} kips vs "
+            f"baseline {base_kips:.0f} kips "
+            f"(floor {floor:.0f} at {tolerance:.0%} tolerance)")
+    return failures
+
+
+def profile_run(workload: str, config: Optional[MachineConfig] = None,
+                length: int = DEFAULT_LENGTH, seed: int = 1,
+                sort: str = "cumulative", limit: int = 30) -> str:
+    """cProfile one simulation; returns the formatted stats table."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.workloads.builder import build_trace
+
+    if config is None:
+        config = golden_config(FIG9_CONFIG)
+    insts = build_trace(workload, length=length, seed=seed).insts
+    core = Processor(config)
+    prof = cProfile.Profile()
+    prof.enable()
+    core.run(insts, workload)
+    prof.disable()
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats(sort).print_stats(limit)
+    return buf.getvalue()
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable rendering of a benchmark report."""
+    lines = [
+        f"core benchmark — config {report['config']}, "
+        f"length {report['length']}, "
+        f"best of {report['repeat']} (+{report['warmup']} warmup), "
+        f"python {report['python']}",
+        "",
+        f"{'workload':<14} {'insts':>8} {'opt kips':>10} "
+        f"{'ref kips':>10} {'speedup':>8}",
+    ]
+    for e in report["workloads"]:
+        ref = e.get("reference")
+        lines.append(
+            f"{e['workload']:<14} {e['instructions']:>8} "
+            f"{e['optimized']['kips']:>10.1f} "
+            f"{(ref['kips'] if ref else float('nan')):>10.1f} "
+            f"{e.get('speedup', float('nan')):>8.2f}")
+    agg = report["aggregate"]
+    lines.append("")
+    lines.append(f"aggregate: {agg['kips']:.1f} kips"
+                 + (f", speedup vs reference {agg['speedup_vs_reference']:.2f}x"
+                    f" (geomean {agg['speedup_geomean']:.2f}x)"
+                    if "speedup_vs_reference" in agg else ""))
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Write the report as formatted JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    """Load a previously written BENCH_core.json."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,142 @@
+"""Golden-equivalence harness: the optimized core vs the frozen seed core.
+
+The tentpole requirement of the performance work is that the optimized
+:class:`repro.core.processor.Processor` is **bit-identical** to the seed
+model — same cycle counts, same instruction counts, same counter values —
+on every workload/configuration pair the experiment suite uses.  This
+module runs both cores over a matrix of (workload, config) pairs and
+reports every divergence, field by field.
+
+``repro.perf.reference.ReferenceProcessor`` is a frozen, vendored copy of
+the seed core; it shares the memory hierarchy, trace, and counter code
+with the live core (those layers carry the modelled state machines), so a
+comparison here exercises exactly the parts the optimization rewrote: the
+pipeline loop, the calendar queue, the issue lanes, and the memory-queue
+index maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import SimResult
+from repro.core.processor import Processor
+from repro.perf.reference import ReferenceProcessor
+from repro.vm.trace import DynInst
+
+#: The configuration axes of the paper's evaluation, by notation.  The
+#: fig9 pair (2+2 with fast forwarding and combining) is the headline
+#: configuration; the rest cover the sweeps the figures run.
+GOLDEN_CONFIGS: Tuple[Tuple[str, Dict], ...] = (
+    ("2+0", dict(l1_ports=2, lvc_ports=0)),
+    ("1+1", dict(l1_ports=1, lvc_ports=1)),
+    ("2+2", dict(l1_ports=2, lvc_ports=2)),
+    ("4+0", dict(l1_ports=4, lvc_ports=0)),
+    ("2+2:opt", dict(l1_ports=2, lvc_ports=2,
+                     fast_forwarding=True, combining=2)),
+    ("3+1:opt", dict(l1_ports=3, lvc_ports=1,
+                     fast_forwarding=True, combining=2)),
+)
+
+#: Notation of the paper's Figure 9 configuration.
+FIG9_CONFIG = "2+2:opt"
+
+
+def golden_config(notation: str) -> MachineConfig:
+    """The :class:`MachineConfig` for a :data:`GOLDEN_CONFIGS` notation."""
+    for name, kwargs in GOLDEN_CONFIGS:
+        if name == notation:
+            return MachineConfig.baseline(**kwargs)
+    raise KeyError(notation)
+
+
+class Mismatch:
+    """One observed divergence between the two cores."""
+
+    __slots__ = ("workload", "config", "field", "expected", "actual")
+
+    def __init__(self, workload: str, config: str, field: str,
+                 expected, actual):
+        self.workload = workload
+        self.config = config
+        self.field = field
+        self.expected = expected
+        self.actual = actual
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.workload} on {self.config}: {self.field} "
+            f"expected {self.expected!r}, got {self.actual!r}"
+        )
+
+
+def diff_results(workload: str, config: str,
+                 expected: SimResult, actual: SimResult) -> List[Mismatch]:
+    """Field-by-field comparison of two simulation results.
+
+    Cycle and instruction counts must match exactly, and the counter
+    dictionaries must be *equal as dictionaries*: a counter absent on one
+    side and zero on the other is still a divergence, because the seed
+    core only materialises counters it actually bumped.
+    """
+    mismatches: List[Mismatch] = []
+    if actual.cycles != expected.cycles:
+        mismatches.append(Mismatch(workload, config, "cycles",
+                                   expected.cycles, actual.cycles))
+    if actual.instructions != expected.instructions:
+        mismatches.append(
+            Mismatch(workload, config, "instructions",
+                     expected.instructions, actual.instructions))
+    want = expected.counters.as_dict()
+    got = actual.counters.as_dict()
+    if want != got:
+        for key in sorted(set(want) | set(got)):
+            if want.get(key) != got.get(key):
+                mismatches.append(
+                    Mismatch(workload, config, f"counters[{key}]",
+                             want.get(key), got.get(key)))
+    return mismatches
+
+
+def compare_on_trace(
+    insts: Sequence[DynInst],
+    config: MachineConfig,
+    workload: str = "<trace>",
+    config_name: str = "<config>",
+    optimized: Type = Processor,
+    reference: Type = ReferenceProcessor,
+) -> List[Mismatch]:
+    """Run both cores over one prepared trace and diff the results."""
+    expected = reference(config).run(insts, workload)
+    actual = optimized(config).run(insts, workload)
+    return diff_results(workload, config_name, expected, actual)
+
+
+def check_equivalence(
+    workloads: Sequence[str],
+    configs: Optional[Iterable[Tuple[str, Dict]]] = None,
+    length: int = 20_000,
+    seed: int = 1,
+    optimized: Type = Processor,
+    reference: Type = ReferenceProcessor,
+) -> List[Mismatch]:
+    """Equivalence sweep over a workload/config matrix.
+
+    Returns every mismatch found (an empty list is a pass).  The trace
+    for each workload is built once and shared by every configuration —
+    the cores must not mutate it.
+    """
+    from repro.workloads.builder import build_trace
+
+    if configs is None:
+        configs = GOLDEN_CONFIGS
+    mismatches: List[Mismatch] = []
+    for workload in workloads:
+        insts = build_trace(workload, length=length, seed=seed).insts
+        for config_name, kwargs in configs:
+            config = MachineConfig.baseline(**kwargs)
+            mismatches.extend(
+                compare_on_trace(insts, config, workload, config_name,
+                                 optimized=optimized, reference=reference))
+    return mismatches

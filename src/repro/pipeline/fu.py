@@ -15,7 +15,30 @@ from __future__ import annotations
 from typing import List
 
 from repro.errors import ConfigError
-from repro.isa.opcodes import FuClass, LATENCY
+from repro.isa.opcodes import FuClass, LATENCY, LATENCY_BY_INT
+
+# Issue-resource kind per int(FuClass): which pool a class draws from.
+# Indexed with a plain int so the per-issue dispatch below is a list load
+# and integer compares instead of a chain of enum comparisons.
+_IALU_KIND, _FALU_KIND, _IMULT_KIND, _FMULT_KIND = 0, 1, 2, 3
+_KIND = [_IALU_KIND] * len(FuClass)
+_KIND[int(FuClass.FADD)] = _FALU_KIND
+_KIND[int(FuClass.IMULT)] = _IMULT_KIND
+_KIND[int(FuClass.IDIV)] = _IMULT_KIND
+_KIND[int(FuClass.FMUL)] = _FMULT_KIND
+_KIND[int(FuClass.FDIV)] = _FMULT_KIND
+
+# Cycles a MULT/DIV unit stays occupied: 1 for pipelined multiplies,
+# the full latency for divides (R10000 behaviour).
+_OCCUPANCY = [1] * len(FuClass)
+_OCCUPANCY[int(FuClass.IDIV)] = LATENCY_BY_INT[int(FuClass.IDIV)]
+_OCCUPANCY[int(FuClass.FDIV)] = LATENCY_BY_INT[int(FuClass.FDIV)]
+
+#: Public view of the per-class resource kind, for callers (the processor's
+#: issue stage) that inline the pipelined-ALU fast path and only fall back
+#: to :meth:`FuPool.try_take` for the MULT/DIV unit pools.
+FU_KIND = _KIND
+IALU_KIND, FALU_KIND = _IALU_KIND, _FALU_KIND
 
 
 class _UnitPool:
@@ -56,29 +79,24 @@ class FuPool:
 
     def try_take(self, fu: int, now: int) -> bool:
         """Reserve a unit of class *fu* for an op issuing at cycle *now*."""
-        if fu == FuClass.IALU or fu == FuClass.LOAD or fu == FuClass.STORE \
-                or fu == FuClass.BRANCH or fu == FuClass.SYSCALL \
-                or fu == FuClass.NONE:
+        if not 0 <= fu < len(_KIND):
+            raise ConfigError(f"unknown functional-unit class {fu}")
+        kind = _KIND[fu]
+        if kind == _IALU_KIND:
             if self._ialu_left > 0:
                 self._ialu_left -= 1
                 return True
             return False
-        if fu == FuClass.FADD:
+        if kind == _FALU_KIND:
             if self._falu_left > 0:
                 self._falu_left -= 1
                 return True
             return False
-        if fu == FuClass.FMUL:
-            # Pipelined: occupies the unit for one cycle only.
-            return self._fmult.try_take(now, now + 1)
-        if fu == FuClass.IMULT:
-            # Pipelined: occupies the unit for one cycle only.
-            return self._imult.try_take(now, now + 1)
-        if fu == FuClass.IDIV:
-            return self._imult.try_take(now, now + LATENCY[FuClass.IDIV])
-        if fu == FuClass.FDIV:
-            return self._fmult.try_take(now, now + LATENCY[FuClass.FDIV])
-        raise ConfigError(f"unknown functional-unit class {fu}")
+        # Multiplies are pipelined (one-cycle occupancy); divides hold the
+        # unit for their full latency.
+        if kind == _IMULT_KIND:
+            return self._imult.try_take(now, now + _OCCUPANCY[fu])
+        return self._fmult.try_take(now, now + _OCCUPANCY[fu])
 
     def __repr__(self) -> str:
         return (

@@ -69,45 +69,47 @@ class Rob:
         if size <= 0:
             raise SimulationError("ROB size must be positive")
         self.size = size
-        self._entries: Deque[RobEntry] = deque()
+        # Public so the processor hot loop can bind the deque directly;
+        # mutate only through push/pop_head unless you are the processor.
+        self.entries: Deque[RobEntry] = deque()
 
     @property
     def full(self) -> bool:
         """True when no dispatch slot is free."""
-        return len(self._entries) >= self.size
+        return len(self.entries) >= self.size
 
     @property
     def empty(self) -> bool:
         """True when nothing is in flight."""
-        return not self._entries
+        return not self.entries
 
     def push(self, entry: RobEntry) -> None:
         """Append a newly dispatched entry; raises when full."""
         if self.full:
             raise SimulationError("dispatch into a full ROB")
-        self._entries.append(entry)
+        self.entries.append(entry)
 
     def head(self) -> Optional[RobEntry]:
         """The oldest in-flight entry, or None."""
-        return self._entries[0] if self._entries else None
+        return self.entries[0] if self.entries else None
 
     def pop_head(self) -> RobEntry:
         """Retire the oldest entry."""
-        if not self._entries:
+        if not self.entries:
             raise SimulationError("commit from an empty ROB")
-        entry = self._entries.popleft()
+        entry = self.entries.popleft()
         entry.state = COMMITTED
         return entry
 
     def occupancy(self) -> int:
         """Entries currently in flight."""
-        return len(self._entries)
+        return len(self.entries)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     def __iter__(self):
-        return iter(self._entries)
+        return iter(self.entries)
 
     def __repr__(self) -> str:
-        return f"Rob({len(self._entries)}/{self.size})"
+        return f"Rob({len(self.entries)}/{self.size})"

@@ -33,6 +33,7 @@ _SALT_SOURCES = (
     "isa",
     "lang",
     "mem",
+    "perf",
     "pipeline",
     "stats",
     "vm",

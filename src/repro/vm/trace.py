@@ -18,6 +18,12 @@ from repro.stats.histogram import Histogram
 #: Sentinel register index meaning "no destination".
 NO_REG = -1
 
+# ``fu`` is stored as a plain int; comparing against these avoids an
+# enum ``__eq__`` per query on the trace-construction path (observe()
+# runs once per dynamic instruction).
+_LOAD = int(FuClass.LOAD)
+_STORE = int(FuClass.STORE)
+
 
 class DynInst:
     """One dynamic (committed) instruction.
@@ -75,17 +81,17 @@ class DynInst:
     @property
     def is_load(self) -> bool:
         """True for loads."""
-        return self.fu == FuClass.LOAD
+        return self.fu == _LOAD
 
     @property
     def is_store(self) -> bool:
         """True for stores."""
-        return self.fu == FuClass.STORE
+        return self.fu == _STORE
 
     @property
     def is_mem(self) -> bool:
         """True for loads and stores."""
-        return self.fu == FuClass.LOAD or self.fu == FuClass.STORE
+        return self.fu == _LOAD or self.fu == _STORE
 
     def __repr__(self) -> str:
         kind = FuClass(self.fu).name
@@ -115,19 +121,21 @@ class TraceStats:
     def observe(self, inst: DynInst) -> None:
         """Fold one dynamic instruction into the statistics."""
         self.instructions += 1
-        if inst.fu == FuClass.LOAD:
+        fu = inst.fu
+        if fu == _LOAD:
             self.loads += 1
             if inst.is_local:
                 self.local_loads += 1
-        elif inst.fu == FuClass.STORE:
+        elif fu == _STORE:
             self.stores += 1
             if inst.is_local:
                 self.local_stores += 1
-        if inst.is_mem:
-            if inst.sp_based:
-                self.sp_based_refs += 1
-            if inst.local_hint is None:
-                self.ambiguous_refs += 1
+        else:
+            return
+        if inst.sp_based:
+            self.sp_based_refs += 1
+        if inst.local_hint is None:
+            self.ambiguous_refs += 1
 
     @property
     def mem_refs(self) -> int:
