@@ -9,7 +9,10 @@ Subcommands:
 * ``stats file.mc``    — trace characterisation (local fraction, frames,
   reuse, classification);
 * ``perf``             — benchmark the simulator core itself against the
-  frozen seed model (see :mod:`repro.perf`).
+  frozen seed model (see :mod:`repro.perf`);
+* ``fuzz``             — differential fuzzing campaign: random programs
+  checked by the ``opt``/``timing``/``golden`` oracles
+  (see :mod:`repro.fuzz`).
 
 ``file.mc`` may be ``-`` to read from stdin.  Assembly files (``.s``) are
 accepted everywhere a ``.mc`` file is.
@@ -207,6 +210,72 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import os
+
+    from repro.fuzz import (ALL_ORACLES, generate_program, run_campaign,
+                            run_oracles, shrink)
+
+    oracles = tuple(args.oracle) if args.oracle else ALL_ORACLES
+
+    def progress(status, outcome, done, total):
+        if not args.quiet:
+            print(f"  [{done}/{total}] {outcome.job.label()}: {status}",
+                  file=sys.stderr)
+
+    report = run_campaign(
+        seed=args.seed, count=args.count, jobs=args.jobs, oracles=oracles,
+        size=args.size, shard_size=args.shard_size,
+        max_instructions=args.max_instructions, cache_dir=args.cache_dir,
+        no_cache=args.no_cache, progress=progress,
+    )
+    engine = report.engine_report
+    print(f"fuzzed {args.count} seeds from {args.seed} "
+          f"({'+'.join(oracles)}): {len(report.divergences)} divergences, "
+          f"{engine.ran} shards ran, {engine.cached} cached, "
+          f"{len(engine.failed)} failed, {engine.elapsed:.1f}s")
+    for outcome in engine.failed:
+        print(f"repro-cc fuzz: shard {outcome.job.label()} "
+              f"{outcome.status}: {outcome.error}", file=sys.stderr)
+    for div in report.divergences:
+        print(f"  seed {div.seed} [{div.oracle}] {div.detail}")
+    if report.clean:
+        return 0
+
+    # The shrink predicate ignores "budget" findings: a candidate edit that
+    # turns a miscompile into an infinite loop must be rejected, not kept.
+    # The tight budget also makes those runaway candidates cheap to reject
+    # (generated programs retire well under 100k instructions).
+    shrink_budget = min(args.max_instructions, 200_000)
+
+    def diverges(program) -> bool:
+        try:
+            found = run_oracles(program.source(), oracles=oracles,
+                                max_instructions=shrink_budget)
+        except Exception:  # noqa: BLE001 - broken candidate = not diverging
+            return False
+        return any(d.oracle != "budget" for d in found)
+
+    for seed in report.diverging_seeds():
+        program = generate_program(seed, size=args.size)
+        if args.shrink:
+            before = program.statement_count()
+            program = shrink(program, diverges)
+            print(f"\nseed {seed}: shrunk {before} -> "
+                  f"{program.statement_count()} statements")
+            print(program.source())
+        if args.save_repros:
+            os.makedirs(args.save_repros, exist_ok=True)
+            path = os.path.join(args.save_repros, f"fuzz_{seed}.mc")
+            header = (f"// repro-cc fuzz --seed {seed} --count 1"
+                      f"{' (shrunk)' if args.shrink else ''}\n"
+                      f"// oracles: {'+'.join(oracles)}\n")
+            with open(path, "w") as handle:
+                handle.write(header + program.source())
+            print(f"wrote {path}")
+    return 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cc",
@@ -278,6 +347,36 @@ def make_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--profile", metavar="WORKLOAD",
                         help="cProfile one workload instead of benchmarking")
     perf_p.set_defaults(func=cmd_perf)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential fuzzing campaign over random programs")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="first generator seed (default 0)")
+    fuzz_p.add_argument("--count", type=int, default=200,
+                        help="number of seeds to fuzz (default 200)")
+    fuzz_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="run shards on N worker processes")
+    fuzz_p.add_argument("--oracle", action="append", metavar="NAME",
+                        choices=("opt", "timing", "golden"),
+                        help="oracle to run (repeatable; default: all)")
+    fuzz_p.add_argument("--shrink", action="store_true",
+                        help="minimize each diverging program and print it")
+    fuzz_p.add_argument("--save-repros", metavar="DIR",
+                        help="write diverging programs to DIR as .mc files")
+    fuzz_p.add_argument("--size", type=int, default=12,
+                        help="generator size budget per program (default 12)")
+    fuzz_p.add_argument("--shard-size", type=int, default=25,
+                        help="seeds per engine job (default 25)")
+    fuzz_p.add_argument("--max-instructions", type=int, default=2_000_000,
+                        help="VM budget per build (default 2M)")
+    fuzz_p.add_argument("--cache-dir", metavar="DIR",
+                        help="shard result cache (default: $REPRO_CACHE_DIR "
+                             "if set, else uncached)")
+    fuzz_p.add_argument("--no-cache", action="store_true",
+                        help="ignore any cache")
+    fuzz_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-shard progress on stderr")
+    fuzz_p.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,36 @@
+"""Differential fuzzing for the Mini-C toolchain and timing cores.
+
+Four pieces:
+
+- :mod:`repro.fuzz.generator` — seeded random Mini-C programs that are
+  safe by construction (counted loops, guarded division, masked array
+  indices, bounded recursion) and deterministic per seed;
+- :mod:`repro.fuzz.oracles` — the three differential oracles (``opt``,
+  ``timing``, ``golden``) that decide whether a program diverges;
+- :mod:`repro.fuzz.shrink` — greedy minimization of a diverging program;
+- :mod:`repro.fuzz.campaign` — seed-sharded campaigns on the runtime
+  job engine (parallel, cached).
+
+``repro-cc fuzz`` is the CLI front end; see ``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.campaign import (CampaignReport, FuzzJob, FuzzShardResult,
+                                 execute_fuzz_job, make_shards, run_campaign)
+from repro.fuzz.generator import FuzzProgram, generate_program
+from repro.fuzz.oracles import ALL_ORACLES, Divergence, run_oracles
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "ALL_ORACLES",
+    "CampaignReport",
+    "Divergence",
+    "FuzzJob",
+    "FuzzProgram",
+    "FuzzShardResult",
+    "execute_fuzz_job",
+    "generate_program",
+    "make_shards",
+    "run_campaign",
+    "run_oracles",
+    "shrink",
+]

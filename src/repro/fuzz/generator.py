@@ -1,0 +1,376 @@
+"""Seeded random mini-C program generator.
+
+Produces closed, deterministic, guaranteed-terminating programs that
+exercise the parts of the toolchain where miscompiles hide: mixed signed
+arithmetic (wrap-around), logical/arithmetic shifts, truncating division
+and remainder, nested calls (argument plumbing, callee-saved traffic),
+bounded recursion, arrays and enough live locals to force spill code.
+
+Safety is *by construction*, never by filtering:
+
+* every loop is a counted ``for`` over a small literal bound;
+* recursion decrements an explicit depth argument with a ``<= 0`` base
+  case, entered with a small literal depth;
+* divisors are rendered as ``(expr | 1)`` — odd, hence never zero;
+* array indices are rendered as ``(expr) & (len - 1)`` with power-of-two
+  array lengths;
+* shift counts need no guard: the ISA masks them to five bits.
+
+The output is a :class:`FuzzProgram` — a structural representation the
+shrinker can edit (statements are mutable lists, expressions immutable
+tuples) — whose :meth:`FuzzProgram.source` renders compilable mini-C.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+#: Power-of-two array length so any index can be masked safely.
+ARRAY_LEN = 16
+
+#: Literals the generator draws from: boundary values first (the folder
+#: bugs this subsystem exists to catch live at the edges of the 32-bit
+#: range), plus small values that keep comparisons and shifts interesting.
+INTERESTING_LITERALS = (
+    0, 1, 2, 3, 5, 7, 8, 15, 16, 31, 32, 33, 100, 255, 4096, 65535, 65536,
+    1103515, 2147483647, -1, -2, -3, -8, -100, -32768, -65536, -2147483647,
+)
+
+#: Binary operators by weight class.  ``/`` and ``%`` get their divisor
+#: guarded at render time.
+_COMMON_OPS = ("+", "-", "*", "&", "|", "^", "<<", ">>")
+_RARE_OPS = ("/", "%", "<", "<=", ">", ">=", "==", "!=")
+
+
+class FuzzFunction:
+    """One generated helper function (int params, int return)."""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name: str, params: List[str], body: List[list]):
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class FuzzProgram:
+    """A structurally editable generated program.
+
+    Statements are mutable lists so the shrinker can splice them::
+
+        ["decl", name, expr]          int name = expr;
+        ["assign", name, expr]        name = expr;
+        ["astore", arr, idx, expr]    arr[(idx) & mask] = expr;
+        ["print", expr]               print(expr); printc(10);
+        ["if", cond, then, else_]     if (cond) { then } else { else_ }
+        ["loop", var, count, body]    int var; for (var = 0; var < count; ...)
+        ["ret", expr]                 return expr;
+
+    Expressions are immutable tuples::
+
+        ("lit", value) | ("var", name) | ("aload", arr, idx)
+        | ("bin", op, left, right) | ("neg", e) | ("not", e)
+        | ("call", fname, (args...))
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.arrays: List[str] = []
+        self.globals: List[str] = []
+        self.functions: List[FuzzFunction] = []
+        self.main_body: List[list] = []
+
+    # -- rendering -----------------------------------------------------------
+
+    def source(self) -> str:
+        lines: List[str] = [f"// fuzz seed {self.seed}"]
+        for name in self.arrays:
+            lines.append(f"int {name}[{ARRAY_LEN}];")
+        for name in self.globals:
+            lines.append(f"int {name};")
+        for func in self.functions:
+            params = ", ".join(f"int {p}" for p in func.params)
+            lines.append(f"int {func.name}({params}) {{")
+            _render_block(func.body, lines, 1)
+            lines.append("}")
+        lines.append("int main() {")
+        _render_block(self.main_body, lines, 1)
+        lines.append("    return 0;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def statement_count(self) -> int:
+        """Number of statement nodes (nested blocks included)."""
+        return sum(_count_stmts(body) for body in self.bodies())
+
+    def bodies(self) -> List[List[list]]:
+        """Every top-level statement list (main plus each helper)."""
+        return [func.body for func in self.functions] + [self.main_body]
+
+    def __repr__(self) -> str:
+        return (f"FuzzProgram(seed={self.seed}, "
+                f"stmts={self.statement_count()})")
+
+
+# -- rendering helpers ---------------------------------------------------------
+
+
+def render_expr(expr: tuple) -> str:
+    """*expr* as mini-C source (guards applied here)."""
+    kind = expr[0]
+    if kind == "lit":
+        value = expr[1]
+        return str(value) if value >= 0 else f"(0 - {-value})"
+    if kind == "var":
+        return expr[1]
+    if kind == "aload":
+        return f"{expr[1]}[({render_expr(expr[2])}) & {ARRAY_LEN - 1}]"
+    if kind == "neg":
+        return f"(0 - {render_expr(expr[1])})"
+    if kind == "not":
+        return f"(!{render_expr(expr[1])})"
+    if kind == "call":
+        args = ", ".join(render_expr(a) for a in expr[2])
+        return f"{expr[1]}({args})"
+    assert kind == "bin", expr
+    op, left, right = expr[1], expr[2], expr[3]
+    if op in ("/", "%"):
+        return f"({render_expr(left)} {op} ({render_expr(right)} | 1))"
+    return f"({render_expr(left)} {op} {render_expr(right)})"
+
+
+def _render_block(body: Sequence[list], lines: List[str], depth: int) -> None:
+    pad = "    " * depth
+    for stmt in body:
+        kind = stmt[0]
+        if kind == "decl":
+            lines.append(f"{pad}int {stmt[1]} = {render_expr(stmt[2])};")
+        elif kind == "assign":
+            lines.append(f"{pad}{stmt[1]} = {render_expr(stmt[2])};")
+        elif kind == "astore":
+            lines.append(
+                f"{pad}{stmt[1]}[({render_expr(stmt[2])}) & "
+                f"{ARRAY_LEN - 1}] = {render_expr(stmt[3])};")
+        elif kind == "print":
+            lines.append(f"{pad}print({render_expr(stmt[1])});")
+            lines.append(f"{pad}printc(10);")
+        elif kind == "if":
+            lines.append(f"{pad}if ({render_expr(stmt[1])}) {{")
+            _render_block(stmt[2], lines, depth + 1)
+            if stmt[3]:
+                lines.append(f"{pad}}} else {{")
+                _render_block(stmt[3], lines, depth + 1)
+            lines.append(f"{pad}}}")
+        elif kind == "loop":
+            var, count = stmt[1], stmt[2]
+            lines.append(f"{pad}int {var};")
+            lines.append(
+                f"{pad}for ({var} = 0; {var} < {count}; {var}++) {{")
+            _render_block(stmt[3], lines, depth + 1)
+            lines.append(f"{pad}}}")
+        elif kind == "ret":
+            lines.append(f"{pad}return {render_expr(stmt[1])};")
+        else:  # pragma: no cover - generator invariant
+            raise AssertionError(f"unknown statement {stmt!r}")
+
+
+def _count_stmts(body: Sequence[list]) -> int:
+    total = 0
+    for stmt in body:
+        total += 1
+        if stmt[0] == "if":
+            total += _count_stmts(stmt[2]) + _count_stmts(stmt[3])
+        elif stmt[0] == "loop":
+            total += _count_stmts(stmt[3])
+    return total
+
+
+# -- generation ----------------------------------------------------------------
+
+
+class _Generator:
+    """One generation run; all randomness flows through ``self.rng``."""
+
+    def __init__(self, seed: int, size: int):
+        self.rng = random.Random(seed)
+        self.size = size
+        self.program = FuzzProgram(seed)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _literal(self) -> tuple:
+        rng = self.rng
+        if rng.random() < 0.7:
+            return ("lit", rng.choice(INTERESTING_LITERALS))
+        return ("lit", rng.randint(-10_000, 10_000))
+
+    def _leaf(self, scope: Sequence[str]) -> tuple:
+        rng = self.rng
+        roll = rng.random()
+        if scope and roll < 0.55:
+            return ("var", rng.choice(list(scope)))
+        if self.program.arrays and roll < 0.65:
+            # the index must be a *simple* expression: anything recursive
+            # here has no depth budget and could run away
+            index = (("var", rng.choice(list(scope)))
+                     if scope and rng.random() < 0.5 else self._literal())
+            return ("aload", rng.choice(self.program.arrays), index)
+        return self._literal()
+
+    def _expr(self, scope: Sequence[str], depth: int,
+              callees: Sequence[FuzzFunction] = ()) -> tuple:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return self._leaf(scope)
+        roll = rng.random()
+        if callees and roll < 0.15:
+            func = rng.choice(list(callees))
+            args = tuple(self._expr(scope, depth - 1) for _ in func.params)
+            return ("call", func.name, args)
+        if roll < 0.22:
+            return ("neg", self._expr(scope, depth - 1, callees))
+        if roll < 0.28:
+            return ("not", self._expr(scope, depth - 1, callees))
+        ops = _COMMON_OPS if rng.random() < 0.75 else _RARE_OPS
+        return ("bin", rng.choice(ops),
+                self._expr(scope, depth - 1, callees),
+                self._expr(scope, depth - 1, callees))
+
+    # -- statements ----------------------------------------------------------
+
+    def _simple_stmt(self, scope: List[str], writable: List[str],
+                     callees: Sequence[FuzzFunction]) -> list:
+        rng = self.rng
+        roll = rng.random()
+        expr = self._expr(scope, 3, callees)
+        if self.program.arrays and roll < 0.2:
+            return ["astore", rng.choice(self.program.arrays),
+                    self._expr(scope, 2), expr]
+        targets = writable + self.program.globals
+        if targets and roll < 0.75:
+            return ["assign", rng.choice(targets), expr]
+        return ["print", expr]
+
+    def _block(self, scope: List[str], writable: List[str],
+               callees: Sequence[FuzzFunction],
+               count: int, loop_depth: int) -> List[list]:
+        # ``writable`` excludes loop variables: assigning to one from
+        # inside its own body could stretch a counted loop arbitrarily.
+        rng = self.rng
+        body: List[list] = []
+        for _ in range(count):
+            roll = rng.random()
+            if roll < 0.14 and loop_depth < 2:
+                var = f"i{self._fresh()}"
+                inner = self._block(scope + [var], writable, callees,
+                                    rng.randint(1, 3), loop_depth + 1)
+                body.append(["loop", var, rng.randint(1, 4), inner])
+            elif roll < 0.28:
+                cond = self._expr(scope, 2, callees)
+                then = self._block(scope, writable, callees,
+                                   rng.randint(1, 2), loop_depth)
+                else_ = (self._block(scope, writable, callees, 1, loop_depth)
+                         if rng.random() < 0.5 else [])
+                body.append(["if", cond, then, else_])
+            else:
+                body.append(self._simple_stmt(scope, writable, callees))
+        return body
+
+    _counter = 0
+
+    def _fresh(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    # -- functions -----------------------------------------------------------
+
+    def _make_helper(self, index: int,
+                     callees: Sequence[FuzzFunction]) -> FuzzFunction:
+        rng = self.rng
+        params = [f"a{i}" for i in range(rng.randint(1, 3))]
+        scope = list(params)
+        body: List[list] = []
+        for i in range(rng.randint(1, 3)):
+            name = f"t{self._fresh()}"
+            body.append(["decl", name, self._expr(scope, 2, callees)])
+            scope.append(name)
+        body.extend(self._block(scope, list(scope), callees,
+                                rng.randint(1, 3), 0))
+        body.append(["ret", self._expr(scope, 3, callees)])
+        return FuzzFunction(f"fn{index}", params, body)
+
+    def _make_recursive(self, index: int,
+                        callees: Sequence[FuzzFunction]) -> FuzzFunction:
+        """A self-recursive helper with a strictly decreasing depth arg."""
+        name = f"fn{index}"
+        scope = ["n", "x"]
+        base = ["ret", self._expr(scope, 2)]
+        step = ("call", name,
+                (("bin", "-", ("var", "n"), ("lit", 1)),
+                 self._expr(scope, 2, callees)))
+        recurse = ["ret", ("bin", self.rng.choice(("+", "-", "^")),
+                           step, self._expr(scope, 2))]
+        body = [["if", ("bin", "<=", ("var", "n"), ("lit", 0)),
+                 [base], []],
+                recurse]
+        return FuzzFunction(name, ["n", "x"], body)
+
+    # -- the program ---------------------------------------------------------
+
+    def generate(self) -> FuzzProgram:
+        rng = self.rng
+        program = self.program
+        for i in range(rng.randint(1, 2)):
+            program.arrays.append(f"ga{i}")
+        for i in range(rng.randint(0, 2)):
+            program.globals.append(f"g{i}")
+
+        helpers: List[FuzzFunction] = []
+        for i in range(rng.randint(1, 1 + self.size // 6)):
+            helpers.append(self._make_helper(i, helpers[-2:]))
+        if rng.random() < 0.6:
+            helpers.append(self._make_recursive(len(helpers), helpers[-1:]))
+        program.functions = helpers
+
+        # Recursive helpers are excluded from expression callees — their
+        # termination depends on the depth argument, so the only call site
+        # is the explicit one below, seeded with a small literal depth.
+        plain = [f for f in helpers if f.params != ["n", "x"]]
+        scope: List[str] = []
+        main: List[list] = []
+        for i in range(rng.randint(4, 4 + self.size // 3)):
+            name = f"v{i}"
+            main.append(["decl", name, self._expr(scope, 3, plain)])
+            scope.append(name)
+        if helpers and helpers[-1].params == ["n", "x"]:
+            depth = ("lit", rng.randint(1, 6))
+            main.append(["assign", scope[0],
+                         ("call", helpers[-1].name,
+                          (depth, self._expr(scope, 2)))])
+        main.extend(self._block(scope, list(scope), plain,
+                                rng.randint(4, 4 + self.size // 2), 0))
+        # Make every local and array observable so silent miscompiles in
+        # dead-looking code still change the output.
+        for name in scope:
+            main.append(["print", ("var", name)])
+        for name in program.globals:
+            main.append(["print", ("var", name)])
+        for arr in program.arrays:
+            var = f"ck_{arr}"
+            main.append(["decl", var, ("lit", 0)])
+            idx = f"i{self._fresh()}"
+            main.append(["loop", idx, ARRAY_LEN,
+                         [["assign", var,
+                           ("bin", "+",
+                            ("bin", "*", ("var", var), ("lit", 31)),
+                            ("aload", arr, ("var", idx)))]]])
+            main.append(["print", ("var", var)])
+        program.main_body = main
+        return program
+
+
+def generate_program(seed: int, size: int = 12) -> FuzzProgram:
+    """The deterministic program for *seed* (``size`` scales statement
+    counts; the default targets a few thousand dynamic instructions)."""
+    return _Generator(seed, size).generate()

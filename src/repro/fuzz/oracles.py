@@ -1,0 +1,212 @@
+"""The differential oracles: three independent ways to catch a bug.
+
+``opt``
+    Compile the program at ``-O0`` and with the optimizer on, run both on
+    the VM, and compare *architectural* results: exit code, everything
+    printed, and the final memory words of every named global.  Register
+    contents are deliberately excluded — allocation differs between the
+    two builds — so this is exactly the state a correct compiler must
+    preserve.  This is the oracle that catches constant-folding
+    miscompiles.
+
+``timing``
+    Run the timing core over the optimized build's trace and check the
+    retired-state invariants that hold for *any* correct core: it retires
+    exactly the committed instruction stream, in no fewer cycles than the
+    issue width allows, and its committed load/store counters agree with
+    the trace it was fed.
+
+``golden``
+    Run both the optimized :class:`repro.core.processor.Processor` and the
+    frozen :class:`repro.perf.reference.ReferenceProcessor` over the same
+    trace and require bit-identical results (cycles, instructions, every
+    counter) — the standing gate every performance PR must keep green.
+
+A divergence is **data**, not an exception: campaigns collect and report
+them; only infrastructure failures raise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.processor import Processor
+from repro.errors import ReproError
+from repro.lang import CompilerOptions, compile_source
+from repro.vm.machine import Machine
+
+#: Every oracle, in the order campaigns run them.
+ALL_ORACLES = ("opt", "timing", "golden")
+
+#: The paper's Figure 9 machine — fast forwarding and combining on, which
+#: exercises the most timing-core machinery per fuzzed trace.
+DEFAULT_CONFIG_NOTATION = "2+2:opt"
+
+
+class Divergence:
+    """One observed disagreement between two views of the same program."""
+
+    __slots__ = ("oracle", "seed", "detail")
+
+    def __init__(self, oracle: str, detail: str, seed: Optional[int] = None):
+        self.oracle = oracle
+        self.detail = detail
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        tag = f"seed={self.seed} " if self.seed is not None else ""
+        return f"<{tag}{self.oracle}: {self.detail}>"
+
+
+def default_config() -> MachineConfig:
+    """The machine configuration fuzzed timing runs use."""
+    from repro.perf.golden import golden_config
+
+    return golden_config(DEFAULT_CONFIG_NOTATION)
+
+
+def _globals_snapshot(vm: Machine) -> Dict[str, Tuple[int, ...]]:
+    """Final memory words of every named (non-pool) global."""
+    snapshot: Dict[str, Tuple[int, ...]] = {}
+    for item in vm.program.data:
+        if item.name.startswith("__flt"):
+            continue  # float-literal pool: immutable, layout-dependent
+        addr = vm.program.data_address(item.name)
+        words = tuple(int(vm.memory.load_word(addr + 4 * i))
+                      for i in range(len(item.values)))
+        snapshot[item.name] = words
+    return snapshot
+
+
+def _run(source: str, name: str, optimize: bool, trace: bool,
+         max_instructions: int) -> Machine:
+    program = compile_source(
+        source, CompilerOptions(source_name=name, optimize=optimize))
+    vm = Machine(program, trace=trace)
+    vm.run(max_instructions=max_instructions)
+    return vm
+
+
+def check_opt(vm_opt: Machine, vm_noopt: Machine) -> List[Divergence]:
+    """Compare the two builds' architectural results."""
+    out: List[Divergence] = []
+    if vm_opt.exit_code != vm_noopt.exit_code:
+        out.append(Divergence(
+            "opt", f"exit code {vm_opt.exit_code} (optimized) != "
+                   f"{vm_noopt.exit_code} (-O0)"))
+    if vm_opt.stdout != vm_noopt.stdout:
+        out.append(Divergence(
+            "opt", f"output {_clip(vm_opt.stdout)!r} (optimized) != "
+                   f"{_clip(vm_noopt.stdout)!r} (-O0)"))
+    mem_opt = _globals_snapshot(vm_opt)
+    mem_noopt = _globals_snapshot(vm_noopt)
+    for gname in sorted(set(mem_opt) | set(mem_noopt)):
+        if mem_opt.get(gname) != mem_noopt.get(gname):
+            out.append(Divergence(
+                "opt", f"global {gname!r} ends as {mem_opt.get(gname)} "
+                       f"(optimized) vs {mem_noopt.get(gname)} (-O0)"))
+    return out
+
+
+def check_timing(vm: Machine, config: MachineConfig,
+                 name: str) -> List[Divergence]:
+    """Retired-state/counter invariants of the timing core on *vm*'s trace."""
+    trace = vm.trace
+    assert trace is not None
+    result = Processor(config).run(trace.insts, name)
+    out: List[Divergence] = []
+    committed = len(trace.insts)
+    if result.instructions != committed:
+        out.append(Divergence(
+            "timing", f"core retired {result.instructions} instructions, "
+                      f"trace committed {committed}"))
+    if committed:
+        floor = -(-committed // config.issue_width)  # ceil division
+        if result.cycles < floor:
+            out.append(Divergence(
+                "timing", f"{result.cycles} cycles retires {committed} "
+                          f"instructions past the {config.issue_width}-wide "
+                          f"issue limit (floor {floor})"))
+    counters = result.counters
+    # Conservation: every committed load/store enters exactly one of the
+    # two queues, and every cache tracks accesses = hits + misses.
+    queued_loads = counters.get("lsq.loads") + counters.get("lvaq.loads")
+    if queued_loads != trace.stats.loads:
+        out.append(Divergence(
+            "timing", f"LSQ+LVAQ queued {queued_loads} loads, trace "
+                      f"committed {trace.stats.loads}"))
+    queued_stores = counters.get("lsq.stores") + counters.get("lvaq.stores")
+    if queued_stores != trace.stats.stores:
+        out.append(Divergence(
+            "timing", f"LSQ+LVAQ queued {queued_stores} stores, trace "
+                      f"committed {trace.stats.stores}"))
+    for cache in ("l1", "lvc"):
+        split = (counters.get(f"{cache}.hits")
+                 + counters.get(f"{cache}.misses"))
+        accesses = counters.get(f"{cache}.accesses")
+        if split != accesses:
+            out.append(Divergence(
+                "timing", f"{cache} hits+misses = {split} but "
+                          f"{accesses} accesses"))
+    return out
+
+
+def check_golden(vm: Machine, config: MachineConfig, name: str,
+                 config_name: str = DEFAULT_CONFIG_NOTATION
+                 ) -> List[Divergence]:
+    """Optimized core vs the frozen reference core, bit for bit."""
+    from repro.perf.golden import compare_on_trace
+
+    trace = vm.trace
+    assert trace is not None
+    mismatches = compare_on_trace(trace.insts, config, workload=name,
+                                  config_name=config_name)
+    return [Divergence("golden", repr(m)) for m in mismatches]
+
+
+def run_oracles(
+    source: str,
+    name: str = "<fuzz>",
+    oracles: Sequence[str] = ALL_ORACLES,
+    config: Optional[MachineConfig] = None,
+    max_instructions: int = 2_000_000,
+) -> List[Divergence]:
+    """Run the selected oracles over one program; divergences returned.
+
+    A program that exhausts its instruction budget yields a single
+    ``budget`` divergence: generated programs terminate by construction,
+    so hitting the budget is itself a finding worth surfacing.
+    """
+    for oracle in oracles:
+        if oracle not in ALL_ORACLES:
+            raise ReproError(f"unknown oracle {oracle!r}; "
+                             f"expected one of {ALL_ORACLES}")
+    need_trace = "timing" in oracles or "golden" in oracles
+    vm_opt = _run(source, name, optimize=True, trace=need_trace,
+                  max_instructions=max_instructions)
+    if vm_opt.exit_code == -1:
+        return [Divergence("budget",
+                           f"optimized build still running after "
+                           f"{max_instructions} instructions")]
+    divergences: List[Divergence] = []
+    if "opt" in oracles:
+        vm_noopt = _run(source, name, optimize=False, trace=False,
+                        max_instructions=max_instructions)
+        if vm_noopt.exit_code == -1:
+            divergences.append(Divergence(
+                "budget", f"-O0 build still running after "
+                          f"{max_instructions} instructions"))
+        else:
+            divergences.extend(check_opt(vm_opt, vm_noopt))
+    if need_trace:
+        machine_config = config if config is not None else default_config()
+        if "timing" in oracles:
+            divergences.extend(check_timing(vm_opt, machine_config, name))
+        if "golden" in oracles:
+            divergences.extend(check_golden(vm_opt, machine_config, name))
+    return divergences
+
+
+def _clip(text: str, limit: int = 160) -> str:
+    return text if len(text) <= limit else text[:limit] + "..."

@@ -62,6 +62,7 @@ class Opcode(Enum):
     SRA = ("sra", FuClass.IALU, Fmt.RRI)
     SLLV = ("sllv", FuClass.IALU, Fmt.RRR)
     SRLV = ("srlv", FuClass.IALU, Fmt.RRR)
+    SRAV = ("srav", FuClass.IALU, Fmt.RRR)
     SLT = ("slt", FuClass.IALU, Fmt.RRR)
     SLTI = ("slti", FuClass.IALU, Fmt.RRI)
     SLTU = ("sltu", FuClass.IALU, Fmt.RRR)

@@ -36,15 +36,15 @@ _BIN_OPS = {
     "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
     "div": Opcode.DIV, "rem": Opcode.REM, "and": Opcode.AND,
     "or": Opcode.OR, "xor": Opcode.XOR, "shl": Opcode.SLLV,
-    "shr": Opcode.SRLV, "slt": Opcode.SLT,
+    "shr": Opcode.SRLV, "sra": Opcode.SRAV, "slt": Opcode.SLT,
     "fadd": Opcode.FADD, "fsub": Opcode.FSUB, "fmul": Opcode.FMUL,
     "fdiv": Opcode.FDIV, "fslt": Opcode.CLTS, "fsle": Opcode.CLES,
     "fseq": Opcode.CEQS,
 }
 
-_BINI_OPS = {"add": Opcode.ADDI, "shl": Opcode.SLL, "shr": Opcode.SRA,
-             "and": Opcode.ANDI, "or": Opcode.ORI, "xor": Opcode.XORI,
-             "slt": Opcode.SLTI}
+_BINI_OPS = {"add": Opcode.ADDI, "shl": Opcode.SLL, "shr": Opcode.SRL,
+             "sra": Opcode.SRA, "and": Opcode.ANDI, "or": Opcode.ORI,
+             "xor": Opcode.XORI, "slt": Opcode.SLTI}
 
 _INTRINSIC_SYSCALLS = {
     "@print": Syscall.PRINT_INT,

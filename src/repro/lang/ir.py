@@ -35,7 +35,7 @@ from typing import List, Optional, Tuple, Union
 
 BIN_INT_OPS = (
     "add", "sub", "mul", "div", "rem", "and", "or", "xor",
-    "shl", "shr", "slt", "sle", "sgt", "sge", "seq", "sne",
+    "shl", "shr", "sra", "slt", "sle", "sgt", "sge", "seq", "sne",
 )
 BIN_FLOAT_OPS = (
     "fadd", "fsub", "fmul", "fdiv",

@@ -406,7 +406,7 @@ class Lowerer:
     def _binary_ir_op(op: str, is_float: bool, line: int) -> str:
         table = {
             "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
-            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "sra",
             "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge",
             "==": "seq", "!=": "sne",
         }
@@ -443,7 +443,7 @@ class Lowerer:
             diff = self._vreg()
             self._emit(kind="bin", op="sub", dst=diff, a=left, b=right)
             dst = self._vreg()
-            self._emit(kind="bini", op="shr", dst=dst, a=diff, imm=2)
+            self._emit(kind="bini", op="sra", dst=dst, a=diff, imm=2)
             return dst
         pointer_expr = expr.left if left_ty.is_pointer else expr.right
         int_expr = expr.right if left_ty.is_pointer else expr.left

@@ -16,7 +16,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lang.ir import IrFunction, IrInstr, VReg
+from repro.utils import to_signed32
 
+# Folding rules mirror the VM's execution semantics exactly: operands are
+# signed 32-bit values, results are wrapped through ``to_signed32`` at the
+# fold sites below (the VM wraps every integer register write the same
+# way).  ``shr`` is the *logical* shift (SRL/SRLV: the operand is viewed
+# unsigned), ``sra`` the arithmetic one (SRA/SRAV: Python's ``>>`` on a
+# sign-extended int); shift counts are masked to 5 bits like the hardware.
 _FOLDABLE_INT = {
     "add": lambda a, b: a + b,
     "sub": lambda a, b: a - b,
@@ -25,7 +32,8 @@ _FOLDABLE_INT = {
     "or": lambda a, b: a | b,
     "xor": lambda a, b: a ^ b,
     "shl": lambda a, b: a << (b & 31),
-    "shr": lambda a, b: a >> (b & 31),
+    "shr": lambda a, b: (a & 0xFFFFFFFF) >> (b & 31),
+    "sra": lambda a, b: a >> (b & 31),
     "slt": lambda a, b: int(a < b),
     "sle": lambda a, b: int(a <= b),
     "sgt": lambda a, b: int(a > b),
@@ -102,7 +110,7 @@ def fold_and_propagate(func: IrFunction) -> int:
             a = state.constants.get(instr.a)
             b = state.constants.get(instr.b)
             if a is not None and b is not None and _div_ok(a, b, instr.op):
-                value = _FOLDABLE_INT[instr.op](a, b)
+                value = to_signed32(_FOLDABLE_INT[instr.op](a, b))
                 instr.kind = "li"
                 instr.imm = value
                 instr.op = ""
@@ -112,7 +120,7 @@ def fold_and_propagate(func: IrFunction) -> int:
                 kind = "li"
             elif (b is not None and -32768 <= b <= 32767
                     and instr.op in ("add", "and", "or", "xor",
-                                     "shl", "shr", "slt")):
+                                     "shl", "shr", "sra", "slt")):
                 instr.kind = "bini"
                 instr.imm = b
                 instr.b = None
@@ -121,7 +129,7 @@ def fold_and_propagate(func: IrFunction) -> int:
         elif kind == "bini" and instr.op in _FOLDABLE_INT:
             a = state.constants.get(instr.a)
             if a is not None:
-                value = _FOLDABLE_INT[instr.op](a, instr.imm)
+                value = to_signed32(_FOLDABLE_INT[instr.op](a, instr.imm))
                 instr.kind = "li"
                 instr.imm = value
                 instr.op = ""
@@ -136,7 +144,10 @@ def fold_and_propagate(func: IrFunction) -> int:
             if dst.precolored:
                 pass  # ABI registers: do not track
             elif kind == "li":
-                state.constants[dst] = instr.imm
+                # Track what the VM will actually hold: register writes
+                # wrap to signed 32-bit, so an oversized immediate must be
+                # wrapped *before* it feeds further folds.
+                state.constants[dst] = to_signed32(instr.imm)
             elif kind == "mov" and isinstance(instr.a, VReg) \
                     and not instr.a.precolored:
                 source = state.resolve(instr.a)

@@ -39,11 +39,21 @@ def default_cache_dir() -> str:
 
 
 class ResultCache:
-    """On-disk result store keyed by (code salt, job key)."""
+    """On-disk result store keyed by (code salt, job key).
 
-    def __init__(self, root: str, salt: str):
+    ``result_type`` is the payload class the cache accepts back out:
+    timing simulations store :class:`SimResult` (the default), while other
+    job families (the fuzz campaign's shard results, say) pass their own.
+    A deserialized entry of any other type is treated as a miss, so one
+    cache directory can safely hold several job families — their
+    content-addressed keys never collide meaningfully, and a stray
+    cross-family hit is rejected here.
+    """
+
+    def __init__(self, root: str, salt: str, result_type: type = SimResult):
         self.root = root
         self.salt = salt
+        self.result_type = result_type
         self.dir = os.path.join(root, _FORMAT, salt)
         self.hits = 0
         self.misses = 0
@@ -52,7 +62,7 @@ class ResultCache:
     def _path(self, key: str, suffix: str = ".pkl") -> str:
         return os.path.join(self.dir, key[:2], key + suffix)
 
-    def get(self, key: str) -> Optional[SimResult]:
+    def get(self, key: str) -> Optional[Any]:
         """The cached result for *key*, or None (corrupt entries = miss)."""
         path = self._path(key)
         try:
@@ -70,13 +80,13 @@ class ResultCache:
                 pass
             self.misses += 1
             return None
-        if not isinstance(result, SimResult):
+        if not isinstance(result, self.result_type):
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def put(self, key: str, result: SimResult,
+    def put(self, key: str, result: Any,
             meta: Optional[Dict[str, Any]] = None) -> None:
         """Store *result* under *key* atomically."""
         path = self._path(key)

@@ -30,6 +30,7 @@ _SALT_SOURCES = (
     "analysis",
     "asm",
     "core",
+    "fuzz",
     "isa",
     "lang",
     "mem",

@@ -218,6 +218,8 @@ class Machine:
             value = int(regs[ins.rs]) << (int(regs[ins.rt]) & 31)
         elif op is Opcode.SRLV:
             value = (int(regs[ins.rs]) & 0xFFFFFFFF) >> (int(regs[ins.rt]) & 31)
+        elif op is Opcode.SRAV:
+            value = int(regs[ins.rs]) >> (int(regs[ins.rt]) & 31)
         elif op is Opcode.SLT:
             value = 1 if int(regs[ins.rs]) < int(regs[ins.rt]) else 0
         elif op is Opcode.SLTI:

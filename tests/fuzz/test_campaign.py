@@ -1,0 +1,79 @@
+"""Campaign orchestration: sharding, engine integration, and caching."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.lang.optimizer as optimizer
+from repro.fuzz import (FuzzJob, FuzzShardResult, execute_fuzz_job,
+                        make_shards, run_campaign)
+
+BROKEN_SRA = staticmethod(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))
+
+
+def test_make_shards_partitions_exactly():
+    shards = make_shards(seed=5, count=23, shard_size=10)
+    assert [(s.seed_start, s.count) for s in shards] == [
+        (5, 10), (15, 10), (25, 3)]
+    assert sum(s.count for s in shards) == 23
+
+
+def test_make_shards_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        make_shards(seed=0, count=0)
+    with pytest.raises(ValueError):
+        make_shards(seed=0, count=5, shard_size=0)
+
+
+def test_job_key_content_addressed():
+    job = FuzzJob(0, 25)
+    assert job.key == FuzzJob(0, 25).key
+    assert job.key != FuzzJob(0, 25, oracles=("opt",)).key
+    assert job.key != FuzzJob(1, 25).key
+    assert job.key != FuzzJob(0, 25, max_instructions=1).key
+
+
+def test_job_pickles_with_stable_key():
+    job = FuzzJob(50, 10, oracles=("opt", "golden"))
+    clone = pickle.loads(pickle.dumps(job))
+    assert clone.key == job.key
+    assert clone.label() == job.label()
+
+
+def test_execute_shard_clean():
+    result = execute_fuzz_job(FuzzJob(0, 2, oracles=("opt",)))
+    assert isinstance(result, FuzzShardResult)
+    assert result.clean and result.count == 2
+
+
+def test_campaign_caches_shard_results(tmp_path):
+    kwargs = dict(seed=0, count=6, oracles=("opt",), shard_size=3,
+                  cache_dir=str(tmp_path))
+    first = run_campaign(**kwargs)
+    assert first.clean
+    assert first.engine_report.ran == 2
+    assert first.engine_report.cached == 0
+    second = run_campaign(**kwargs)
+    assert second.clean
+    assert second.engine_report.ran == 0
+    assert second.engine_report.cached == 2
+
+
+def test_campaign_no_cache_ignores_directory(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    report = run_campaign(seed=0, count=2, oracles=("opt",), shard_size=2,
+                          no_cache=True)
+    assert report.engine_report.ran == 1
+    assert not any(tmp_path.iterdir())
+
+
+def test_campaign_surfaces_divergences(monkeypatch):
+    monkeypatch.setitem(optimizer._FOLDABLE_INT, "sra", BROKEN_SRA)
+    report = run_campaign(seed=10, count=5, oracles=("opt",), shard_size=5,
+                          no_cache=True)
+    assert not report.clean
+    assert 12 in report.diverging_seeds()
+    assert all(d.oracle == "opt" for d in report.divergences)
+    assert all(d.seed is not None for d in report.divergences)

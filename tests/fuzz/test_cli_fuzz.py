@@ -1,0 +1,42 @@
+"""The ``repro-cc fuzz`` subcommand end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.lang.optimizer as optimizer
+from repro.cli import main
+
+BROKEN_SRA = staticmethod(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))
+
+
+def test_fuzz_clean_campaign_exits_zero(capsys):
+    code = main(["fuzz", "--seed", "0", "--count", "4", "--quiet",
+                 "--no-cache", "--oracle", "opt"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 divergences" in out
+
+
+def test_fuzz_reports_divergence_and_saves_repro(tmp_path, monkeypatch,
+                                                 capsys):
+    monkeypatch.setitem(optimizer._FOLDABLE_INT, "sra", BROKEN_SRA)
+    repros = tmp_path / "repros"
+    code = main(["fuzz", "--seed", "12", "--count", "1", "--quiet",
+                 "--no-cache", "--oracle", "opt", "--shrink",
+                 "--save-repros", str(repros)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "seed 12 [opt]" in out
+    saved = repros / "fuzz_12.mc"
+    assert saved.exists()
+    text = saved.read_text()
+    assert "(shrunk)" in text
+    # The minimized witness is tiny — the acceptance bar is <= 10
+    # statements; this one folds a single bad shift.
+    assert len(text.splitlines()) < 15
+
+
+def test_fuzz_rejects_unknown_oracle(capsys):
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--oracle", "bogus"])

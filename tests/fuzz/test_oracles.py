@@ -1,0 +1,54 @@
+"""The three differential oracles: green on a healthy toolchain, and
+each able to catch the class of bug it exists for."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.lang.optimizer as optimizer
+from repro.errors import ReproError
+from repro.fuzz import ALL_ORACLES, generate_program, run_oracles
+
+#: A seed whose program exercises ``>>`` folding (found by the campaign
+#: when the folder is deliberately broken below).
+SRA_SENSITIVE_SEED = 12
+
+#: The historical bug: folding ``sra`` logically instead of arithmetically.
+BROKEN_SRA = staticmethod(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_all_oracles_clean_on_healthy_toolchain(seed):
+    source = generate_program(seed).source()
+    assert run_oracles(source, name=f"fuzz.{seed}") == []
+
+
+def test_opt_oracle_catches_broken_fold(monkeypatch):
+    monkeypatch.setitem(optimizer._FOLDABLE_INT, "sra", BROKEN_SRA)
+    source = generate_program(SRA_SENSITIVE_SEED).source()
+    divergences = run_oracles(source, oracles=("opt",))
+    assert divergences
+    assert all(d.oracle == "opt" for d in divergences)
+
+
+def test_unknown_oracle_rejected():
+    with pytest.raises(ReproError):
+        run_oracles("int main() { return 0; }", oracles=("opt", "bogus"))
+
+
+def test_budget_exhaustion_is_a_divergence():
+    source = ("int main() {\n"
+              "    int i;\n"
+              "    for (i = 0; i < 100000000; i++) {}\n"
+              "    return 0;\n"
+              "}\n")
+    divergences = run_oracles(source, oracles=("opt",),
+                              max_instructions=10_000)
+    assert [d.oracle for d in divergences] == ["budget"]
+
+
+def test_oracle_subset_runs_only_requested():
+    source = generate_program(0).source()
+    assert run_oracles(source, oracles=("opt",)) == []
+    assert run_oracles(source, oracles=("timing", "golden")) == []
+    assert set(ALL_ORACLES) == {"opt", "timing", "golden"}

@@ -1,0 +1,193 @@
+"""Boundary-value agreement between the constant folder, the VM, and C.
+
+Every ``_FOLDABLE_INT`` rule must compute exactly what the generated code
+computes at run time.  Three views are compared on boundary operands
+(negatives, ±INT_MAX, shift counts ≥ 32):
+
+* the folder, applied to an IR ``li``/``li``/``bin`` triple;
+* the VM, executing the equivalent register-register opcode;
+* for source-reachable operators, optimized and unoptimized builds of a
+  mini-C program, which must print identical values.
+
+The regression cases at the bottom pin the two historical miscompiles:
+``>>`` folding arithmetically while the register form lowered to a
+logical shift, and folded values escaping the 32-bit wrap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.lang import CompilerOptions, compile_source
+from repro.lang.ir import IrFunction, IrInstr
+from repro.lang.optimizer import _FOLDABLE_INT, fold_and_propagate
+from repro.utils import to_signed32
+from repro.vm import run_program
+
+INT_MAX = 2147483647
+INT_MIN = -2147483648
+
+#: Negatives, the 32-bit extremes, and shift counts on both sides of 32.
+BOUNDARY = (INT_MIN, -INT_MAX, -65536, -32768, -2, -1, 0, 1, 2, 3,
+            31, 32, 33, 65535, INT_MAX - 1, INT_MAX)
+
+#: IR op -> register-register mnemonic (ops the ISA encodes directly).
+_RRR_MNEMONIC = {
+    "add": "add", "sub": "sub", "mul": "mul", "and": "and", "or": "or",
+    "xor": "xor", "shl": "sllv", "shr": "srlv", "sra": "srav",
+    "slt": "slt",
+}
+
+
+def fold_bin(op: str, a: int, b: int) -> int:
+    """What the folder turns ``li a; li b; bin op`` into."""
+    func = IrFunction("f")
+    ra, rb, rc = func.new_vreg(), func.new_vreg(), func.new_vreg()
+    func.body = [
+        IrInstr(kind="li", dst=ra, imm=a),
+        IrInstr(kind="li", dst=rb, imm=b),
+        IrInstr(kind="bin", op=op, dst=rc, a=ra, b=rb),
+        IrInstr(kind="ret", args=[rc]),
+    ]
+    fold_and_propagate(func)
+    folded = func.body[2]
+    assert folded.kind == "li", f"{op} did not fold for ({a}, {b})"
+    return folded.imm
+
+
+def vm_bin(op: str, pairs) -> list:
+    """Execute *op* on the VM for every operand pair, via the assembler."""
+    lines = ["main:"]
+    for a, b in pairs:
+        lines += [
+            f"    li $t0, {a}",
+            f"    li $t1, {b}",
+            f"    {_RRR_MNEMONIC[op]} $t2, $t0, $t1",
+            "    addi $a0, $t2, 0",
+            "    syscall 1",
+            "    li $a0, 10",
+            "    syscall 2",
+        ]
+    lines += ["    li $a0, 0", "    syscall 0"]
+    program = assemble("\n".join(lines) + "\n")
+    vm, _ = run_program(program, max_instructions=200_000)
+    assert vm.exit_code == 0
+    return [int(line) for line in vm.stdout.splitlines()]
+
+
+@pytest.mark.parametrize("op", sorted(_RRR_MNEMONIC))
+def test_folder_matches_vm(op):
+    """The fold of every boundary pair equals the VM's RRR execution."""
+    pairs = [(a, b) for a in BOUNDARY for b in BOUNDARY]
+    executed = vm_bin(op, pairs)
+    for (a, b), ran in zip(pairs, executed):
+        folded = fold_bin(op, a, b)
+        assert folded == ran, f"{op}({a}, {b}): fold {folded}, VM {ran}"
+
+
+@pytest.mark.parametrize("op", ("sle", "sgt", "sge", "seq", "sne"))
+def test_comparison_folds(op):
+    """Comparisons without a single opcode fold to the Python relation."""
+    relation = {"sle": lambda a, b: a <= b, "sgt": lambda a, b: a > b,
+                "sge": lambda a, b: a >= b, "seq": lambda a, b: a == b,
+                "sne": lambda a, b: a != b}[op]
+    for a in BOUNDARY:
+        for b in (INT_MIN, -1, 0, 1, a, INT_MAX):
+            assert fold_bin(op, a, b) == int(relation(a, b))
+
+
+# -- source-level: optimized == unoptimized == C -------------------------------
+
+#: Values a mini-C literal can spell directly (INT_MIN needs an expression).
+SRC_BOUNDARY = tuple(v for v in BOUNDARY if v != INT_MIN)
+
+
+def c_semantics(op: str, a: int, b: int):
+    """C-on-32-bit evaluation; None where the program must skip (÷0)."""
+    if op in ("/", "%"):
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return to_signed32(q if op == "/" else a - q * b)
+    if op == "<<":
+        return to_signed32(a << (b & 31))
+    if op == ">>":
+        return to_signed32(a >> (b & 31))
+    arith = {"+": a + b, "-": a - b, "*": a * b,
+             "&": a & b, "|": a | b, "^": a ^ b}
+    return to_signed32(arith[op])
+
+
+def _lit(value: int) -> str:
+    return f"(0 - {-value})" if value < 0 else str(value)
+
+
+@pytest.mark.parametrize("op", ("+", "-", "*", "/", "%", "&", "|", "^",
+                                "<<", ">>"))
+def test_source_builds_agree_with_c(op):
+    """O0 and optimized builds both print the C-semantics value."""
+    pairs = [(a, b) for a in SRC_BOUNDARY for b in SRC_BOUNDARY
+             if c_semantics(op, a, b) is not None]
+    body = "\n".join(
+        f"    print(({_lit(a)} {op} {_lit(b)})); printc(10);"
+        for a, b in pairs)
+    source = f"int main() {{\n{body}\n    return 0;\n}}\n"
+    expected = [c_semantics(op, a, b) for a, b in pairs]
+    for optimize in (False, True):
+        program = compile_source(source, CompilerOptions(optimize=optimize))
+        vm, _ = run_program(program, max_instructions=2_000_000)
+        assert vm.exit_code == 0
+        got = [int(line) for line in vm.stdout.splitlines()]
+        assert got == expected, (op, optimize)
+
+
+# -- regressions for the two fixed miscompiles ---------------------------------
+
+
+def _both_builds(source: str) -> list:
+    outputs = []
+    for optimize in (False, True):
+        program = compile_source(source, CompilerOptions(optimize=optimize))
+        vm, _ = run_program(program, max_instructions=200_000)
+        assert vm.exit_code == 0
+        outputs.append(vm.stdout)
+    assert outputs[0] == outputs[1], source
+    return outputs[0].splitlines()
+
+
+def test_regression_signed_shift_right():
+    """``>>`` is arithmetic: the folder used to agree only at -O0."""
+    lines = _both_builds(
+        "int main() {\n"
+        "    print((0 - 8) >> 1); printc(10);\n"
+        "    print((0 - 1) >> 31); printc(10);\n"
+        "    print(2147483647 >> 30); printc(10);\n"
+        "    return 0;\n"
+        "}\n")
+    assert lines == ["-4", "-1", "1"]
+
+
+def test_regression_variable_shift_count():
+    """Register-form shifts mask the count to 5 bits, like the folder."""
+    lines = _both_builds(
+        "int main() {\n"
+        "    int s = 35;\n"
+        "    print((0 - 65536) >> s); printc(10);\n"
+        "    print(65536 << s); printc(10);\n"
+        "    return 0;\n"
+        "}\n")
+    assert lines == ["-8192", "524288"]
+
+
+def test_regression_fold_wraps_to_32_bits():
+    """Folded arithmetic wraps: 65536 * 65536 must be 0, not 2**32."""
+    lines = _both_builds(
+        "int main() {\n"
+        "    print((65536 * 65536) < 1); printc(10);\n"
+        "    print(65536 * 65536); printc(10);\n"
+        "    print((2147483647 + 1) == (0 - 2147483647 - 1)); printc(10);\n"
+        "    return 0;\n"
+        "}\n")
+    assert lines == ["1", "0", "1"]

@@ -18,8 +18,8 @@ from repro.vm import run_program
 
 # -- expression trees ----------------------------------------------------------
 
-_BIN_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<", "<=", ">",
-            ">=", "==", "!=")
+_BIN_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+            "<", "<=", ">", ">=", "==", "!=")
 
 _VAR_NAMES = ("a", "b", "c")
 _VAR_VALUES = {"a": 7, "b": -3, "c": 100}
@@ -85,6 +85,11 @@ def evaluate(tree) -> int:
         return to_signed32(a | b)
     if op == "^":
         return to_signed32(a ^ b)
+    if op == "<<":
+        return to_signed32(a << (b & 31))
+    if op == ">>":
+        # arithmetic shift: C's signed >>, count masked to 5 bits
+        return to_signed32(a >> (b & 31))
     comparisons = {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b,
                    "==": a == b, "!=": a != b}
     return int(comparisons[op])
