@@ -1,0 +1,52 @@
+"""Static-analysis subsystem: dataflow framework + soundness verifiers.
+
+Layers (bottom up):
+
+* :mod:`repro.analyze.cfg` — generic control-flow graphs and dominators;
+* :mod:`repro.analyze.dataflow` — the forward/backward fixpoint solver;
+* :mod:`repro.analyze.ircfg` — CFG construction over mini-C linear IR;
+* :mod:`repro.analyze.machine` — per-function CFGs over linked machine
+  code, using the frame metadata codegen embeds in the Program image;
+* :mod:`repro.analyze.stackcheck` — the stack-discipline verifier;
+* :mod:`repro.analyze.hints` — the ``local_hint`` soundness checker;
+* :mod:`repro.analyze.lints` — IR lints (use-before-init, dead store,
+  unreachable code);
+* :mod:`repro.analyze.driver` — whole-program orchestration behind
+  ``repro-cc analyze`` and the fuzzing ``analyze`` oracle.
+
+The bottom layers are dependency-free (they duck-type over instruction
+objects), so the compiler itself can use the solver — the locality
+provenance pass in :mod:`repro.lang.provenance` runs on this engine.
+Import the driver API lazily (module ``__getattr__``) to keep that
+compiler -> analyze -> compiler cycle unwound.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.cfg import CFG, build_blocks, dominators
+from repro.analyze.dataflow import DataflowProblem, Solution, solve
+from repro.analyze.report import AnalysisReport, Diagnostic
+
+__all__ = [
+    "CFG",
+    "build_blocks",
+    "dominators",
+    "DataflowProblem",
+    "Solution",
+    "solve",
+    "AnalysisReport",
+    "Diagnostic",
+    "analyze_source",
+    "analyze_program",
+    "analyze_workload",
+]
+
+_DRIVER_API = ("analyze_source", "analyze_program", "analyze_workload")
+
+
+def __getattr__(name):
+    if name in _DRIVER_API:
+        from repro.analyze import driver
+
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

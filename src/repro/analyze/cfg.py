@@ -1,0 +1,175 @@
+"""Generic control-flow graphs.
+
+A :class:`CFG` partitions a linear instruction sequence into basic blocks
+and records edges between them.  It is deliberately representation-
+agnostic: the builders in :mod:`repro.analyze.ircfg` (mini-C IR) and
+:mod:`repro.analyze.machine` (linked machine code) both produce this same
+structure, so the dataflow solver and the dominator computation are written
+exactly once.
+
+Instruction indices are always indices into the *original* sequence the
+CFG was built from — never block-relative — so diagnostics can point at
+real program locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+class BasicBlock:
+    """A maximal straight-line region ``[start, end)`` of the sequence."""
+
+    __slots__ = ("index", "start", "end", "succ", "pred")
+
+    def __init__(self, index: int, start: int, end: int):
+        self.index = index
+        self.start = start
+        self.end = end
+        self.succ: List[int] = []
+        self.pred: List[int] = []
+
+    def __repr__(self) -> str:
+        return (f"BasicBlock(#{self.index}, [{self.start}:{self.end}), "
+                f"succ={self.succ})")
+
+
+class CFG:
+    """Basic blocks over an instruction sequence, plus edges.
+
+    The entry block is always block 0 (the block containing the first
+    instruction).  Blocks with no successors are exits.
+    """
+
+    def __init__(self, instrs: Sequence, blocks: List[BasicBlock]):
+        self.instrs = instrs
+        self.blocks = blocks
+        self._block_of_index: Dict[int, int] = {
+            b.start: b.index for b in blocks
+        }
+
+    # -- construction helpers ------------------------------------------------
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Wire ``src -> dst`` (idempotent)."""
+        if dst not in self.blocks[src].succ:
+            self.blocks[src].succ.append(dst)
+            self.blocks[dst].pred.append(src)
+
+    def block_at(self, instr_index: int) -> int:
+        """Index of the block whose first instruction is *instr_index*."""
+        return self._block_of_index[instr_index]
+
+    # -- queries -------------------------------------------------------------
+
+    def block_instrs(self, block_index: int):
+        """``(instruction index, instruction)`` pairs of one block."""
+        block = self.blocks[block_index]
+        for i in range(block.start, block.end):
+            yield i, self.instrs[i]
+
+    def reachable(self) -> Set[int]:
+        """Block indices reachable from the entry block."""
+        if not self.blocks:
+            return set()
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].succ:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def postorder(self) -> List[int]:
+        """Postorder over reachable blocks (iterative DFS from entry)."""
+        if not self.blocks:
+            return []
+        order: List[int] = []
+        visited = set()
+        # (block, next-successor-position) stack for an iterative DFS.
+        stack: List[Tuple[int, int]] = [(0, 0)]
+        visited.add(0)
+        while stack:
+            block, pos = stack[-1]
+            succs = self.blocks[block].succ
+            if pos < len(succs):
+                stack[-1] = (block, pos + 1)
+                nxt = succs[pos]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(block)
+        return order
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder (the canonical forward-analysis order)."""
+        return list(reversed(self.postorder()))
+
+
+def build_blocks(instrs: Sequence, leaders: Set[int]) -> List[BasicBlock]:
+    """Cut *instrs* at the given leader indices into :class:`BasicBlock`s.
+
+    Index 0 is always a leader; leaders outside ``[0, len)`` are ignored.
+    """
+    if not len(instrs):
+        return []
+    starts = sorted({0} | {i for i in leaders if 0 <= i < len(instrs)})
+    blocks: List[BasicBlock] = []
+    for bi, start in enumerate(starts):
+        end = starts[bi + 1] if bi + 1 < len(starts) else len(instrs)
+        blocks.append(BasicBlock(bi, start, end))
+    return blocks
+
+
+def dominators(cfg: CFG) -> List[Optional[int]]:
+    """Immediate dominator of every block (Cooper-Harvey-Kennedy).
+
+    Returns ``idom[b]`` for each block index; the entry block's idom is
+    itself, and unreachable blocks get ``None``.
+    """
+    if not cfg.blocks:
+        return []
+    rpo = cfg.rpo()
+    order = {b: i for i, b in enumerate(rpo)}
+    idom: List[Optional[int]] = [None] * len(cfg.blocks)
+    idom[0] = 0
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while order[a] > order[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while order[b] > order[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block == 0:
+                continue
+            new_idom: Optional[int] = None
+            for pred in cfg.blocks[block].pred:
+                if idom[pred] is None:
+                    continue  # pred not processed / unreachable yet
+                new_idom = pred if new_idom is None \
+                    else intersect(new_idom, pred)
+            if new_idom is not None and idom[block] != new_idom:
+                idom[block] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: List[Optional[int]], a: int, b: int) -> bool:
+    """True when block *a* dominates block *b* (per the idom tree)."""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        if node == 0:
+            return False
+        node = idom[node]
+    return False

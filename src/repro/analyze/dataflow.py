@@ -1,0 +1,147 @@
+"""The generic dataflow fixpoint solver.
+
+A :class:`DataflowProblem` supplies the lattice (``initial_state``,
+``boundary_state``, ``meet``) and the semantics (``transfer``); the solver
+iterates block states to a fixpoint over a :class:`~repro.analyze.cfg.CFG`
+in reverse postorder (forward) or postorder (backward).
+
+Two contracts matter for termination and reuse:
+
+* ``transfer`` must be **pure** — it is re-run an unbounded number of
+  times during iteration, and again by :meth:`Solution.instruction_states`
+  when a client sweeps the fixpoint to emit diagnostics;
+* ``meet`` must be monotone on a finite-height lattice (every lattice in
+  this package is a small product of flat lattices).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from repro.analyze.cfg import CFG
+
+State = Any
+
+
+class DataflowProblem:
+    """Base class for dataflow problems; subclass and fill in the hooks."""
+
+    #: "forward" or "backward".
+    direction = "forward"
+
+    def boundary_state(self) -> State:
+        """State at the procedure boundary (entry / every exit)."""
+        raise NotImplementedError
+
+    def initial_state(self) -> State:
+        """Optimistic starting state for interior blocks (lattice top)."""
+        raise NotImplementedError
+
+    def meet(self, a: State, b: State) -> State:
+        """Combine states flowing in from two edges."""
+        raise NotImplementedError
+
+    def transfer(self, index: int, instr: Any, state: State) -> State:
+        """State after *instr* given *state* before it (must be pure)."""
+        raise NotImplementedError
+
+    def states_equal(self, a: State, b: State) -> bool:
+        """Fixpoint test; override when ``==`` is wrong or slow."""
+        return a == b
+
+
+class Solution:
+    """Fixpoint block states plus on-demand per-instruction states."""
+
+    def __init__(self, cfg: CFG, problem: DataflowProblem,
+                 block_in: List[State], block_out: List[State]):
+        self.cfg = cfg
+        self.problem = problem
+        self.block_in = block_in
+        self.block_out = block_out
+
+    def instruction_states(
+        self, block_index: int
+    ) -> Iterator[Tuple[int, Any, State]]:
+        """``(index, instr, state)`` for each instruction of a block.
+
+        For forward problems the state is the one *before* the
+        instruction; for backward problems it is the state *after* it
+        (i.e. the facts that hold downstream) — in both cases the state
+        an instruction-level check wants to inspect.
+        """
+        problem = self.problem
+        block = self.cfg.blocks[block_index]
+        if problem.direction == "forward":
+            state = self.block_in[block_index]
+            for i in range(block.start, block.end):
+                instr = self.cfg.instrs[i]
+                yield i, instr, state
+                state = problem.transfer(i, instr, state)
+        else:
+            state = self.block_in[block_index]  # backward: state at block end
+            pending = []
+            for i in range(block.end - 1, block.start - 1, -1):
+                instr = self.cfg.instrs[i]
+                pending.append((i, instr, state))
+                state = problem.transfer(i, instr, state)
+            yield from reversed(pending)
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> Solution:
+    """Run *problem* over *cfg* to a fixpoint and return the solution.
+
+    Forward problems propagate entry -> exits along successor edges;
+    backward problems propagate exits -> entry along predecessor edges.
+    In the backward case ``block_in`` holds the state at the *end* of each
+    block and ``block_out`` the state at its start, so that
+    ``instruction_states`` reads naturally in both directions.
+    """
+    n = len(cfg.blocks)
+    block_in: List[State] = [problem.initial_state() for _ in range(n)]
+    block_out: List[State] = [problem.initial_state() for _ in range(n)]
+    if not n:
+        return Solution(cfg, problem, block_in, block_out)
+
+    forward = problem.direction == "forward"
+    order = cfg.rpo() if forward else cfg.postorder()
+    in_worklist = set(order)
+    worklist = list(order)
+
+    def inputs(b: int) -> List[int]:
+        return cfg.blocks[b].pred if forward else cfg.blocks[b].succ
+
+    def outputs(b: int) -> List[int]:
+        return cfg.blocks[b].succ if forward else cfg.blocks[b].pred
+
+    def apply_block(b: int, state: State) -> State:
+        block = cfg.blocks[b]
+        rng = range(block.start, block.end)
+        for i in (rng if forward else reversed(rng)):
+            state = problem.transfer(i, cfg.instrs[i], state)
+        return state
+
+    while worklist:
+        b = worklist.pop(0)
+        in_worklist.discard(b)
+        sources = inputs(b)
+        boundary = (b == 0) if forward else not cfg.blocks[b].succ
+        if boundary:
+            state = problem.boundary_state()
+            for src in sources:
+                state = problem.meet(state, block_out[src])
+        elif sources:
+            state = block_out[sources[0]]
+            for src in sources[1:]:
+                state = problem.meet(state, block_out[src])
+        else:
+            state = problem.initial_state()  # unreachable interior block
+        block_in[b] = state
+        new_out = apply_block(b, state)
+        if not problem.states_equal(new_out, block_out[b]):
+            block_out[b] = new_out
+            for nxt in outputs(b):
+                if nxt not in in_worklist:
+                    in_worklist.add(nxt)
+                    worklist.append(nxt)
+    return Solution(cfg, problem, block_in, block_out)

@@ -1,0 +1,271 @@
+"""Machine-level soundness checking of ``local`` access hints.
+
+The decoupled LVAQ only works if every instruction tagged
+``local_hint=True`` really does access the stack region: a mis-tagged
+access would be steered past the main load/store queue and break memory
+ordering.  This module proves the tag sound with a forward
+reaching-regions analysis over base registers:
+
+* ``R_STACK`` — provably a stack address (derived from ``$sp``);
+* ``R_DATA`` — provably a static-data or heap address (``la`` / ``sbrk``);
+* ``R_NUM`` — provably a non-address integer/float;
+* ``R_UNKNOWN`` — anything else (loaded pointers, merged regions...).
+
+Rules applied at each load/store:
+
+* ``local=True`` requires the base to be ``$sp`` or ``R_STACK`` — else a
+  **hard error** (``hint.unsound-local``);
+* ``local=False`` with a provably-``R_STACK`` base is equally unsound
+  (the access would bypass LVAQ ordering) — ``hint.unsound-global``;
+  an *unprovable* base only warrants a warning;
+* ``local=None`` with a provably-stack base is sound but wasteful — it
+  is counted as a missed opportunity in the coverage metrics.
+
+Spill-slot contents are tracked through the frame so reloads of spilled
+stack pointers keep their region.  Only single-word slots marked
+``is_spill`` are tracked: their addresses are never taken (the stack
+verifier separately proves ``la``-style frame addresses only target
+named slots), so under the usual in-bounds assumption for source
+programs nothing can alias them.  Values parked in callee-saved
+registers and spill slots survive ``jal`` because every function in the
+image is held to the callee-save protocol by
+:mod:`repro.analyze.stackcheck`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.cfg import CFG
+from repro.analyze.dataflow import DataflowProblem, solve
+from repro.analyze.machine import function_cfg
+from repro.analyze.report import Diagnostic
+from repro.isa.frames import FrameInfo
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, Syscall
+from repro.isa.program import Program
+from repro.isa.registers import (CALLEE_SAVED_FPRS, Reg, TOTAL_REGS,
+                                 reg_name)
+
+R_STACK = "S"
+R_DATA = "D"
+R_NUM = "N"
+R_UNKNOWN = "U"
+
+_SP = int(Reg.SP)
+_ZERO = int(Reg.ZERO)
+_V0 = int(Reg.V0)
+_RA = int(Reg.RA)
+
+#: Registers whose contents survive a ``jal`` (guaranteed by the
+#: callee-save protocol, which stackcheck verifies for every function).
+_CALL_PRESERVED = frozenset(
+    {_ZERO, _SP, int(Reg.GP), int(Reg.K0), int(Reg.K1),
+     int(Reg.S0), int(Reg.S1), int(Reg.S2), int(Reg.S3),
+     int(Reg.S4), int(Reg.S5), int(Reg.S6), int(Reg.S7), int(Reg.FP)}
+    | set(CALLEE_SAVED_FPRS))
+
+#: Opcodes whose integer result is never an address.
+_NUMERIC_OPS = frozenset({
+    Opcode.AND, Opcode.ANDI, Opcode.OR, Opcode.ORI, Opcode.XOR,
+    Opcode.XORI, Opcode.NOR, Opcode.SLL, Opcode.SRL, Opcode.SRA,
+    Opcode.SLLV, Opcode.SRLV, Opcode.SRAV, Opcode.SLT, Opcode.SLTI,
+    Opcode.SLTU, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG,
+    Opcode.CVTSW, Opcode.CVTWS, Opcode.CLTS, Opcode.CLES, Opcode.CEQS,
+})
+
+
+def _combine(a: str, b: str) -> str:
+    """Region of ``a op b`` for additive ops (add/sub/addi)."""
+    if a == R_NUM:
+        return b
+    if b == R_NUM:
+        return a
+    return R_UNKNOWN  # pointer+pointer, anything with UNKNOWN...
+
+
+class _RegionState:
+    """Immutable: region per flat register x region per tracked slot."""
+
+    __slots__ = ("regs", "slots")
+
+    def __init__(self, regs: Tuple[str, ...], slots: Tuple[str, ...]):
+        self.regs = regs
+        self.slots = slots
+
+    def __eq__(self, other):
+        return (isinstance(other, _RegionState)
+                and self.regs == other.regs and self.slots == other.slots)
+
+
+class _RegionProblem(DataflowProblem):
+    """Forward reaching-regions analysis for one function."""
+
+    direction = "forward"
+
+    def __init__(self, frame: FrameInfo):
+        self.frame = frame
+        #: Frame offsets of value-tracked spill slots, in layout order.
+        self.tracked: Tuple[int, ...] = tuple(sorted(
+            slot.offset for slot in frame.slots
+            if slot.is_spill and slot.words == 1))
+        self._slot_index = {off: i for i, off in enumerate(self.tracked)}
+
+    def boundary_state(self) -> _RegionState:
+        regs = [R_UNKNOWN] * TOTAL_REGS
+        regs[_ZERO] = R_NUM
+        regs[_SP] = R_STACK
+        return _RegionState(tuple(regs),
+                            (R_UNKNOWN,) * len(self.tracked))
+
+    def initial_state(self) -> Optional[_RegionState]:
+        return None  # lattice top: block not yet reached
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        regs = tuple(x if x == y else R_UNKNOWN
+                     for x, y in zip(a.regs, b.regs))
+        slots = tuple(x if x == y else R_UNKNOWN
+                      for x, y in zip(a.slots, b.slots))
+        return _RegionState(regs, slots)
+
+    def base_region(self, ins: Instruction, state: _RegionState) -> str:
+        """Region of the base register of a memory access."""
+        return state.regs[ins.rs]
+
+    def transfer(self, index: int, ins: Instruction, state):
+        if state is None:
+            return None
+        op = ins.op
+        regs, slots = state.regs, state.slots
+        if op is Opcode.JAL:
+            regs = tuple(
+                value if reg in _CALL_PRESERVED
+                else (R_NUM if reg == _RA else R_UNKNOWN)
+                for reg, value in enumerate(regs))
+            return _RegionState(regs, slots)
+        if op.is_store:
+            if ins.rs == _SP:
+                pos = self._slot_index.get(ins.imm)
+                if pos is not None:
+                    slots = (slots[:pos] + (regs[ins.rt],)
+                             + slots[pos + 1:])
+            return _RegionState(regs, slots)
+        value = self._value_of(ins, regs, slots)
+        if value is None:
+            return state
+        rd = ins.rd if ins.rd is not None else ins.writes[0]
+        if rd == _ZERO:
+            return state  # hardwired zero swallows the write
+        regs = regs[:rd] + (value,) + regs[rd + 1:]
+        return _RegionState(regs, slots)
+
+    def _value_of(self, ins: Instruction, regs, slots) -> Optional[str]:
+        """Region written by *ins*, or None when it writes nothing."""
+        op = ins.op
+        if op.is_load:
+            if ins.rs == _SP:
+                pos = self._slot_index.get(ins.imm)
+                if pos is not None:
+                    return slots[pos]
+            return R_UNKNOWN
+        if op in (Opcode.LI, Opcode.LUI):
+            return R_NUM
+        if op is Opcode.LA:
+            return R_DATA
+        if op in (Opcode.MOVE, Opcode.FMOV):
+            return regs[ins.rs]
+        if op is Opcode.ADDI:
+            return _combine(regs[ins.rs], R_NUM)
+        if op in (Opcode.ADD, Opcode.SUB):
+            return _combine(regs[ins.rs], regs[ins.rt])
+        if op in _NUMERIC_OPS:
+            return R_NUM
+        if op is Opcode.SYSCALL:
+            if ins.imm == int(Syscall.SBRK):
+                return R_DATA
+            if ins.writes:
+                return R_NUM
+            return None
+        if op is Opcode.JALR:
+            return R_NUM  # $ra := code address (flagged by stackcheck)
+        if ins.writes:
+            return R_UNKNOWN
+        return None
+
+
+def check_hints(program: Program, frame: FrameInfo,
+                cfg: Optional[CFG] = None
+                ) -> Tuple[List[Diagnostic], Dict[str, int]]:
+    """Verify the ``local`` hints of one function.
+
+    Returns diagnostics plus raw counts for the coverage metrics:
+    accesses by hint value, and how many untagged accesses were provably
+    stack (missed LVAQ opportunities) or provably data.
+    """
+    if cfg is None:
+        cfg, _ = function_cfg(program, frame)
+    problem = _RegionProblem(frame)
+    solution = solve(cfg, problem)
+    diagnostics: List[Diagnostic] = []
+    counts = {"mem_total": 0, "hint_local": 0, "hint_global": 0,
+              "hint_none": 0, "missed_local": 0, "provable_data": 0,
+              "unknown_base": 0}
+
+    def diag(severity: str, rule: str, index: int, message: str) -> None:
+        diagnostics.append(Diagnostic(
+            severity, rule, frame.name, frame.code_start + index,
+            message))
+
+    for block in cfg.blocks:
+        for index, ins, state in solution.instruction_states(block.index):
+            if state is None or not ins.op.is_mem:
+                continue
+            counts["mem_total"] += 1
+            region = problem.base_region(ins, state)
+            base = reg_name(ins.rs)
+            if ins.local is True:
+                counts["hint_local"] += 1
+                if region != R_STACK:
+                    diag("error", "hint.unsound-local", index,
+                         f"local_hint=True but base {base} is not "
+                         f"provably a stack address (region "
+                         f"{region!r})")
+            elif ins.local is False:
+                counts["hint_global"] += 1
+                if region == R_STACK:
+                    diag("error", "hint.unsound-global", index,
+                         f"local_hint=False but base {base} is "
+                         f"provably a stack address")
+                elif region == R_UNKNOWN:
+                    counts["unknown_base"] += 1
+                    diag("warning", "hint.unprovable-global", index,
+                         f"local_hint=False but base {base} could not "
+                         f"be proven non-stack")
+            else:
+                counts["hint_none"] += 1
+                if region == R_STACK:
+                    counts["missed_local"] += 1
+                elif region == R_DATA:
+                    counts["provable_data"] += 1
+    return diagnostics, counts
+
+
+def check_program_hints(program: Program,
+                        cfgs: Optional[Dict[str, CFG]] = None
+                        ) -> Tuple[List[Diagnostic], Dict[str, int]]:
+    """Verify hints across the whole image; aggregate the counts."""
+    diagnostics: List[Diagnostic] = []
+    totals: Dict[str, int] = {}
+    for frame in sorted(program.frames.values(),
+                        key=lambda f: f.code_start):
+        cfg = cfgs.get(frame.name) if cfgs else None
+        diags, counts = check_hints(program, frame, cfg)
+        diagnostics.extend(diags)
+        for key, value in counts.items():
+            totals[key] = totals.get(key, 0) + value
+    return diagnostics, totals

@@ -1,0 +1,46 @@
+"""CFG construction over mini-C linear IR.
+
+Duck-typed on purpose: it only reads ``instr.kind`` / ``instr.sym``, so
+this module has no dependency on :mod:`repro.lang` and the compiler can
+import the analysis engine without a cycle.
+
+IR control-flow conventions (see :mod:`repro.lang.ir`): ``label`` opens a
+block, ``jmp`` is unconditional, ``br`` is conditional with fallthrough,
+and ``ret`` is a plain instruction — lowering always materialises the
+actual transfer as a following ``jmp`` to the exit label (or falls through
+into it at the end of the body).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analyze.cfg import CFG, build_blocks
+
+
+def ir_cfg(body: List) -> CFG:
+    """Build the CFG of one function's linear IR *body*."""
+    leaders: Set[int] = set()
+    label_at: Dict[str, int] = {}
+    for i, instr in enumerate(body):
+        kind = instr.kind
+        if kind == "label":
+            leaders.add(i)
+            label_at[instr.sym] = i
+        elif kind in ("jmp", "br"):
+            leaders.add(i + 1)
+    cfg = CFG(body, build_blocks(body, leaders))
+    for block in cfg.blocks:
+        if block.start == block.end:
+            continue
+        last = body[block.end - 1]
+        kind = last.kind
+        if kind == "jmp":
+            cfg.add_edge(block.index, cfg.block_at(label_at[last.sym]))
+        elif kind == "br":
+            cfg.add_edge(block.index, cfg.block_at(label_at[last.sym]))
+            if block.index + 1 < len(cfg.blocks):
+                cfg.add_edge(block.index, block.index + 1)
+        elif block.index + 1 < len(cfg.blocks):
+            cfg.add_edge(block.index, block.index + 1)
+    return cfg

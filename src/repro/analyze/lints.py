@@ -1,0 +1,248 @@
+"""IR-level lints: use-before-init, dead stores, unreachable code.
+
+These run on the linear IR of one function (before register allocation)
+and are warnings, not soundness errors — the program may still simulate
+fine, but each finding is either a source-program bug or wasted work:
+
+* ``ir.use-before-init`` — a virtual register or frame slot is read on
+  some path before anything wrote it (reads garbage);
+* ``ir.dead-store`` — a store to a frame slot that no path ever reads
+  again (wasted work, often a source bug);
+* ``ir.unreachable`` — a basic block no path can reach.
+
+Both dataflow lints are deliberately conservative about addressed slots:
+once a slot's address escapes via ``la_frame`` it may be read or written
+through pointers the IR cannot see, so escaped slots are treated as
+always-read and any store through a pointer may initialise anything.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.analyze.dataflow import DataflowProblem, solve
+from repro.analyze.ircfg import ir_cfg
+from repro.analyze.report import Diagnostic
+
+Key = Tuple[str, object]
+
+
+def _vreg_key(vreg) -> Optional[Key]:
+    """Tracking key for a VReg; precolored registers are not tracked
+    (the ABI initialises them at entry / around calls)."""
+    if vreg is None or vreg.phys is not None:
+        return None
+    return ("v", vreg.id)
+
+
+def _frame_slot(instr):
+    """The FrameSlot a load/store targets, or None for other bases."""
+    base = instr.base
+    if isinstance(base, tuple) and base[0] == "frame":
+        return base[1]
+    return None
+
+
+def _escaped_slots(body) -> Set[str]:
+    """Names of slots whose address is taken somewhere in the body."""
+    return {ins.base[1].name for ins in body
+            if ins.kind == "la_frame"
+            and isinstance(ins.base, tuple) and ins.base[0] == "frame"}
+
+
+# ---------------------------------------------------------------------------
+# use-before-init (forward, must-initialised sets, meet = intersection)
+# ---------------------------------------------------------------------------
+
+class _InitProblem(DataflowProblem):
+    direction = "forward"
+
+    def __init__(self, escaped: Set[str]):
+        self.escaped = escaped
+
+    def boundary_state(self) -> FrozenSet[Key]:
+        return frozenset()
+
+    def initial_state(self):
+        return None  # lattice top: block not yet reached
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer(self, index, instr, state):
+        if state is None:
+            return None
+        added: List[Key] = []
+        for d in instr.defs():
+            key = _vreg_key(d)
+            if key is not None:
+                added.append(key)
+        if instr.kind == "store":
+            slot = _frame_slot(instr)
+            if slot is not None:
+                # Any store initialises the slot (conservative for
+                # multi-word arrays: misses partial initialisation).
+                added.append(("s", slot.name))
+            elif instr.base is not None and not isinstance(
+                    instr.base, tuple):
+                # A store through a pointer may initialise any
+                # escaped slot.
+                added.extend(("s", name) for name in self.escaped)
+        elif instr.kind == "la_frame":
+            slot = _frame_slot(instr)
+            if slot is not None:
+                # Escape point: writes through the pointer are invisible
+                # from here on, so stop tracking the slot.
+                added.append(("s", slot.name))
+        elif instr.kind == "call":
+            # The callee may initialise escaped slots through stored
+            # pointers.
+            added.extend(("s", name) for name in self.escaped)
+        return state | frozenset(added) if added else state
+
+
+def _check_init(name: str, cfg) -> List[Diagnostic]:
+    escaped = _escaped_slots(cfg.instrs)
+    solution = solve(cfg, _InitProblem(escaped))
+    out: List[Diagnostic] = []
+    reported: Set[Key] = set()
+    for block in cfg.blocks:
+        for i, instr, state in solution.instruction_states(block.index):
+            if state is None:
+                continue
+            suspects: List[Tuple[Key, str]] = []
+            for use in instr.uses():
+                key = _vreg_key(use)
+                if key is not None:
+                    suspects.append((key, repr(use)))
+            if instr.kind == "load":
+                slot = _frame_slot(instr)
+                if slot is not None:
+                    suspects.append((("s", slot.name), slot.name))
+            for key, label in suspects:
+                if key not in state and key not in reported:
+                    reported.add(key)
+                    out.append(Diagnostic(
+                        "warning", "ir.use-before-init", name, i,
+                        f"{label} may be read before initialisation"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# dead stores (backward, live-slot sets, meet = union)
+# ---------------------------------------------------------------------------
+
+class _LiveSlotProblem(DataflowProblem):
+    direction = "backward"
+
+    def __init__(self, escaped: Set[str]):
+        self.escaped = escaped
+
+    def boundary_state(self) -> FrozenSet[str]:
+        return frozenset()  # locals are dead once the function returns
+
+    def initial_state(self):
+        return None
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a | b
+
+    def transfer(self, index, instr, state):
+        if state is None:
+            return None
+        kind = instr.kind
+        if kind == "load":
+            slot = _frame_slot(instr)
+            if slot is not None:
+                return state | {slot.name}
+            if instr.base is not None and not isinstance(
+                    instr.base, tuple):
+                return state | frozenset(self.escaped)
+        elif kind == "call" and self.escaped:
+            # The callee may read escaped slots through stored pointers.
+            return state | frozenset(self.escaped)
+        elif kind == "store":
+            slot = _frame_slot(instr)
+            if (slot is not None and slot.words == 1 and instr.imm == 0
+                    and slot.name not in self.escaped):
+                return state - {slot.name}
+        return state
+
+
+def _check_dead_stores(name: str, cfg) -> List[Diagnostic]:
+    escaped = _escaped_slots(cfg.instrs)
+    solution = solve(cfg, _LiveSlotProblem(escaped))
+    out: List[Diagnostic] = []
+    for block in cfg.blocks:
+        # Backward problem: the yielded state is the live-after set.
+        for i, instr, live_after in solution.instruction_states(
+                block.index):
+            if live_after is None or instr.kind != "store":
+                continue
+            slot = _frame_slot(instr)
+            if (slot is not None and slot.name not in escaped
+                    and slot.name not in live_after):
+                out.append(Diagnostic(
+                    "warning", "ir.dead-store", name, i,
+                    f"store to {slot.name} is never read"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# unreachable code
+# ---------------------------------------------------------------------------
+
+def _implicit_return_len(body) -> int:
+    """Length of lowering's implicit-return suffix (``li; mov $v0; ret``)."""
+    i = len(body) - 1
+    if i < 0 or body[i].kind != "ret":
+        return 0
+    count = 1
+    i -= 1
+    if (i >= 0 and body[i].kind == "mov" and body[i].dst is not None
+            and body[i].dst.phys is not None):
+        count += 1
+        i -= 1
+        if i >= 0 and body[i].kind == "li":
+            count += 1
+    return count
+
+
+def _check_unreachable(name: str, cfg) -> List[Diagnostic]:
+    reachable = cfg.reachable()
+    out: List[Diagnostic] = []
+    instrs = cfg.instrs
+    for block in cfg.blocks:
+        if block.index in reachable or block.start == block.end:
+            continue
+        body = [instrs[i] for i in range(block.start, block.end)]
+        if (body[-1].kind == "ret" and block.end == len(instrs) - 1
+                and instrs[-1].kind == "label"):
+            # Lowering unconditionally appends an implicit return before
+            # the exit label; it is dead whenever every source path
+            # already returned.  Not the user's dead code — strip it and
+            # flag only what else the block carries.
+            body = body[:len(body) - _implicit_return_len(body)]
+        if all(ins.kind == "label" for ins in body):
+            continue  # a dangling label alone is not dead *code*
+        out.append(Diagnostic(
+            "warning", "ir.unreachable", name, block.start,
+            f"basic block of {len(body)} instructions is unreachable"))
+    return out
+
+
+def lint_function(name: str, body) -> List[Diagnostic]:
+    """Run every IR lint over one function's linear IR *body*."""
+    cfg = ir_cfg(body)
+    out = _check_unreachable(name, cfg)
+    out.extend(_check_init(name, cfg))
+    out.extend(_check_dead_stores(name, cfg))
+    return out

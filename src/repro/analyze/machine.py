@@ -1,0 +1,90 @@
+"""Per-function CFGs over linked machine code.
+
+Function extents come from the :class:`~repro.isa.frames.FrameInfo`
+metadata codegen embeds in the Program image — the verifier never guesses
+where a function starts or ends.  Within a function:
+
+* conditional branches edge to their (resolved) target and fall through;
+* ``j`` edges to its target only;
+* ``jal`` is a call — it falls through (the callee is analysed
+  separately under its own frame metadata);
+* ``jr`` is a return — no successors (an exit block);
+* ``syscall`` falls through except for ``exit``, which terminates.
+
+A branch whose resolved target lies outside the function's extent is a
+hard error (compiled code never jumps between function bodies except via
+``jal``); the edge is dropped so analysis can continue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analyze.cfg import CFG, build_blocks
+from repro.analyze.report import Diagnostic
+from repro.isa.frames import FrameInfo
+from repro.isa.opcodes import Opcode, Syscall
+from repro.isa.program import Program
+
+
+def iter_frames(program: Program) -> List[FrameInfo]:
+    """Frame metadata of every function, in code order."""
+    return sorted(program.frames.values(), key=lambda f: f.code_start)
+
+
+def function_cfg(program: Program,
+                 frame: FrameInfo) -> Tuple[CFG, List[Diagnostic]]:
+    """CFG of one function plus any structural diagnostics.
+
+    The CFG's instruction sequence is the function's slice of the text
+    segment; instruction indices in blocks are *relative to the slice*
+    (add ``frame.code_start`` for absolute addresses — the verifier's
+    diagnostics do exactly that).
+    """
+    program.resolve()  # idempotent; branch targets live in .imm afterwards
+    start, end = frame.code_start, frame.code_end
+    body = program.instructions[start:end]
+    diagnostics: List[Diagnostic] = []
+
+    def target_of(i: int) -> int:
+        return body[i].imm - start  # absolute index -> slice-relative
+
+    leaders: Set[int] = set()
+    for i, ins in enumerate(body):
+        op = ins.op
+        if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLEZ, Opcode.BGTZ,
+                  Opcode.BLTZ, Opcode.BGEZ, Opcode.J):
+            leaders.add(target_of(i))
+            leaders.add(i + 1)
+        elif op in (Opcode.JR, Opcode.JALR):
+            leaders.add(i + 1)
+        elif op is Opcode.SYSCALL and ins.imm == int(Syscall.EXIT):
+            leaders.add(i + 1)
+
+    cfg = CFG(body, build_blocks(body, leaders))
+    for block in cfg.blocks:
+        if block.start == block.end:
+            continue
+        i = block.end - 1
+        ins = body[i]
+        op = ins.op
+        if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLEZ, Opcode.BGTZ,
+                  Opcode.BLTZ, Opcode.BGEZ, Opcode.J):
+            target = target_of(i)
+            if 0 <= target < len(body):
+                cfg.add_edge(block.index, cfg.block_at(target))
+            else:
+                diagnostics.append(Diagnostic(
+                    "error", "cfg.branch-out-of-function", frame.name,
+                    start + i,
+                    f"branch target {ins.imm} lies outside "
+                    f"[{start}:{end})"))
+            if op is not Opcode.J and block.index + 1 < len(cfg.blocks):
+                cfg.add_edge(block.index, block.index + 1)
+        elif op in (Opcode.JR, Opcode.JALR):
+            pass  # return (or indirect jump): exit block
+        elif op is Opcode.SYSCALL and ins.imm == int(Syscall.EXIT):
+            pass  # program termination
+        elif block.index + 1 < len(cfg.blocks):
+            cfg.add_edge(block.index, block.index + 1)
+    return cfg, diagnostics

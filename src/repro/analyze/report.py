@@ -1,0 +1,136 @@
+"""Diagnostics and whole-program analysis reports.
+
+Severities:
+
+* ``error`` — a soundness violation (unsound hint, broken stack
+  discipline, out-of-frame access).  Any error fails verification.
+* ``warning`` — suspicious but not unsound (dead store, unreachable
+  code, an unprovable-but-plausible annotation).
+* ``note`` — informational (skipped checks, coverage remarks).
+
+Rule names are stable dotted identifiers (``stack.sp-write``,
+``hint.unsound-local`` ...) so tests and CI can match on them without
+parsing message text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+SEVERITIES = ("error", "warning", "note")
+
+
+class Diagnostic:
+    """One finding, anchored to a function and an instruction index."""
+
+    __slots__ = ("severity", "rule", "function", "index", "message")
+
+    def __init__(self, severity: str, rule: str, function: Optional[str],
+                 index: Optional[int], message: str):
+        assert severity in SEVERITIES, severity
+        self.severity = severity
+        self.rule = rule
+        self.function = function
+        self.index = index
+        self.message = message
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serialisable view."""
+        return {"severity": self.severity, "rule": self.rule,
+                "function": self.function, "index": self.index,
+                "message": self.message}
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        where = self.function or "<program>"
+        if self.index is not None:
+            where += f"+{self.index}"
+        return f"{self.severity}: [{self.rule}] {where}: {self.message}"
+
+    def __repr__(self) -> str:
+        return f"<{self.render()}>"
+
+
+class AnalysisReport:
+    """Everything one analysis run found, plus coverage metrics.
+
+    ``metrics`` is a flat string -> number mapping (static hint counts,
+    missed opportunities, dynamic cross-check statistics...); per-function
+    frame metadata echoes live under ``frames`` so report consumers can
+    see what the verifier verified against.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.diagnostics: List[Diagnostic] = []
+        self.metrics: Dict[str, Any] = {}
+        self.frames: Dict[str, Dict[str, Any]] = {}
+
+    # -- accumulation --------------------------------------------------------
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Record one finding."""
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        """Record many findings."""
+        self.diagnostics.extend(diagnostics)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Hard soundness violations."""
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Suspicious-but-sound findings."""
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when verification found no errors."""
+        return not self.errors
+
+    # -- rendering -----------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serialisable view of the whole report."""
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.describe() for d in self.diagnostics],
+            "metrics": dict(sorted(self.metrics.items())),
+            "frames": self.frames,
+        }
+
+    def to_json(self) -> str:
+        """The report as pretty-printed JSON."""
+        return json.dumps(self.describe(), indent=2, sort_keys=False)
+
+    def render_text(self, verbose: bool = False) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"analyze {self.name}: "
+                 f"{'CLEAN' if self.ok else 'FAILED'} "
+                 f"({len(self.errors)} errors, "
+                 f"{len(self.warnings)} warnings)"]
+        for diag in self.diagnostics:
+            if diag.severity == "note" and not verbose:
+                continue
+            lines.append("  " + diag.render())
+        if self.metrics:
+            lines.append("  metrics:")
+            for key, value in sorted(self.metrics.items()):
+                if isinstance(value, float):
+                    lines.append(f"    {key:32s} {value:.4f}")
+                else:
+                    lines.append(f"    {key:32s} {value}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"AnalysisReport({self.name!r}, ok={self.ok}, "
+                f"{len(self.diagnostics)} diagnostics)")

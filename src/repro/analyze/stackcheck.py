@@ -1,0 +1,397 @@
+"""The stack-discipline verifier (machine level).
+
+The paper's LVAQ fast-forwarding rests on ``$sp`` being constant inside a
+procedure and on every sp-relative access landing in a slot the compiler
+meant it to touch.  This module *proves* those properties per function,
+against the frame metadata codegen embeds in the Program image:
+
+* **sp-delta analysis** (forward dataflow): ``$sp`` may only be adjusted
+  by the prologue/epilogue ``addi`` pair with matching constants; at every
+  sp-relative access, call, and frame-address computation the delta must
+  equal ``-frame_size``, and at every return it must be back to 0.
+* **frame-region classification**: each sp-relative access must fall
+  entirely inside exactly one declared region — the outgoing-argument
+  area (stores only), a named/spill slot, the callee-save area (only the
+  matching save/restore), or the incoming-argument area (loads only).
+* **callee-save protocol** (forward dataflow): every callee-saved
+  register the function touches is saved before the first clobber and
+  restored on *all* paths to a return; save slots are never reused for
+  anything else.
+* **frame-metadata validation**: declared regions are in-bounds, aligned,
+  and pairwise disjoint.
+
+``transfer`` is pure (the solver re-runs it); diagnostics are emitted by
+a separate sweep over the fixpoint states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.cfg import CFG
+from repro.analyze.dataflow import DataflowProblem, solve
+from repro.analyze.machine import function_cfg
+from repro.analyze.report import Diagnostic
+from repro.isa.frames import FrameInfo
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, reg_name
+
+_SP = int(Reg.SP)
+_RA = int(Reg.RA)
+
+#: Callee-save protocol states (per saved register).
+_UNSAVED = "U"    # intact, save-store not yet executed
+_SAVED = "S"      # intact, entry value parked in its save slot
+_CLOBBERED = "C"  # overwritten after saving; restore still owed
+_MAYBE = "M"      # paths disagree — not restored on all of them
+
+_CONFLICT = "conflict"  # sp-delta join of two different adjustments
+
+
+class _StackState:
+    """Immutable product state: sp delta x callee-save statuses."""
+
+    __slots__ = ("delta", "saves")
+
+    def __init__(self, delta, saves: Tuple[str, ...]):
+        self.delta = delta
+        self.saves = saves
+
+    def __eq__(self, other):
+        return (isinstance(other, _StackState)
+                and self.delta == other.delta and self.saves == other.saves)
+
+    def __repr__(self) -> str:
+        return f"_StackState(delta={self.delta}, saves={self.saves})"
+
+
+class _StackProblem(DataflowProblem):
+    """Forward sp-delta + callee-save dataflow for one function."""
+
+    direction = "forward"
+
+    def __init__(self, frame: FrameInfo):
+        self.frame = frame
+        self.saved_regs: Tuple[int, ...] = tuple(
+            sorted(frame.save_offsets))
+        self._index_of = {reg: i for i, reg in enumerate(self.saved_regs)}
+        self._reg_at_offset = {off: reg
+                               for reg, off in frame.save_offsets.items()}
+
+    # -- lattice -------------------------------------------------------------
+
+    def boundary_state(self) -> _StackState:
+        return _StackState(0, (_UNSAVED,) * len(self.saved_regs))
+
+    def initial_state(self) -> Optional[_StackState]:
+        return None  # lattice top: block not yet reached
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        delta = a.delta if a.delta == b.delta else _CONFLICT
+        saves = tuple(x if x == y else _MAYBE
+                      for x, y in zip(a.saves, b.saves))
+        return _StackState(delta, saves)
+
+    # -- semantics -----------------------------------------------------------
+
+    def transfer(self, index: int, ins: Instruction, state):
+        if state is None:
+            return None
+        delta, saves = state.delta, state.saves
+        op = ins.op
+        if op is Opcode.ADDI and ins.rd == _SP and ins.rs == _SP:
+            if isinstance(delta, int):
+                delta = delta + ins.imm
+        elif _SP in ins.writes:
+            delta = _CONFLICT  # non-prologue/epilogue write; sweep reports
+        new_saves = saves
+        restored = self._matching_restore(ins)
+        if restored is not None:
+            pos = self._index_of[restored]
+            if saves[pos] in (_CLOBBERED, _SAVED, _MAYBE):
+                new_saves = _replace(new_saves, pos, _SAVED)
+            # restore while _UNSAVED loads garbage; sweep reports, state
+            # stays _UNSAVED so later checks keep firing.
+        else:
+            for reg in ins.writes:
+                pos = self._index_of.get(reg)
+                if pos is not None:
+                    new_saves = _replace(new_saves, pos, _CLOBBERED)
+        saved = self._matching_save(ins)
+        if saved is not None:
+            pos = self._index_of[saved]
+            if new_saves[pos] == _UNSAVED:
+                new_saves = _replace(new_saves, pos, _SAVED)
+        return _StackState(delta, new_saves)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _matching_save(self, ins: Instruction) -> Optional[int]:
+        """The callee-saved register this instruction correctly saves."""
+        if ins.op.is_store and ins.rs == _SP:
+            reg = self._reg_at_offset.get(ins.imm)
+            if reg is not None and ins.rt == reg:
+                return reg
+        return None
+
+    def _matching_restore(self, ins: Instruction) -> Optional[int]:
+        """The callee-saved register this instruction correctly restores."""
+        if ins.op.is_load and ins.rs == _SP:
+            reg = self._reg_at_offset.get(ins.imm)
+            if reg is not None and ins.rd == reg:
+                return reg
+        return None
+
+
+def _replace(saves: Tuple[str, ...], pos: int, value: str) -> Tuple[str, ...]:
+    return saves[:pos] + (value,) + saves[pos + 1:]
+
+
+# ---------------------------------------------------------------------------
+# metadata validation
+# ---------------------------------------------------------------------------
+
+def check_frame_metadata(frame: FrameInfo) -> List[Diagnostic]:
+    """Validate the declared layout itself: bounds, alignment, overlap."""
+    out: List[Diagnostic] = []
+    name = frame.name
+
+    def err(rule: str, message: str) -> None:
+        out.append(Diagnostic("error", rule, name, None, message))
+
+    if frame.frame_size < 0 or frame.frame_size % 8:
+        err("frame.unaligned",
+            f"frame size {frame.frame_size} is not 8-byte aligned")
+    regions = frame.regions()
+    for kind, start, end in regions:
+        if start < 0 or end > frame.frame_size:
+            err("frame.region-out-of-bounds",
+                f"{kind} spans [{start}:{end}) outside the "
+                f"{frame.frame_size}-byte frame")
+        if start % 4:
+            err("frame.region-unaligned", f"{kind} starts at "
+                f"unaligned offset {start}")
+    ordered = sorted(regions, key=lambda r: (r[1], r[2]))
+    for (kind_a, start_a, end_a), (kind_b, start_b, end_b) in zip(
+            ordered, ordered[1:]):
+        if start_b < end_a:
+            err("frame.overlap",
+                f"{kind_a} [{start_a}:{end_a}) overlaps "
+                f"{kind_b} [{start_b}:{end_b})")
+    if frame.saves_ra and _RA not in frame.save_offsets:
+        err("frame.missing-ra-slot",
+            "function declares saves_ra but has no $ra save slot")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the verification sweep
+# ---------------------------------------------------------------------------
+
+class _Sweep:
+    """Walks the fixpoint states once, emitting diagnostics."""
+
+    def __init__(self, frame: FrameInfo, problem: _StackProblem):
+        self.frame = frame
+        self.problem = problem
+        self.out: List[Diagnostic] = []
+        self._conflict_reported = False
+
+    def diag(self, severity: str, rule: str, index: int, message: str):
+        self.out.append(Diagnostic(
+            severity, rule, self.frame.name,
+            self.frame.code_start + index, message))
+
+    # -- per-instruction checks ---------------------------------------------
+
+    def check(self, index: int, ins: Instruction, state) -> None:
+        if state is None:
+            return  # unreachable; the lints layer reports dead code
+        frame = self.frame
+        delta = state.delta
+        if delta == _CONFLICT and not self._conflict_reported:
+            self._conflict_reported = True
+            self.diag("error", "stack.sp-inconsistent", index,
+                      "paths reach this point with different $sp "
+                      "adjustments")
+        op = ins.op
+        if op is Opcode.ADDI and ins.rd == _SP and ins.rs == _SP:
+            if isinstance(delta, int):
+                after = delta + ins.imm
+                if after not in (0, -frame.frame_size):
+                    self.diag(
+                        "error", "stack.sp-adjust", index,
+                        f"$sp adjusted by {ins.imm} to delta {after}; "
+                        f"only 0 and -{frame.frame_size} are legal")
+        elif _SP in ins.writes:
+            self.diag("error", "stack.sp-write", index,
+                      f"{op.mnemonic} writes $sp outside the "
+                      f"prologue/epilogue protocol")
+        if op.fmt is Fmt.MEM and ins.rs == _SP:
+            self._check_sp_access(index, ins, delta, state)
+        elif op is Opcode.ADDI and ins.rs == _SP and ins.rd != _SP:
+            self._check_frame_address(index, ins, delta)
+        elif op is Opcode.JAL:
+            if delta != -frame.frame_size:
+                self.diag("error", "stack.call-outside-frame", index,
+                          f"call with $sp delta {delta}; the frame "
+                          f"(-{frame.frame_size}) must be established")
+        elif op is Opcode.JALR:
+            self.diag("error", "stack.indirect-call", index,
+                      "indirect calls are outside the verified "
+                      "discipline")
+        elif op is Opcode.JR:
+            self._check_return(index, ins, delta, state)
+        elif op.fmt in (Fmt.RRR, Fmt.RR) and (
+                ins.rs == _SP or (ins.rt is not None and ins.rt == _SP)):
+            self.diag("warning", "stack.sp-computed", index,
+                      f"$sp flows into {op.mnemonic}; the result is "
+                      f"treated as stack-derived")
+
+    def _check_sp_access(self, index: int, ins: Instruction, delta,
+                         state) -> None:
+        frame = self.frame
+        if delta != -frame.frame_size:
+            self.diag("error", "stack.access-outside-frame", index,
+                      f"sp-relative access with $sp delta {delta}; "
+                      f"expected -{frame.frame_size}")
+            return
+        offset, size = ins.imm, ins.mem_size
+        is_store = ins.op.is_store
+        if size == 4 and offset % 4:
+            self.diag("error", "stack.unaligned-access", index,
+                      f"word access at unaligned frame offset {offset}")
+            return
+        # The callee-save area: only the matching save/restore may touch.
+        reg = self.problem._reg_at_offset.get(offset)
+        if reg is not None:
+            pos = self.problem._index_of[reg]
+            status = state.saves[pos]
+            if is_store:
+                if ins.rt != reg:
+                    self.diag("error", "stack.save-slot-misuse", index,
+                              f"store of {reg_name(ins.rt)} into the "
+                              f"save slot of {reg_name(reg)}")
+                elif status not in (_UNSAVED, _MAYBE):
+                    self.diag("error", "stack.save-slot-overwrite", index,
+                              f"{reg_name(reg)} saved again while its "
+                              f"slot still holds the entry value")
+            else:
+                if ins.rd != reg:
+                    self.diag("error", "stack.save-slot-misuse", index,
+                              f"load of {reg_name(reg)}'s save slot into "
+                              f"{reg_name(ins.rd)}")
+                elif status == _UNSAVED:
+                    self.diag("error", "stack.restore-before-save", index,
+                              f"{reg_name(reg)} restored before any save")
+            return
+        # Outgoing-argument area (stores only).
+        if offset < frame.outgoing_bytes:
+            if not is_store:
+                self.diag("error", "stack.load-from-outgoing", index,
+                          f"load from the outgoing-argument area "
+                          f"(offset {offset})")
+            return
+        # Named locals and spill slots.
+        for slot in frame.slots:
+            if slot.offset <= offset and offset + size <= slot.end:
+                return
+        # Incoming stack-passed arguments (loads only).
+        if offset >= frame.frame_size:
+            word = (offset - frame.frame_size) // 4
+            if word < frame.incoming_words:
+                if is_store:
+                    self.diag("error", "stack.store-to-incoming", index,
+                              f"store into the caller's argument area "
+                              f"(offset {offset})")
+                return
+            self.diag("error", "stack.out-of-frame", index,
+                      f"access at offset {offset} beyond the frame and "
+                      f"the {frame.incoming_words} incoming words")
+            return
+        self.diag("error", "stack.out-of-frame", index,
+                  f"access at offset {offset} hits no declared region "
+                  f"of the {frame.frame_size}-byte frame")
+
+    def _check_frame_address(self, index: int, ins: Instruction,
+                             delta) -> None:
+        frame = self.frame
+        if delta != -frame.frame_size:
+            self.diag("error", "stack.address-outside-frame", index,
+                      f"frame address computed with $sp delta {delta}")
+            return
+        offset = ins.imm
+        for slot in frame.slots:
+            if not slot.is_spill and slot.offset <= offset < slot.end:
+                return
+        self.diag("error", "stack.address-out-of-frame", index,
+                  f"address of frame offset {offset} targets no named "
+                  f"slot")
+
+    def _check_return(self, index: int, ins: Instruction, delta,
+                      state) -> None:
+        if ins.rs != _RA:
+            self.diag("error", "stack.indirect-return", index,
+                      f"return through {reg_name(ins.rs)} instead of $ra")
+        if delta != 0:
+            self.diag("error", "stack.return-with-frame", index,
+                      f"return with $sp delta {delta}; the frame was "
+                      f"not torn down")
+        for pos, reg in enumerate(self.problem.saved_regs):
+            status = state.saves[pos]
+            if status == _CLOBBERED:
+                self.diag("error", "stack.unrestored-callee-saved", index,
+                          f"{reg_name(reg)} clobbered and not restored "
+                          f"before return")
+            elif status == _MAYBE:
+                self.diag("error", "stack.unrestored-callee-saved", index,
+                          f"{reg_name(reg)} not restored on all paths "
+                          f"to this return")
+
+
+def check_function(program: Program, frame: FrameInfo,
+                   cfg: Optional[CFG] = None) -> List[Diagnostic]:
+    """Verify stack discipline for one function; returns diagnostics."""
+    out = check_frame_metadata(frame)
+    if cfg is None:
+        cfg, cfg_diags = function_cfg(program, frame)
+        out.extend(cfg_diags)
+    problem = _StackProblem(frame)
+    solution = solve(cfg, problem)
+    sweep = _Sweep(frame, problem)
+    for block in cfg.blocks:
+        for index, ins, state in solution.instruction_states(block.index):
+            sweep.check(index, ins, state)
+    out.extend(sweep.out)
+    return out
+
+
+def check_program(program: Program) -> Tuple[List[Diagnostic],
+                                             Dict[str, CFG]]:
+    """Verify every function with frame metadata; returns (diags, CFGs).
+
+    The CFGs are returned so the hint checker can reuse them without
+    rebuilding.
+    """
+    diagnostics: List[Diagnostic] = []
+    cfgs: Dict[str, CFG] = {}
+    frames = sorted(program.frames.values(), key=lambda f: f.code_start)
+    previous_end = 0
+    for frame in frames:
+        if frame.code_start < previous_end:
+            diagnostics.append(Diagnostic(
+                "error", "frame.code-overlap", frame.name, None,
+                f"code extent [{frame.code_start}:{frame.code_end}) "
+                f"overlaps the previous function"))
+        previous_end = frame.code_end
+        cfg, cfg_diags = function_cfg(program, frame)
+        cfgs[frame.name] = cfg
+        diagnostics.extend(cfg_diags)
+        diagnostics.extend(check_function(program, frame, cfg))
+    return diagnostics, cfgs

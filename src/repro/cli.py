@@ -11,8 +11,11 @@ Subcommands:
 * ``perf``             — benchmark the simulator core itself against the
   frozen seed model (see :mod:`repro.perf`);
 * ``fuzz``             — differential fuzzing campaign: random programs
-  checked by the ``opt``/``timing``/``golden`` oracles
-  (see :mod:`repro.fuzz`).
+  checked by the ``opt``/``timing``/``golden``/``analyze`` oracles
+  (see :mod:`repro.fuzz`);
+* ``analyze``          — static verification: stack discipline, frame
+  metadata, ``local_hint`` soundness, IR lints, and a dynamic
+  cross-check (see :mod:`repro.analyze` and docs/static_analysis.md).
 
 ``file.mc`` may be ``-`` to read from stdin.  Assembly files (``.s``) are
 accepted everywhere a ``.mc`` file is.
@@ -276,6 +279,53 @@ def cmd_fuzz(args) -> int:
     return 1
 
 
+def cmd_analyze(args) -> int:
+    import json
+
+    from repro.analyze import (analyze_program, analyze_source,
+                               analyze_workload)
+    from repro.workloads.minic import MINIC_PROGRAMS
+
+    targets = list(args.targets)
+    if args.workloads:
+        targets.extend(sorted(MINIC_PROGRAMS))
+    if not targets:
+        print("repro-cc analyze: no targets (give files, workload names, "
+              "or --workloads)", file=sys.stderr)
+        return 2
+
+    reports = []
+    for target in targets:
+        if target in MINIC_PROGRAMS:
+            report = analyze_workload(
+                target, optimize=not args.no_opt,
+                static_only=args.static_only,
+                max_instructions=args.max_instructions)
+        else:
+            source, name = _load_source(target)
+            if name.endswith(".s"):
+                # Hand-written assembly carries no frame metadata; the
+                # analyzer degrades to a note and skips machine checks.
+                program = assemble(source, source_name=name)
+                report = analyze_program(program, name=name)
+            else:
+                report = analyze_source(
+                    source, name=name, optimize=not args.no_opt,
+                    static_only=args.static_only,
+                    max_instructions=args.max_instructions)
+        reports.append(report)
+
+    if args.json:
+        print(json.dumps([r.describe() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render_text(verbose=args.verbose))
+    failed = [r for r in reports if not r.ok]
+    if args.strict:
+        failed = [r for r in reports if not r.ok or r.warnings]
+    return 1 if failed else 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cc",
@@ -357,7 +407,7 @@ def make_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="run shards on N worker processes")
     fuzz_p.add_argument("--oracle", action="append", metavar="NAME",
-                        choices=("opt", "timing", "golden"),
+                        choices=("opt", "timing", "golden", "analyze"),
                         help="oracle to run (repeatable; default: all)")
     fuzz_p.add_argument("--shrink", action="store_true",
                         help="minimize each diverging program and print it")
@@ -377,6 +427,28 @@ def make_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--quiet", action="store_true",
                         help="suppress per-shard progress on stderr")
     fuzz_p.set_defaults(func=cmd_fuzz)
+
+    ana_p = sub.add_parser(
+        "analyze",
+        help="verify stack discipline, frame metadata, and local hints")
+    ana_p.add_argument("targets", nargs="*", metavar="TARGET",
+                       help="mini-C file (.mc), assembly (.s), - for "
+                            "stdin, or a workload name (e.g. mini.qsort)")
+    ana_p.add_argument("--workloads", action="store_true",
+                       help="also verify every built-in mini workload")
+    ana_p.add_argument("--no-opt", action="store_true",
+                       help="disable the IR optimizer")
+    ana_p.add_argument("--static-only", action="store_true",
+                       help="skip the VM run / dynamic cross-check")
+    ana_p.add_argument("--max-instructions", type=int, default=20_000_000,
+                       help="VM budget for the cross-check (default 20M)")
+    ana_p.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    ana_p.add_argument("--verbose", action="store_true",
+                       help="include note-severity diagnostics")
+    ana_p.add_argument("--strict", action="store_true",
+                       help="treat warnings as failures")
+    ana_p.set_defaults(func=cmd_analyze)
     return parser
 
 

@@ -5,8 +5,9 @@ Four pieces:
 - :mod:`repro.fuzz.generator` — seeded random Mini-C programs that are
   safe by construction (counted loops, guarded division, masked array
   indices, bounded recursion) and deterministic per seed;
-- :mod:`repro.fuzz.oracles` — the three differential oracles (``opt``,
-  ``timing``, ``golden``) that decide whether a program diverges;
+- :mod:`repro.fuzz.oracles` — the four differential oracles (``opt``,
+  ``timing``, ``golden``, ``analyze``) that decide whether a program
+  diverges;
 - :mod:`repro.fuzz.shrink` — greedy minimization of a diverging program;
 - :mod:`repro.fuzz.campaign` — seed-sharded campaigns on the runtime
   job engine (parallel, cached).

@@ -1,4 +1,4 @@
-"""The differential oracles: three independent ways to catch a bug.
+"""The differential oracles: four independent ways to catch a bug.
 
 ``opt``
     Compile the program at ``-O0`` and with the optimizer on, run both on
@@ -22,6 +22,12 @@
     trace and require bit-identical results (cycles, instructions, every
     counter) — the standing gate every performance PR must keep green.
 
+``analyze``
+    Run the :mod:`repro.analyze` static verifier over the optimized build
+    — stack discipline, frame metadata, ``local_hint`` soundness — plus
+    its dynamic cross-check against the trace.  Generated programs must
+    verify clean; any error-severity diagnostic is a divergence.
+
 A divergence is **data**, not an exception: campaigns collect and report
 them; only infrastructure failures raise.
 """
@@ -37,7 +43,7 @@ from repro.lang import CompilerOptions, compile_source
 from repro.vm.machine import Machine
 
 #: Every oracle, in the order campaigns run them.
-ALL_ORACLES = ("opt", "timing", "golden")
+ALL_ORACLES = ("opt", "timing", "golden", "analyze")
 
 #: The paper's Figure 9 machine — fast forwarding and combining on, which
 #: exercises the most timing-core machinery per fuzzed trace.
@@ -165,6 +171,24 @@ def check_golden(vm: Machine, config: MachineConfig, name: str,
     return [Divergence("golden", repr(m)) for m in mismatches]
 
 
+def check_analyze(source: str, vm: Machine, name: str) -> List[Divergence]:
+    """Static verification + dynamic cross-check of the optimized build.
+
+    Recompiles with IR capture (cheap next to the VM run the caller
+    already paid for) so the IR lints see what codegen consumed, then
+    reuses *vm*'s committed trace for the dynamic hint cross-check.
+    """
+    from repro.analyze import analyze_program
+
+    ir_map: Dict[str, object] = {}
+    program = compile_source(
+        source, CompilerOptions(source_name=name, optimize=True),
+        ir_out=ir_map)
+    report = analyze_program(program, ir_map=ir_map, trace=vm.trace,
+                             name=name)
+    return [Divergence("analyze", diag.render()) for diag in report.errors]
+
+
 def run_oracles(
     source: str,
     name: str = "<fuzz>",
@@ -182,7 +206,8 @@ def run_oracles(
         if oracle not in ALL_ORACLES:
             raise ReproError(f"unknown oracle {oracle!r}; "
                              f"expected one of {ALL_ORACLES}")
-    need_trace = "timing" in oracles or "golden" in oracles
+    need_trace = ("timing" in oracles or "golden" in oracles
+                  or "analyze" in oracles)
     vm_opt = _run(source, name, optimize=True, trace=need_trace,
                   max_instructions=max_instructions)
     if vm_opt.exit_code == -1:
@@ -199,12 +224,14 @@ def run_oracles(
                           f"{max_instructions} instructions"))
         else:
             divergences.extend(check_opt(vm_opt, vm_noopt))
-    if need_trace:
+    if "timing" in oracles or "golden" in oracles:
         machine_config = config if config is not None else default_config()
         if "timing" in oracles:
             divergences.extend(check_timing(vm_opt, machine_config, name))
         if "golden" in oracles:
             divergences.extend(check_golden(vm_opt, machine_config, name))
+    if "analyze" in oracles:
+        divergences.extend(check_analyze(source, vm_opt, name))
     return divergences
 
 

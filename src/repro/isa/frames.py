@@ -1,0 +1,132 @@
+"""Machine-readable stack-frame metadata.
+
+Codegen records here exactly what it decided while laying out a frame —
+frame size, the slot map, the callee-save area, and the code extent of the
+function — so downstream tools (the :mod:`repro.analyze` verifier, future
+debuggers/profilers) never have to re-derive the layout from instruction
+patterns.  A :class:`FrameInfo` travels inside the :class:`Program` image.
+
+All offsets are byte offsets from the *adjusted* stack pointer (i.e. the
+value of ``$sp`` after the prologue's single downward adjustment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+class SlotInfo:
+    """One stack-frame object: a named local, an array, or a spill slot."""
+
+    __slots__ = ("name", "offset", "words", "is_spill")
+
+    def __init__(self, name: str, offset: int, words: int,
+                 is_spill: bool = False):
+        self.name = name
+        self.offset = offset
+        self.words = words
+        self.is_spill = is_spill
+
+    @property
+    def size_bytes(self) -> int:
+        """Byte footprint of the slot."""
+        return 4 * self.words
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the slot."""
+        return self.offset + self.size_bytes
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serialisable view."""
+        return {"name": self.name, "offset": self.offset,
+                "words": self.words, "is_spill": self.is_spill}
+
+    def __repr__(self) -> str:
+        kind = "spill" if self.is_spill else "local"
+        return (f"SlotInfo({self.name!r}, @{self.offset}, "
+                f"{self.words}w, {kind})")
+
+
+class FrameInfo:
+    """Everything codegen knows about one function's activation record.
+
+    Attributes:
+        name: function name (also its entry label).
+        code_start: absolute instruction index of the first instruction.
+        code_end: one past the absolute index of the last instruction.
+        frame_size: bytes subtracted from ``$sp`` by the prologue (0 for
+            frameless leaves).
+        slots: named locals, arrays, and spill slots with final offsets.
+        save_offsets: flat register index -> byte offset of its save slot
+            (callee-saved registers the function actually uses, plus
+            ``$ra`` when the function makes calls).
+        saves_ra: whether ``$ra`` is part of the save area.
+        outgoing_words: words reserved at offset 0 for stack-passed
+            arguments of calls this function makes.
+        incoming_words: stack-passed arguments this function itself
+            receives (they live in the caller's outgoing area, addressed
+            at ``frame_size + 4*k``).
+    """
+
+    __slots__ = ("name", "code_start", "code_end", "frame_size", "slots",
+                 "save_offsets", "saves_ra", "outgoing_words",
+                 "incoming_words")
+
+    def __init__(self, name: str, frame_size: int,
+                 slots: List[SlotInfo],
+                 save_offsets: Dict[int, int],
+                 saves_ra: bool,
+                 outgoing_words: int,
+                 incoming_words: int,
+                 code_start: int = -1,
+                 code_end: int = -1):
+        self.name = name
+        self.frame_size = frame_size
+        self.slots = slots
+        self.save_offsets = save_offsets
+        self.saves_ra = saves_ra
+        self.outgoing_words = outgoing_words
+        self.incoming_words = incoming_words
+        self.code_start = code_start
+        self.code_end = code_end
+
+    @property
+    def outgoing_bytes(self) -> int:
+        """Size of the outgoing-argument area at the frame base."""
+        return 4 * self.outgoing_words
+
+    def regions(self) -> List[Tuple[str, int, int]]:
+        """Every carved-out byte range as ``(kind, start, end)`` tuples.
+
+        Kinds: ``outgoing``, ``slot:<name>``, ``save:<reg>``.  Used by the
+        verifier's overlap and bounds checks.
+        """
+        out: List[Tuple[str, int, int]] = []
+        if self.outgoing_words:
+            out.append(("outgoing", 0, self.outgoing_bytes))
+        for slot in self.slots:
+            out.append((f"slot:{slot.name}", slot.offset, slot.end))
+        for reg, offset in sorted(self.save_offsets.items()):
+            out.append((f"save:{reg}", offset, offset + 4))
+        return out
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serialisable view (stable key order for reports)."""
+        return {
+            "name": self.name,
+            "code_start": self.code_start,
+            "code_end": self.code_end,
+            "frame_size": self.frame_size,
+            "slots": [slot.describe() for slot in self.slots],
+            "save_offsets": {str(reg): off
+                             for reg, off in sorted(self.save_offsets.items())},
+            "saves_ra": self.saves_ra,
+            "outgoing_words": self.outgoing_words,
+            "incoming_words": self.incoming_words,
+        }
+
+    def __repr__(self) -> str:
+        return (f"FrameInfo({self.name!r}, {self.frame_size}B, "
+                f"{len(self.slots)} slots, "
+                f"code [{self.code_start}:{self.code_end}))")

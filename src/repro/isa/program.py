@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import IsaError
+from repro.isa.frames import FrameInfo
 from repro.isa.instruction import Instruction
 from repro.utils import WORD_BYTES, align_up
 
@@ -61,12 +62,16 @@ class Program:
         data: Optional[Sequence[DataItem]] = None,
         entry: str = "main",
         source_name: str = "<anonymous>",
+        frames: Optional[Dict[str, FrameInfo]] = None,
     ):
         self.instructions: List[Instruction] = list(instructions)
         self.labels: Dict[str, int] = dict(labels or {})
         self.data: List[DataItem] = list(data or [])
         self.entry = entry
         self.source_name = source_name
+        #: Per-function stack-frame metadata recorded by codegen (empty
+        #: for hand-assembled programs, which carry no frame contracts).
+        self.frames: Dict[str, FrameInfo] = dict(frames or {})
         self._data_addresses: Dict[str, int] = {}
         self._layout_data()
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CompileError
+from repro.isa.frames import FrameInfo, SlotInfo
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode, Syscall
 from repro.isa.program import DataItem
@@ -104,6 +105,24 @@ class FunctionCodegen:
             self._save_offsets[_RA] = offset
             offset += 4
         self.frame_size = align_up(offset, 8)
+
+    def frame_info(self) -> FrameInfo:
+        """The machine-readable record of this frame's layout.
+
+        Valid after :meth:`generate`; the caller fills in the code
+        extent once the function's position in the image is known.
+        """
+        return FrameInfo(
+            name=self.func.name,
+            frame_size=self.frame_size,
+            slots=[SlotInfo(slot.name, slot.offset, slot.words,
+                            slot.is_spill)
+                   for slot in self.func.slots],
+            save_offsets=dict(self._save_offsets),
+            saves_ra=self._saves_ra,
+            outgoing_words=max(0, self.func.max_outgoing_args - 4),
+            incoming_words=max(0, self.func.num_params - 4),
+        )
 
     # -- emission helpers ----------------------------------------------------
 

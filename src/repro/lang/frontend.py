@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.isa.frames import FrameInfo
 from repro.isa.instruction import Instruction
 from repro.isa.program import DataItem, Program
 from repro.lang.codegen import FloatPool, FunctionCodegen, generate_startup
+from repro.lang.ir import IrFunction
 from repro.lang.lowering import lower_function
 from repro.lang.optimizer import optimize
 from repro.lang.parser import parse
+from repro.lang.provenance import annotate_localities
 from repro.lang.regalloc import allocate
 from repro.lang.semantics import analyze
 
@@ -34,11 +37,19 @@ class CompileStats:
         self.frame_bytes: Dict[str, int] = {}
         self.ops_folded = 0
         self.ops_removed = 0
+        self.localities_refined = 0
 
 
 def compile_source(source: str, options: CompilerOptions = None,
-                   stats: CompileStats = None) -> Program:
-    """Compile mini-C *source* into a resolved, runnable Program."""
+                   stats: CompileStats = None,
+                   ir_out: Optional[Dict[str, IrFunction]] = None
+                   ) -> Program:
+    """Compile mini-C *source* into a resolved, runnable Program.
+
+    When *ir_out* is given, each function's (allocated) IR is stored
+    there by name so IR-level tooling — the :mod:`repro.analyze` lints —
+    can inspect exactly what codegen consumed.
+    """
     if options is None:
         options = CompilerOptions()
     ast = parse(source)
@@ -47,10 +58,15 @@ def compile_source(source: str, options: CompilerOptions = None,
     pool = FloatPool()
     instructions: List[Instruction] = []
     labels: Dict[str, int] = {}
+    frames: Dict[str, FrameInfo] = {}
 
     start_code, start_labels = generate_startup()
     instructions.extend(start_code)
     labels.update(start_labels)
+    frames["__start"] = FrameInfo(
+        "__start", frame_size=0, slots=[], save_offsets={},
+        saves_ra=False, outgoing_words=0, incoming_words=0,
+        code_start=0, code_end=len(start_code))
 
     for func in ast.functions:
         ir = lower_function(func, analyzer)
@@ -59,6 +75,9 @@ def compile_source(source: str, options: CompilerOptions = None,
             if stats is not None:
                 stats.ops_folded += folded
                 stats.ops_removed += removed
+        # Authoritative locality bits: lowering's linear approximation is
+        # unsound at joins, so this flow-sensitive pass always runs.
+        _, refined = annotate_localities(ir)
         allocation = allocate(ir)
         codegen = FunctionCodegen(ir, allocation, pool)
         code, func_labels = codegen.generate()
@@ -66,6 +85,12 @@ def compile_source(source: str, options: CompilerOptions = None,
         for name, index in func_labels.items():
             labels[name] = index + offset
         instructions.extend(code)
+        frame = codegen.frame_info()
+        frame.code_start = offset
+        frame.code_end = offset + len(code)
+        frames[func.name] = frame
+        if ir_out is not None:
+            ir_out[func.name] = ir
         if stats is not None:
             stats.functions += 1
             stats.instructions += len(code)
@@ -73,6 +98,7 @@ def compile_source(source: str, options: CompilerOptions = None,
             stats.spill_rounds = max(stats.spill_rounds,
                                      allocation.spill_rounds)
             stats.frame_bytes[func.name] = codegen.frame_size
+            stats.localities_refined += refined
 
     data: List[DataItem] = []
     for gvar in ast.globals:
@@ -90,6 +116,7 @@ def compile_source(source: str, options: CompilerOptions = None,
         data=data,
         entry="__start",
         source_name=options.source_name,
+        frames=frames,
     )
     program.resolve()
     return program

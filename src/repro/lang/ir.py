@@ -174,6 +174,7 @@ class IrFunction:
         self.slots: List[FrameSlot] = []
         self.has_calls = has_calls
         self.max_outgoing_args = 0
+        self.num_params = 0  # set by lowering; >4 means stack-passed args
         self.exit_label = f"{name}__exit"
         self._next_vreg = 0
 

@@ -90,6 +90,7 @@ class Lowerer:
 
     def lower(self) -> IrFunction:
         """Lower the whole function body; returns the IR function."""
+        self.ir.num_params = len(self.func.params)
         self._lower_params()
         self._lower_block(self.func.body)
         # Fall off the end: void functions return implicitly; non-void

@@ -1,0 +1,165 @@
+"""Flow-sensitive pointer provenance: the authority on ``locality``.
+
+Lowering annotates memory accesses with a compile-time locality bit while
+walking the AST, tracking pointer provenance in a linear map.  That map
+is unsound at control-flow joins: after ``p = g; if (c) p = x;`` the
+last-lowered branch wins and ``*p`` can be tagged local even though it
+may point at a global.  The LVAQ steering hardware trusts these bits, so
+a wrong ``True`` is a miscompile.
+
+This pass re-derives the annotation with a proper forward dataflow over
+the lowered IR (meet at joins), then rewrites ``locality`` on every
+load/store whose base is a virtual register:
+
+* provably frame-derived (``la_frame``)  -> ``True``
+* provably global/heap (``la_global``, ``sbrk``) -> ``False``
+* anything merged, loaded, or call-returned -> ``None`` (ambiguous)
+
+Bases that are structurally known (``frame``/``incoming``/``outgoing``/
+``global`` tuples) keep the annotation lowering gave them.  The pass runs
+on every compile, after optimisation and before register allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analyze.dataflow import DataflowProblem, solve
+from repro.analyze.ircfg import ir_cfg
+from repro.lang.ir import IrFunction, IrInstr, VReg
+
+P_LOCAL = "L"    # provably a stack (frame) address
+P_GLOBAL = "G"   # provably a data/heap address
+P_NUM = "N"      # provably not an address
+P_UNKNOWN = "U"  # anything else
+
+Key = Tuple[str, int]
+State = Dict[Key, str]
+
+#: bini operators that preserve the provenance of their register operand.
+_ADDITIVE_IMM = ("add",)
+#: bin operators that combine the provenances of both operands.
+_ADDITIVE = ("add", "sub")
+
+
+def _key(vreg: VReg) -> Key:
+    # Precolored VRegs all share id 0; the physical register is their
+    # identity.
+    if vreg.phys is not None:
+        return ("p", vreg.phys)
+    return ("v", vreg.id)
+
+
+def _combine(a: str, b: str) -> str:
+    """Provenance of ``a +/- b``: offsetting keeps the pointer's region."""
+    if a == P_NUM:
+        return b
+    if b == P_NUM:
+        return a
+    return P_UNKNOWN
+
+
+class _ProvenanceProblem(DataflowProblem):
+    """Forward provenance dataflow over one function's linear IR."""
+
+    direction = "forward"
+
+    def boundary_state(self) -> State:
+        return {}
+
+    def initial_state(self) -> Optional[State]:
+        return None  # block not yet reached
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        out: State = {}
+        for key in a.keys() | b.keys():
+            va, vb = a.get(key), b.get(key)
+            if va is None:
+                out[key] = vb
+            elif vb is None:
+                out[key] = va
+            elif va == vb:
+                out[key] = va
+            else:
+                out[key] = P_UNKNOWN
+        return out
+
+    def read(self, state: State, vreg: Optional[VReg]) -> str:
+        if vreg is None:
+            return P_UNKNOWN
+        return state.get(_key(vreg), P_UNKNOWN)
+
+    def transfer(self, index: int, instr: IrInstr, state):
+        if state is None:
+            return None
+        kind = instr.kind
+        if kind == "call":
+            # Calls clobber every precolored (ABI) register.
+            out = {k: v for k, v in state.items() if k[0] != "p"}
+            if instr.dst is not None:
+                out[_key(instr.dst)] = (
+                    P_GLOBAL if instr.sym == "@sbrk" else P_UNKNOWN)
+            return out
+        if instr.dst is None:
+            return state
+        value = self._value_of(instr, state)
+        out = dict(state)
+        out[_key(instr.dst)] = value
+        return out
+
+    def _value_of(self, instr: IrInstr, state: State) -> str:
+        kind = instr.kind
+        if kind in ("li", "lfi", "cvt"):
+            return P_NUM
+        if kind == "mov":
+            return self.read(state, instr.a)
+        if kind == "bin":
+            if instr.op in _ADDITIVE:
+                return _combine(self.read(state, instr.a),
+                                self.read(state, instr.b))
+            return P_NUM
+        if kind == "bini":
+            if instr.op in _ADDITIVE_IMM:
+                return self.read(state, instr.a)
+            return P_NUM
+        if kind == "load":
+            return P_UNKNOWN
+        if kind == "la_frame":
+            return P_LOCAL
+        if kind == "la_global":
+            return P_GLOBAL
+        return P_UNKNOWN
+
+
+_LOCALITY = {P_LOCAL: True, P_GLOBAL: False}
+
+
+def annotate_localities(ir: IrFunction) -> Tuple[int, int]:
+    """Recompute ``locality`` for VReg-based accesses of one function.
+
+    Returns ``(accesses_annotated, annotations_changed)`` — the second
+    count is nonzero exactly when lowering's linear approximation got a
+    join wrong (or was needlessly conservative).
+    """
+    cfg = ir_cfg(ir.body)
+    problem = _ProvenanceProblem()
+    solution = solve(cfg, problem)
+    annotated = changed = 0
+    for block in cfg.blocks:
+        for _, instr, state in solution.instruction_states(block.index):
+            if instr.kind not in ("load", "store"):
+                continue
+            if not isinstance(instr.base, VReg):
+                continue  # structural bases: lowering's annotation stands
+            region = (P_UNKNOWN if state is None
+                      else problem.read(state, instr.base))
+            locality = _LOCALITY.get(region)
+            annotated += 1
+            if instr.locality != locality:
+                changed += 1
+                instr.locality = locality
+    return annotated, changed

@@ -28,6 +28,7 @@ _SCALARS = (bool, int, float, str, bytes, type(None))
 #: orchestrate simulations but cannot change a simulation's result.
 _SALT_SOURCES = (
     "analysis",
+    "analyze",
     "asm",
     "core",
     "fuzz",

@@ -1,0 +1,125 @@
+"""The ``repro-cc analyze`` command-line front end."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+int main() {
+    int total = 0;
+    int i;
+    for (i = 1; i <= 10; i++) total += i;
+    print(total);
+    return 0;
+}
+"""
+
+#: Compiles fine but carries IR-level warnings: a dead store and a
+#: use-before-init (the analyzer's exit code must stay 0 without
+#: --strict — warnings are not soundness errors).
+WARNY = """
+int main() {
+    int a[2];
+    int b[2];
+    a[0] = 7;
+    return b[0] - b[0];
+}
+"""
+
+ASM = """
+main:
+    li $a0, 0
+    syscall 0
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mc"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def warny_file(tmp_path):
+    path = tmp_path / "warny.mc"
+    path.write_text(WARNY)
+    return str(path)
+
+
+def test_analyze_clean_file_exits_zero(clean_file, capsys):
+    assert main(["analyze", clean_file]) == 0
+    out = capsys.readouterr().out
+    assert "CLEAN" in out
+    assert "static.hint_coverage" in out
+
+
+def test_analyze_workload_by_name(capsys):
+    assert main(["analyze", "mini.qsort", "--static-only"]) == 0
+    assert "mini.qsort: CLEAN" in capsys.readouterr().out
+
+
+def test_analyze_no_targets_is_usage_error(capsys):
+    assert main(["analyze"]) == 2
+
+
+def test_analyze_json_shape(clean_file, capsys):
+    assert main(["analyze", clean_file, "--json", "--static-only"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and len(payload) == 1
+    report = payload[0]
+    assert report["ok"] is True
+    assert report["errors"] == 0
+    assert "main" in report["frames"]
+    assert report["frames"]["main"]["frame_size"] % 8 == 0
+    assert "static.mem_accesses" in report["metrics"]
+
+
+def test_analyze_warnings_do_not_fail_by_default(warny_file, capsys):
+    assert main(["analyze", warny_file, "--no-opt", "--static-only"]) == 0
+    out = capsys.readouterr().out
+    assert "ir.dead-store" in out
+    assert "ir.use-before-init" in out
+
+
+def test_analyze_strict_promotes_warnings(warny_file):
+    assert main(["analyze", warny_file, "--no-opt", "--static-only",
+                 "--strict"]) == 1
+
+
+def test_analyze_assembly_degrades_to_note(tmp_path, capsys):
+    path = tmp_path / "hand.s"
+    path.write_text(ASM)
+    assert main(["analyze", str(path), "--verbose"]) == 0
+    assert "frames.missing" in capsys.readouterr().out
+
+
+def test_analyze_multiple_targets(clean_file, capsys):
+    assert main(["analyze", clean_file, "mini.stencil",
+                 "--static-only"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("CLEAN") == 2
+
+
+def test_example_pipeline_source_verifies_clean(capsys):
+    # The embedded mini-C program in examples/compiler_pipeline.py is
+    # user-facing documentation; it must stay verifier-clean.
+    import ast
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    text = open(os.path.join(root, "examples",
+                             "compiler_pipeline.py")).read()
+    # Evaluate the string literal so Python-level escapes ('\\n') become
+    # what the module itself would pass to the compiler.
+    chunk = text.split("SOURCE = ", 1)[1]
+    chunk = chunk[:chunk.index('"""', 3) + 3]
+    source = ast.literal_eval(chunk)
+
+    from repro.analyze import analyze_source
+
+    report = analyze_source(source, name="examples/compiler_pipeline")
+    assert report.ok and not report.warnings

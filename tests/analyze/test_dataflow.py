@@ -1,0 +1,240 @@
+"""Tests for the generic CFG / dominator / dataflow machinery."""
+
+from repro.analyze.cfg import CFG, build_blocks, dominates, dominators
+from repro.analyze.dataflow import DataflowProblem, solve
+
+
+def diamond():
+    """Blocks 0 -> {1, 2} -> 3 over 8 dummy instructions."""
+    instrs = [("nop",)] * 8
+    cfg = CFG(instrs, build_blocks(instrs, {2, 4, 6}))
+    cfg.add_edge(0, 1)
+    cfg.add_edge(0, 2)
+    cfg.add_edge(1, 3)
+    cfg.add_edge(2, 3)
+    return cfg
+
+
+def loop():
+    """0 -> 1, 1 -> 2, 2 -> 1 (back edge), 1 -> 3."""
+    instrs = [("nop",)] * 8
+    cfg = CFG(instrs, build_blocks(instrs, {2, 4, 6}))
+    cfg.add_edge(0, 1)
+    cfg.add_edge(1, 2)
+    cfg.add_edge(2, 1)
+    cfg.add_edge(1, 3)
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# CFG structure
+# ---------------------------------------------------------------------------
+
+def test_build_blocks_cuts_at_leaders():
+    instrs = list(range(6))
+    blocks = build_blocks(instrs, {3, 5})
+    assert [(b.start, b.end) for b in blocks] == [(0, 3), (3, 5), (5, 6)]
+
+
+def test_build_blocks_ignores_out_of_range_leaders():
+    instrs = list(range(4))
+    blocks = build_blocks(instrs, {-1, 2, 99})
+    assert [(b.start, b.end) for b in blocks] == [(0, 2), (2, 4)]
+
+
+def test_build_blocks_empty_sequence():
+    assert build_blocks([], set()) == []
+
+
+def test_add_edge_is_idempotent():
+    cfg = diamond()
+    before = list(cfg.blocks[0].succ)
+    cfg.add_edge(0, 1)
+    assert cfg.blocks[0].succ == before
+    assert cfg.blocks[1].pred.count(0) == 1
+
+
+def test_reachable_excludes_orphan_blocks():
+    instrs = [("nop",)] * 6
+    cfg = CFG(instrs, build_blocks(instrs, {2, 4}))
+    cfg.add_edge(0, 2)  # block 1 has no incoming edge
+    assert cfg.reachable() == {0, 2}
+
+
+def test_rpo_starts_at_entry_and_respects_edges():
+    cfg = diamond()
+    order = cfg.rpo()
+    assert order[0] == 0
+    assert order.index(1) < order.index(3)
+    assert order.index(2) < order.index(3)
+
+
+# ---------------------------------------------------------------------------
+# dominators
+# ---------------------------------------------------------------------------
+
+def test_dominators_diamond():
+    idom = dominators(diamond())
+    assert idom[0] == 0
+    assert idom[1] == 0
+    assert idom[2] == 0
+    # The join point is dominated by the fork, not by either branch.
+    assert idom[3] == 0
+    assert dominates(idom, 0, 3)
+    assert not dominates(idom, 1, 3)
+    assert not dominates(idom, 2, 3)
+
+
+def test_dominators_loop():
+    idom = dominators(loop())
+    assert idom == [0, 0, 1, 1]
+    # The loop header dominates the body and the exit despite the
+    # back edge.
+    assert dominates(idom, 1, 2)
+    assert dominates(idom, 1, 3)
+    assert not dominates(idom, 2, 3)
+
+
+def test_dominators_unreachable_block_is_none():
+    instrs = [("nop",)] * 4
+    cfg = CFG(instrs, build_blocks(instrs, {2}))
+    # No edge into block 1.
+    assert dominators(cfg) == [0, None]
+
+
+# ---------------------------------------------------------------------------
+# the fixpoint solver
+# ---------------------------------------------------------------------------
+
+class MustDefined(DataflowProblem):
+    """Forward must-defined variables; instrs are ("def", var) tuples."""
+
+    direction = "forward"
+
+    def boundary_state(self):
+        return frozenset()
+
+    def initial_state(self):
+        return None
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer(self, index, instr, state):
+        if state is None:
+            return None
+        if instr[0] == "def":
+            return state | {instr[1]}
+        return state
+
+
+class LiveVars(DataflowProblem):
+    """Backward liveness; instrs are ("use", var) / ("def", var)."""
+
+    direction = "backward"
+
+    def boundary_state(self):
+        return frozenset()
+
+    def initial_state(self):
+        return None
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a | b
+
+    def transfer(self, index, instr, state):
+        if state is None:
+            return None
+        if instr[0] == "use":
+            return state | {instr[1]}
+        if instr[0] == "def":
+            return state - {instr[1]}
+        return state
+
+
+def _diamond_with(instrs):
+    cfg = CFG(instrs, build_blocks(instrs, {2, 4, 6}))
+    cfg.add_edge(0, 1)
+    cfg.add_edge(0, 2)
+    cfg.add_edge(1, 3)
+    cfg.add_edge(2, 3)
+    return cfg
+
+
+def test_forward_meet_is_intersection_at_join():
+    # 'x' defined on one branch only, 'y' on both.
+    instrs = [("nop",), ("nop",),
+              ("def", "x"), ("def", "y"),   # block 1
+              ("def", "y"), ("nop",),       # block 2
+              ("nop",), ("nop",)]           # block 3 (join)
+    solution = solve(_diamond_with(instrs), MustDefined())
+    assert solution.block_in[3] == frozenset({"y"})
+
+
+def test_forward_instruction_states_walk_the_block():
+    instrs = [("def", "a"), ("def", "b"),
+              ("nop",), ("nop",), ("nop",), ("nop",), ("nop",), ("nop",)]
+    solution = solve(_diamond_with(instrs), MustDefined())
+    states = list(solution.instruction_states(0))
+    # Forward: the yielded state is the one *before* each instruction.
+    assert states[0][2] == frozenset()
+    assert states[1][2] == frozenset({"a"})
+    assert solution.block_out[0] == frozenset({"a", "b"})
+
+
+def test_backward_liveness_through_a_join():
+    instrs = [("nop",), ("nop",),           # block 0
+              ("def", "x"), ("nop",),      # block 1 kills x
+              ("nop",), ("nop",),           # block 2
+              ("use", "x"), ("nop",)]       # block 3 uses x
+    solution = solve(_diamond_with(instrs), LiveVars())
+    # Backward solution: block_out is the state at the block *start*.
+    assert "x" in solution.block_out[2]   # live through the empty branch
+    assert "x" not in solution.block_out[1]  # killed by the def
+    assert "x" in solution.block_in[0]    # live at end of block 0 (join)
+
+
+def test_backward_instruction_states_yield_live_after():
+    instrs = [("use", "x"), ("def", "x"),
+              ("nop",), ("nop",), ("nop",), ("nop",),
+              ("use", "x"), ("nop",)]
+    solution = solve(_diamond_with(instrs), LiveVars())
+    states = {i: s for i, _, s in solution.instruction_states(0)}
+    # The state yielded for an instruction is the live-*after* set.
+    assert "x" in states[1]       # block 3 reads x downstream of the def
+    assert "x" not in states[0]   # the def at 1 kills it before any use
+    # At the block start the use at 0 makes x live again.
+    assert "x" in solution.block_out[0]
+
+
+def test_loop_reaches_fixpoint():
+    # A def inside the loop body must become must-defined at the exit
+    # only if it is on *every* path; here the loop may run zero times.
+    instrs = [("nop",), ("nop",),
+              ("nop",), ("nop",),           # block 1: header
+              ("def", "x"), ("nop",),       # block 2: body
+              ("nop",), ("nop",)]           # block 3: exit
+    cfg = CFG(instrs, build_blocks(instrs, {2, 4, 6}))
+    cfg.add_edge(0, 1)
+    cfg.add_edge(1, 2)
+    cfg.add_edge(2, 1)
+    cfg.add_edge(1, 3)
+    solution = solve(cfg, MustDefined())
+    assert solution.block_in[3] == frozenset()
+    # Inside the body, x from a previous iteration is not guaranteed
+    # either (first iteration).
+    assert solution.block_in[2] == frozenset()
+
+
+def test_solver_on_empty_cfg():
+    cfg = CFG([], [])
+    solution = solve(cfg, MustDefined())
+    assert solution.block_in == [] and solution.block_out == []

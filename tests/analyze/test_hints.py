@@ -1,0 +1,161 @@
+"""Local-hint soundness: clean compiler output verifies, every class of
+unsound tag is caught, and untagged-but-provable accesses are counted.
+
+Mutations flip the ``local`` bit on instructions of a healthy compiled
+image — the exact failure mode the LVAQ steering hardware cannot survive
+(a mis-tagged access bypasses the main load/store queue's ordering).
+"""
+
+import pytest
+
+from repro.analyze.driver import analyze_program
+from repro.analyze.hints import check_hints, check_program_hints
+from repro.isa.opcodes import Fmt
+from repro.isa.registers import Reg
+from repro.lang import CompilerOptions, compile_source
+from repro.vm.machine import Machine
+
+SP = int(Reg.SP)
+
+SOURCE = """
+int g[8];
+
+void bump(int *p) { *p += 1; }
+
+int main() {
+    int x[4];
+    int y = 0;
+    int i;
+    for (i = 0; i < 4; i++) { x[i] = i; g[i] = 2 * i; bump(&y); }
+    print(x[3] + g[3] + y);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def program():
+    return compile_source(SOURCE, CompilerOptions(source_name="hints.mc"))
+
+
+def mem_accesses(program, name, local=None, sp_based=None):
+    frame = program.frames[name]
+    body = program.instructions[frame.code_start:frame.code_end]
+    out = []
+    for ins in body:
+        if ins.op.fmt is not Fmt.MEM:
+            continue
+        if local is not None and ins.local is not local:
+            continue
+        if sp_based is not None and (ins.rs == SP) != sp_based:
+            continue
+        out.append(ins)
+    return out
+
+
+def rules(diags, severity="error"):
+    return {d.rule for d in diags if d.severity == severity}
+
+
+# ---------------------------------------------------------------------------
+# clean output
+# ---------------------------------------------------------------------------
+
+def test_compiled_hints_verify_clean(program):
+    diags, counts = check_program_hints(program)
+    assert rules(diags) == set()
+    assert counts["mem_total"] > 0
+    # Stack traffic is tagged local, global traffic non-local.
+    assert counts["hint_local"] > 0
+    assert counts["hint_global"] > 0
+
+
+def test_sp_relative_accesses_are_tagged_local(program):
+    # Every direct sp-relative access (saves, restores, y) carries
+    # local_hint=True out of codegen.
+    for ins in mem_accesses(program, "main", sp_based=True):
+        assert ins.local is True
+
+
+# ---------------------------------------------------------------------------
+# mutations: each unsound tagging is a hard error
+# ---------------------------------------------------------------------------
+
+def test_unsound_local_hint_is_caught(program):
+    # A global (la-derived) access mis-tagged as a stack access.
+    victim = next(iter(mem_accesses(program, "main", local=False)))
+    victim.local = True
+    diags, _ = check_hints(program, program.frames["main"])
+    assert "hint.unsound-local" in rules(diags)
+
+
+def test_unsound_global_hint_is_caught(program):
+    # A provably-stack access mis-tagged as non-stack.
+    victim = next(iter(mem_accesses(program, "main", sp_based=True)))
+    victim.local = False
+    diags, _ = check_hints(program, program.frames["main"])
+    assert "hint.unsound-global" in rules(diags)
+
+
+def test_unprovable_global_hint_is_a_warning_only(program):
+    # bump() accesses through a pointer parameter: the base register is
+    # R_UNKNOWN to the prover, and the compiler leaves it untagged.
+    # Force-tagging it non-local is unprovable — a warning, not an error.
+    victim = next(ins for ins in mem_accesses(program, "bump")
+                  if ins.rs != SP and ins.local is None)
+    victim.local = False
+    diags, _ = check_hints(program, program.frames["bump"])
+    assert rules(diags) == set()
+    assert "hint.unprovable-global" in rules(diags, "warning")
+
+
+def test_untagged_stack_access_counts_as_missed(program):
+    victim = next(iter(mem_accesses(program, "main", sp_based=True)))
+    victim.local = None
+    diags, counts = check_hints(program, program.frames["main"])
+    assert rules(diags) == set()  # sound, just wasteful
+    assert counts["missed_local"] >= 1
+    assert counts["hint_none"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# the dynamic cross-check (ground truth from a real run)
+# ---------------------------------------------------------------------------
+
+def test_dynamic_crosscheck_clean_on_healthy_build(program):
+    vm = Machine(program, trace=True)
+    vm.run(max_instructions=200_000)
+    assert vm.exit_code == 0
+    report = analyze_program(program, trace=vm.trace, name="hints.mc")
+    assert report.ok
+    assert report.metrics["dynamic.unsound_hint_pcs"] == 0
+    # bump()'s pointer access is ambiguous: the predictor handles it,
+    # mispredicting only on the cold first sighting.
+    assert report.metrics["dynamic.predictor_predictions"] >= 4
+    assert report.metrics["dynamic.predictor_accuracy"] >= 0.5
+
+
+def test_dynamic_crosscheck_catches_flipped_hint(program):
+    victim = next(iter(mem_accesses(program, "main", local=False)))
+    victim.local = True  # global access claiming to be stack
+    vm = Machine(program, trace=True)
+    vm.run(max_instructions=200_000)
+    assert vm.exit_code == 0  # hints never change architectural results
+    report = analyze_program(program, trace=vm.trace, name="hints.mc")
+    found = {d.rule for d in report.errors}
+    # Caught twice, independently: by the static prover and by the run.
+    assert "hint.unsound-local" in found
+    assert "hint.dynamic-unsound" in found
+    assert report.metrics["dynamic.unsound_hint_pcs"] >= 1
+
+
+def test_static_coverage_metrics_shape(program):
+    report = analyze_program(program, name="hints.mc")
+    assert report.ok
+    total = report.metrics["static.mem_accesses"]
+    tagged = (report.metrics["static.hint_local"]
+              + report.metrics["static.hint_global"])
+    untagged = report.metrics["static.hint_none"]
+    assert total == tagged + untagged
+    assert report.metrics["static.hint_coverage"] == tagged / total
+    assert report.metrics["static.missed_local"] == 0

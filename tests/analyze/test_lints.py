@@ -1,0 +1,222 @@
+"""IR lints over hand-built linear IR: each rule fires on its target
+pattern and stays quiet on the sound variant.
+"""
+
+from repro.analyze.lints import lint_function
+from repro.lang.ir import IrFunction, IrInstr
+from repro.lang import CompilerOptions, compile_source
+
+
+def rules(diags):
+    return [d.rule for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# ir.use-before-init
+# ---------------------------------------------------------------------------
+
+def test_vreg_read_before_any_write_is_flagged():
+    f = IrFunction("f")
+    v, w = f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("bin", dst=w, a=v, b=v, op="add"))  # v never written
+    f.emit(IrInstr("ret"))
+    assert "ir.use-before-init" in rules(lint_function("f", f.body))
+
+
+def test_vreg_initialised_on_one_path_only_is_flagged():
+    f = IrFunction("f")
+    c, v, w = f.new_vreg(), f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("li", dst=c, imm=1))
+    f.emit(IrInstr("br", a=c, sym="skip"))
+    f.emit(IrInstr("li", dst=v, imm=7))      # only on the fallthrough path
+    f.emit(IrInstr("label", sym="skip"))
+    f.emit(IrInstr("mov", dst=w, a=v))       # may read garbage
+    f.emit(IrInstr("ret"))
+    assert "ir.use-before-init" in rules(lint_function("f", f.body))
+
+
+def test_vreg_initialised_on_both_paths_is_clean():
+    f = IrFunction("f")
+    c, v, w = f.new_vreg(), f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("li", dst=c, imm=1))
+    f.emit(IrInstr("br", a=c, sym="other"))
+    f.emit(IrInstr("li", dst=v, imm=7))
+    f.emit(IrInstr("jmp", sym="join"))
+    f.emit(IrInstr("label", sym="other"))
+    f.emit(IrInstr("li", dst=v, imm=9))
+    f.emit(IrInstr("label", sym="join"))
+    f.emit(IrInstr("mov", dst=w, a=v))
+    f.emit(IrInstr("ret"))
+    assert "ir.use-before-init" not in rules(lint_function("f", f.body))
+
+
+def test_slot_loaded_before_any_store_is_flagged():
+    f = IrFunction("f")
+    slot = f.new_slot("x", 1)
+    v = f.new_vreg()
+    f.emit(IrInstr("load", dst=v, base=("frame", slot), imm=0))
+    f.emit(IrInstr("ret"))
+    assert "ir.use-before-init" in rules(lint_function("f", f.body))
+
+
+def test_escaped_slot_may_be_initialised_by_callee():
+    # &x handed to a call: the callee may store through the pointer, so
+    # a later load is not use-before-init.
+    f = IrFunction("f")
+    slot = f.new_slot("x", 1)
+    p, v = f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("la_frame", dst=p, base=("frame", slot)))
+    f.emit(IrInstr("call", sym="@init", args=[p]))
+    f.emit(IrInstr("load", dst=v, base=("frame", slot), imm=0))
+    f.emit(IrInstr("ret"))
+    assert "ir.use-before-init" not in rules(lint_function("f", f.body))
+
+
+# ---------------------------------------------------------------------------
+# ir.dead-store
+# ---------------------------------------------------------------------------
+
+def test_store_never_read_is_flagged():
+    f = IrFunction("f")
+    slot = f.new_slot("x", 1)
+    v = f.new_vreg()
+    f.emit(IrInstr("li", dst=v, imm=5))
+    f.emit(IrInstr("store", a=v, base=("frame", slot), imm=0))
+    f.emit(IrInstr("ret"))
+    assert "ir.dead-store" in rules(lint_function("f", f.body))
+
+
+def test_store_with_later_load_is_clean():
+    f = IrFunction("f")
+    slot = f.new_slot("x", 1)
+    v, w = f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("li", dst=v, imm=5))
+    f.emit(IrInstr("store", a=v, base=("frame", slot), imm=0))
+    f.emit(IrInstr("load", dst=w, base=("frame", slot), imm=0))
+    f.emit(IrInstr("ret"))
+    assert "ir.dead-store" not in rules(lint_function("f", f.body))
+
+
+def test_store_overwritten_before_read_is_flagged():
+    f = IrFunction("f")
+    slot = f.new_slot("x", 1)
+    v, w = f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("li", dst=v, imm=5))
+    f.emit(IrInstr("store", a=v, base=("frame", slot), imm=0))  # dead
+    f.emit(IrInstr("store", a=v, base=("frame", slot), imm=0))
+    f.emit(IrInstr("load", dst=w, base=("frame", slot), imm=0))
+    f.emit(IrInstr("ret"))
+    diags = [d for d in lint_function("f", f.body)
+             if d.rule == "ir.dead-store"]
+    assert len(diags) == 1
+    assert diags[0].index == 1  # the first store, not the second
+
+
+def test_store_to_escaped_slot_is_never_dead():
+    f = IrFunction("f")
+    slot = f.new_slot("x", 1)
+    p, v = f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("la_frame", dst=p, base=("frame", slot)))
+    f.emit(IrInstr("li", dst=v, imm=5))
+    f.emit(IrInstr("store", a=v, base=("frame", slot), imm=0))
+    f.emit(IrInstr("call", sym="@peek", args=[p]))  # may read through p
+    f.emit(IrInstr("ret"))
+    assert "ir.dead-store" not in rules(lint_function("f", f.body))
+
+
+def test_store_read_only_on_one_path_is_live():
+    f = IrFunction("f")
+    slot = f.new_slot("x", 1)
+    c, v, w = f.new_vreg(), f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("li", dst=c, imm=1))
+    f.emit(IrInstr("li", dst=v, imm=5))
+    f.emit(IrInstr("store", a=v, base=("frame", slot), imm=0))
+    f.emit(IrInstr("br", a=c, sym="skip"))
+    f.emit(IrInstr("load", dst=w, base=("frame", slot), imm=0))
+    f.emit(IrInstr("label", sym="skip"))
+    f.emit(IrInstr("ret"))
+    assert "ir.dead-store" not in rules(lint_function("f", f.body))
+
+
+# ---------------------------------------------------------------------------
+# ir.unreachable
+# ---------------------------------------------------------------------------
+
+def test_code_after_unconditional_jump_is_flagged():
+    f = IrFunction("f")
+    v, w = f.new_vreg(), f.new_vreg()
+    f.emit(IrInstr("li", dst=v, imm=1))
+    f.emit(IrInstr("jmp", sym="end"))
+    f.emit(IrInstr("li", dst=w, imm=2))      # unreachable
+    f.emit(IrInstr("jmp", sym="end"))
+    f.emit(IrInstr("label", sym="end"))
+    f.emit(IrInstr("ret"))
+    assert "ir.unreachable" in rules(lint_function("f", f.body))
+
+
+def test_compiler_implicit_return_tail_is_not_flagged():
+    # Lowering always appends ``li 0; mov $v0; ret`` before the exit
+    # label; when every source path returns it is dead — but it is the
+    # compiler's dead code, not the user's.
+    from repro.isa.registers import Reg
+    from repro.lang.ir import VReg
+
+    f = IrFunction("f")
+    v, r = f.new_vreg(), f.new_vreg()
+    v0 = VReg(0, phys=int(Reg.V0))
+    f.emit(IrInstr("li", dst=v, imm=1))
+    f.emit(IrInstr("mov", dst=v0, a=v))
+    f.emit(IrInstr("ret", args=[v0]))
+    f.emit(IrInstr("jmp", sym=f.exit_label))
+    f.emit(IrInstr("li", dst=r, imm=0))
+    f.emit(IrInstr("mov", dst=v0, a=r))
+    f.emit(IrInstr("ret", args=[v0]))
+    f.emit(IrInstr("label", sym=f.exit_label))
+    assert "ir.unreachable" not in rules(lint_function("f", f.body))
+
+
+def test_dangling_label_alone_is_not_flagged():
+    f = IrFunction("f")
+    v = f.new_vreg()
+    f.emit(IrInstr("li", dst=v, imm=1))
+    f.emit(IrInstr("jmp", sym="end"))
+    f.emit(IrInstr("label", sym="orphan"))   # nothing jumps here... but
+    f.emit(IrInstr("label", sym="end"))      # labels alone are not code
+    f.emit(IrInstr("ret"))
+    assert "ir.unreachable" not in rules(lint_function("f", f.body))
+
+
+# ---------------------------------------------------------------------------
+# end to end through the compiler
+# ---------------------------------------------------------------------------
+
+def test_compiled_source_dead_code_is_flagged():
+    source = """
+    int main() {
+        int a[2];
+        a[0] = 7;
+        return 0;
+        a[1] = 9;
+    }
+    """
+    ir_map = {}
+    compile_source(source, CompilerOptions(source_name="dead.mc",
+                                           optimize=False), ir_out=ir_map)
+    found = rules(lint_function("main", ir_map["main"].body))
+    assert "ir.unreachable" in found
+
+
+def test_compiled_clean_source_has_no_findings():
+    source = """
+    int main() {
+        int a[2];
+        a[0] = 7;
+        a[1] = a[0] + 1;
+        print(a[1]);
+        return 0;
+    }
+    """
+    ir_map = {}
+    compile_source(source, CompilerOptions(source_name="clean.mc"),
+                   ir_out=ir_map)
+    assert lint_function("main", ir_map["main"].body) == []

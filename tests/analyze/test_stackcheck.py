@@ -1,0 +1,251 @@
+"""The stack-discipline verifier: clean on real output, and each
+mutation class it exists for is actually caught.
+
+The mutation tests compile a healthy program and then corrupt the
+*compiled* image — a broken prologue constant, an out-of-frame access,
+a corrupted slot map — exactly the miscompiles the verifier gates
+against.
+"""
+
+import pytest
+
+from repro.analyze.machine import function_cfg, iter_frames
+from repro.analyze.stackcheck import (check_frame_metadata, check_function,
+                                      check_program)
+from repro.isa.frames import FrameInfo, SlotInfo
+from repro.isa.opcodes import Fmt, Opcode
+from repro.isa.registers import Reg
+from repro.lang import CompilerOptions, compile_source
+
+SP = int(Reg.SP)
+RA = int(Reg.RA)
+
+#: A program with calls, callee-saves, local arrays, an addressed scalar
+#: (to force direct sp-relative slot accesses), and globals — every frame
+#: region the verifier knows about is exercised.
+SOURCE = """
+int g[8];
+
+int sum(int *p, int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) s += p[i];
+    return s;
+}
+
+void bump(int *p) { *p += 1; }
+
+int main() {
+    int x[8];
+    int y = 3;
+    int i;
+    for (i = 0; i < 8; i++) { x[i] = i; g[i] = i + 1; }
+    bump(&y);
+    print(sum(x, 8) + sum(g, 8) + y);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def program():
+    return compile_source(SOURCE, CompilerOptions(source_name="stack.mc"))
+
+
+def rules(diags, severity="error"):
+    return {d.rule for d in diags if d.severity == severity}
+
+
+def body_of(program, name):
+    frame = program.frames[name]
+    return frame, program.instructions[frame.code_start:frame.code_end]
+
+
+# ---------------------------------------------------------------------------
+# healthy output verifies clean
+# ---------------------------------------------------------------------------
+
+def test_compiled_program_verifies_clean(program):
+    diags, cfgs = check_program(program)
+    assert diags == []
+    assert set(cfgs) == set(program.frames)
+
+
+def test_every_frame_has_sane_metadata(program):
+    for frame in iter_frames(program):
+        assert check_frame_metadata(frame) == []
+        assert 0 <= frame.code_start < frame.code_end
+    # main calls sum, so it must park $ra in the save area.
+    main = program.frames["main"]
+    assert main.saves_ra and RA in main.save_offsets
+
+
+def test_workload_verifies_clean():
+    from repro.workloads.minic import minic_source
+
+    program = compile_source(minic_source("mini.qsort"),
+                             CompilerOptions(source_name="mini.qsort"))
+    diags, _ = check_program(program)
+    assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# mutation: a deliberately broken prologue
+# ---------------------------------------------------------------------------
+
+def test_broken_prologue_constant_is_caught(program):
+    frame, body = body_of(program, "main")
+    prologue = next(ins for ins in body
+                    if ins.op is Opcode.ADDI and ins.rd == SP
+                    and ins.rs == SP and ins.imm < 0)
+    prologue.imm -= 8  # frame set up 8 bytes too deep
+    diags = check_function(program, frame)
+    found = rules(diags)
+    assert "stack.sp-adjust" in found
+    # With $sp off by 8, the return can no longer tear down to delta 0.
+    assert "stack.return-with-frame" in found
+
+
+def test_missing_epilogue_is_caught(program):
+    frame, body = body_of(program, "main")
+    epilogue = next(ins for ins in body
+                    if ins.op is Opcode.ADDI and ins.rd == SP
+                    and ins.rs == SP and ins.imm > 0)
+    epilogue.imm = 0  # frame never torn down
+    diags = check_function(program, frame)
+    assert "stack.return-with-frame" in rules(diags)
+
+
+def test_rogue_sp_write_is_caught(program):
+    frame, body = body_of(program, "sum")
+    # Turn some ordinary ALU instruction into a write of $sp.
+    victim = next(ins for ins in body
+                  if ins.op is Opcode.ADDI and ins.rd not in (SP, 0)
+                  and ins.rs not in (SP,))
+    victim.rd = SP
+    diags = check_function(program, frame)
+    assert "stack.sp-write" in rules(diags)
+
+
+# ---------------------------------------------------------------------------
+# mutation: an out-of-frame spill/local access
+# ---------------------------------------------------------------------------
+
+def _slot_access(frame, body, store=None):
+    """An sp-relative access that targets a declared local/spill slot."""
+    for ins in body:
+        if ins.op.fmt is not Fmt.MEM or ins.rs != SP:
+            continue
+        if store is not None and ins.op.is_store != store:
+            continue
+        if any(slot.offset <= ins.imm < slot.end for slot in frame.slots):
+            return ins
+    raise AssertionError("no sp-relative slot access found")
+
+
+def test_out_of_frame_access_is_caught(program):
+    frame, body = body_of(program, "main")
+    access = _slot_access(frame, body)
+    access.imm = frame.frame_size + 64  # beyond frame + incoming args
+    diags = check_function(program, frame)
+    assert "stack.out-of-frame" in rules(diags)
+
+
+def test_access_between_regions_is_caught(program):
+    frame, body = body_of(program, "main")
+    access = _slot_access(frame, body)
+    # An aligned offset inside the frame that hits no declared region:
+    taken = [(s.offset, s.end) for s in frame.slots]
+    taken += [(off, off + 4) for off in frame.save_offsets.values()]
+    taken.append((0, 4 * frame.outgoing_words))
+    hole = next(off for off in range(0, frame.frame_size, 4)
+                if not any(lo <= off < hi for lo, hi in taken))
+    access.imm = hole
+    diags = check_function(program, frame)
+    assert "stack.out-of-frame" in rules(diags)
+
+
+def test_corrupted_slot_metadata_is_caught(program):
+    frame, _ = body_of(program, "main")
+    victim = next(s for s in frame.slots if not s.is_spill)
+    victim.offset = frame.frame_size  # slot now ends past the frame
+    found = rules(check_frame_metadata(frame))
+    assert "frame.region-out-of-bounds" in found
+
+
+def test_overlapping_slot_metadata_is_caught(program):
+    frame, _ = body_of(program, "main")
+    slots = sorted(frame.slots, key=lambda s: s.offset)
+    assert len(slots) >= 2
+    slots[1].offset = slots[0].offset  # two slots on the same bytes
+    assert "frame.overlap" in rules(check_frame_metadata(frame))
+
+
+def test_unaligned_frame_size_is_caught():
+    frame = FrameInfo("f", frame_size=12, slots=[], save_offsets={},
+                      saves_ra=False, outgoing_words=0, incoming_words=0,
+                      code_start=0, code_end=1)
+    assert "frame.unaligned" in rules(check_frame_metadata(frame))
+
+
+def test_missing_ra_slot_is_caught():
+    frame = FrameInfo("f", frame_size=16, slots=[], save_offsets={},
+                      saves_ra=True, outgoing_words=0, incoming_words=0,
+                      code_start=0, code_end=1)
+    assert "frame.missing-ra-slot" in rules(check_frame_metadata(frame))
+
+
+# ---------------------------------------------------------------------------
+# mutation: the callee-save protocol
+# ---------------------------------------------------------------------------
+
+def test_unrestored_callee_save_is_caught(program):
+    frame, body = body_of(program, "main")
+    saved = [reg for reg in frame.save_offsets if reg != RA]
+    if not saved:
+        pytest.skip("main spills no callee-saved register here")
+    reg, offset = saved[0], frame.save_offsets[saved[0]]
+    restore = next(ins for ins in body
+                   if ins.op.is_load and ins.rs == SP and ins.imm == offset)
+    # Retarget the restore at a scratch register: the slot is read but
+    # the callee-saved register never gets its value back.
+    restore.rd = int(Reg.T0)
+    diags = check_function(program, frame)
+    found = rules(diags)
+    assert "stack.unrestored-callee-saved" in found
+    assert "stack.save-slot-misuse" in found
+
+
+def test_ra_save_slot_clobber_is_caught(program):
+    frame, body = body_of(program, "main")
+    offset = frame.save_offsets[RA]
+    save = next(ins for ins in body
+                if ins.op.is_store and ins.rs == SP and ins.imm == offset)
+    save.rt = int(Reg.T1)  # parks a scratch register over $ra's slot
+    diags = check_function(program, frame)
+    assert "stack.save-slot-misuse" in rules(diags)
+
+
+# ---------------------------------------------------------------------------
+# structural checks
+# ---------------------------------------------------------------------------
+
+def test_branch_out_of_function_is_caught(program):
+    frame, body = body_of(program, "sum")
+    branch = next(ins for ins in body
+                  if ins.op in (Opcode.BEQ, Opcode.BNE, Opcode.BLEZ,
+                                Opcode.BGTZ, Opcode.BLTZ, Opcode.BGEZ,
+                                Opcode.J))
+    # Point the branch into the next function. ``label`` must go too:
+    # Program.resolve() re-derives ``imm`` from it on every call.
+    branch.label = None
+    branch.imm = frame.code_end + 5
+    _, diags = function_cfg(program, frame)
+    assert "cfg.branch-out-of-function" in rules(diags)
+
+
+def test_overlapping_code_extents_are_caught(program):
+    frame = program.frames["sum"]
+    frame.code_start -= 2  # claims the tail of the previous function
+    diags, _ = check_program(program)
+    assert "frame.code-overlap" in rules(diags)

@@ -68,3 +68,55 @@ def test_stable_sites_predict_well():
 
 def test_empty_predictor_accuracy_is_one():
     assert RegionPredictor().accuracy == 1.0
+
+
+def test_hinted_references_never_touch_the_predictor():
+    # Accuracy accounting covers only the ambiguous remainder: hinted
+    # references neither count as predictions nor train the table.
+    partitioner = StreamPartitioner(decoupled=True)
+    for _ in range(5):
+        partitioner.steer(mem_ref(True, True, pc=3))
+        partitioner.steer(mem_ref(False, False, pc=4))
+    predictor = partitioner.predictor
+    assert predictor.predictions == 0
+    assert predictor.predict(3) is False  # table never written
+
+
+def test_decoupling_disabled_does_not_train():
+    partitioner = StreamPartitioner(decoupled=False)
+    for _ in range(5):
+        partitioner.steer(mem_ref(None, True, pc=9))
+    assert partitioner.predictor.predictions == 0
+
+
+def test_predictor_disabled_does_not_train():
+    partitioner = StreamPartitioner(decoupled=True, use_predictor=False)
+    for _ in range(5):
+        partitioner.steer(mem_ref(None, True, pc=9))
+    assert partitioner.predictor.predictions == 0
+    assert partitioner.predictor.accuracy == 1.0
+
+
+def test_aliased_sites_thrash_the_shared_bit():
+    # Two static sites folded onto one table entry (same pc) with
+    # opposite regions retrain the bit every time: every prediction
+    # misses.  The same stream on distinct pcs misses only twice (cold).
+    aliased = StreamPartitioner(decoupled=True)
+    split = StreamPartitioner(decoupled=True)
+    for _ in range(10):
+        aliased.steer(mem_ref(None, True, pc=5))
+        aliased.steer(mem_ref(None, False, pc=5))
+        split.steer(mem_ref(None, True, pc=5))
+        split.steer(mem_ref(None, False, pc=6))
+    assert aliased.predictor.mispredictions == 20
+    assert split.predictor.mispredictions == 1  # pc=6 cold-predicts False
+    assert split.predictor.accuracy > aliased.predictor.accuracy
+
+
+def test_misprediction_still_steers_to_actual_side():
+    partitioner = StreamPartitioner(decoupled=True)
+    to_lvaq, mispredicted = partitioner.steer(mem_ref(None, True, pc=1))
+    assert mispredicted
+    # The recovery re-inserts into the *correct* queue; the penalty is
+    # charged by the pipeline, not modelled here.
+    assert to_lvaq is True

@@ -1,4 +1,4 @@
-"""The three differential oracles: green on a healthy toolchain, and
+"""The four differential oracles: green on a healthy toolchain, and
 each able to catch the class of bug it exists for."""
 
 from __future__ import annotations
@@ -51,4 +51,48 @@ def test_oracle_subset_runs_only_requested():
     source = generate_program(0).source()
     assert run_oracles(source, oracles=("opt",)) == []
     assert run_oracles(source, oracles=("timing", "golden")) == []
-    assert set(ALL_ORACLES) == {"opt", "timing", "golden"}
+    assert set(ALL_ORACLES) == {"opt", "timing", "golden", "analyze"}
+
+
+def test_analyze_is_a_registered_oracle():
+    assert ALL_ORACLES == ("opt", "timing", "golden", "analyze")
+
+
+def test_analyze_oracle_clean_on_healthy_toolchain():
+    source = generate_program(3).source()
+    assert run_oracles(source, oracles=("analyze",)) == []
+
+
+def test_analyze_oracle_catches_unsound_hint_emission(monkeypatch):
+    # Sabotage the compiler: tag every pointer-based access as a stack
+    # access, the exact miscompile the LVAQ cannot survive.  The build
+    # still runs correctly (hints never change architectural results),
+    # so only the analyze oracle can see the bug — statically via the
+    # region prover and dynamically via the trace cross-check.
+    import repro.lang.frontend as frontend
+    from repro.lang.ir import VReg
+
+    def sabotaged(ir):
+        for instr in ir.body:
+            if instr.kind in ("load", "store") and isinstance(
+                    instr.base, VReg):
+                instr.locality = True
+        return 0, 0
+
+    monkeypatch.setattr(frontend, "annotate_localities", sabotaged)
+    source = ("int g[4];\n"
+              "int main() {\n"
+              "    int *p;\n"
+              "    p = g;\n"
+              "    *p = 3;\n"
+              "    print(p[1] + g[0]);\n"
+              "    return 0;\n"
+              "}\n")
+    clean = run_oracles(source, oracles=("opt", "timing", "golden"))
+    assert clean == []  # every other oracle is blind to hint bugs
+    divergences = run_oracles(source, oracles=("analyze",))
+    assert divergences
+    assert all(d.oracle == "analyze" for d in divergences)
+    details = " ".join(d.detail for d in divergences)
+    assert "hint.unsound-local" in details
+    assert "hint.dynamic-unsound" in details
