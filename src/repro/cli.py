@@ -112,6 +112,12 @@ def cmd_sim(args) -> int:
     print(f"{len(trace)} dynamic instructions "
           f"({trace.stats.local_fraction:.0%} of memory refs local)")
     configs = [(text, _parse_config(text)) for text in args.config]
+    for _text, config in configs:
+        if args.ports:
+            config.mem.l1_port_policy = args.ports
+            config.mem.lvc_port_policy = args.ports
+        if args.frontend:
+            config.frontend.policy = args.frontend
     results: List[Tuple[str, float]] = []
     for text, result in _sim_results(args, source, trace, configs):
         results.append((text, result.ipc))
@@ -360,6 +366,18 @@ def make_parser() -> argparse.ArgumentParser:
     sim_p.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="simulate the configs on N worker processes",
+    )
+    from repro.core.frontend import FRONTEND_POLICIES
+    from repro.mem.ports import PORT_POLICIES
+    sim_p.add_argument(
+        "--ports", choices=sorted(PORT_POLICIES), default=None,
+        help="port-arbitration policy for every config "
+             "(default: each config's own, normally ideal)",
+    )
+    sim_p.add_argument(
+        "--frontend", choices=sorted(FRONTEND_POLICIES), default=None,
+        help="frontend timing policy for every config "
+             "(default: perfect)",
     )
     sim_p.set_defaults(func=cmd_sim)
 

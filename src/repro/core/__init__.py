@@ -2,11 +2,13 @@
 
 from repro.core.config import DecoupleConfig, MachineConfig
 from repro.core.classify import RegionPredictor, StreamPartitioner
+from repro.core.frontend import FrontendConfig
 from repro.core.metrics import SimResult
 from repro.core.processor import Processor
 
 __all__ = [
     "DecoupleConfig",
+    "FrontendConfig",
     "MachineConfig",
     "RegionPredictor",
     "StreamPartitioner",

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.frontend import FrontendConfig
 from repro.errors import ConfigError
 from repro.mem.hierarchy import MemSystemConfig
 
@@ -51,11 +52,14 @@ class MachineConfig:
         fmultdiv_units: int = 4,
         mem: Optional[MemSystemConfig] = None,
         decouple: Optional[DecoupleConfig] = None,
+        frontend: Optional[FrontendConfig] = None,
     ):
         if issue_width <= 0:
             raise ConfigError("issue width must be positive")
         if rob_size <= 0 or lsq_size <= 0 or lvaq_size <= 0:
             raise ConfigError("window sizes must be positive")
+        if min(ialu_units, falu_units, imultdiv_units, fmultdiv_units) <= 0:
+            raise ConfigError("functional-unit counts must be positive")
         self.issue_width = issue_width
         self.rob_size = rob_size
         self.lsq_size = lsq_size
@@ -66,6 +70,7 @@ class MachineConfig:
         self.fmultdiv_units = fmultdiv_units
         self.mem = mem if mem is not None else MemSystemConfig()
         self.decouple = decouple if decouple is not None else DecoupleConfig()
+        self.frontend = frontend if frontend is not None else FrontendConfig()
 
     @property
     def decoupled(self) -> bool:
@@ -86,6 +91,7 @@ class MachineConfig:
         l1_hit_latency: int = 2,
         lvc_hit_latency: int = 1,
         lvc_size: int = 2 * 1024,
+        frontend: Optional[FrontendConfig] = None,
         **mem_overrides,
     ) -> "MachineConfig":
         """The paper's base machine with an ``(N+M)`` memory system.
@@ -106,7 +112,7 @@ class MachineConfig:
         decouple = DecoupleConfig(
             fast_forwarding=fast_forwarding, combining=combining
         )
-        return cls(mem=mem, decouple=decouple)
+        return cls(mem=mem, decouple=decouple, frontend=frontend)
 
     def __repr__(self) -> str:
         return (

@@ -2,9 +2,12 @@
 
 This is the reproduction of the paper's simulator: a 16-issue RUU/ROB
 machine (derived conceptually from SimpleScalar's sim-outorder) with a
-perfect front end, a conventional LSQ + L1 path, and — when configured —
-the decoupled LVAQ + LVC path with fast data forwarding and access
-combining.
+conventional LSQ + L1 path and — when configured — the decoupled
+LVAQ + LVC path with fast data forwarding and access combining.  The
+frontend and the first-level port arbiters are pluggable policies
+(``perfect``/``gshare``, ``ideal``/``finite``/…); the defaults model the
+paper's machine (perfect front end, ideal per-cycle port budgets —
+Section 3.1).
 
 Stage order within a cycle (processed so results flow forward):
 
@@ -19,88 +22,69 @@ Stage order within a cycle (processed so results flow forward):
    (memory ops issue their address generation here).
 5. **dispatch** — decode up to ``issue_width`` instructions from the
    committed stream into the ROB and the memory queues, steering each
-   memory reference to the LSQ or LVAQ (stream partitioning).
+   memory reference to the LSQ or LVAQ (stream partitioning), gated by
+   the frontend policy.
 
-Because the modelled front end is perfect (oracle branch prediction,
-perfect I-cache — paper Section 3.1), simulating the committed dynamic
-stream is exactly equivalent to execution-driven timing: there is no
-wrong-path work.
+Because the simulated stream is the committed dynamic stream, frontend
+effects (branch mispredicts, I-cache misses) are timing-independent
+given the stream: the ``gshare`` policy pre-computes them once and the
+dispatch stage charges the bubbles (see ``repro.core.frontend``).  Under
+the default ``perfect`` policy there is no wrong-path work and trace
+timing is exactly execution-driven timing.
 
 Implementation notes
 --------------------
 
-This module is the hot loop of every experiment, so it is written for
-speed while staying **bit-identical** — same cycle counts, same counter
+This is the hot loop of every experiment, so it is written for speed
+while staying **bit-identical** — same cycle counts, same counter
 values — to the straightforward model it replaced (kept verbatim as
 ``repro.perf.reference.ReferenceProcessor`` and enforced by the golden
-equivalence suite in ``tests/perf``):
+equivalence suite in ``tests/perf``).
 
-* all five pipeline stages are fused into one ``run`` loop with every
-  per-cycle-touched object bound to a local once, up front;
-* completion events live in a 256-slot ring-buffer calendar (distance of
-  almost every event is a small latency); the rare long-latency event
-  (memory misses behind a backed-up bus) overflows into a dict.  Drained
-  buckets are cleared and left in place so the lists get reused;
-* when dispatch is exhausted or blocked, nothing is issuable, no load is
-  waiting for the memory stage and the ROB head is not committable, the
-  loop jumps straight to the next scheduled event.  Stalled cycles it
-  skips are accounted exactly as the reference would have (see
-  ``docs/perf.md`` for the invariant);
-* the issuable set is two seq-ordered lanes merged at issue time — a
-  FIFO for dispatch-ready entries (dispatch runs in seq order) and a
-  heap for entries woken out of order by writeback — instead of a
-  per-cycle sort;
-* committed ROB entries are recycled through a free list (unless a
-  stale lane reference still points at them), skipping allocation and
-  re-initialisation;
-* simple port arbiters (``PortArbiter``/``IdealPorts`` — pure per-cycle
-  budgets) and the pipelined ALU pools are tracked as local integers and
-  written back to their objects when the run ends; banked/replicated
-  ports keep their method calls (their state is not a plain budget);
-* per-cycle counters accumulate in plain ints and fold into the shared
-  :class:`CounterSet` once, at the end of the run (zero-valued counters
-  stay absent, exactly as if they had never been bumped);
-* the cyclic garbage collector is paused for the duration of the run —
-  the simulator's object graph is alive the whole time, so collection
-  passes are pure overhead.
+The stage logic lives in :mod:`repro.core.stages`: one component per
+stage, each a ``bind(state)`` factory closing over the shared
+:class:`~repro.core.stages.state.CoreState` and returning ``(tick,
+finish)``.  The kernel steps cycles, running each tick behind a guard
+that is provably a no-op check (an empty calendar slot cannot wake
+anyone, a non-COMPLETED ROB head cannot commit, …), so quiet stages
+cost one truth test per cycle.  Two compositions of the same stage
+sources exist: the default **fused** kernel splices the tick bodies
+into one generated function (:mod:`repro.core.stages.compose`), and
+the **portable** kernel (``REPRO_PORTABLE_KERNEL=1``) calls the bound
+closures per tick; tests pin them bit-identical.
+The performance tricks the components inherit from the fused-loop
+ancestor — the 256-slot calendar ring, the two seq-ordered issue lanes,
+the ROB free list, simple port arbiters and ALU pools as local integer
+budgets, counters as plain ints folded once at the end, the cycle skip
+to the next scheduled event, GC paused for the run — are documented in
+``docs/perf.md``; the stage interface contracts and state-ownership map
+are in ``docs/timing_model.md``.
 """
 
 from __future__ import annotations
 
 import gc
+import os
 from collections import deque
-from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.isa.opcodes import FuClass, LATENCY_BY_INT
 from repro.core.classify import StreamPartitioner
 from repro.core.config import MachineConfig
+from repro.core.frontend import make_frontend
 from repro.core.metrics import SimResult
-from repro.mem.hierarchy import MemoryHierarchy
-from repro.mem.multiport import IdealPorts
-from repro.mem.ports import PortArbiter
-from repro.pipeline.fu import FU_KIND, FuPool
-from repro.pipeline.memqueue import INF_SEQ, MemQueue, MemQueueEntry
-from repro.pipeline.rob import (
-    COMPLETED,
-    DISPATCHED,
-    ISSUED,
-    Rob,
-    RobEntry,
-)
+from repro.core.stages import commit as commit_stage
+from repro.core.stages import dispatch as dispatch_stage
+from repro.core.stages import issue as issue_stage
+from repro.core.stages import memory as memory_stage
+from repro.core.stages import writeback as writeback_stage
+from repro.core.stages.state import CoreState, MASK, RING
+from repro.mem.system import MemorySystem
+from repro.pipeline.fu import FuPool
+from repro.pipeline.rob import Rob, RobEntry
 from repro.stats.counters import CounterSet
 from repro.vm.trace import DynInst
-
-_LOAD = int(FuClass.LOAD)
-_STORE = int(FuClass.STORE)
-
-#: Calendar ring size; must exceed every fixed execution latency so that
-#: only memory events (whose distance is unbounded behind a busy bus) can
-#: overflow.  Power of two so the slot index is a mask.
-_RING = 256
-_MASK = _RING - 1
-assert max(LATENCY_BY_INT) < _RING
 
 
 class Processor:
@@ -110,18 +94,23 @@ class Processor:
     def __init__(self, config: MachineConfig):
         self.config = config
         self.counters = CounterSet()
-        self.hierarchy = MemoryHierarchy(config.mem, self.counters)
+        self.memsys = MemorySystem(config.mem, config.lsq_size,
+                                   config.lvaq_size, self.counters)
+        # Aliases into the facade, bound once (hot paths and the many
+        # existing callers address these directly).
+        self.hierarchy = self.memsys.hierarchy
+        self.lsq = self.memsys.lsq
+        self.lvaq = self.memsys.lvaq
         self.rob = Rob(config.rob_size)
-        self.lsq = MemQueue(config.lsq_size, "lsq")
-        self.lvaq = MemQueue(config.lvaq_size, "lvaq")
         self.fus = FuPool(config.ialu_units, config.falu_units,
                           config.imultdiv_units, config.fmultdiv_units)
         self.partitioner = StreamPartitioner(
             config.decoupled, config.decouple.predictor
         )
+        self.frontend = make_frontend(config.frontend)
         self.now = 0
         # Completion calendar: ring for near events, dict for far ones.
-        self._ring: List[Optional[List[RobEntry]]] = [None] * _RING
+        self._ring: List[Optional[List[RobEntry]]] = [None] * RING
         self._overflow: Dict[int, List[RobEntry]] = {}
         # The issuable set is two seq-ordered lanes merged at issue time:
         # dispatch-ready entries arrive in seq order and ride a plain FIFO
@@ -132,32 +121,8 @@ class Processor:
         self._producer: List[Optional[RobEntry]] = [None] * 64
         self._seq = 0
         self._committed = 0
-        # Hot-path bindings of per-run-constant configuration.
-        self._width = config.issue_width
         self._rob_entries = self.rob.entries
         self._rob_size = config.rob_size
-        self._fast_fwd = config.decoupled and config.decouple.fast_forwarding
-        self._combining = config.decouple.combining
-        self._penalty = config.decouple.mispredict_penalty
-        # Counters accumulated as plain ints, folded into ``self.counters``
-        # at the end of ``run`` (absent when zero, like the reference).
-        self._n_stall_rob_full = 0
-        self._n_stall_lsq_full = 0
-        self._n_stall_lvaq_full = 0
-        self._n_stall_fu = 0
-        self._n_stall_store_port = 0
-        self._n_stall_lsq_port = 0
-        self._n_stall_lvaq_port = 0
-        self._n_lsq_loads = 0
-        self._n_lsq_stores = 0
-        self._n_lsq_forwards = 0
-        self._n_lvaq_loads = 0
-        self._n_lvaq_stores = 0
-        self._n_lvaq_forwards = 0
-        self._n_lvaq_fast_forwards = 0
-        self._n_lvaq_load_combined = 0
-        self._n_lvaq_store_combined = 0
-        self._n_classify_mispredictions = 0
 
     # ------------------------------------------------------------------ run
 
@@ -165,196 +130,106 @@ class Processor:
             workload_name: str = "<trace>") -> SimResult:
         """Simulate the dynamic stream to completion and return the result.
 
-        Everything below is the five pipeline stages of the reference
-        model fused into one loop; every block is a verbatim-semantics
-        transcription (see the module docstring for the invariants).
-        ROB states appear as literals here: 0 DISPATCHED, 1 ISSUED,
-        2 COMPLETED, 3 COMMITTED.
+        Binds the five stage components to a fresh :class:`CoreState`
+        and steps cycles to completion through one of two composition
+        modes of the *same* stage sources:
+
+        - the **fused** kernel (default): the stage tick bodies are
+          spliced into a single generated function, compiled once per
+          process (:mod:`repro.core.stages.compose`) — one frame, no
+          per-tick call overhead;
+        - the **portable** kernel (``REPRO_PORTABLE_KERNEL=1``): plain
+          closure calls per tick, the shape the stage interface
+          contract is written against, kept as the debuggable
+          cross-check (``tests/core/test_kernel_compose.py`` pins the
+          two bit-identical).
+        """
+        total = len(insts)
+        limit = total * 80 + 1000
+        state = CoreState(self, insts)
+        if os.environ.get("REPRO_PORTABLE_KERNEL", "") in ("", "0"):
+            from repro.core.stages.compose import fused_kernel
+            (now, committed_total, index, shares, exceeded,
+             n_skip_rob_full) = fused_kernel()(self, state)
+        else:
+            (now, committed_total, index, shares, exceeded,
+             n_skip_rob_full) = self._portable_kernel(state, insts)
+        if exceeded:
+            raise SimulationError(
+                self._livelock_report(limit, total, index))
+        counters = self.counters
+        if n_skip_rob_full:
+            shares["stall.rob_full"] = (
+                shares.get("stall.rob_full", 0) + n_skip_rob_full)
+        for name, value in shares.items():
+            if value:
+                counters.add(name, value)
+        conflict_stalls = self.memsys.conflict_stalls()
+        if conflict_stalls:
+            counters.add("ports.conflict_stalls", conflict_stalls)
+        counters.set("cycles", now)
+        counters.set("instructions", total)
+        return SimResult(self.config.notation(), workload_name,
+                         now, total, self.counters)
+
+    def _portable_kernel(self, state: CoreState,
+                         insts: Sequence[DynInst]):
+        """The call-composed kernel loop.
+
+        Steps cycles calling each stage's bound tick behind its
+        activity guard, with the per-cycle scalars (port budgets, ROB
+        occupancy, dispatch index, unserviced-load counts) owned here
+        and threaded through tick arguments/returns.  Returns the
+        kernel scalars and the merged finish() shares; the caller
+        applies them (shared with the fused kernel's epilogue).
         """
         total = len(insts)
         index = 0
         limit = total * 80 + 1000
-        config = self.config
-        decoupled = config.decoupled
-        width = self._width
-        rob_size = self._rob_size
-        fast_fwd = self._fast_fwd
-        combining = self._combining
-        combine_window = combining > 1
-        mispredict_penalty = self._penalty
-        load_fu = _LOAD
-        store_fu = _STORE
-        fu_kind = FU_KIND
-        latency = LATENCY_BY_INT
-        new_rob_entry = RobEntry
-        new_mem_entry = MemQueueEntry
-        mem_entry_new = MemQueueEntry.__new__
+        commit_tick, commit_finish = commit_stage.bind(state)
+        writeback_tick, writeback_finish = writeback_stage.bind(state)
+        memory_tick, memory_finish = memory_stage.bind(state)
+        issue_tick, issue_finish = issue_stage.bind(state)
+        dispatch_tick, dispatch_finish = dispatch_stage.bind(state)
 
-        rob_entries = self._rob_entries
-        rob_append = rob_entries.append
-        rob_popleft = rob_entries.popleft
+        rob_entries = state.rob_entries
         rob_count = len(rob_entries)
-        ready_fifo = self._ready_fifo
-        fifo_append = ready_fifo.append
-        fifo_popleft = ready_fifo.popleft
-        woken = self._issuable
-        ring = self._ring
-        overflow = self._overflow
-        # Stores issued this cycle, completing next cycle (see writeback).
-        store_done: List[RobEntry] = []
-        store_done_append = store_done.append
-        # Entries whose operands are complete but not yet forwardable
-        # (earliest > now) sleep here, keyed by that cycle, instead of
-        # churning through the issue lanes every cycle.  ``earliest`` is
-        # final once pending hits zero, so the wake cycle is exact.
-        sleep: Dict[int, List[RobEntry]] = {}
-        sleep_get = sleep.get
-        sleep_pop = sleep.pop
-        producer = self._producer
-        # Committed ROB entries are recycled through this free list; an
-        # entry still sitting stale in an issue lane (in_issuable) is not
-        # recycled, so lane references can never alias a new instruction.
-        free_entries: List[RobEntry] = []
+        rob_size = state.rob_size
+        ready_fifo = state.ready_fifo
+        woken = state.woken
+        sleep = state.sleep
+        store_done = state.store_done
+        ring = state.ring
+        overflow = state.overflow
 
         lsq = self.lsq
         lvaq = self.lvaq
-        lsq_entries = lsq.entries
-        lvaq_entries = lvaq.entries
-        lsq_size = lsq.size
-        lvaq_size = lvaq.size
-        # Memory-queue internals, aliased for the inlined hot paths
-        # (append, per-cycle load/unknown-store cursors, forwarding
-        # scans).  The structures and maintenance discipline are
-        # MemQueue's own (see memqueue.py); retire_committed stays a
-        # method call and mutates only state these locals alias in
-        # place.  The integer cursors live in locals and are written
-        # back at the end of the run.
-        lsq_loads_list = lsq._loads
-        lvaq_loads_list = lvaq._loads
-        lsq_load_head = lsq._load_head
-        lvaq_load_head = lvaq._load_head
-        lsq_unknown = lsq._unknown_stores
-        lvaq_unknown = lvaq._unknown_stores
-        lsq_us_head = lsq._us_head
-        lvaq_us_head = lvaq._us_head
-        lsq_un_nonsp = lsq._unknown_nonsp_stores
-        lvaq_un_nonsp = lvaq._unknown_nonsp_stores
-        lvaq_un_head = lvaq._un_head
-        lvaq_ns = lvaq._nonsp_stores
-        lsq_ns = lsq._nonsp_stores
-        lsq_ns_head = lsq._ns_head
-        lvaq_ns_head = lvaq._ns_head
-        lsq_words = lsq._stores_by_word
-        lvaq_words = lvaq._stores_by_word
-        lsq_sp = lsq._sp_stores
-        lvaq_sp = lvaq._sp_stores
-        lvaq_sp_get = lvaq_sp.get
-        lsq_sp_set = lsq_sp.setdefault
-        lvaq_sp_set = lvaq_sp.setdefault
-        lsq_base = lsq.base
-        lvaq_base = lvaq.base
         lsq_unserviced = lsq.unserviced_loads
         lvaq_unserviced = lvaq.unserviced_loads
-        inf_seq = INF_SEQ
 
-        hierarchy = self.hierarchy
-        ready_l1 = hierarchy.ready_l1
-        ready_lvc = hierarchy.ready_lvc
-        # Inline first-level-cache fast path: when the addressed line has
-        # no live outstanding fill and the tags hit, the access is a
-        # counter bump plus an LRU move.  Any other case (in-flight line,
-        # tag miss) falls back to the full ``ready_*`` path BEFORE any
-        # state is touched, so the fallback replays the lookup exactly.
-        # The MSHR expiry stays lazy: a stale (expired) pending entry is
-        # treated as absent here and physically removed by the next
-        # fallback's lookup/allocate, exactly as the reference's
-        # lazy-expire does — its timing is unobservable by design.
-        # Fast-path hit counters accumulate in local ints and fold into
-        # the counter dict at the end of the run.
-        counts = self.counters._counts
-        counts_get = counts.get
-        l1_cache = hierarchy.l1
-        l1_sets = l1_cache._sets
-        l1_shift = l1_cache.geom.line_shift
-        l1_smask = l1_cache.geom.set_mask
-        l1_dirty = l1_cache._dirty
-        l1_ka = l1_cache._k_accesses
-        l1_kh = l1_cache._k_hits
-        l1_pending = hierarchy.l1_mshr._pending
-        l1_hitlat = hierarchy.config.l1_hit_latency
-        lvc_cache = hierarchy.lvc
-        if lvc_cache is not None:
-            lvc_sets = lvc_cache._sets
-            lvc_shift = lvc_cache.geom.line_shift
-            lvc_smask = lvc_cache.geom.set_mask
-            lvc_dirty = lvc_cache._dirty
-            lvc_ka = lvc_cache._k_accesses
-            lvc_kh = lvc_cache._k_hits
-            lvc_pending = hierarchy.lvc_mshr._pending
-            lvc_hitlat = hierarchy.config.lvc_hit_latency
-        else:
-            lvc_sets = l1_sets
-            lvc_shift = lvc_smask = 0
-            lvc_dirty = l1_dirty
-            lvc_ka = lvc_kh = ""
-            lvc_pending = l1_pending
-            lvc_hitlat = 0
-        n_l1_fast = 0
-        n_lvc_fast = 0
-        lsq_words_get = lsq._stores_by_word.get
-        lvaq_words_get = lvaq._stores_by_word.get
-        l1_ports = hierarchy.l1_ports
-        lvc_ports = hierarchy.lvc_ports
-        # Simple arbiters are pure per-cycle budgets: keep the budget in a
-        # local int and write it back at the end.  Banked/replicated ports
-        # carry extra per-request state, so they keep their method calls.
-        l1_type = type(l1_ports)
-        l1_simple = l1_type is IdealPorts or l1_type is PortArbiter
+        # Simple arbiters (the exact PortArbiter type) are pure per-cycle
+        # budgets tracked as kernel-local integers and written back at
+        # the end; contended policies keep their method calls.
+        l1_simple = state.l1_simple
+        lvc_simple = state.lvc_simple
+        have_lvc = state.have_lvc
+        l1_ports = state.l1_ports
+        lvc_ports = state.lvc_ports
         l1_new_cycle = l1_ports.new_cycle
-        l1_try_take = l1_ports.try_take
+        lvc_new_cycle = lvc_ports.new_cycle if have_lvc else None
         l1_nports = l1_ports.ports
-        l1_avail = l1_ports._available
-        l1_busy = 0
+        l1_avail = l1_ports._available if l1_simple else 0
         l1_sat = 0
-        have_lvc = lvc_ports is not None
-        if have_lvc:
-            lvc_nports = lvc_ports.ports
-            lvc_avail = lvc_ports._available
-        else:
-            lvc_nports = 0
-            lvc_avail = 0
-        lvc_busy = 0
+        lvc_nports = lvc_ports.ports if have_lvc else 0
+        lvc_avail = lvc_ports._available if lvc_simple else 0
         lvc_sat = 0
 
-        fus = self.fus
-        fus_try_take = fus.try_take
-        n_ialu = fus.ialu
-        n_falu = fus.falu
-        ialu_left = fus._ialu_left
-        falu_left = fus._falu_left
-
-        steer = self.partitioner.steer
-
         now = self.now
-        seq = self._seq
         committed_total = self._committed
-        n_stall_rob_full = self._n_stall_rob_full
-        n_stall_lsq_full = self._n_stall_lsq_full
-        n_stall_lvaq_full = self._n_stall_lvaq_full
-        n_stall_fu = self._n_stall_fu
-        n_stall_store_port = self._n_stall_store_port
-        n_stall_lsq_port = self._n_stall_lsq_port
-        n_stall_lvaq_port = self._n_stall_lvaq_port
-        n_lsq_loads = self._n_lsq_loads
-        n_lsq_stores = self._n_lsq_stores
-        n_lsq_forwards = self._n_lsq_forwards
-        n_lvaq_loads = self._n_lvaq_loads
-        n_lvaq_stores = self._n_lvaq_stores
-        n_lvaq_forwards = self._n_lvaq_forwards
-        n_lvaq_fast_forwards = self._n_lvaq_fast_forwards
-        n_lvaq_load_combined = self._n_lvaq_load_combined
-        n_lvaq_store_combined = self._n_lvaq_store_combined
-        n_classify_mispredictions = self._n_classify_mispredictions
+        # The cycle skip charges the reference's one-rob-full-stall-per-
+        # skipped-cycle here; merged with dispatch's share at the end.
+        n_skip_rob_full = 0
+        exceeded = False
 
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
@@ -363,25 +238,12 @@ class Processor:
             while committed_total < total:
                 now += 1
                 if now > limit:
-                    self.now = now
-                    self._committed = committed_total
-                    # The report reads queue state through the normal
-                    # methods; push the locally-tracked cursors back first.
-                    lsq.unserviced_loads = lsq_unserviced
-                    lvaq.unserviced_loads = lvaq_unserviced
-                    lsq._us_head = lsq_us_head
-                    lvaq._us_head = lvaq_us_head
-                    lvaq._un_head = lvaq_un_head
-                    lsq._load_head = lsq_load_head
-                    lvaq._load_head = lvaq_load_head
-                    lsq._ns_head = lsq_ns_head
-                    lvaq._ns_head = lvaq_ns_head
-                    lsq.base = lsq_base
-                    lvaq.base = lvaq_base
-                    raise SimulationError(
-                        self._livelock_report(limit, total, index))
+                    # Raised after the finally block has written every
+                    # stage's state back (the report reads it).
+                    exceeded = True
+                    break
 
-                # ---- new cycle: refill port and pipelined-ALU budgets --
+                # ---- new cycle: refill the port budgets ---------------
                 if l1_simple:
                     if l1_avail == 0:
                         l1_sat += 1
@@ -389,1033 +251,33 @@ class Processor:
                 else:
                     l1_new_cycle()
                 if have_lvc:
-                    if lvc_avail == 0:
-                        lvc_sat += 1
-                    lvc_avail = lvc_nports
-                ialu_left = n_ialu
-                falu_left = n_falu
-
-                # ---- commit -------------------------------------------
-                if rob_count:
-                    entry = rob_entries[0]
-                    if entry.state == 2:
-                        budget = width
-                        combine_side: Optional[bool] = None
-                        combine_line = -1
-                        combine_left = 0
-                        retired_lsq = False
-                        retired_lvaq = False
-                        while True:
-                            qe = entry.mem
-                            if qe is not None:
-                                if qe.use_lvc:
-                                    retired_lvaq = True
-                                else:
-                                    retired_lsq = True
-                                if qe.is_store:
-                                    use_lvc = qe.use_lvc
-                                    if (combine_window
-                                            and use_lvc
-                                            and combine_side == use_lvc
-                                            and combine_line == qe.line
-                                            and combine_left > 0):
-                                        combine_left -= 1
-                                        n_lvaq_store_combined += 1
-                                    else:
-                                        if use_lvc:
-                                            if not have_lvc or lvc_avail == 0:
-                                                n_stall_store_port += 1
-                                                break
-                                            lvc_avail -= 1
-                                            lvc_busy += 1
-                                        elif l1_simple:
-                                            if l1_avail == 0:
-                                                n_stall_store_port += 1
-                                                break
-                                            l1_avail -= 1
-                                            l1_busy += 1
-                                        elif not l1_try_take(
-                                                1, line=qe.line,
-                                                is_store=True):
-                                            n_stall_store_port += 1
-                                            break
-                                        combine_side = use_lvc
-                                        combine_line = qe.line
-                                        combine_left = combining - 1
-                                    addr = qe.word << 2
-                                    if use_lvc:
-                                        line_no = addr >> lvc_shift
-                                        if lvc_pending:
-                                            t = lvc_pending.get(line_no)
-                                            pend = (t is not None
-                                                    and t > now)
-                                        else:
-                                            pend = False
-                                        if pend:
-                                            ready_lvc(addr, True, now)
-                                        else:
-                                            ways = lvc_sets[
-                                                line_no & lvc_smask]
-                                            if line_no in ways:
-                                                n_lvc_fast += 1
-                                                if ways[0] != line_no:
-                                                    ways.remove(line_no)
-                                                    ways.insert(0, line_no)
-                                                lvc_dirty.add(line_no)
-                                            else:
-                                                ready_lvc(addr, True, now)
-                                    else:
-                                        line_no = addr >> l1_shift
-                                        if l1_pending:
-                                            t = l1_pending.get(line_no)
-                                            pend = (t is not None
-                                                    and t > now)
-                                        else:
-                                            pend = False
-                                        if pend:
-                                            ready_l1(addr, True, now)
-                                        else:
-                                            ways = l1_sets[
-                                                line_no & l1_smask]
-                                            if line_no in ways:
-                                                n_l1_fast += 1
-                                                if ways[0] != line_no:
-                                                    ways.remove(line_no)
-                                                    ways.insert(0, line_no)
-                                                l1_dirty.add(line_no)
-                                            else:
-                                                ready_l1(addr, True, now)
-                            rob_popleft()
-                            rob_count -= 1
-                            entry.state = 3
-                            dst = entry.inst.dst
-                            # producer[] is only ever written for dst > 0
-                            # (dispatch), so 0 cannot match.
-                            if dst > 0 and producer[dst] is entry:
-                                producer[dst] = None
-                            consumers = entry.consumers
-                            if consumers:
-                                consumers.clear()
-                            if not entry.in_issuable:
-                                free_entries.append(entry)
-                            committed_total += 1
-                            budget -= 1
-                            if budget == 0 or rob_count == 0:
-                                break
-                            entry = rob_entries[0]
-                            if entry.state != 2:
-                                break
-                        # A retire pass with nothing committed at a queue
-                        # head is a no-op, so a flag set by a store that
-                        # then stalled on its port is harmless.  Both
-                        # blocks are MemQueue.retire_committed inlined:
-                        # drop the committed prefix, unhook each dropped
-                        # store from its word/frame bucket, and advance
-                        # the non-sp-store cursor past retired positions.
-                        if retired_lsq:
-                            q_entries = lsq_entries
-                            q_n = len(q_entries)
-                            drop = 0
-                            while (drop < q_n
-                                    and q_entries[drop].rob.state == 3):
-                                drop += 1
-                            if drop:
-                                for i2 in range(drop):
-                                    qe2 = q_entries[i2]
-                                    if not qe2.is_store:
-                                        continue
-                                    word = qe2.word
-                                    if word >= 0:
-                                        b2 = lsq_words.get(word)
-                                        if b2 is not None:
-                                            try:
-                                                b2.remove(qe2)
-                                            except ValueError:
-                                                pass
-                                            if not b2:
-                                                del lsq_words[word]
-                                    if (qe2.sp_based
-                                            and qe2.frame_key is not None):
-                                        b2 = lsq_sp.get(qe2.frame_key)
-                                        if b2 is not None:
-                                            if b2 and b2[0] is qe2:
-                                                del b2[0]
-                                            else:
-                                                try:
-                                                    b2.remove(qe2)
-                                                except ValueError:
-                                                    pass
-                                            if not b2:
-                                                del lsq_sp[qe2.frame_key]
-                                del q_entries[:drop]
-                                lsq_base += drop
-                                ns2 = lsq_ns
-                                h2 = lsq_ns_head
-                                m2 = len(ns2)
-                                while h2 < m2 and ns2[h2].pos < lsq_base:
-                                    h2 += 1
-                                if h2 >= 64:
-                                    del ns2[:h2]
-                                    h2 = 0
-                                lsq_ns_head = h2
-                        if retired_lvaq:
-                            q_entries = lvaq_entries
-                            q_n = len(q_entries)
-                            drop = 0
-                            while (drop < q_n
-                                    and q_entries[drop].rob.state == 3):
-                                drop += 1
-                            if drop:
-                                for i2 in range(drop):
-                                    qe2 = q_entries[i2]
-                                    if not qe2.is_store:
-                                        continue
-                                    word = qe2.word
-                                    if word >= 0:
-                                        b2 = lvaq_words.get(word)
-                                        if b2 is not None:
-                                            try:
-                                                b2.remove(qe2)
-                                            except ValueError:
-                                                pass
-                                            if not b2:
-                                                del lvaq_words[word]
-                                    if (qe2.sp_based
-                                            and qe2.frame_key is not None):
-                                        b2 = lvaq_sp.get(qe2.frame_key)
-                                        if b2 is not None:
-                                            if b2 and b2[0] is qe2:
-                                                del b2[0]
-                                            else:
-                                                try:
-                                                    b2.remove(qe2)
-                                                except ValueError:
-                                                    pass
-                                            if not b2:
-                                                del lvaq_sp[qe2.frame_key]
-                                del q_entries[:drop]
-                                lvaq_base += drop
-                                ns2 = lvaq_ns
-                                h2 = lvaq_ns_head
-                                m2 = len(ns2)
-                                while h2 < m2 and ns2[h2].pos < lvaq_base:
-                                    h2 += 1
-                                if h2 >= 64:
-                                    del ns2[:h2]
-                                    h2 = 0
-                                lvaq_ns_head = h2
-
-                # ---- writeback ----------------------------------------
-                if store_done:
-                    # Stores issued last cycle: address and data captured,
-                    # ready to commit.  They never produce a register, so
-                    # no consumer wakeup — a dedicated lane skips the
-                    # calendar ring entirely.
-                    for entry in store_done:
-                        entry.state = 2
-                    store_done.clear()
-                slot = now & _MASK
-                completing = ring[slot]
-                if overflow:
-                    extra = overflow.pop(now, None)
-                    if extra is not None:
-                        if completing is None:
-                            ring[slot] = completing = extra
-                        else:
-                            completing.extend(extra)
-                if completing:
-                    for entry in completing:
-                        entry.state = 2
-                        consumers = entry.consumers
-                        if not consumers:
-                            continue
-                        produced = entry.inst.dst
-                        for consumer in consumers:
-                            pending = consumer.pending - 1
-                            consumer.pending = pending
-                            qe = consumer.mem
-                            if (qe is not None and qe.is_store
-                                    and qe.addr_known_time < 0):
-                                srcs = consumer.inst.srcs
-                                if srcs and srcs[0] == produced:
-                                    # STA split: the store's address
-                                    # computes as soon as its base register
-                                    # arrives, off the issue path.
-                                    inst = consumer.inst
-                                    qe.addr_known_time = now + 1
-                                    word = qe.word = inst.addr >> 2
-                                    qe.line = inst.addr >> 5
-                                    if qe.use_lvc:
-                                        b2 = lvaq_words.get(word)
-                                        if b2 is None:
-                                            lvaq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                                    else:
-                                        b2 = lsq_words.get(word)
-                                        if b2 is None:
-                                            lsq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                            if pending == 0 and consumer.state == 0:
-                                if consumer.earliest < now:
-                                    consumer.earliest = now
-                                if not consumer.in_issuable:
-                                    consumer.in_issuable = True
-                                    heappush(woken,
-                                             (consumer.seq, consumer))
-                        consumers.clear()
-                    # Leave the drained bucket in its slot for reuse;
-                    # events exactly one ring period out go to the
-                    # overflow dict, so the slot cannot alias this cycle.
-                    completing.clear()
-
-                # ---- memory: LVAQ (fast forwarding + combining) -------
-                if decoupled and lvaq_unserviced:
-                    # Inline oldest_unknown_store_seq: advance the
-                    # incremental cursor past known-address stores,
-                    # compacting the consumed prefix past the threshold.
-                    ulst = lvaq_unknown
-                    uh = lvaq_us_head
-                    un = len(ulst)
-                    while uh < un and ulst[uh].addr_known_time >= 0:
-                        uh += 1
-                    if uh >= 64:
-                        del ulst[:uh]
-                        un -= uh
-                        uh = 0
-                    lvaq_us_head = uh
-                    unknown_seq = ulst[uh].rob.seq if uh < un else inf_seq
-                    if fast_fwd:
-                        ulst = lvaq_un_nonsp
-                        uh = lvaq_un_head
-                        un = len(ulst)
-                        while uh < un and ulst[uh].addr_known_time >= 0:
-                            uh += 1
-                        if uh >= 64:
-                            del ulst[:uh]
-                            un -= uh
-                            uh = 0
-                        lvaq_un_head = uh
-                        nonsp_unknown_seq = (ulst[uh].rob.seq if uh < un
-                                             else inf_seq)
+                    if lvc_simple:
+                        if lvc_avail == 0:
+                            lvc_sat += 1
+                        lvc_avail = lvc_nports
                     else:
-                        nonsp_unknown_seq = unknown_seq
-                    ports_exhausted = not have_lvc or lvc_avail == 0
-                    next_slot = (now + 1) & _MASK
-                    # Inline pending_loads: skip the serviced prefix.
-                    loads = lvaq_loads_list
-                    li = lvaq_load_head
-                    n_loads = len(loads)
-                    while li < n_loads and loads[li].serviced:
-                        li += 1
-                    if li >= 64:
-                        del loads[:li]
-                        n_loads -= li
-                        li = 0
-                    lvaq_load_head = li
-                    entries = lvaq_entries
-                    qbase = lvaq_base
-                    qlen = len(entries)
-                    serviced = 0
-                    while li < n_loads:
-                        qe = loads[li]
-                        li += 1
-                        if qe.serviced:
-                            continue
-                        entry = qe.rob
-                        state = entry.state
-                        if state == 2:
-                            continue
+                        lvc_new_cycle()
 
-                        # --- fast data forwarding (sp-relative pairs) --
-                        blocking_seq = unknown_seq
-                        if fast_fwd and qe.sp_based:
-                            # Inline fast_forward_source_fast: the scan's
-                            # outcome is decided by whichever is younger —
-                            # the youngest same-key sp store or the
-                            # youngest *blocking* non-sp store (unknown
-                            # address, or known and aliasing).
-                            fkey = qe.frame_key
-                            source = None
-                            if fkey is None:
-                                conclusive = False
-                            else:
-                                lpos = qe.pos
-                                source_pos = -1
-                                bucket = lvaq_sp_get(fkey)
-                                if bucket:
-                                    for i2 in range(len(bucket) - 1, -1, -1):
-                                        sentry = bucket[i2]
-                                        if sentry.pos < lpos:
-                                            source = sentry
-                                            source_pos = sentry.pos
-                                            break
-                                conclusive = True
-                                ns = lvaq_ns
-                                lword = qe.word
-                                for i2 in range(len(ns) - 1,
-                                                lvaq_ns_head - 1, -1):
-                                    sentry = ns[i2]
-                                    p = sentry.pos
-                                    if p >= lpos:
-                                        continue
-                                    if p < source_pos:
-                                        break
-                                    if (sentry.addr_known_time < 0
-                                            or sentry.word == lword):
-                                        source = None
-                                        conclusive = False
-                                        break
-                            if source is not None and state == 0:
-                                src_rob = source.rob
-                                if (src_rob.pending == 0
-                                        and src_rob.earliest <= now):
-                                    # The match resolves before address
-                                    # generation, but the transfer still
-                                    # occupies an LVC port (the queue
-                                    # datapath is the cache's): the gain
-                                    # is latency and disambiguation, not
-                                    # bandwidth.
-                                    if ports_exhausted or lvc_avail == 0:
-                                        n_stall_lvaq_port += 1
-                                        ports_exhausted = True
-                                        continue
-                                    lvc_avail -= 1
-                                    lvc_busy += 1
-                                    qe.serviced = True
-                                    serviced += 1
-                                    entry.state = 1
-                                    bucket = ring[next_slot]
-                                    if bucket is None:
-                                        ring[next_slot] = [entry]
-                                    else:
-                                        bucket.append(entry)
-                                    n_lvaq_fast_forwards += 1
-                                    continue
-                                # Matching store's data not produced yet.
-                                continue
-                            if conclusive:
-                                # Offsets proved independence from every
-                                # earlier sp-relative store: only non-sp
-                                # stores can block.
-                                blocking_seq = nonsp_unknown_seq
-
-                        # --- conventional path -------------------------
-                        akt = qe.addr_known_time
-                        if akt < 0 or akt > now:
-                            continue
-                        if entry.seq > blocking_seq:
-                            continue  # earlier unknown-address store
-                        if qe.penalty and now < akt + qe.penalty:
-                            continue  # misprediction recovery
-                        # A disambiguated load that cannot get a port
-                        # stalls identically whether it would forward or
-                        # access (both paths charge the same counter), so
-                        # the forward probe can be skipped outright.
-                        if ports_exhausted or lvc_avail == 0:
-                            n_stall_lvaq_port += 1
-                            ports_exhausted = True
-                            continue
-                        # Inline forward_source_fast, existence only: any
-                        # indexed same-word store older than the load.
-                        bucket = lvaq_words_get(qe.word)
-                        fwd = False
-                        if bucket:
-                            lpos = qe.pos
-                            for sentry in bucket:
-                                if sentry.pos < lpos:
-                                    fwd = True
-                                    break
-                        if fwd:
-                            # Store-to-load forwarding still occupies a
-                            # cache port: sim-outorder acquires the port
-                            # before probing the store queue, and the
-                            # paper's simulator derives from it.  (The
-                            # fast forwarding path above is the exception
-                            # — it resolves before address generation,
-                            # off the cache pipeline entirely.)
-                            lvc_avail -= 1
-                            lvc_busy += 1
-                            qe.serviced = True
-                            serviced += 1
-                            bucket = ring[next_slot]
-                            if bucket is None:
-                                ring[next_slot] = [entry]
-                            else:
-                                bucket.append(entry)
-                            n_lvaq_forwards += 1
-                            continue
-                        lvc_avail -= 1
-                        lvc_busy += 1
-                        addr = qe.word << 2
-                        line_no = addr >> lvc_shift
-                        if lvc_pending:
-                            t = lvc_pending.get(line_no)
-                            pend = t is not None and t > now
-                        else:
-                            pend = False
-                        if pend:
-                            ready = ready_lvc(addr, False, now)
-                        else:
-                            ways = lvc_sets[line_no & lvc_smask]
-                            if line_no in ways:
-                                n_lvc_fast += 1
-                                if ways[0] != line_no:
-                                    ways.remove(line_no)
-                                    ways.insert(0, line_no)
-                                ready = now + lvc_hitlat
-                            else:
-                                ready = ready_lvc(addr, False, now)
-                        qe.serviced = True
-                        serviced += 1
-                        d = ready - now
-                        in_ring = 1 <= d < _RING
-                        if in_ring:
-                            slot2 = ready & _MASK
-                            bucket = ring[slot2]
-                            if bucket is None:
-                                bucket = ring[slot2] = []
-                            bucket.append(entry)
-                        else:
-                            bucket = overflow.get(ready)
-                            if bucket is None:
-                                bucket = overflow[ready] = []
-                            bucket.append(entry)
-                        # --- access combining: absorb following same-
-                        # line refs into this port transaction ----------
-                        if combine_window:
-                            j = qe.pos - qbase + 1
-                            jn = j + combining - 1
-                            if jn > qlen:
-                                jn = qlen
-                            line = qe.line
-                            while j < jn:
-                                cand = entries[j]
-                                j += 1
-                                cakt = cand.addr_known_time
-                                if (cand.is_store or cand.serviced
-                                        or cakt < 0 or cakt > now
-                                        or cand.line != line
-                                        or cand.rob.seq > unknown_seq
-                                        or cand.penalty
-                                        or cand.rob.state == 2):
-                                    continue
-                                cbucket = lvaq_words_get(cand.word)
-                                if cbucket:
-                                    cpos = cand.pos
-                                    fwd = False
-                                    for sentry in cbucket:
-                                        if sentry.pos < cpos:
-                                            fwd = True
-                                            break
-                                    if fwd:
-                                        continue
-                                cand.serviced = True
-                                serviced += 1
-                                bucket.append(cand.rob)
-                                n_lvaq_load_combined += 1
-                    if serviced:
-                        lvaq_unserviced -= serviced
-
-                # ---- memory: LSQ --------------------------------------
-                if lsq_unserviced:
-                    # Inline oldest_unknown_store_seq (see LVAQ note).
-                    ulst = lsq_unknown
-                    uh = lsq_us_head
-                    un = len(ulst)
-                    while uh < un and ulst[uh].addr_known_time >= 0:
-                        uh += 1
-                    if uh >= 64:
-                        del ulst[:uh]
-                        un -= uh
-                        uh = 0
-                    lsq_us_head = uh
-                    unknown_seq = ulst[uh].rob.seq if uh < un else inf_seq
-                    if l1_simple:
-                        ports_exhausted = l1_avail == 0
-                    else:
-                        ports_exhausted = l1_ports.available == 0
-                    next_slot = (now + 1) & _MASK
-                    # Inline pending_loads: skip the serviced prefix.
-                    loads = lsq_loads_list
-                    li = lsq_load_head
-                    n_loads = len(loads)
-                    while li < n_loads and loads[li].serviced:
-                        li += 1
-                    if li >= 64:
-                        del loads[:li]
-                        n_loads -= li
-                        li = 0
-                    lsq_load_head = li
-                    serviced = 0
-                    while li < n_loads:
-                        qe = loads[li]
-                        li += 1
-                        if qe.serviced:
-                            continue
-                        entry = qe.rob
-                        if entry.state == 2:
-                            continue
-                        akt = qe.addr_known_time
-                        if akt < 0 or akt > now:
-                            continue
-                        if entry.seq > unknown_seq:
-                            continue  # earlier unknown-address store
-                        if qe.penalty and now < akt + qe.penalty:
-                            continue  # misprediction recovery
-                        # Port-exhaustion hoist (see LVAQ note): a stalled
-                        # load charges the same counter on the forward and
-                        # access paths, so skip the forward probe.
-                        if ports_exhausted or (l1_simple and l1_avail == 0):
-                            n_stall_lsq_port += 1
-                            ports_exhausted = True
-                            continue
-                        bucket = lsq_words_get(qe.word)
-                        fwd = False
-                        if bucket:
-                            lpos = qe.pos
-                            for sentry in bucket:
-                                if sentry.pos < lpos:
-                                    fwd = True
-                                    break
-                        if fwd:
-                            # Forwarding occupies a port (see LVAQ note).
-                            if l1_simple:
-                                l1_avail -= 1
-                                l1_busy += 1
-                            elif not l1_try_take(
-                                    1, line=qe.line, is_store=False):
-                                n_stall_lsq_port += 1
-                                ports_exhausted = True
-                                continue
-                            qe.serviced = True
-                            serviced += 1
-                            bucket = ring[next_slot]
-                            if bucket is None:
-                                ring[next_slot] = [entry]
-                            else:
-                                bucket.append(entry)
-                            n_lsq_forwards += 1
-                            continue
-                        if l1_simple:
-                            l1_avail -= 1
-                            l1_busy += 1
-                        elif not l1_try_take(
-                                1, line=qe.line, is_store=False):
-                            n_stall_lsq_port += 1
-                            ports_exhausted = True
-                            continue
-                        addr = qe.word << 2
-                        line_no = addr >> l1_shift
-                        if l1_pending:
-                            t = l1_pending.get(line_no)
-                            pend = t is not None and t > now
-                        else:
-                            pend = False
-                        if pend:
-                            ready = ready_l1(addr, False, now)
-                        else:
-                            ways = l1_sets[line_no & l1_smask]
-                            if line_no in ways:
-                                n_l1_fast += 1
-                                if ways[0] != line_no:
-                                    ways.remove(line_no)
-                                    ways.insert(0, line_no)
-                                ready = now + l1_hitlat
-                            else:
-                                ready = ready_l1(addr, False, now)
-                        qe.serviced = True
-                        serviced += 1
-                        d = ready - now
-                        if 1 <= d < _RING:
-                            slot2 = ready & _MASK
-                            bucket = ring[slot2]
-                            if bucket is None:
-                                ring[slot2] = [entry]
-                            else:
-                                bucket.append(entry)
-                        else:
-                            bucket = overflow.get(ready)
-                            if bucket is None:
-                                overflow[ready] = [entry]
-                            else:
-                                bucket.append(entry)
-                    if serviced:
-                        lsq_unserviced -= serviced
-
-                # ---- issue --------------------------------------------
-                if sleep:
-                    slept = sleep_pop(now, None)
-                    if slept is not None:
-                        for entry in slept:
-                            heappush(woken, (entry.seq, entry))
-                if not woken and ready_fifo:
-                    # Common case: the heap lane is empty, so the FIFO
-                    # lane alone is the exact oldest-first order — drain
-                    # it without the per-entry lane merge.  Deferred
-                    # entries go to the heap lane *after* the loop, so
-                    # the lane stays empty throughout.
-                    budget = width
-                    deferred = None
-                    while budget and ready_fifo:
-                        entry = ready_fifo[0]
-                        if entry.state != 0:
-                            fifo_popleft()
-                            entry.in_issuable = False
-                            continue
-                        if entry.earliest > now:
-                            fifo_popleft()
-                            e2 = entry.earliest
-                            b2 = sleep_get(e2)
-                            if b2 is None:
-                                sleep[e2] = [entry]
-                            else:
-                                b2.append(entry)
-                            continue
-                        inst = entry.inst
-                        fu = inst.fu
-                        kind = fu_kind[fu]
-                        if kind == 0:
-                            if ialu_left:
-                                ialu_left -= 1
-                                ok = True
-                            else:
-                                ok = False
-                        elif kind == 1:
-                            if falu_left:
-                                falu_left -= 1
-                                ok = True
-                            else:
-                                ok = False
-                        else:
-                            ok = fus_try_take(fu, now)
-                        if not ok:
-                            fifo_popleft()
-                            n_stall_fu += 1
-                            if deferred is None:
-                                deferred = [entry]
-                            else:
-                                deferred.append(entry)
-                            continue
-                        fifo_popleft()
-                        budget -= 1
-                        entry.state = 1
-                        entry.in_issuable = False
-                        qe = entry.mem
-                        if qe is not None:
-                            if qe.addr_known_time < 0:
-                                qe.addr_known_time = now + 1
-                                word = qe.word = inst.addr >> 2
-                                qe.line = inst.addr >> 5
-                                if qe.is_store:
-                                    if qe.use_lvc:
-                                        b2 = lvaq_words.get(word)
-                                        if b2 is None:
-                                            lvaq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                                    else:
-                                        b2 = lsq_words.get(word)
-                                        if b2 is None:
-                                            lsq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                            if qe.is_store:
-                                store_done_append(entry)
-                        else:
-                            when = now + latency[fu]
-                            slot2 = when & _MASK
-                            bucket = ring[slot2]
-                            if bucket is None:
-                                ring[slot2] = [entry]
-                            else:
-                                bucket.append(entry)
-                    if deferred:
-                        for entry in deferred:
-                            heappush(woken, (entry.seq, entry))
-                elif ready_fifo or woken:
-                    budget = width
-                    deferred = None
-                    while budget:
-                        # Merge the two seq-ordered lanes: oldest first.
-                        if ready_fifo:
-                            entry = ready_fifo[0]
-                            if woken and woken[0][0] < entry.seq:
-                                entry = woken[0][1]
-                                from_fifo = False
-                            else:
-                                from_fifo = True
-                        elif woken:
-                            entry = woken[0][1]
-                            from_fifo = False
-                        else:
-                            break
-                        if entry.state != 0:
-                            # Already handled (e.g. fast-forwarded load):
-                            # drop lazily.
-                            if from_fifo:
-                                fifo_popleft()
-                            else:
-                                heappop(woken)
-                            entry.in_issuable = False
-                            continue
-                        if entry.earliest > now:
-                            if from_fifo:
-                                fifo_popleft()
-                            else:
-                                heappop(woken)
-                            e2 = entry.earliest
-                            b2 = sleep_get(e2)
-                            if b2 is None:
-                                sleep[e2] = [entry]
-                            else:
-                                b2.append(entry)
-                            continue
-                        inst = entry.inst
-                        fu = inst.fu
-                        kind = fu_kind[fu]
-                        if kind == 0:
-                            if ialu_left:
-                                ialu_left -= 1
-                                ok = True
-                            else:
-                                ok = False
-                        elif kind == 1:
-                            if falu_left:
-                                falu_left -= 1
-                                ok = True
-                            else:
-                                ok = False
-                        else:
-                            ok = fus_try_take(fu, now)
-                        if not ok:
-                            if from_fifo:
-                                fifo_popleft()
-                            else:
-                                heappop(woken)
-                            n_stall_fu += 1
-                            if deferred is None:
-                                deferred = [entry]
-                            else:
-                                deferred.append(entry)
-                            continue
-                        if from_fifo:
-                            fifo_popleft()
-                        else:
-                            heappop(woken)
-                        budget -= 1
-                        entry.state = 1
-                        entry.in_issuable = False
-                        qe = entry.mem
-                        if qe is not None:
-                            # Address generation: address known next cycle
-                            # (stores may already have resolved theirs).
-                            if qe.addr_known_time < 0:
-                                qe.addr_known_time = now + 1
-                                word = qe.word = inst.addr >> 2
-                                qe.line = inst.addr >> 5
-                                if qe.is_store:
-                                    if qe.use_lvc:
-                                        b2 = lvaq_words.get(word)
-                                        if b2 is None:
-                                            lvaq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                                    else:
-                                        b2 = lsq_words.get(word)
-                                        if b2 is None:
-                                            lsq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                            if qe.is_store:
-                                # Address and data both captured: ready
-                                # to commit next cycle.
-                                store_done_append(entry)
-                        else:
-                            when = now + latency[fu]
-                            slot2 = when & _MASK
-                            bucket = ring[slot2]
-                            if bucket is None:
-                                ring[slot2] = [entry]
-                            else:
-                                bucket.append(entry)
-                    if deferred:
-                        # Deferred entries re-enter through the heap lane
-                        # regardless of origin; the merge restores order.
-                        for entry in deferred:
-                            heappush(woken, (entry.seq, entry))
-
-                # ---- dispatch -----------------------------------------
+                # ---- the five stages, each behind its activity guard --
+                if rob_count and rob_entries[0].state == 2:
+                    (rob_count, committed_total,
+                     l1_avail, lvc_avail) = commit_tick(
+                        now, rob_count, committed_total,
+                        l1_avail, lvc_avail)
+                if store_done or overflow or ring[now & MASK]:
+                    writeback_tick(now)
+                if lsq_unserviced or lvaq_unserviced:
+                    (l1_avail, lvc_avail,
+                     lsq_unserviced, lvaq_unserviced) = memory_tick(
+                        now, l1_avail, lvc_avail,
+                        lsq_unserviced, lvaq_unserviced)
+                if sleep or ready_fifo or woken:
+                    issue_tick(now)
                 if index < total:
-                    earliest = now + 1
-                    slots = width
-                    while slots:
-                        slots -= 1
-                        if rob_count >= rob_size:
-                            n_stall_rob_full += 1
-                            break
-                        inst = insts[index]
-                        fu = inst.fu
-                        is_mem = fu == load_fu or fu == store_fu
-                        to_lvaq = False
-                        mispredicted = False
-                        if is_mem:
-                            if decoupled:
-                                hint = inst.local_hint
-                                if hint is not None:
-                                    to_lvaq = hint
-                                else:
-                                    to_lvaq, mispredicted = steer(inst)
-                            if to_lvaq:
-                                if len(lvaq_entries) >= lvaq_size:
-                                    n_stall_lvaq_full += 1
-                                    break
-                            elif len(lsq_entries) >= lsq_size:
-                                n_stall_lsq_full += 1
-                                break
-                        if free_entries:
-                            entry = free_entries.pop()
-                            entry.seq = seq
-                            entry.inst = inst
-                            entry.state = 0
-                            entry.mem = None
-                        else:
-                            entry = new_rob_entry(seq, inst)
-                        seq += 1
-                        # Source-operand scoreboard check, unrolled for the
-                        # 0/1/2-operand cases (every ISA instruction; the
-                        # loop tail keeps arbitrary tuples exact).
-                        # reg <= 0 is $zero / absent: always ready.
-                        pending = 0
-                        srcs = inst.srcs
-                        n_srcs = len(srcs)
-                        if n_srcs:
-                            reg = srcs[0]
-                            if reg > 0:
-                                prod = producer[reg]
-                                if prod is not None and prod.state != 2:
-                                    prod.consumers.append(entry)
-                                    pending = 1
-                            if n_srcs > 1:
-                                reg = srcs[1]
-                                if reg > 0:
-                                    prod = producer[reg]
-                                    if (prod is not None
-                                            and prod.state != 2):
-                                        prod.consumers.append(entry)
-                                        pending += 1
-                                if n_srcs > 2:
-                                    for reg in srcs[2:]:
-                                        if reg <= 0:
-                                            continue
-                                        prod = producer[reg]
-                                        if (prod is not None
-                                                and prod.state != 2):
-                                            prod.consumers.append(entry)
-                                            pending += 1
-                        entry.pending = pending
-                        entry.earliest = earliest
-                        dst = inst.dst
-                        if dst > 0:
-                            producer[dst] = entry
-                        rob_append(entry)  # size checked above
-                        rob_count += 1
-                        if is_mem:
-                            sp_based = inst.sp_based
-                            is_store = fu == store_fu
-                            # MemQueueEntry.__init__ spelled out (the
-                            # constructor frame is measurable at this call
-                            # rate).
-                            qe = mem_entry_new(new_mem_entry)
-                            qe.rob = entry
-                            qe.is_store = is_store
-                            qe.word = -1
-                            qe.line = -1
-                            qe.addr_known_time = -1
-                            qe.dispatch_time = now
-                            qe.serviced = False
-                            qe.sp_based = sp_based
-                            qe.frame_key = ((inst.frame_id, inst.offset)
-                                            if sp_based else None)
-                            qe.use_lvc = to_lvaq
-                            qe.penalty = (mispredict_penalty
-                                          if mispredicted else 0)
-                            entry.mem = qe
-                            # Inline MemQueue.append (fullness was already
-                            # checked by the stall tests above).
-                            if to_lvaq:
-                                qe.pos = lvaq_base + len(lvaq_entries)
-                                lvaq_entries.append(qe)
-                                if is_store:
-                                    lvaq_unknown.append(qe)
-                                    if sp_based:
-                                        lvaq_sp_set(qe.frame_key,
-                                                    []).append(qe)
-                                    else:
-                                        lvaq_un_nonsp.append(qe)
-                                        lvaq_ns.append(qe)
-                                else:
-                                    lvaq_loads_list.append(qe)
-                                    lvaq_unserviced += 1
-                            else:
-                                qe.pos = lsq_base + len(lsq_entries)
-                                lsq_entries.append(qe)
-                                if is_store:
-                                    lsq_unknown.append(qe)
-                                    if sp_based:
-                                        lsq_sp_set(qe.frame_key,
-                                                   []).append(qe)
-                                    else:
-                                        lsq_un_nonsp.append(qe)
-                                        lsq_ns.append(qe)
-                                else:
-                                    lsq_loads_list.append(qe)
-                                    lsq_unserviced += 1
-                            if is_store:
-                                # STA/STD split (as in sim-outorder and
-                                # the R10000 address queue): the store's
-                                # address computes as soon as its base
-                                # register is available — it never waits
-                                # for the store *data*, so it stops
-                                # blocking younger loads' disambiguation
-                                # almost immediately.
-                                srcs = inst.srcs
-                                base_reg = srcs[0] if srcs else 0
-                                prod = (producer[base_reg]
-                                        if base_reg > 0 else None)
-                                if prod is None or prod.state == 2:
-                                    qe.addr_known_time = earliest
-                                    word = qe.word = inst.addr >> 2
-                                    qe.line = inst.addr >> 5
-                                    if to_lvaq:
-                                        b2 = lvaq_words.get(word)
-                                        if b2 is None:
-                                            lvaq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                                    else:
-                                        b2 = lsq_words.get(word)
-                                        if b2 is None:
-                                            lsq_words[word] = [qe]
-                                        else:
-                                            b2.append(qe)
-                                if to_lvaq:
-                                    n_lvaq_stores += 1
-                                else:
-                                    n_lsq_stores += 1
-                            elif to_lvaq:
-                                n_lvaq_loads += 1
-                            else:
-                                n_lsq_loads += 1
-                            if mispredicted:
-                                n_classify_mispredictions += 1
-                        if pending == 0:
-                            entry.in_issuable = True
-                            fifo_append(entry)
-                        index += 1
-                        if index >= total:
-                            break
+                    (index, rob_count,
+                     lsq_unserviced, lvaq_unserviced) = dispatch_tick(
+                        now, index, rob_count,
+                        lsq_unserviced, lvaq_unserviced)
 
                 # ---- cycle skip: when nothing can happen until the
                 # next scheduled completion, jump there.  Safe only when
@@ -1433,104 +295,71 @@ class Processor:
                         and rob_count
                         and rob_entries[0].state != 2):
                     target = None
-                    for k in range(1, _RING):
-                        if ring[(now + k) & _MASK]:
+                    for k in range(1, RING):
+                        if ring[(now + k) & MASK]:
                             target = now + k
                             break
                     if overflow:
                         for t in overflow:
-                            if t > now and (target is None or t < target):
+                            if t > now and (target is None
+                                            or t < target):
                                 target = t
                     cap = limit + 1
                     if target is None or target > cap:
                         target = cap
                     if target > now + 1:
                         if index < total:
-                            # The reference charges one rob-full dispatch
-                            # stall per skipped cycle.
-                            n_stall_rob_full += target - now - 1
+                            # The reference charges one rob-full
+                            # dispatch stall per skipped cycle.
+                            n_skip_rob_full += target - now - 1
                         now = target - 1
         finally:
             if gc_was_enabled:
                 gc.enable()
-            # Write locally-tracked state back to its objects so the
-            # post-run machine looks exactly as if every stage had run
-            # through the normal method calls.
+            # Write kernel-owned state back to its objects and run every
+            # stage's finish() so the post-run machine looks exactly as
+            # if each stage had run through the normal method calls.
             self.now = now
-            self._seq = seq
             self._committed = committed_total
+            lsq.unserviced_loads = lsq_unserviced
+            lvaq.unserviced_loads = lvaq_unserviced
+            shares: Dict[str, int] = {}
+            for fin in (commit_finish, writeback_finish,
+                        memory_finish, dispatch_finish):
+                for name, value in fin().items():
+                    shares[name] = shares.get(name, 0) + value
+            for name, value in issue_finish(now).items():
+                shares[name] = shares.get(name, 0) + value
+            l1_busy = shares.pop("_l1_busy", 0)
+            lvc_busy = shares.pop("_lvc_busy", 0)
             if l1_simple:
                 l1_ports._available = l1_avail
                 l1_ports.busy_transactions += l1_busy
                 l1_ports.cycles_saturated += l1_sat
-            if have_lvc:
+            if lvc_simple:
                 lvc_ports._available = lvc_avail
                 lvc_ports.busy_transactions += lvc_busy
                 lvc_ports.cycles_saturated += lvc_sat
-            fus._ialu_left = ialu_left
-            fus._falu_left = falu_left
-            lsq.unserviced_loads = lsq_unserviced
-            lvaq.unserviced_loads = lvaq_unserviced
-            lsq._us_head = lsq_us_head
-            lvaq._us_head = lvaq_us_head
-            lvaq._un_head = lvaq_un_head
-            lsq._load_head = lsq_load_head
-            lvaq._load_head = lvaq_load_head
-            lsq._ns_head = lsq_ns_head
-            lvaq._ns_head = lvaq_ns_head
-            lsq.base = lsq_base
-            lvaq.base = lvaq_base
-            # Fast-path cache hits bumped accesses+hits locally; fold them
-            # into the shared counter dict (additive, order-independent).
-            if n_l1_fast:
-                counts[l1_ka] = counts_get(l1_ka, 0) + n_l1_fast
-                counts[l1_kh] = counts_get(l1_kh, 0) + n_l1_fast
-            if n_lvc_fast:
-                counts[lvc_ka] = counts_get(lvc_ka, 0) + n_lvc_fast
-                counts[lvc_kh] = counts_get(lvc_kh, 0) + n_lvc_fast
-            self._n_stall_rob_full = n_stall_rob_full
-            self._n_stall_lsq_full = n_stall_lsq_full
-            self._n_stall_lvaq_full = n_stall_lvaq_full
-            self._n_stall_fu = n_stall_fu
-            self._n_stall_store_port = n_stall_store_port
-            self._n_stall_lsq_port = n_stall_lsq_port
-            self._n_stall_lvaq_port = n_stall_lvaq_port
-            self._n_lsq_loads = n_lsq_loads
-            self._n_lsq_stores = n_lsq_stores
-            self._n_lsq_forwards = n_lsq_forwards
-            self._n_lvaq_loads = n_lvaq_loads
-            self._n_lvaq_stores = n_lvaq_stores
-            self._n_lvaq_forwards = n_lvaq_forwards
-            self._n_lvaq_fast_forwards = n_lvaq_fast_forwards
-            self._n_lvaq_load_combined = n_lvaq_load_combined
-            self._n_lvaq_store_combined = n_lvaq_store_combined
-            self._n_classify_mispredictions = n_classify_mispredictions
-        counters = self.counters
-        for name, value in (
-            ("stall.rob_full", n_stall_rob_full),
-            ("stall.lsq_full", n_stall_lsq_full),
-            ("stall.lvaq_full", n_stall_lvaq_full),
-            ("stall.fu", n_stall_fu),
-            ("stall.store_port", n_stall_store_port),
-            ("stall.lsq_port", n_stall_lsq_port),
-            ("stall.lvaq_port", n_stall_lvaq_port),
-            ("lsq.loads", n_lsq_loads),
-            ("lsq.stores", n_lsq_stores),
-            ("lsq.forwards", n_lsq_forwards),
-            ("lvaq.loads", n_lvaq_loads),
-            ("lvaq.stores", n_lvaq_stores),
-            ("lvaq.forwards", n_lvaq_forwards),
-            ("lvaq.fast_forwards", n_lvaq_fast_forwards),
-            ("lvaq.load_combined", n_lvaq_load_combined),
-            ("lvaq.store_combined", n_lvaq_store_combined),
-            ("classify.mispredictions", n_classify_mispredictions),
-        ):
-            if value:
-                counters.add(name, value)
-        counters.set("cycles", now)
-        counters.set("instructions", total)
-        return SimResult(self.config.notation(), workload_name,
-                         now, total, self.counters)
+            # Fast-path cache hits accumulated in stage-local ints; fold
+            # them into the shared counter dict (additive,
+            # order-independent).
+            n_l1_fast = shares.pop("_l1_fast", 0)
+            n_lvc_fast = shares.pop("_lvc_fast", 0)
+            if n_l1_fast or n_lvc_fast:
+                counts = state.counts
+                counts_get = counts.get
+                if n_l1_fast:
+                    k = state.l1_ka
+                    counts[k] = counts_get(k, 0) + n_l1_fast
+                    k = state.l1_kh
+                    counts[k] = counts_get(k, 0) + n_l1_fast
+                if n_lvc_fast:
+                    k = state.lvc_ka
+                    counts[k] = counts_get(k, 0) + n_lvc_fast
+                    k = state.lvc_kh
+                    counts[k] = counts_get(k, 0) + n_lvc_fast
+        return (now, committed_total, index, shares, exceeded,
+                n_skip_rob_full)
 
     def _livelock_report(self, limit: int, total: int, index: int) -> str:
         """Diagnosable cycle-limit message (satellite of ISSUE 2)."""

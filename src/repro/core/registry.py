@@ -1,0 +1,93 @@
+"""A validated, versioned registry of the machine's pluggable policies.
+
+The simulator's variation points — data-cache port arbitration and
+frontend instruction delivery — are each named by a string in the config
+objects (``MemSystemConfig.l1_port_policy`` / ``lvc_port_policy``,
+``FrontendConfig.policy``).  This module is the single place that ties
+those names, their implementations, and the config schema together, so
+tools (CLI, experiments, docs) enumerate policies from one source of
+truth instead of hard-coding string lists.
+
+``CONFIG_SCHEMA_VERSION`` tracks *semantic* changes to the configuration
+space: bump it whenever a policy is added/removed or a config field
+changes meaning.  The version participates in :func:`describe_machine`,
+so anything hashing a machine description (result caches, manifests)
+is invalidated by a schema change even if the field values happen to
+coincide.
+
+Version history:
+
+1. implicit schema of the original monolithic core (l1_port_policy only)
+2. staged kernel: ``finite`` ports, per-structure port policies + banks,
+   pluggable frontend (``perfect``/``gshare``)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.config import MachineConfig
+from repro.core.frontend import FRONTEND_POLICIES
+from repro.errors import ConfigError
+from repro.mem.ports import PORT_POLICIES
+from repro.runtime.signature import describe_config
+
+CONFIG_SCHEMA_VERSION = 2
+
+#: The machine's variation points: dimension -> {policy name -> class}.
+POLICY_DIMENSIONS = {
+    "ports": PORT_POLICIES,
+    "frontend": FRONTEND_POLICIES,
+}
+
+
+def policy_names(dimension: str) -> tuple:
+    """Sorted policy names for *dimension* (``ports`` or ``frontend``)."""
+    try:
+        registry = POLICY_DIMENSIONS[dimension]
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy dimension {dimension!r}; "
+            f"known: {', '.join(sorted(POLICY_DIMENSIONS))}") from None
+    return tuple(sorted(registry))
+
+
+def validate_machine(config: MachineConfig) -> MachineConfig:
+    """Check *config*'s policy names against the registry; returns it.
+
+    The config constructors already validate scalar fields; this guards
+    against configs built by mutation after construction (e.g. CLI
+    overrides) naming a policy that no longer exists.
+    """
+    mem = config.mem
+    for label, policy in (("l1_port_policy", mem.l1_port_policy),
+                          ("lvc_port_policy", mem.lvc_port_policy)):
+        if policy not in PORT_POLICIES:
+            raise ConfigError(
+                f"unknown {label} {policy!r}; "
+                f"known: {', '.join(sorted(PORT_POLICIES))}")
+    if config.frontend.policy not in FRONTEND_POLICIES:
+        raise ConfigError(
+            f"unknown frontend policy {config.frontend.policy!r}; "
+            f"known: {', '.join(sorted(FRONTEND_POLICIES))}")
+    return config
+
+
+def describe_machine(config: MachineConfig) -> Dict[str, Any]:
+    """A versioned, JSON-serialisable description of *config*.
+
+    Field coverage is generic (via :func:`repro.runtime.signature
+    .describe_config`), so new config fields can never be silently
+    dropped from the description.
+    """
+    body = describe_config(validate_machine(config))
+    return {"schema_version": CONFIG_SCHEMA_VERSION, "machine": body}
+
+
+def describe_schema() -> Dict[str, Any]:
+    """The registry itself: schema version plus every known policy."""
+    return {
+        "schema_version": CONFIG_SCHEMA_VERSION,
+        "policies": {dim: list(policy_names(dim))
+                     for dim in sorted(POLICY_DIMENSIONS)},
+    }

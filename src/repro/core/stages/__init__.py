@@ -1,0 +1,24 @@
+"""The staged micro-architecture kernel.
+
+One stage component per pipeline stage, each a ``bind(state)`` factory
+returning ``(tick, finish)`` closures over the shared
+:class:`~repro.core.stages.state.CoreState`.  The kernel loop in
+:meth:`repro.core.processor.Processor.run` binds all five per run,
+guards each tick with a provably-equivalent activity check, and merges
+the finish() counter contributions.  See ``docs/timing_model.md`` for
+the component diagram and interface contracts.
+"""
+
+from repro.core.stages.state import CoreState, MASK, RING
+from repro.core.stages import commit, dispatch, issue, memory, writeback
+
+__all__ = [
+    "CoreState",
+    "MASK",
+    "RING",
+    "commit",
+    "dispatch",
+    "issue",
+    "memory",
+    "writeback",
+]

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments import (
     ablation_multiport,
+    ablation_realism,
     ablation_window,
     common,
     disc_small_l1,
@@ -57,6 +58,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig10": fig10_latency.main,
     "fig11": fig11_programs.main,
     "ablation-multiport": ablation_multiport.main,
+    "ablation-realism": ablation_realism.main,
     "ablation-window": ablation_window.main,
     "disc-small-l1": disc_small_l1.main,
 }

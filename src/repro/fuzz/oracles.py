@@ -72,6 +72,21 @@ def default_config() -> MachineConfig:
     return golden_config(DEFAULT_CONFIG_NOTATION)
 
 
+def realism_config() -> MachineConfig:
+    """The default machine under contended ports and a gshare frontend.
+
+    The timing oracle runs this alongside the ideal configuration so the
+    realism counters (``ports.conflict_stalls``, the ``frontend.*``
+    bubbles) stay covered by the fuzzer's conservation invariants.
+    """
+    config = default_config()
+    config.mem.l1_port_policy = "finite"
+    if config.decoupled:
+        config.mem.lvc_port_policy = "finite"
+    config.frontend.policy = "gshare"
+    return config
+
+
 def _globals_snapshot(vm: Machine) -> Dict[str, Tuple[int, ...]]:
     """Final memory words of every named (non-pool) global."""
     snapshot: Dict[str, Tuple[int, ...]] = {}
@@ -155,6 +170,34 @@ def check_timing(vm: Machine, config: MachineConfig,
             out.append(Divergence(
                 "timing", f"{cache} hits+misses = {split} but "
                           f"{accesses} accesses"))
+    # Realism conservation: the contended-port and frontend counters are
+    # bounded by the events that can charge them.  Every first-level
+    # port conflict is a failed take at a site that also charges one of
+    # the three named port stalls; every redirect stall run is at most
+    # 1 + redirect_penalty cycles per mispredicted branch; every fetch
+    # stall run is at most icache_miss_latency cycles per I-cache miss.
+    conflicts = counters.get("ports.conflict_stalls")
+    port_stalls = (counters.get("stall.store_port")
+                   + counters.get("stall.lsq_port")
+                   + counters.get("stall.lvaq_port"))
+    if conflicts > port_stalls:
+        out.append(Divergence(
+            "timing", f"{conflicts} port conflicts exceed the "
+                      f"{port_stalls} port stalls that can cause them"))
+    redirect_cap = (counters.get("frontend.mispredicts")
+                    * (1 + config.frontend.redirect_penalty))
+    if counters.get("frontend.redirect_bubbles") > redirect_cap:
+        out.append(Divergence(
+            "timing", f"{counters.get('frontend.redirect_bubbles')} "
+                      f"redirect bubbles exceed "
+                      f"{redirect_cap} (mispredicts x (1 + penalty))"))
+    fetch_cap = (counters.get("frontend.icache_misses")
+                 * config.frontend.icache_miss_latency)
+    if counters.get("frontend.fetch_bubbles") > fetch_cap:
+        out.append(Divergence(
+            "timing", f"{counters.get('frontend.fetch_bubbles')} fetch "
+                      f"bubbles exceed {fetch_cap} "
+                      f"(icache misses x miss latency)"))
     return out
 
 
@@ -228,6 +271,11 @@ def run_oracles(
         machine_config = config if config is not None else default_config()
         if "timing" in oracles:
             divergences.extend(check_timing(vm_opt, machine_config, name))
+            if config is None:
+                # Same trace under contended ports + gshare frontend:
+                # keeps the realism counters under the invariants above.
+                divergences.extend(
+                    check_timing(vm_opt, realism_config(), name))
         if "golden" in oracles:
             divergences.extend(check_golden(vm_opt, machine_config, name))
     if "analyze" in oracles:

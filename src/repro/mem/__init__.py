@@ -1,15 +1,34 @@
 """Memory hierarchy: caches, ports, MSHRs, L2, and main memory."""
 
 from repro.mem.cache import Cache, CacheGeometry
-from repro.mem.ports import PortArbiter
-from repro.mem.mshr import MshrFile
-from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.mem.ports import (
+    PORT_POLICIES,
+    BankedPorts,
+    FinitePorts,
+    PortArbiter,
+    ReplicatedPorts,
+    make_ports,
+)
+from repro.mem.hierarchy import (
+    AccessResult,
+    MemoryHierarchy,
+    MemSystemConfig,
+    MshrFile,
+)
+from repro.mem.system import MemorySystem
 
 __all__ = [
     "Cache",
     "CacheGeometry",
     "PortArbiter",
+    "FinitePorts",
+    "BankedPorts",
+    "ReplicatedPorts",
+    "PORT_POLICIES",
+    "make_ports",
     "MshrFile",
     "AccessResult",
     "MemoryHierarchy",
+    "MemSystemConfig",
+    "MemorySystem",
 ]

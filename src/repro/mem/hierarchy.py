@@ -15,18 +15,84 @@ immediately returns the cycle at which its data will be available, with bus
 queueing folded in via a busy-until clock.  This is the standard technique
 for fast cycle simulators and preserves every effect the paper measures
 (port contention, miss latency, L2 traffic).
+
+Both first-level structures take their port arbiter from
+:mod:`repro.mem.ports` (``l1_port_policy`` / ``lvc_port_policy``); the
+``ideal`` default reproduces the paper's assumption bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import ConfigError
 from repro.mem.cache import Cache, CacheGeometry
-from repro.mem.mshr import MshrFile
-from repro.mem.multiport import make_ports
-from repro.mem.ports import PortArbiter
+from repro.mem.ports import PORT_POLICIES, PortArbiter, make_ports
 from repro.stats.counters import CounterSet
+
+
+class MshrFile:
+    """Miss status holding registers (lockup-free cache support).
+
+    Both L1 caches in the paper are lock-up free.  The MSHR file tracks
+    lines with outstanding fills; a second miss to an in-flight line merges
+    into the existing entry instead of issuing a new L2 request.
+    """
+
+    __slots__ = ("entries", "_pending", "merged", "allocations", "full_events")
+
+    def __init__(self, entries: int = 8):
+        if entries <= 0:
+            raise ConfigError(f"MSHR count must be positive: {entries}")
+        self.entries = entries
+        self._pending: Dict[int, int] = {}  # line -> fill-ready cycle
+        self.merged = 0
+        self.allocations = 0
+        self.full_events = 0
+
+    def _expire(self, now: int) -> None:
+        if self._pending:
+            done = [line for line, t in self._pending.items() if t <= now]
+            for line in done:
+                del self._pending[line]
+
+    def lookup(self, line: int, now: int) -> Optional[int]:
+        """Ready time of an in-flight fill of *line*, or None.
+
+        A hit here merges the request into the existing entry.
+        """
+        pending = self._pending
+        if not pending:
+            return None
+        done = [ln for ln, t in pending.items() if t <= now]
+        for ln in done:
+            del pending[ln]
+        ready = pending.get(line)
+        if ready is not None:
+            self.merged += 1
+        return ready
+
+    def allocate(self, line: int, ready: int, now: int) -> bool:
+        """Track a new outstanding fill; False when the file is full."""
+        pending = self._pending
+        if pending:
+            done = [ln for ln, t in pending.items() if t <= now]
+            for ln in done:
+                del pending[ln]
+        if len(pending) >= self.entries:
+            self.full_events += 1
+            return False
+        pending[line] = ready
+        self.allocations += 1
+        return True
+
+    def occupancy(self, now: int) -> int:
+        """Number of live entries at cycle *now*."""
+        self._expire(now)
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return f"MshrFile({len(self._pending)}/{self.entries} in flight)"
 
 
 class MemSystemConfig:
@@ -50,11 +116,22 @@ class MemSystemConfig:
         mshr_entries: int = 8,
         bus_occupancy: int = 1,
         l1_port_policy: str = "ideal",
+        lvc_port_policy: str = "ideal",
+        l1_banks: int = 0,
+        lvc_banks: int = 0,
     ):
         if l1_ports <= 0:
             raise ConfigError("the L1 data cache needs at least one port")
         if lvc_ports < 0:
             raise ConfigError("LVC port count must be non-negative")
+        for label, policy in (("l1_port_policy", l1_port_policy),
+                              ("lvc_port_policy", lvc_port_policy)):
+            if policy not in PORT_POLICIES:
+                raise ConfigError(
+                    f"unknown {label} {policy!r}; "
+                    f"known: {', '.join(sorted(PORT_POLICIES))}")
+        if l1_banks < 0 or lvc_banks < 0:
+            raise ConfigError("bank counts must be non-negative")
         self.l1_ports = l1_ports
         self.lvc_ports = lvc_ports
         self.l1_size = l1_size
@@ -71,6 +148,9 @@ class MemSystemConfig:
         self.mshr_entries = mshr_entries
         self.bus_occupancy = bus_occupancy
         self.l1_port_policy = l1_port_policy
+        self.lvc_port_policy = lvc_port_policy
+        self.l1_banks = l1_banks
+        self.lvc_banks = lvc_banks
 
     @property
     def lvc_enabled(self) -> bool:
@@ -126,9 +206,11 @@ class MemoryHierarchy:
                 self.counters,
             )
             self.lvc_mshr = MshrFile(config.mshr_entries)
-            self.lvc_ports = PortArbiter(config.lvc_ports)
+            self.lvc_ports = make_ports(config.lvc_port_policy,
+                                        config.lvc_ports, config.lvc_banks)
         self.l1_mshr = MshrFile(config.mshr_entries)
-        self.l1_ports = make_ports(config.l1_port_policy, config.l1_ports)
+        self.l1_ports = make_ports(config.l1_port_policy, config.l1_ports,
+                                   config.l1_banks)
         self._bus_busy_until = 0
         #: Hit/miss of the most recent first-level access (set by ``_ready``).
         self.last_hit = False

@@ -1,19 +1,47 @@
-"""Per-cycle cache port accounting.
+"""Cache-port arbitration policies.
 
 The paper assumes *ideal* ports: an N-port cache can service any N requests
-per cycle, in any load/store combination.  A :class:`PortArbiter` is simply a
-per-cycle budget of N transactions; the processor resets it at the top of
-every cycle.  Access combining (Section 2.2.2) issues one *wide* transaction
-for multiple contiguous references, which consumes a single port.
+per cycle, in any load/store combination.  Its motivation, however, rests on
+how the real techniques fall short (Section 1):
+
+* **time-division multiplexing** (DEC 21264): the array runs at a clock
+  multiple — indistinguishable from ideal ports until the multiple stops
+  scaling (the paper notes it "does not scale beyond ... two");
+* **replication** (DEC 21164): loads use any copy, but every store must
+  broadcast to all copies, consuming all ports at once;
+* **interleaving/banking** (MIPS R10000): requests to the same bank in one
+  cycle conflict.
+
+Every policy shares one interface: a per-cycle transaction budget refilled
+by ``new_cycle`` and consumed by ``try_take(count, line, is_store)``.
+Access combining (Section 2.2.2) issues one *wide* transaction for multiple
+contiguous references, which consumes a single port.
+
+Policies (see :data:`PORT_POLICIES`):
+
+``ideal``
+    :class:`PortArbiter` itself — a pure budget of N transactions, the
+    paper's assumption (also models time-division multiplexing at small N).
+``finite``
+    :class:`FinitePorts` — N ports over B single-access banks with
+    per-bank conflict accounting; the contended arbiter the
+    ``ablation_realism`` experiment sweeps against ``ideal``.
+``banked``
+    :class:`BankedPorts` — an N-bank interleaved cache (one port per bank).
+``replicated``
+    :class:`ReplicatedPorts` — N replicated copies; stores broadcast.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.errors import ConfigError
+from repro.utils import is_power_of_two
 
 
 class PortArbiter:
-    """A renewable per-cycle budget of port transactions."""
+    """A renewable per-cycle budget of port transactions (``ideal``)."""
 
     __slots__ = ("ports", "_available", "busy_transactions", "cycles_saturated")
 
@@ -40,9 +68,8 @@ class PortArbiter:
                  is_store: bool = False) -> bool:
         """Reserve *count* port transactions; False if not enough remain.
 
-        ``line`` and ``is_store`` are ignored by ideal ports; realistic
-        policies (see :mod:`repro.mem.multiport`) use them for bank
-        selection and store broadcast.
+        ``line`` and ``is_store`` are ignored by ideal ports; the realistic
+        policies below use them for bank selection and store broadcast.
         """
         if count <= 0:
             raise ValueError("port request must be positive")
@@ -53,4 +80,149 @@ class PortArbiter:
         return True
 
     def __repr__(self) -> str:
-        return f"PortArbiter({self._available}/{self.ports} free)"
+        return f"{type(self).__name__}({self._available}/{self.ports} free)"
+
+
+class FinitePorts(PortArbiter):
+    """N contended ports over B single-access banks (``finite``).
+
+    Unlike :class:`BankedPorts` (which ties the port count to the bank
+    count), this decouples the two: a request needs a free port *and* a
+    free bank, so same-cycle references to one bank conflict even when
+    ports remain.  Conflicts are accounted per bank (``conflicts_by_bank``)
+    and in total (``conflicts``); the processor folds the total into the
+    ``ports.conflict_stalls`` counter at the end of a run.
+    """
+
+    __slots__ = ("banks", "_bank_busy", "conflicts", "conflicts_by_bank")
+
+    def __init__(self, ports: int, banks: int = 0):
+        if ports <= 0:
+            raise ConfigError(
+                f"finite ports need at least one port: {ports}")
+        super().__init__(ports)
+        if banks <= 0:
+            # Default: the smallest power of two with some headroom over
+            # the port count, so an uncontended stream rarely conflicts.
+            banks = 2
+            while banks < 2 * ports:
+                banks *= 2
+        if not is_power_of_two(banks):
+            raise ConfigError(f"bank count must be a power of two: {banks}")
+        if banks < ports:
+            raise ConfigError(
+                f"need at least as many banks ({banks}) as ports ({ports})")
+        self.banks = banks
+        self._bank_busy: List[bool] = [False] * banks
+        self.conflicts = 0
+        self.conflicts_by_bank: List[int] = [0] * banks
+
+    def new_cycle(self) -> None:
+        super().new_cycle()
+        self._bank_busy = [False] * self.banks
+
+    def try_take(self, count: int = 1, line: int = 0,
+                 is_store: bool = False) -> bool:
+        if count != 1:
+            raise ValueError("finite ports service one request per "
+                             "transaction")
+        bank = line & (self.banks - 1)
+        if self._bank_busy[bank]:
+            self.conflicts += 1
+            self.conflicts_by_bank[bank] += 1
+            return False
+        if not PortArbiter.try_take(self, 1):
+            return False
+        self._bank_busy[bank] = True
+        return True
+
+
+class BankedPorts(PortArbiter):
+    """An N-bank interleaved cache: one access per bank per cycle.
+
+    Banks are selected by low line-address bits; two same-cycle requests
+    to the same bank conflict even when other banks sit idle.
+    """
+
+    __slots__ = ("banks", "_bank_busy", "bank_conflicts")
+
+    def __init__(self, banks: int):
+        if not is_power_of_two(banks):
+            raise ConfigError(f"bank count must be a power of two: {banks}")
+        super().__init__(banks)
+        self.banks = banks
+        self._bank_busy: List[bool] = [False] * banks
+        self.bank_conflicts = 0
+
+    def new_cycle(self) -> None:
+        super().new_cycle()
+        self._bank_busy = [False] * self.banks
+
+    def try_take(self, count: int = 1, line: int = 0,
+                 is_store: bool = False) -> bool:
+        if count != 1:
+            raise ValueError("banked caches service one request per bank")
+        bank = line & (self.banks - 1)
+        if self._bank_busy[bank]:
+            self.bank_conflicts += 1
+            return False
+        if not super().try_take(1):
+            return False
+        self._bank_busy[bank] = True
+        return True
+
+
+class ReplicatedPorts(PortArbiter):
+    """N replicated cache copies: N loads/cycle, but stores broadcast.
+
+    A store must write every copy to keep them coherent, so it consumes
+    the whole cycle's bandwidth; any port already used this cycle blocks
+    the store (and vice versa).
+    """
+
+    __slots__ = ("copies", "store_blocks")
+
+    def __init__(self, copies: int):
+        super().__init__(copies)
+        self.copies = copies
+        self.store_blocks = 0
+
+    def try_take(self, count: int = 1, line: int = 0,
+                 is_store: bool = False) -> bool:
+        if is_store:
+            # needs every copy's write port at once
+            if self.available < self.copies:
+                self.store_blocks += 1
+                return False
+            return super().try_take(self.copies)
+        return super().try_take(count)
+
+
+#: Policy-name -> constructor used by the memory system.  ``ideal`` is the
+#: plain :class:`PortArbiter`: the processor's fast path special-cases the
+#: exact type (a pure budget it can track in a local integer), so the ideal
+#: policy must not be a subclass.
+PORT_POLICIES = {
+    "ideal": PortArbiter,
+    "finite": FinitePorts,
+    "banked": BankedPorts,
+    "replicated": ReplicatedPorts,
+}
+
+
+def make_ports(policy: str, ports: int, banks: int = 0) -> PortArbiter:
+    """Construct a port arbiter for *policy* with *ports* ports/banks.
+
+    ``banks`` only matters for the ``finite`` policy (0 picks a default
+    derived from the port count); ``banked`` ties banks to ``ports``.
+    """
+    try:
+        ctor = PORT_POLICIES[policy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown port policy {policy!r}; "
+            f"known: {', '.join(sorted(PORT_POLICIES))}"
+        ) from None
+    if ctor is FinitePorts:
+        return FinitePorts(ports, banks)
+    return ctor(ports)

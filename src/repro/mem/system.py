@@ -1,0 +1,83 @@
+"""The :class:`MemorySystem` facade: the whole data-memory stream.
+
+Everything a core needs to issue loads and stores lives behind this one
+object: the two age-ordered access queues (LSQ and, when decoupled, the
+LVAQ from :mod:`repro.pipeline.memqueue`), the two first-level structures
+with their port arbiters, and the shared L2/bus/memory path
+(:mod:`repro.mem.hierarchy`).  The staged kernel's memory and commit
+stages bind its internals once per run; everything else — experiments,
+tests, tools — goes through the attributes and helpers here.
+
+Port arbitration is pluggable per structure (``l1_port_policy`` /
+``lvc_port_policy`` on :class:`~repro.mem.hierarchy.MemSystemConfig`); the
+facade aggregates whatever conflict accounting the chosen arbiters keep so
+callers don't have to know which policy is live.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.hierarchy import MemoryHierarchy, MemSystemConfig
+from repro.pipeline.memqueue import MemQueue
+from repro.stats.counters import CounterSet
+
+
+class MemorySystem:
+    """Access queues + first-level caches + ports + L2 path, as one unit.
+
+    The constructor takes queue sizes rather than a ``MachineConfig`` so
+    ``repro.mem`` never imports ``repro.core`` (the dependency points the
+    other way).
+    """
+
+    def __init__(self, config: MemSystemConfig, lsq_size: int,
+                 lvaq_size: int = 0,
+                 counters: Optional[CounterSet] = None):
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self.hierarchy = MemoryHierarchy(config, self.counters)
+        self.lsq = MemQueue(lsq_size, "lsq")
+        # Always materialised: a zero-size queue is inert (dispatch never
+        # steers to it), and the core binds its internals unconditionally.
+        self.lvaq = MemQueue(lvaq_size, "lvaq")
+
+    # -- convenient views over the hierarchy --------------------------------
+
+    @property
+    def l1_ports(self):
+        return self.hierarchy.l1_ports
+
+    @property
+    def lvc_ports(self):
+        return self.hierarchy.lvc_ports
+
+    @property
+    def lvc_enabled(self) -> bool:
+        return self.config.lvc_enabled
+
+    def new_cycle(self) -> None:
+        """Refill every port budget; call once at the top of each cycle."""
+        self.hierarchy.new_cycle()
+
+    # -- aggregate statistics ------------------------------------------------
+
+    def conflict_stalls(self) -> int:
+        """Total bank/port conflicts across both first-level arbiters.
+
+        Only contended policies keep conflict counts; ideal arbitration
+        contributes zero, so the default configuration never reports the
+        counter at all.
+        """
+        total = getattr(self.hierarchy.l1_ports, "conflicts", 0)
+        lvc_ports = self.hierarchy.lvc_ports
+        if lvc_ports is not None:
+            total += getattr(lvc_ports, "conflicts", 0)
+        return total
+
+    def occupancy(self) -> int:
+        """Resident entries across both queues."""
+        return len(self.lsq) + len(self.lvaq)
+
+    def __repr__(self) -> str:
+        return f"MemorySystem{self.config.notation()}"

@@ -36,8 +36,7 @@ from repro.core.config import MachineConfig
 from repro.core.metrics import SimResult
 from repro.mem.cache import CacheGeometry
 from repro.mem.hierarchy import AccessResult, MemSystemConfig
-from repro.mem.multiport import make_ports
-from repro.mem.ports import PortArbiter
+from repro.mem.ports import PortArbiter, make_ports
 from repro.pipeline.memqueue import INF_SEQ, MemQueueEntry
 from repro.pipeline.rob import (
     COMMITTED,

@@ -4,6 +4,12 @@ The manifest is the machine-readable record of one runtime batch: every
 deduplicated job with its status and wall time, plus aggregate throughput
 numbers (cache hit rate, worker utilization).  ``repro-experiments``
 writes it to ``results/run_manifest.json`` after the prewarm phase.
+
+The write is deterministic for a given batch: keys are sorted, job
+entries are ordered by job key (never by completion order, which varies
+with worker scheduling), and the manifest carries no wall-clock
+timestamp — so a repeated warm run diffs only in the measured wall
+times, and the file is safe to commit or compare across runs.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from typing import Any, Dict, Optional
 from repro.runtime.engine import EngineReport, JobOutcome
 from repro.stats.report import format_duration
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 
 class RunManifest:
@@ -31,12 +37,11 @@ class RunManifest:
         self.scale = scale
         self.experiments = list(experiments) if experiments else []
         self.cache_stats = cache_stats
-        self.created = time.time()
 
     def to_dict(self) -> Dict[str, Any]:
         report = self.report
         jobs = []
-        for key, outcome in report.outcomes.items():
+        for key, outcome in sorted(report.outcomes.items()):
             jobs.append({
                 "key": key,
                 "workload": outcome.job.workload,
@@ -51,7 +56,6 @@ class RunManifest:
             })
         return {
             "version": MANIFEST_VERSION,
-            "created_unix": self.created,
             "experiments": self.experiments,
             "scale": self.scale,
             "code_salt": self.salt,

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.experiments import (
     ablation_multiport,
+    ablation_realism,
     ablation_window,
     disc_small_l1,
     fig5_bandwidth,
@@ -99,6 +100,13 @@ def _plan_ablation_multiport(scale: float) -> List[SimJob]:
                  scale)
 
 
+def _plan_ablation_realism(scale: float) -> List[SimJob]:
+    configs = [config
+               for pair in ablation_realism._configs().values()
+               for config in pair.values()]
+    return _jobs(INT_PROGRAMS, configs, scale)
+
+
 def _plan_ablation_window(scale: float) -> List[SimJob]:
     configs = ([ablation_window._config(rob=size)
                 for size in ablation_window.ROB_SIZES]
@@ -127,6 +135,7 @@ PLANNERS: Dict[str, Callable[[float], List[SimJob]]] = {
     "fig10": _plan_fig10,
     "fig11": _plan_fig11,
     "ablation-multiport": _plan_ablation_multiport,
+    "ablation-realism": _plan_ablation_realism,
     "ablation-window": _plan_ablation_window,
     "disc-small-l1": _plan_disc_small_l1,
 }

@@ -64,3 +64,76 @@ def test_mem_overrides_pass_through():
     config = MachineConfig.baseline(2, 2, l1_hit_latency=3, lvc_size=4096)
     assert config.mem.l1_hit_latency == 3
     assert config.mem.lvc_size == 4096
+
+
+# -- policy registry / validated config space (ISSUE 5) ----------------------
+
+def test_invalid_port_counts_rejected():
+    with pytest.raises(ConfigError):
+        MachineConfig.baseline(l1_ports=0)
+    with pytest.raises(ConfigError):
+        MachineConfig.baseline(l1_ports=-2)
+    with pytest.raises(ConfigError):
+        MachineConfig.baseline(l1_ports=2, lvc_ports=-1)
+
+
+def test_zero_and_negative_queue_sizes_rejected():
+    with pytest.raises(ConfigError):
+        MachineConfig(lsq_size=0)
+    with pytest.raises(ConfigError):
+        MachineConfig(lvaq_size=-4)
+    with pytest.raises(ConfigError):
+        MachineConfig(rob_size=0)
+
+
+def test_unknown_port_policy_rejected_at_construction():
+    with pytest.raises(ConfigError):
+        MachineConfig.baseline(l1_port_policy="quantum")
+    with pytest.raises(ConfigError):
+        MachineConfig.baseline(lvc_ports=2, lvc_port_policy="psychic")
+
+
+def test_unknown_frontend_policy_rejected():
+    from repro.core.frontend import FrontendConfig
+    with pytest.raises(ConfigError):
+        FrontendConfig(policy="oracle9000")
+
+
+def test_validate_machine_catches_post_construction_mutation():
+    from repro.core.registry import validate_machine
+
+    config = MachineConfig.baseline()
+    assert validate_machine(config) is config
+    config.mem.l1_port_policy = "no-such-policy"
+    with pytest.raises(ConfigError):
+        validate_machine(config)
+
+    config = MachineConfig.baseline()
+    config.frontend.policy = "no-such-frontend"
+    with pytest.raises(ConfigError):
+        validate_machine(config)
+
+
+def test_registry_enumerates_policies():
+    from repro.core.registry import describe_schema, policy_names
+
+    assert "ideal" in policy_names("ports")
+    assert "finite" in policy_names("ports")
+    assert policy_names("frontend") == ("gshare", "perfect")
+    with pytest.raises(ConfigError):
+        policy_names("chronology")
+    schema = describe_schema()
+    assert schema["schema_version"] >= 2
+    assert set(schema["policies"]) == {"ports", "frontend"}
+
+
+def test_signature_changes_when_policy_changes():
+    from repro.runtime.signature import config_signature
+
+    base = config_signature(MachineConfig.baseline())
+    finite = MachineConfig.baseline()
+    finite.mem.l1_port_policy = "finite"
+    gshare = MachineConfig.baseline()
+    gshare.frontend.policy = "gshare"
+    signatures = {base, config_signature(finite), config_signature(gshare)}
+    assert len(signatures) == 3

@@ -134,5 +134,6 @@ def test_runner_lists_every_experiment():
 
     expected = {"table1", "table2", "table3", "fig2", "fig3", "fig5",
                 "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "ablation-multiport", "ablation-window", "disc-small-l1"}
+                "ablation-multiport", "ablation-realism",
+                "ablation-window", "disc-small-l1"}
     assert set(EXPERIMENTS) == expected

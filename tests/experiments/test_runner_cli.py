@@ -121,3 +121,31 @@ def test_prewarm_writes_manifest_and_seeds_results(monkeypatch, tmp_path,
     payload = json.loads(manifest_path.read_text())
     assert payload["jobs_cached"] == 1
     assert payload["cache_hit_rate"] == 1.0
+
+
+def test_manifest_write_is_deterministic(tmp_path):
+    """Same batch -> byte-identical manifest, regardless of the order the
+    engine finished the jobs in (worker scheduling is not deterministic)."""
+    from repro.runtime.engine import EngineReport, JobOutcome
+    from repro.runtime.manifest import RunManifest
+
+    def make_report(order):
+        outcomes = {}
+        for key in order:
+            job = SimJob(key, common.nm_config(2, 0), scale=0.1)
+            outcomes[f"k-{key}"] = JobOutcome(job, "cached", wall=0.0,
+                                              attempts=1, worker="cache")
+        return EngineReport(outcomes, elapsed=1.0, duplicates=0, workers=2)
+
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    RunManifest(make_report(["130.li", "099.go"]), salt="s",
+                scale=0.1, experiments=["fake"]).write(str(first))
+    RunManifest(make_report(["099.go", "130.li"]), salt="s",
+                scale=0.1, experiments=["fake"]).write(str(second))
+    assert first.read_bytes() == second.read_bytes()
+
+    payload = json.loads(first.read_text())
+    assert "created_unix" not in payload
+    assert [j["key"] for j in payload["jobs"]] == sorted(
+        j["key"] for j in payload["jobs"])

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.mem.mshr import MshrFile
+from repro.mem import MshrFile
 
 
 def test_allocate_and_lookup():

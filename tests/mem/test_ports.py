@@ -1,10 +1,19 @@
-"""Tests for the per-cycle port arbiter."""
+"""Tests for the port-arbitration policies."""
 
 import pytest
 
 from repro.errors import ConfigError
-from repro.mem.ports import PortArbiter
+from repro.mem.ports import (
+    PORT_POLICIES,
+    BankedPorts,
+    FinitePorts,
+    PortArbiter,
+    ReplicatedPorts,
+    make_ports,
+)
 
+
+# -- ideal (plain PortArbiter) ------------------------------------------------
 
 def test_budget_consumed():
     ports = PortArbiter(2)
@@ -57,3 +66,160 @@ def test_busy_transactions_accumulate():
     ports.new_cycle()
     ports.try_take(1)
     assert ports.busy_transactions == 4
+
+
+def test_ideal_any_mix():
+    ports = PortArbiter(2)
+    assert ports.try_take(1, line=0, is_store=True)
+    assert ports.try_take(1, line=0, is_store=False)
+    assert not ports.try_take(1, line=1)
+
+
+# -- finite (contended ports over banks) --------------------------------------
+
+def test_finite_same_bank_conflicts():
+    ports = FinitePorts(2, banks=4)
+    assert ports.try_take(1, line=0)
+    assert not ports.try_take(1, line=4)  # same bank (4 & 3 == 0)
+    assert ports.conflicts == 1
+    assert ports.conflicts_by_bank[0] == 1
+    assert ports.try_take(1, line=1)      # different bank is fine
+
+
+def test_finite_port_budget_separate_from_banks():
+    ports = FinitePorts(2, banks=8)
+    assert ports.try_take(1, line=0)
+    assert ports.try_take(1, line=1)
+    # both ports consumed: a fresh bank still refuses, but it is a port
+    # exhaustion, not a bank conflict
+    assert not ports.try_take(1, line=2)
+    assert ports.conflicts == 0
+
+
+def test_finite_resets_each_cycle():
+    ports = FinitePorts(1, banks=2)
+    assert ports.try_take(1, line=0)
+    ports.new_cycle()
+    assert ports.try_take(1, line=0)
+
+
+def test_finite_conflict_does_not_consume_port():
+    ports = FinitePorts(2, banks=2)
+    assert ports.try_take(1, line=0)
+    assert not ports.try_take(1, line=2)  # bank 0 busy
+    assert ports.try_take(1, line=1)      # the second port is still free
+    assert ports.conflicts == 1
+
+
+def test_finite_default_banks_power_of_two_with_headroom():
+    ports = FinitePorts(2)
+    assert ports.banks == 4
+    assert FinitePorts(3).banks == 8
+
+
+def test_finite_validation():
+    with pytest.raises(ConfigError):
+        FinitePorts(0)
+    with pytest.raises(ConfigError):
+        FinitePorts(2, banks=3)
+    with pytest.raises(ConfigError):
+        FinitePorts(4, banks=2)
+    with pytest.raises(ValueError):
+        FinitePorts(2, banks=4).try_take(2, line=0)
+
+
+# -- banked (one port per bank) -----------------------------------------------
+
+def test_banked_same_bank_conflicts():
+    ports = BankedPorts(4)
+    assert ports.try_take(1, line=0)
+    assert not ports.try_take(1, line=4)  # same bank (4 % 4 == 0)
+    assert ports.bank_conflicts == 1
+    assert ports.try_take(1, line=1)      # different bank is fine
+
+
+def test_banked_resets_each_cycle():
+    ports = BankedPorts(2)
+    assert ports.try_take(1, line=0)
+    ports.new_cycle()
+    assert ports.try_take(1, line=0)
+
+
+def test_banked_total_budget():
+    ports = BankedPorts(2)
+    assert ports.try_take(1, line=0)
+    assert ports.try_take(1, line=1)
+    # both banks used: nothing left even for a fresh bank index
+    assert not ports.try_take(1, line=2)
+
+
+def test_banked_multi_request_rejected():
+    with pytest.raises(ValueError):
+        BankedPorts(4).try_take(2, line=0)
+
+
+def test_banked_bank_count_power_of_two():
+    with pytest.raises(ConfigError):
+        BankedPorts(3)
+
+
+# -- replicated (stores broadcast) --------------------------------------------
+
+def test_replicated_loads_parallel():
+    ports = ReplicatedPorts(3)
+    assert ports.try_take(1, is_store=False)
+    assert ports.try_take(1, is_store=False)
+    assert ports.try_take(1, is_store=False)
+    assert not ports.try_take(1, is_store=False)
+
+
+def test_replicated_store_broadcasts():
+    ports = ReplicatedPorts(3)
+    assert ports.try_take(1, is_store=True)   # consumes all three copies
+    assert not ports.try_take(1, is_store=False)
+
+
+def test_replicated_store_blocked_after_load():
+    ports = ReplicatedPorts(2)
+    assert ports.try_take(1, is_store=False)
+    assert not ports.try_take(1, is_store=True)
+    assert ports.store_blocks == 1
+
+
+# -- factory ------------------------------------------------------------------
+
+def test_make_ports_factory():
+    ideal = make_ports("ideal", 2)
+    assert type(ideal) is PortArbiter  # fast path requires the exact type
+    assert isinstance(make_ports("finite", 2), FinitePorts)
+    assert isinstance(make_ports("banked", 4), BankedPorts)
+    assert isinstance(make_ports("replicated", 2), ReplicatedPorts)
+    with pytest.raises(ConfigError):
+        make_ports("quantum", 2)
+
+
+def test_make_ports_banks_only_for_finite():
+    finite = make_ports("finite", 2, banks=16)
+    assert finite.banks == 16
+    banked = make_ports("banked", 4, banks=16)
+    assert banked.banks == 4
+
+
+def test_policy_registry_complete():
+    assert set(PORT_POLICIES) == {"ideal", "finite", "banked", "replicated"}
+
+
+def test_policies_integrate_with_machine():
+    """End to end: each policy runs a trace and the contended ones lose."""
+    from repro.core import MachineConfig, Processor
+    from repro.workloads.builder import build_trace
+
+    trace = build_trace("147.vortex", length=12_000, seed=5)
+    ipc = {}
+    for policy in ("ideal", "finite", "banked", "replicated"):
+        config = MachineConfig.baseline(l1_ports=4, lvc_ports=0,
+                                        l1_port_policy=policy)
+        ipc[policy] = Processor(config).run(trace.insts, "v").ipc
+    assert ipc["banked"] < ipc["ideal"]
+    assert ipc["replicated"] < ipc["ideal"]
+    assert ipc["finite"] <= ipc["ideal"]

@@ -31,7 +31,8 @@ def _fresh_config() -> MachineConfig:
 def _perturbations():
     """(section, field, mutator) for every scalar config field."""
     probe = _fresh_config()
-    sections = {"": probe, "mem": probe.mem, "decouple": probe.decouple}
+    sections = {"": probe, "mem": probe.mem, "decouple": probe.decouple,
+                "frontend": probe.frontend}
     for section, obj in sections.items():
         for name, value in sorted(vars(obj).items()):
             if isinstance(value, bool):
@@ -45,7 +46,8 @@ def _perturbations():
             else:
                 # Only the nested config objects themselves may be
                 # non-scalar; anything else would dodge the signature.
-                assert section == "" and name in ("mem", "decouple"), (
+                assert section == "" and name in (
+                    "mem", "decouple", "frontend"), (
                     f"unhashable config field {section}.{name}")
 
 
