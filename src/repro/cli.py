@@ -11,8 +11,10 @@ Subcommands:
 * ``perf``             — benchmark the simulator core itself against the
   frozen seed model (see :mod:`repro.perf`);
 * ``fuzz``             — differential fuzzing campaign: random programs
-  checked by the ``opt``/``timing``/``golden``/``analyze`` oracles
-  (see :mod:`repro.fuzz`);
+  checked by the ``opt``/``timing``/``golden``/``analyze``/``replay``
+  oracles (see :mod:`repro.fuzz`);
+* ``trace``            — capture, inspect, replay, and mix serialized
+  traces (see :mod:`repro.trace` and docs/trace.md);
 * ``analyze``          — static verification: stack discipline, frame
   metadata, ``local_hint`` soundness, IR lints, and a dynamic
   cross-check (see :mod:`repro.analyze` and docs/static_analysis.md).
@@ -203,6 +205,7 @@ def cmd_perf(args) -> int:
         warmup=args.warmup,
         repeat=args.repeat,
         compare=not args.no_compare,
+        replay=args.replay,
     )
     print(bench.format_report(report))
     if args.output:
@@ -283,6 +286,81 @@ def cmd_fuzz(args) -> int:
                 handle.write(header + program.source())
             print(f"wrote {path}")
     return 1
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    if args.verb == "capture":
+        from repro.trace.capture import TraceJob, capture_trace
+        from repro.trace.format import write_trace
+
+        job = TraceJob(args.workload, scale=args.scale, seed=args.seed)
+        if args.output:
+            from repro.trace.capture import build_capture
+
+            write_trace(build_capture(job), args.output,
+                        meta=job.describe())
+            print(f"captured {args.workload} -> {args.output}")
+            return 0
+        path, cached = capture_trace(job, cache_dir=args.cache_dir,
+                                     force=args.force)
+        print(f"{'cached' if cached else 'captured'} {args.workload} "
+              f"-> {path}")
+        return 0
+
+    if args.verb == "info":
+        from repro.trace.format import trace_info
+
+        print(json.dumps(trace_info(args.path), indent=2))
+        return 0
+
+    if args.verb == "replay":
+        from repro.perf.golden import diff_results
+        from repro.trace.capture import TraceJob, build_capture
+        from repro.trace.replay import load_trace, replay
+
+        trace = load_trace(args.path)
+        print(f"{trace.name}: {len(trace)} dynamic instructions")
+        failures = 0
+        for text in (args.config or ["2+0", "2+2:opt"]):
+            config = _parse_config(text)
+            result = replay(trace, config)
+            print(f"  ({text:8s}) IPC {result.ipc:6.3f}   "
+                  f"cycles {result.cycles}")
+            if args.check:
+                job = TraceJob(trace.name, scale=args.scale,
+                               seed=args.seed)
+                direct = Processor(_parse_config(text)).run(
+                    build_capture(job).insts, trace.name)
+                mismatches = diff_results(trace.name, text, direct, result)
+                for mismatch in mismatches:
+                    print(f"    MISMATCH {mismatch!r}", file=sys.stderr)
+                failures += len(mismatches)
+                if not mismatches:
+                    print(f"    bit-identical to execution-driven run")
+        return 1 if failures else 0
+
+    # verb == "mix"
+    from repro.runtime.job import MixJob
+    from repro.trace.mix import run_mix_jobs
+
+    config = _parse_config(args.config)
+    job = MixJob(tuple(args.workloads), config, scale=args.scale,
+                 seed=args.seed)
+    (_job, result), = run_mix_jobs(
+        [job], engine_jobs=1, cache_dir=args.cache_dir)
+    print(f"mix of {len(result.programs)} programs on ({args.config}): "
+          f"{result.cycles} cycles")
+    for program in result.programs:
+        counters = program.counters
+        print(f"  {program.workload_name:15s} IPC {program.ipc:6.3f}  "
+              f"cycles {program.cycles:8d}  "
+              f"bus-conflict stalls {counters.get('mix.bus_conflict_stalls')}  "
+              f"L2 evictions caused/suffered "
+              f"{counters.get('mix.l2_evictions_caused')}/"
+              f"{counters.get('mix.l2_evictions_suffered')}")
+    return 0
 
 
 def cmd_analyze(args) -> int:
@@ -404,6 +482,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="timed rounds per workload (default 3)")
     perf_p.add_argument("--no-compare", action="store_true",
                         help="time only the optimized core")
+    perf_p.add_argument("--replay", action="store_true",
+                        help="also benchmark trace replay vs "
+                             "execution-driven simulation")
     perf_p.add_argument("--output", metavar="PATH",
                         help="write BENCH_core.json here")
     perf_p.add_argument("--check", metavar="BASELINE",
@@ -425,7 +506,8 @@ def make_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="run shards on N worker processes")
     fuzz_p.add_argument("--oracle", action="append", metavar="NAME",
-                        choices=("opt", "timing", "golden", "analyze"),
+                        choices=("opt", "timing", "golden", "analyze",
+                                 "replay"),
                         help="oracle to run (repeatable; default: all)")
     fuzz_p.add_argument("--shrink", action="store_true",
                         help="minimize each diverging program and print it")
@@ -445,6 +527,64 @@ def make_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--quiet", action="store_true",
                         help="suppress per-shard progress on stderr")
     fuzz_p.set_defaults(func=cmd_fuzz)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="capture, inspect, replay, and mix serialized traces")
+    trace_sub = trace_p.add_subparsers(dest="verb", required=True)
+
+    cap_p = trace_sub.add_parser(
+        "capture", help="run the functional frontend once, serialize")
+    cap_p.add_argument("workload", help="workload name (e.g. 130.li, "
+                                        "mini.qsort)")
+    cap_p.add_argument("--scale", type=float, default=1.0,
+                       help="workload length scale (default 1.0)")
+    cap_p.add_argument("--seed", type=int, default=1,
+                       help="trace-generation seed (default 1)")
+    cap_p.add_argument("--cache-dir", metavar="DIR",
+                       help="trace store root (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro)")
+    cap_p.add_argument("--force", action="store_true",
+                       help="re-capture even when the store has it")
+    cap_p.add_argument("--output", metavar="PATH",
+                       help="write to PATH instead of the store")
+    cap_p.set_defaults(func=cmd_trace)
+
+    info_p = trace_sub.add_parser(
+        "info", help="dump a trace file's header (version, sections)")
+    info_p.add_argument("path", help="trace file")
+    info_p.set_defaults(func=cmd_trace)
+
+    rep_p = trace_sub.add_parser(
+        "replay", help="trace-driven simulation from a captured file")
+    rep_p.add_argument("path", help="trace file")
+    rep_p.add_argument("--config", action="append",
+                       default=None,
+                       help="machine config N+M[:opt]; repeatable "
+                            "(default: 2+0 and 2+2:opt)")
+    rep_p.add_argument("--check", action="store_true",
+                       help="also run execution-driven and require "
+                            "bit-identical results")
+    rep_p.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale for --check rebuilds")
+    rep_p.add_argument("--seed", type=int, default=1,
+                       help="workload seed for --check rebuilds")
+    rep_p.set_defaults(func=cmd_trace)
+
+    mix_p = trace_sub.add_parser(
+        "mix", help="co-schedule N programs sharing the L2 and bus")
+    mix_p.add_argument("workloads", nargs="+", metavar="WORKLOAD",
+                       help="two or more workload names")
+    mix_p.add_argument("--config", default="2+2:opt",
+                       help="machine config N+M[:opt] (default 2+2:opt)")
+    mix_p.add_argument("--scale", type=float, default=1.0,
+                       help="workload length scale (default 1.0)")
+    mix_p.add_argument("--seed", type=int, default=1,
+                       help="trace-generation seed (default 1)")
+    mix_p.add_argument("--cache-dir", metavar="DIR",
+                       help="mix result cache (default: $REPRO_CACHE_DIR "
+                            "if set, else uncached)")
+    mix_p.set_defaults(func=cmd_trace)
 
     ana_p = sub.add_parser(
         "analyze",

@@ -20,6 +20,10 @@ Version history:
 1. implicit schema of the original monolithic core (l1_port_policy only)
 2. staged kernel: ``finite`` ports, per-structure port policies + banks,
    pluggable frontend (``perfect``/``gshare``)
+3. trace capture/replay engine (``repro.trace``): serialized-trace
+   format version rides along in the schema description, and the mix
+   job family (shared L2 + bus, ``mix.*`` interference counters) joins
+   the configuration space
 """
 
 from __future__ import annotations
@@ -31,8 +35,9 @@ from repro.core.frontend import FRONTEND_POLICIES
 from repro.errors import ConfigError
 from repro.mem.ports import PORT_POLICIES
 from repro.runtime.signature import describe_config
+from repro.trace.format import TRACE_FORMAT_VERSION
 
-CONFIG_SCHEMA_VERSION = 2
+CONFIG_SCHEMA_VERSION = 3
 
 #: The machine's variation points: dimension -> {policy name -> class}.
 POLICY_DIMENSIONS = {
@@ -88,6 +93,7 @@ def describe_schema() -> Dict[str, Any]:
     """The registry itself: schema version plus every known policy."""
     return {
         "schema_version": CONFIG_SCHEMA_VERSION,
+        "trace_format_version": TRACE_FORMAT_VERSION,
         "policies": {dim: list(policy_names(dim))
                      for dim in sorted(POLICY_DIMENSIONS)},
     }

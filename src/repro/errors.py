@@ -58,3 +58,7 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload could not be built or was queried incorrectly."""
+
+
+class TraceError(ReproError):
+    """A serialized trace file is unreadable, corrupt, or incompatible."""

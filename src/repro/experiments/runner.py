@@ -35,6 +35,7 @@ from repro.experiments import (
     fig9_optimized,
     fig10_latency,
     fig11_programs,
+    mix_interference,
     table1_config,
     table2_workloads,
     table3_forwarding,
@@ -61,6 +62,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "ablation-realism": ablation_realism.main,
     "ablation-window": ablation_window.main,
     "disc-small-l1": disc_small_l1.main,
+    "mix-interference": mix_interference.main,
 }
 
 DEFAULT_MANIFEST = os.path.join("results", "run_manifest.json")

@@ -1,4 +1,4 @@
-"""The differential oracles: four independent ways to catch a bug.
+"""The differential oracles: five independent ways to catch a bug.
 
 ``opt``
     Compile the program at ``-O0`` and with the optimizer on, run both on
@@ -28,6 +28,14 @@
     its dynamic cross-check against the trace.  Generated programs must
     verify clean; any error-severity diagnostic is a divergence.
 
+``replay``
+    Push the committed trace through the full :mod:`repro.trace` round
+    trip (encode → decode) and require the replayed stream to simulate
+    bit-identically to the execution-driven one — same cycles, same
+    counters.  Every fuzz campaign thereby exercises the serialized
+    trace format against freshly generated programs, not just the
+    golden workloads.
+
 A divergence is **data**, not an exception: campaigns collect and report
 them; only infrastructure failures raise.
 """
@@ -43,7 +51,7 @@ from repro.lang import CompilerOptions, compile_source
 from repro.vm.machine import Machine
 
 #: Every oracle, in the order campaigns run them.
-ALL_ORACLES = ("opt", "timing", "golden", "analyze")
+ALL_ORACLES = ("opt", "timing", "golden", "analyze", "replay")
 
 #: The paper's Figure 9 machine — fast forwarding and combining on, which
 #: exercises the most timing-core machinery per fuzzed trace.
@@ -214,6 +222,33 @@ def check_golden(vm: Machine, config: MachineConfig, name: str,
     return [Divergence("golden", repr(m)) for m in mismatches]
 
 
+def check_replay(vm: Machine, config: MachineConfig, name: str,
+                 config_name: str = DEFAULT_CONFIG_NOTATION
+                 ) -> List[Divergence]:
+    """Serialize → decode → replay, bit for bit vs execution-driven.
+
+    Reuses the golden plumbing: the replayed stream must produce the
+    exact SimResult of the direct stream.  A round trip that *fails to
+    decode* is also a divergence — the format must accept every trace
+    the VM can emit.
+    """
+    from repro.errors import TraceError
+    from repro.perf.golden import diff_results
+    from repro.trace.format import decode_trace, encode_trace
+
+    trace = vm.trace
+    assert trace is not None
+    try:
+        replayed = decode_trace(encode_trace(trace),
+                                origin=f"<fuzz:{name}>")
+    except TraceError as exc:
+        return [Divergence("replay", f"round trip failed: {exc}")]
+    expected = Processor(config).run(trace.insts, name)
+    actual = Processor(config).run(replayed.insts, name)
+    return [Divergence("replay", repr(m))
+            for m in diff_results(name, config_name, expected, actual)]
+
+
 def check_analyze(source: str, vm: Machine, name: str) -> List[Divergence]:
     """Static verification + dynamic cross-check of the optimized build.
 
@@ -250,7 +285,7 @@ def run_oracles(
             raise ReproError(f"unknown oracle {oracle!r}; "
                              f"expected one of {ALL_ORACLES}")
     need_trace = ("timing" in oracles or "golden" in oracles
-                  or "analyze" in oracles)
+                  or "analyze" in oracles or "replay" in oracles)
     vm_opt = _run(source, name, optimize=True, trace=need_trace,
                   max_instructions=max_instructions)
     if vm_opt.exit_code == -1:
@@ -267,7 +302,8 @@ def run_oracles(
                           f"{max_instructions} instructions"))
         else:
             divergences.extend(check_opt(vm_opt, vm_noopt))
-    if "timing" in oracles or "golden" in oracles:
+    if ("timing" in oracles or "golden" in oracles
+            or "replay" in oracles):
         machine_config = config if config is not None else default_config()
         if "timing" in oracles:
             divergences.extend(check_timing(vm_opt, machine_config, name))
@@ -278,6 +314,8 @@ def run_oracles(
                     check_timing(vm_opt, realism_config(), name))
         if "golden" in oracles:
             divergences.extend(check_golden(vm_opt, machine_config, name))
+        if "replay" in oracles:
+            divergences.extend(check_replay(vm_opt, machine_config, name))
     if "analyze" in oracles:
         divergences.extend(check_analyze(source, vm_opt, name))
     return divergences

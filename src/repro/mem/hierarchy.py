@@ -212,6 +212,10 @@ class MemoryHierarchy:
         self.l1_ports = make_ports(config.l1_port_policy, config.l1_ports,
                                    config.l1_banks)
         self._bus_busy_until = 0
+        #: When set (mix runs), the L2 + bus live in a
+        #: :class:`repro.mem.shared.SharedMemory` and ``_miss`` delegates
+        #: to it; the private ``l2`` tags above stay untouched.
+        self.shared = None
         #: Hit/miss of the most recent first-level access (set by ``_ready``).
         self.last_hit = False
 
@@ -270,6 +274,8 @@ class MemoryHierarchy:
 
     def _miss(self, start: int, addr: int, is_store: bool) -> int:
         """Latency path through the shared bus, L2, and main memory."""
+        if self.shared is not None:
+            return self.shared.miss(self, start, addr, is_store)
         bus_at = max(start, self._bus_busy_until)
         self._bus_busy_until = bus_at + self.config.bus_occupancy
         self.counters.add("bus.transactions")

@@ -119,6 +119,7 @@ def run_benchmark(
     warmup: int = 1,
     repeat: int = 3,
     compare: bool = True,
+    replay: bool = False,
 ) -> Dict:
     """Full benchmark sweep; returns the BENCH_core.json document.
 
@@ -149,7 +150,7 @@ def run_benchmark(
         aggregate["speedup_geomean"] = round(
             statistics.geometric_mean(e["speedup"] for e in entries), 3)
 
-    return {
+    report = {
         "schema": SCHEMA,
         "python": platform.python_version(),
         "config": config_name,
@@ -159,6 +160,98 @@ def run_benchmark(
         "repeat": repeat,
         "workloads": entries,
         "aggregate": aggregate,
+    }
+    if replay:
+        report["replay"] = bench_replay(
+            workloads=workloads, config=config, config_name=config_name,
+            length=length, seed=seed, warmup=warmup, repeat=repeat)
+    return report
+
+
+def bench_replay(
+    workloads: Sequence[str] = QUICK_WORKLOADS,
+    config: Optional[MachineConfig] = None,
+    config_name: str = FIG9_CONFIG,
+    length: int = DEFAULT_LENGTH,
+    seed: int = 1,
+    warmup: int = 1,
+    repeat: int = 3,
+) -> Dict:
+    """Replay-mode vs execution-driven throughput (the tentpole ratio).
+
+    Both paths are timed end to end, cold per round:
+
+    * **execution-driven** — run the functional frontend (uncached) and
+      simulate the stream it produces;
+    * **replay** — decode a captured trace's flat tables and simulate.
+
+    kips here is dynamic instructions over *total* wall time, which is
+    what an experiment sweep actually pays per point; the replay/
+    execution ratio is the speedup the trace subsystem buys.  Rounds
+    interleave the two paths (same drift-cancelling argument as
+    :func:`bench_workload`).
+    """
+    from repro.trace.format import decode_trace, encode_trace
+    from repro.workloads.builder import build_trace_uncached
+
+    if config is None:
+        config = golden_config(config_name)
+    entries = []
+    for workload in workloads:
+        trace = build_trace_uncached(workload, length=length, seed=seed)
+        data = encode_trace(trace)
+        n_insts = len(trace.insts)
+
+        def _execution_ns() -> int:
+            t0 = perf_counter_ns()
+            insts = build_trace_uncached(workload, length=length,
+                                         seed=seed).insts
+            Processor(config).run(insts, workload)
+            return perf_counter_ns() - t0
+
+        def _replay_ns() -> int:
+            t0 = perf_counter_ns()
+            insts = decode_trace(data, origin=workload).insts
+            Processor(config).run(insts, workload)
+            return perf_counter_ns() - t0
+
+        for _ in range(warmup):
+            _execution_ns()
+            _replay_ns()
+        execution_ns: List[int] = []
+        replay_ns: List[int] = []
+        for _ in range(repeat):
+            execution_ns.append(_execution_ns())
+            replay_ns.append(_replay_ns())
+        best_execution = min(execution_ns)
+        best_replay = min(replay_ns)
+        entries.append({
+            "workload": workload,
+            "instructions": n_insts,
+            "execution_driven": {
+                "best_ns": best_execution,
+                "kips": round(n_insts / best_execution * 1e6, 1),
+            },
+            "replay": {
+                "best_ns": best_replay,
+                "kips": round(n_insts / best_replay * 1e6, 1),
+            },
+            "ratio": round(best_execution / best_replay, 3),
+        })
+
+    total_insts = sum(e["instructions"] for e in entries)
+    total_execution = sum(e["execution_driven"]["best_ns"]
+                          for e in entries)
+    total_replay = sum(e["replay"]["best_ns"] for e in entries)
+    return {
+        "workloads": entries,
+        "aggregate": {
+            "instructions": total_insts,
+            "execution_kips": round(total_insts / total_execution * 1e6,
+                                    1),
+            "replay_kips": round(total_insts / total_replay * 1e6, 1),
+            "ratio": round(total_execution / total_replay, 3),
+        },
     }
 
 
@@ -233,6 +326,22 @@ def format_report(report: Dict) -> str:
                  + (f", speedup vs reference {agg['speedup_vs_reference']:.2f}x"
                     f" (geomean {agg['speedup_geomean']:.2f}x)"
                     if "speedup_vs_reference" in agg else ""))
+    replay = report.get("replay")
+    if replay:
+        lines.append("")
+        lines.append(f"{'replay-mode':<14} {'insts':>8} {'exec kips':>10} "
+                     f"{'rply kips':>10} {'ratio':>8}")
+        for e in replay["workloads"]:
+            lines.append(
+                f"{e['workload']:<14} {e['instructions']:>8} "
+                f"{e['execution_driven']['kips']:>10.1f} "
+                f"{e['replay']['kips']:>10.1f} "
+                f"{e['ratio']:>8.2f}")
+        ragg = replay["aggregate"]
+        lines.append(
+            f"replay aggregate: {ragg['replay_kips']:.1f} kips vs "
+            f"{ragg['execution_kips']:.1f} execution-driven "
+            f"({ragg['ratio']:.2f}x)")
     return "\n".join(lines)
 
 

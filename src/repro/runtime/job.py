@@ -82,3 +82,66 @@ class SimJob:
     def __repr__(self) -> str:
         return (f"SimJob({self.workload!r}, {self.config.notation()}, "
                 f"scale={self.scale}, seed={self.seed})")
+
+
+class MixJob:
+    """Spec of one multi-programmed mix: N named workloads, one config.
+
+    Engine-compatible with :class:`SimJob` (key/describe/label plus the
+    ``workload``/``scale``/``seed`` fields the scheduler sorts on); the
+    result is a :class:`repro.trace.mix.MixResult`, so mix jobs run
+    through a :class:`~repro.runtime.cache.ResultCache` built with that
+    ``result_type``.
+    """
+
+    __slots__ = ("workloads", "config", "scale", "seed", "_key")
+
+    def __init__(self, workloads, config: MachineConfig,
+                 scale: float = 1.0, seed: int = 1):
+        self.workloads = tuple(workloads)
+        if not self.workloads:
+            raise ValueError("a mix needs at least one workload")
+        self.config = config
+        self.scale = scale
+        self.seed = seed
+        self._key: Optional[str] = None
+
+    @property
+    def workload(self) -> str:
+        """The scheduler's sort key: the joined program list."""
+        return "+".join(self.workloads)
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-serialisable description covering everything that can
+        affect the mix's result."""
+        return {
+            "kind": "mix",
+            "workloads": list(self.workloads),
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": describe_config(self.config),
+        }
+
+    @property
+    def key(self) -> str:
+        """Content-addressed identity (hex SHA-256 of the description)."""
+        if self._key is None:
+            self._key = digest(canonical_json(self.describe()))
+        return self._key
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        return f"mix[{self.workload}] {self.config.notation()}"
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__
+                if name != "_key"}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._key = None
+
+    def __repr__(self) -> str:
+        return (f"MixJob({self.workloads!r}, {self.config.notation()}, "
+                f"scale={self.scale}, seed={self.seed})")

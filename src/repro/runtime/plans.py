@@ -24,6 +24,7 @@ from repro.experiments import (
     fig7_ports,
     fig8_combining,
     fig11_programs,
+    mix_interference,
 )
 from repro.experiments.common import nm_config
 from repro.runtime.job import SimJob
@@ -124,6 +125,15 @@ def _plan_disc_small_l1(scale: float) -> List[SimJob]:
     return _jobs(INT_PROGRAMS, configs, scale)
 
 
+def _plan_mix_interference(scale: float) -> List[SimJob]:
+    """Only the *solo* baselines are SimJobs; the mixes themselves run
+    through the mix-typed engine inside the experiment."""
+    programs = sorted({name for pair in mix_interference.MIX_PAIRS
+                       for name in pair})
+    configs = [make() for make in mix_interference.CONFIGS.values()]
+    return _jobs(programs, configs, scale)
+
+
 #: Experiments absent here (table1/table2/fig2/fig3/fig6) run no timing
 #: simulations in their ``main()`` — there is nothing to prewarm.
 PLANNERS: Dict[str, Callable[[float], List[SimJob]]] = {
@@ -138,6 +148,7 @@ PLANNERS: Dict[str, Callable[[float], List[SimJob]]] = {
     "ablation-realism": _plan_ablation_realism,
     "ablation-window": _plan_ablation_window,
     "disc-small-l1": _plan_disc_small_l1,
+    "mix-interference": _plan_mix_interference,
 }
 
 

@@ -38,6 +38,22 @@ _SALT_SOURCES = (
     "perf",
     "pipeline",
     "stats",
+    "trace",
+    "vm",
+    "workloads",
+    "errors.py",
+    "utils.py",
+)
+
+#: Subpackages that determine a *captured trace's* content: the language
+#: frontend, the functional VM, and the workload generators.  The timing
+#: core is deliberately absent — a kernel-only change must not invalidate
+#: captured traces (replay exists precisely to skip re-running the VM),
+#: while any change that could alter the committed stream must.
+TRACE_SALT_SOURCES = (
+    "asm",
+    "isa",
+    "lang",
     "vm",
     "workloads",
     "errors.py",
@@ -101,6 +117,26 @@ def digest(text: str) -> str:
 _CODE_SALT: Dict[str, str] = {}
 
 
+def source_salt(entries: Tuple[str, ...], extra: str = "") -> str:
+    """16-hex-char hash over the named subpackages' source (+ *extra*).
+
+    The building block behind :func:`code_salt` and the trace capture
+    salt (:func:`repro.trace.capture.capture_salt`): stable across
+    processes, sensitive to every byte of the listed sources.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    hasher = hashlib.sha256()
+    if extra:
+        hasher.update(extra.encode("utf-8"))
+    for entry in entries:
+        path = os.path.join(package_root, entry)
+        for source in sorted(_python_files(path)):
+            hasher.update(os.path.relpath(source, package_root).encode())
+            with open(source, "rb") as handle:
+                hasher.update(handle.read())
+    return hasher.hexdigest()[:16]
+
+
 def code_salt() -> str:
     """Hash of the simulator's source code (cached per process).
 
@@ -114,15 +150,7 @@ def code_salt() -> str:
     cached = _CODE_SALT.get("salt")
     if cached is not None:
         return cached
-    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    hasher = hashlib.sha256()
-    for entry in _SALT_SOURCES:
-        path = os.path.join(package_root, entry)
-        for source in sorted(_python_files(path)):
-            hasher.update(os.path.relpath(source, package_root).encode())
-            with open(source, "rb") as handle:
-                hasher.update(handle.read())
-    salt = hasher.hexdigest()[:16]
+    salt = source_salt(_SALT_SOURCES)
     _CODE_SALT["salt"] = salt
     return salt
 

@@ -70,3 +70,20 @@ def execute_job(job: SimJob) -> SimResult:
     """Run one timing simulation to completion (pure; no cache I/O)."""
     trace = trace_for_job(job)
     return Processor(job.config).run(trace.insts, job.workload)
+
+
+def execute_mix_job(job):
+    """Run one multi-programmed mix to completion (pure; no cache I/O).
+
+    *job* is a :class:`repro.runtime.job.MixJob`; per-program traces
+    come from the same per-process memo path as solo jobs, and the
+    result is a :class:`repro.trace.mix.MixResult`.
+    """
+    from repro.core.multicore import run_mix
+    from repro.experiments.common import trace_for
+    from repro.trace.mix import MixResult
+
+    streams = [(name, trace_for(name, job.scale, job.seed).insts)
+               for name in job.workloads]
+    results = run_mix(streams, job.config)
+    return MixResult(job.config.notation(), results)

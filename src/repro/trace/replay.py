@@ -1,0 +1,82 @@
+"""Trace-driven replay: pre-decoded flat arrays straight into the kernel.
+
+Replay is the hot path the capture layer exists for.  It loads a
+serialized committed stream (:mod:`repro.trace.format`), materialises
+the :class:`~repro.vm.trace.DynInst` sequence with bulk array loads, and
+hands it to the **unmodified** staged timing kernel — no VM, no
+compiler, no workload generator on the path.  Because the kernel
+consumes only the committed stream (frontend gate lists are a pure
+function of it, recomputed at bind time), a replayed run is
+**bit-identical** to the execution-driven run it was captured from:
+same cycles, same instruction count, same counter dictionary, for every
+machine configuration.  :func:`check_replay_equivalence` enforces that
+over the golden matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import SimResult
+from repro.core.processor import Processor
+from repro.trace.format import read_trace
+from repro.vm.trace import Trace
+
+TraceSource = Union[str, Trace]
+
+
+def load_trace(source: TraceSource, verify: bool = True) -> Trace:
+    """*source* as an in-memory :class:`Trace` (path → decode)."""
+    if isinstance(source, Trace):
+        return source
+    return read_trace(source, verify=verify)
+
+
+def replay(source: TraceSource, config: MachineConfig,
+           workload: Optional[str] = None,
+           verify: bool = True) -> SimResult:
+    """Run one timing simulation from a captured trace.
+
+    *source* is a trace file path or an already-loaded :class:`Trace`.
+    The result is indistinguishable from
+    ``Processor(config).run(...)`` over the execution-driven stream.
+    """
+    trace = load_trace(source, verify=verify)
+    return Processor(config).run(
+        trace.insts, workload if workload else trace.name)
+
+
+def check_replay_equivalence(
+    workloads: Sequence[str],
+    configs: Optional[Iterable[Tuple[str, Dict]]] = None,
+    length: int = 20_000,
+    seed: int = 1,
+) -> List:
+    """Round-trip equivalence sweep: serialize → decode → replay → diff.
+
+    For each workload the execution-driven stream is built once, pushed
+    through the full encode/decode round trip, and both streams are
+    simulated on every golden configuration.  Returns every
+    :class:`repro.perf.golden.Mismatch` (empty list = replay is
+    bit-identical across the matrix).
+    """
+    from repro.perf.golden import GOLDEN_CONFIGS, diff_results
+    from repro.trace.format import decode_trace, encode_trace
+    from repro.workloads.builder import build_trace
+
+    if configs is None:
+        configs = GOLDEN_CONFIGS
+    configs = tuple(configs)
+    mismatches: List = []
+    for workload in workloads:
+        direct = build_trace(workload, length=length, seed=seed)
+        replayed = decode_trace(encode_trace(direct),
+                                origin=f"<capture:{workload}>")
+        for config_name, kwargs in configs:
+            config = MachineConfig.baseline(**kwargs)
+            expected = Processor(config).run(direct.insts, workload)
+            actual = Processor(config).run(replayed.insts, workload)
+            mismatches.extend(
+                diff_results(workload, config_name, expected, actual))
+    return mismatches

@@ -43,6 +43,19 @@ def build_trace(name: str, length: Optional[int] = None,
     return trace
 
 
+def build_trace_uncached(name: str, length: Optional[int] = None,
+                         seed: int = 1) -> Trace:
+    """Build the trace for *name*, bypassing (and not filling) the memo.
+
+    Trace capture and benchmarking use this: capture must serialize a
+    stream no other caller can have mutated, and the execution-driven
+    benchmark must pay the honest build cost replay is measured against.
+    """
+    if name.startswith("mini."):
+        return _build_minic(name, length)
+    return generate_trace(get_spec(name), length, seed)
+
+
 def _build_minic(name: str, length: Optional[int]) -> Trace:
     if name not in MINIC_PROGRAMS:
         raise WorkloadError(f"unknown mini-C program {name!r}")

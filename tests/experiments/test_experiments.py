@@ -17,6 +17,7 @@ from repro.experiments import (
     fig9_optimized,
     fig10_latency,
     fig11_programs,
+    mix_interference,
     table1_config,
     table2_workloads,
     table3_forwarding,
@@ -129,11 +130,25 @@ def test_table2_rows():
     assert table2_workloads.render(rows)
 
 
+def test_mix_interference_rows():
+    rows = mix_interference.run(scale=0.02, pairs=[FAST_PROGRAMS])
+    pair = "+".join(FAST_PROGRAMS)
+    assert set(rows) == {pair}
+    assert set(rows[pair]) == {"(2+0)", "(2+2:opt)"}
+    for cell in rows[pair].values():
+        for program in FAST_PROGRAMS:
+            metrics = cell[program]
+            # Co-scheduling cannot speed a program up.
+            assert metrics["slowdown"] >= 1.0
+            assert metrics["mix_ipc"] <= metrics["solo_ipc"]
+    assert "geomean slowdown" in mix_interference.render(rows)
+
+
 def test_runner_lists_every_experiment():
     from repro.experiments.runner import EXPERIMENTS
 
     expected = {"table1", "table2", "table3", "fig2", "fig3", "fig5",
                 "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "ablation-multiport", "ablation-realism",
-                "ablation-window", "disc-small-l1"}
+                "ablation-window", "disc-small-l1", "mix-interference"}
     assert set(EXPERIMENTS) == expected

@@ -51,11 +51,32 @@ def test_oracle_subset_runs_only_requested():
     source = generate_program(0).source()
     assert run_oracles(source, oracles=("opt",)) == []
     assert run_oracles(source, oracles=("timing", "golden")) == []
-    assert set(ALL_ORACLES) == {"opt", "timing", "golden", "analyze"}
+    assert set(ALL_ORACLES) == {"opt", "timing", "golden", "analyze",
+                                "replay"}
 
 
 def test_analyze_is_a_registered_oracle():
-    assert ALL_ORACLES == ("opt", "timing", "golden", "analyze")
+    assert ALL_ORACLES == ("opt", "timing", "golden", "analyze", "replay")
+
+
+def test_replay_oracle_clean_on_healthy_toolchain():
+    source = generate_program(4).source()
+    assert run_oracles(source, oracles=("replay",)) == []
+
+
+def test_replay_oracle_catches_format_field_loss(monkeypatch):
+    # Sabotage the decoder: collapse the local_hint tri-state so every
+    # replayed access looks compiler-classified non-local.  Architectural
+    # results are untouched (hints only steer the LVAQ), so only the
+    # replay oracle's timing diff can see the field loss.
+    from repro.trace import format as trace_format
+
+    monkeypatch.setattr(trace_format, "_HINT_BY_CODE",
+                        (False, False, False))
+    source = generate_program(4).source()
+    divergences = run_oracles(source, oracles=("replay",))
+    assert divergences
+    assert all(d.oracle == "replay" for d in divergences)
 
 
 def test_analyze_oracle_clean_on_healthy_toolchain():

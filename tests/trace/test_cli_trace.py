@@ -1,0 +1,65 @@
+"""The ``repro-cc trace`` command family, end to end."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+CAPTURE = ["trace", "capture", "130.li", "--scale", "0.0001",
+           "--seed", "5"]
+
+
+def _capture(tmp_path, capsys) -> str:
+    assert main(CAPTURE + ["--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("captured 130.li -> ")
+    return out.rsplit("-> ", 1)[1].strip()
+
+
+def test_capture_then_cached(tmp_path, capsys):
+    path = _capture(tmp_path, capsys)
+    assert path.endswith(".trace")
+    assert main(CAPTURE + ["--cache-dir", str(tmp_path)]) == 0
+    assert capsys.readouterr().out.startswith("cached 130.li -> ")
+
+
+def test_capture_to_explicit_output(tmp_path, capsys):
+    target = str(tmp_path / "li.trace")
+    assert main(CAPTURE + ["--output", target]) == 0
+    assert target in capsys.readouterr().out
+
+
+def test_info(tmp_path, capsys):
+    path = _capture(tmp_path, capsys)
+    assert main(["trace", "info", path]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["workload"] == "130.li"
+    assert info["version"] == 1
+    assert info["instructions"] > 0
+    assert info["meta"]["kind"] == "trace-capture"
+
+
+def test_replay_with_check(tmp_path, capsys):
+    path = _capture(tmp_path, capsys)
+    code = main(["trace", "replay", path, "--scale", "0.0001",
+                 "--seed", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "130.li" in out
+    assert "(2+0" in out and "(2+2:opt" in out
+    code = main(["trace", "replay", path, "--config", "2+2:opt",
+                 "--check", "--scale", "0.0001", "--seed", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bit-identical to execution-driven run" in out
+
+
+def test_mix(capsys):
+    code = main(["trace", "mix", "130.li", "129.compress",
+                 "--scale", "0.001"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mix of 2 programs" in out
+    assert "130.li" in out and "129.compress" in out
+    assert "bus-conflict stalls" in out
