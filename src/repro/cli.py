@@ -188,6 +188,12 @@ def cmd_stats(args) -> int:
 def cmd_perf(args) -> int:
     from repro.perf import bench
 
+    if args.emit_kernel:
+        from repro.core.stages.specialize import emit_source
+        from repro.perf.golden import golden_config
+
+        print(emit_source(golden_config(args.emit_kernel)))
+        return 0
     if args.profile:
         print(bench.profile_run(args.profile, length=args.length,
                                 seed=args.seed))
@@ -206,6 +212,7 @@ def cmd_perf(args) -> int:
         repeat=args.repeat,
         compare=not args.no_compare,
         replay=args.replay,
+        min_repeat=args.min_repeat,
     )
     print(bench.format_report(report))
     if args.output:
@@ -480,6 +487,10 @@ def make_parser() -> argparse.ArgumentParser:
                         help="discarded rounds per workload (default 1)")
     perf_p.add_argument("--repeat", type=int, default=3,
                         help="timed rounds per workload (default 3)")
+    perf_p.add_argument("--min-repeat", type=int, default=0,
+                        help="floor on timed rounds (reduces noise in the "
+                             "trimmed-mean numbers without editing "
+                             "--repeat everywhere)")
     perf_p.add_argument("--no-compare", action="store_true",
                         help="time only the optimized core")
     perf_p.add_argument("--replay", action="store_true",
@@ -495,6 +506,10 @@ def make_parser() -> argparse.ArgumentParser:
                              "(default 0.20)")
     perf_p.add_argument("--profile", metavar="WORKLOAD",
                         help="cProfile one workload instead of benchmarking")
+    perf_p.add_argument("--emit-kernel", metavar="CONFIG",
+                        help="print the constant-folded kernel source "
+                             "generated for a golden config notation "
+                             "(e.g. 2+2:opt) and exit")
     perf_p.set_defaults(func=cmd_perf)
 
     fuzz_p = sub.add_parser(

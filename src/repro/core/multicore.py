@@ -201,7 +201,6 @@ def run_mix(
                 # ---- per-core cycle skip (solo condition verbatim) ---
                 if (not c.ready_fifo
                         and not c.woken
-                        and not c.sleep
                         and not c.store_done
                         and (c.index >= c.total
                              or c.rob_count >= c.rob_size)
@@ -217,6 +216,14 @@ def run_mix(
                             break
                     if c.overflow:
                         for t in c.overflow:
+                            if t > now and (target is None
+                                            or t < target):
+                                target = t
+                    # Sleeping entries wake at known cycles too (issue
+                    # pops the bucket for each cycle it ticks), so the
+                    # skip may jump straight to the earliest of them.
+                    if c.sleep:
+                        for t in c.sleep:
                             if t > now and (target is None
                                             or t < target):
                                 target = t

@@ -131,29 +131,48 @@ class Processor:
         """Simulate the dynamic stream to completion and return the result.
 
         Binds the five stage components to a fresh :class:`CoreState`
-        and steps cycles to completion through one of two composition
-        modes of the *same* stage sources:
+        and steps cycles to completion through one of three
+        composition modes of the *same* stage sources:
 
-        - the **fused** kernel (default): the stage tick bodies are
-          spliced into a single generated function, compiled once per
-          process (:mod:`repro.core.stages.compose`) — one frame, no
-          per-tick call overhead;
+        - the **specialized** kernel (default): the fused source with
+          this config's scalars constant-folded in and dead policy
+          arms deleted, compiled once per machine description
+          (:mod:`repro.core.stages.specialize`);
+        - the **generic fused** kernel (``REPRO_GENERIC_KERNEL=1``, or
+          the fallback when specialization finds nothing to fold): the
+          stage tick bodies spliced into a single generated function,
+          compiled once per process (:mod:`repro.core.stages.compose`)
+          — one frame, no per-tick call overhead;
         - the **portable** kernel (``REPRO_PORTABLE_KERNEL=1``): plain
           closure calls per tick, the shape the stage interface
           contract is written against, kept as the debuggable
-          cross-check (``tests/core/test_kernel_compose.py`` pins the
-          two bit-identical).
+          cross-check (``tests/core/test_kernel_compose.py`` and
+          ``tests/core/test_kernel_specialize.py`` pin all three
+          bit-identical).
         """
         total = len(insts)
         limit = total * 80 + 1000
         state = CoreState(self, insts)
-        if os.environ.get("REPRO_PORTABLE_KERNEL", "") in ("", "0"):
-            from repro.core.stages.compose import fused_kernel
-            (now, committed_total, index, shares, exceeded,
-             n_skip_rob_full) = fused_kernel()(self, state)
-        else:
+        env_get = os.environ.get
+        if env_get("REPRO_PORTABLE_KERNEL", "") not in ("", "0"):
             (now, committed_total, index, shares, exceeded,
              n_skip_rob_full) = self._portable_kernel(state, insts)
+        else:
+            kernel = None
+            if env_get("REPRO_GENERIC_KERNEL", "") in ("", "0"):
+                # Default: the per-config specialized kernel (config
+                # scalars constant-folded, dead policy arms deleted),
+                # compiled once per machine description and kept warm
+                # for the life of the process.  Falls back to the
+                # generic composed kernel when specialization finds
+                # nothing to fold.
+                from repro.core.stages.specialize import kernel_for
+                kernel = kernel_for(self, state)
+            if kernel is None:
+                from repro.core.stages.compose import fused_kernel
+                kernel = fused_kernel()
+            (now, committed_total, index, shares, exceeded,
+             n_skip_rob_full) = kernel(self, state)
         if exceeded:
             raise SimulationError(
                 self._livelock_report(limit, total, index))
@@ -286,7 +305,6 @@ class Processor:
                 # accounting.
                 if (not ready_fifo
                         and not woken
-                        and not sleep
                         and not store_done
                         and (index >= total or rob_count >= rob_size)
                         and lsq_unserviced == 0
@@ -301,6 +319,14 @@ class Processor:
                             break
                     if overflow:
                         for t in overflow:
+                            if t > now and (target is None
+                                            or t < target):
+                                target = t
+                    # Sleeping entries wake at known cycles too (issue
+                    # pops the bucket for each cycle it ticks), so the
+                    # skip may jump straight to the earliest of them.
+                    if sleep:
+                        for t in sleep:
                             if t > now and (target is None
                                             or t < target):
                                 target = t

@@ -242,7 +242,6 @@ def _fused_run(self, state):
             # ---- cycle skip ---------------------------------------
             if (not ready_fifo
                     and not woken
-                    and not sleep
                     and not store_done
                     and (index >= total or rob_count >= rob_size)
                     and lsq_unserviced == 0
@@ -257,6 +256,14 @@ def _fused_run(self, state):
                         break
                 if overflow:
                     for t in overflow:
+                        if t > now and (target is None
+                                        or t < target):
+                            target = t
+                # Sleeping entries wake at known cycles too (issue pops
+                # the bucket for each cycle it ticks), so the skip may
+                # jump straight to the earliest of them.
+                if sleep:
+                    for t in sleep:
                         if t > now and (target is None
                                         or t < target):
                             target = t

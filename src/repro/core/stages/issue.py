@@ -49,6 +49,12 @@ def bind(state: CoreState):
     lvaq = state.lvaq
     lsq_words = lsq._stores_by_word
     lvaq_words = lvaq._stores_by_word
+    agen_ready_lsq = lsq._addr_ready
+    agen_ready_lvaq = lvaq._addr_ready
+    # The memory stage's event-driven walk consumes the LVAQ bucket only
+    # when fast forwarding is off (sp-based loads may be serviced before
+    # address generation, so the fast-forwarding walk rescans the queue).
+    lvaq_track = not state.fast_fwd
 
     fus = state.fus
     fus_try_take = fus.try_take
@@ -71,6 +77,8 @@ def bind(state: CoreState):
              woken=woken, sleep=sleep, sleep_get=sleep_get,
              sleep_pop=sleep_pop, store_done_append=store_done_append,
              lsq_words=lsq_words, lvaq_words=lvaq_words,
+             agen_ready_lsq=agen_ready_lsq,
+             agen_ready_lvaq=agen_ready_lvaq, lvaq_track=lvaq_track,
              fus_try_take=fus_try_take, n_ialu=n_ialu, n_falu=n_falu):
         nonlocal left_after, last_tick, n_stall_fu
         # Refill the pipelined ALU budgets (tick-local; saved at the
@@ -152,6 +160,23 @@ def bind(state: CoreState):
                                 b2 = lsq_words.get(word)
                                 if b2 is None:
                                     lsq_words[word] = [qe]
+                                else:
+                                    b2.append(qe)
+                        else:
+                            # Register the load for the memory stage's
+                            # event-driven walk at its address-known
+                            # cycle.
+                            if qe.use_lvc:
+                                if lvaq_track:
+                                    b2 = agen_ready_lvaq.get(now + 1)
+                                    if b2 is None:
+                                        agen_ready_lvaq[now + 1] = [qe]
+                                    else:
+                                        b2.append(qe)
+                            else:
+                                b2 = agen_ready_lsq.get(now + 1)
+                                if b2 is None:
+                                    agen_ready_lsq[now + 1] = [qe]
                                 else:
                                     b2.append(qe)
                     if qe.is_store:
@@ -259,6 +284,23 @@ def bind(state: CoreState):
                                 b2 = lsq_words.get(word)
                                 if b2 is None:
                                     lsq_words[word] = [qe]
+                                else:
+                                    b2.append(qe)
+                        else:
+                            # Register the load for the memory stage's
+                            # event-driven walk at its address-known
+                            # cycle.
+                            if qe.use_lvc:
+                                if lvaq_track:
+                                    b2 = agen_ready_lvaq.get(now + 1)
+                                    if b2 is None:
+                                        agen_ready_lvaq[now + 1] = [qe]
+                                    else:
+                                        b2.append(qe)
+                            else:
+                                b2 = agen_ready_lsq.get(now + 1)
+                                if b2 is None:
+                                    agen_ready_lsq[now + 1] = [qe]
                                 else:
                                     b2.append(qe)
                     if qe.is_store:

@@ -1,13 +1,19 @@
 """Memory stage: disambiguated loads access their cache or forward.
 
-Walks each queue's pending loads (serviced-prefix cursor, maintained
-here): a load whose address is known, which no older unknown-address
-store in its queue might alias, and which wins a port either forwards
-from the youngest older same-word store or accesses its cache, with the
-completion scheduled on the calendar.  The LVAQ side adds the paper's
-fast data forwarding (sp-relative (frame, offset) matching before
-address generation) and access combining (following same-line loads
-absorbed into one port transaction).
+Walks each queue's *eligible* loads: a load whose address is known,
+which no older unknown-address store in its queue might alias, and
+which wins a port either forwards from the youngest older same-word
+store or accesses its cache, with the completion scheduled on the
+calendar.  Eligibility is event-driven — issue's address generation
+buckets each load by the cycle its address becomes known
+(``MemQueue._addr_ready``) and the walk drains the bucket for the
+current cycle into an age-ordered eligible list, so loads still waiting
+on operands or address generation are never rescanned.  The LVAQ side
+adds the paper's fast data forwarding (sp-relative (frame, offset)
+matching before address generation) and access combining (following
+same-line loads absorbed into one port transaction); with fast
+forwarding enabled the LVAQ keeps the full pending-load rescan, since
+sp-based loads can be serviced before their address is generated.
 
 Interface: ``bind(state) -> (tick, finish)``.
 
@@ -48,6 +54,15 @@ def bind(state: CoreState):
     lsq_words_get = lsq._stores_by_word.get
     lvaq_words_get = lvaq._stores_by_word.get
     lvaq_sp_get = lvaq._sp_stores.get
+    # Event-driven eligibility: issue's address generation buckets each
+    # load by its address-known cycle; the walk drains the bucket for
+    # ``now`` into an age-ordered eligible list and visits only those.
+    # (With fast forwarding the LVAQ keeps the full rescan instead —
+    # sp-based loads can be serviced before address generation.)
+    lsq_addr_ready_pop = lsq._addr_ready.pop
+    lvaq_addr_ready_pop = lvaq._addr_ready.pop
+    lsq_eligible = []
+    lvaq_eligible = []
     # Stage-owned incremental cursors (written back by ``finish``).
     lsq_us_head = lsq._us_head
     lvaq_us_head = lvaq._us_head
@@ -103,6 +118,9 @@ def bind(state: CoreState):
              lvaq_un_nonsp=lvaq_un_nonsp, lvaq_ns=lvaq_ns,
              lsq_words_get=lsq_words_get,
              lvaq_words_get=lvaq_words_get, lvaq_sp_get=lvaq_sp_get,
+             lsq_addr_ready_pop=lsq_addr_ready_pop,
+             lvaq_addr_ready_pop=lvaq_addr_ready_pop,
+             lsq_eligible=lsq_eligible, lvaq_eligible=lvaq_eligible,
              ready_l1=ready_l1, ready_lvc=ready_lvc,
              l1_simple=l1_simple, lvc_simple=lvc_simple,
              have_lvc=have_lvc, l1_ports=l1_ports, lvc_ports=lvc_ports,
@@ -135,7 +153,19 @@ def bind(state: CoreState):
                 uh = 0
             lvaq_us_head = uh
             unknown_seq = ulst[uh].rob.seq if uh < un else inf_seq
+            if lvc_simple:
+                ports_exhausted = not have_lvc or lvc_avail == 0
+            else:
+                ports_exhausted = lvc_ports.available == 0
+            next_slot = (now + 1) & MASK
+            entries = lvaq_entries
+            qbase = lvaq.base
+            qlen = len(entries)
+            serviced = 0
             if fast_fwd:
+                # sp-based loads may be serviced before address
+                # generation, so this path keeps the full rescan of
+                # pending loads (the loop below).
                 ulst = lvaq_un_nonsp
                 uh = lvaq_un_head
                 un = len(ulst)
@@ -148,29 +178,182 @@ def bind(state: CoreState):
                 lvaq_un_head = uh
                 nonsp_unknown_seq = (ulst[uh].rob.seq if uh < un
                                      else inf_seq)
+                # Inline pending_loads: skip the serviced prefix.
+                loads = lvaq_loads_list
+                li = lvaq_load_head
+                n_loads = len(loads)
+                while li < n_loads and loads[li].serviced:
+                    li += 1
+                if li >= 64:
+                    del loads[:li]
+                    n_loads -= li
+                    li = 0
+                lvaq_load_head = li
             else:
-                nonsp_unknown_seq = unknown_seq
-            if lvc_simple:
-                ports_exhausted = not have_lvc or lvc_avail == 0
-            else:
-                ports_exhausted = lvc_ports.available == 0
-            next_slot = (now + 1) & MASK
-            # Inline pending_loads: skip the serviced prefix.
-            loads = lvaq_loads_list
-            li = lvaq_load_head
-            n_loads = len(loads)
-            while li < n_loads and loads[li].serviced:
-                li += 1
-            if li >= 64:
-                del loads[:li]
-                n_loads -= li
+                # Event-driven walk: visit only loads whose address is
+                # known (issue buckets them by address-known cycle);
+                # the rescan loop below degenerates to a no-op.
                 li = 0
-            lvaq_load_head = li
-            entries = lvaq_entries
-            qbase = lvaq.base
+                n_loads = 0
+                elig = lvaq_eligible
+                arrivals = lvaq_addr_ready_pop(now, None)
+                if arrivals is not None:
+                    if not elig or arrivals[0].pos > elig[-1].pos:
+                        elig.extend(arrivals)
+                    else:
+                        # Rare: an older load resolved its address
+                        # after a younger one did — merge by position.
+                        merged = []
+                        i3 = 0
+                        j3 = 0
+                        n3 = len(elig)
+                        m3 = len(arrivals)
+                        while i3 < n3 and j3 < m3:
+                            if elig[i3].pos <= arrivals[j3].pos:
+                                merged.append(elig[i3])
+                                i3 += 1
+                            else:
+                                merged.append(arrivals[j3])
+                                j3 += 1
+                        if i3 < n3:
+                            merged.extend(elig[i3:])
+                        if j3 < m3:
+                            merged.extend(arrivals[j3:])
+                        elig[:] = merged
+                i3 = 0
+                wi = 0
+                n_el = len(elig)
+                while i3 < n_el:
+                    qe = elig[i3]
+                    i3 += 1
+                    if qe.serviced:
+                        continue  # absorbed by combining: drop
+                    entry = qe.rob
+                    if entry.state == 2:
+                        continue
+                    if entry.seq > unknown_seq:
+                        elig[wi] = qe
+                        wi += 1
+                        continue  # earlier unknown-address store
+                    if qe.penalty and now < qe.addr_known_time + qe.penalty:
+                        elig[wi] = qe
+                        wi += 1
+                        continue  # misprediction recovery
+                    if ports_exhausted or (lvc_simple and lvc_avail == 0):
+                        n_stall_lvaq_port += 1
+                        ports_exhausted = True
+                        elig[wi] = qe
+                        wi += 1
+                        continue
+                    bucket = lvaq_words_get(qe.word)
+                    fwd = False
+                    if bucket:
+                        lpos = qe.pos
+                        for sentry in bucket:
+                            if sentry.pos < lpos:
+                                fwd = True
+                                break
+                    if fwd:
+                        # Forwarding occupies a cache port (see the
+                        # fast-forwarding path's note below).
+                        if lvc_simple:
+                            lvc_avail -= 1
+                            lvc_busy += 1
+                        elif not lvc_try_take(
+                                1, line=qe.line, is_store=False):
+                            n_stall_lvaq_port += 1
+                            ports_exhausted = True
+                            elig[wi] = qe
+                            wi += 1
+                            continue
+                        qe.serviced = True
+                        serviced += 1
+                        bucket = ring[next_slot]
+                        if bucket is None:
+                            ring[next_slot] = [entry]
+                        else:
+                            bucket.append(entry)
+                        n_lvaq_forwards += 1
+                        continue
+                    if lvc_simple:
+                        lvc_avail -= 1
+                        lvc_busy += 1
+                    elif not lvc_try_take(
+                            1, line=qe.line, is_store=False):
+                        n_stall_lvaq_port += 1
+                        ports_exhausted = True
+                        elig[wi] = qe
+                        wi += 1
+                        continue
+                    addr = qe.word << 2
+                    line_no = addr >> lvc_shift
+                    if lvc_pending:
+                        t = lvc_pending.get(line_no)
+                        pend = t is not None and t > now
+                    else:
+                        pend = False
+                    if pend:
+                        ready = ready_lvc(addr, False, now)
+                    else:
+                        ways = lvc_sets[line_no & lvc_smask]
+                        if line_no in ways:
+                            n_lvc_fast += 1
+                            if ways[0] != line_no:
+                                ways.remove(line_no)
+                                ways.insert(0, line_no)
+                            ready = now + lvc_hitlat
+                        else:
+                            ready = ready_lvc(addr, False, now)
+                    qe.serviced = True
+                    serviced += 1
+                    d = ready - now
+                    if 1 <= d < RING:
+                        slot2 = ready & MASK
+                        bucket = ring[slot2]
+                        if bucket is None:
+                            bucket = ring[slot2] = []
+                        bucket.append(entry)
+                    else:
+                        bucket = overflow.get(ready)
+                        if bucket is None:
+                            bucket = overflow[ready] = []
+                        bucket.append(entry)
+                    # Access combining: absorb following same-line
+                    # refs into this port transaction.
+                    if combine_window:
+                        j = qe.pos - qbase + 1
+                        jn = j + combining - 1
+                        if jn > qlen:
+                            jn = qlen
+                        line = qe.line
+                        while j < jn:
+                            cand = entries[j]
+                            j += 1
+                            cakt = cand.addr_known_time
+                            if (cand.is_store or cand.serviced
+                                    or cakt < 0 or cakt > now
+                                    or cand.line != line
+                                    or cand.rob.seq > unknown_seq
+                                    or cand.penalty
+                                    or cand.rob.state == 2):
+                                continue
+                            cbucket = lvaq_words_get(cand.word)
+                            if cbucket:
+                                cpos = cand.pos
+                                fwd = False
+                                for sentry in cbucket:
+                                    if sentry.pos < cpos:
+                                        fwd = True
+                                        break
+                                if fwd:
+                                    continue
+                            cand.serviced = True
+                            serviced += 1
+                            bucket.append(cand.rob)
+                            n_lvaq_load_combined += 1
+                if wi < n_el:
+                    del elig[wi:]
             lvaq_ns_head = lvaq._ns_head
-            qlen = len(entries)
-            serviced = 0
             while li < n_loads:
                 qe = loads[li]
                 li += 1
@@ -409,32 +592,52 @@ def bind(state: CoreState):
             else:
                 ports_exhausted = l1_ports.available == 0
             next_slot = (now + 1) & MASK
-            # Inline pending_loads: skip the serviced prefix.
-            loads = lsq_loads_list
-            li = lsq_load_head
-            n_loads = len(loads)
-            while li < n_loads and loads[li].serviced:
-                li += 1
-            if li >= 64:
-                del loads[:li]
-                n_loads -= li
-                li = 0
-            lsq_load_head = li
+            # Event-driven walk (see the LVAQ note): visit only loads
+            # whose address-known cycle has arrived.
+            elig = lsq_eligible
+            arrivals = lsq_addr_ready_pop(now, None)
+            if arrivals is not None:
+                if not elig or arrivals[0].pos > elig[-1].pos:
+                    elig.extend(arrivals)
+                else:
+                    # Rare: an older load resolved its address after a
+                    # younger one did — merge by queue position.
+                    merged = []
+                    i3 = 0
+                    j3 = 0
+                    n3 = len(elig)
+                    m3 = len(arrivals)
+                    while i3 < n3 and j3 < m3:
+                        if elig[i3].pos <= arrivals[j3].pos:
+                            merged.append(elig[i3])
+                            i3 += 1
+                        else:
+                            merged.append(arrivals[j3])
+                            j3 += 1
+                    if i3 < n3:
+                        merged.extend(elig[i3:])
+                    if j3 < m3:
+                        merged.extend(arrivals[j3:])
+                    elig[:] = merged
             serviced = 0
-            while li < n_loads:
-                qe = loads[li]
-                li += 1
+            i3 = 0
+            wi = 0
+            n_el = len(elig)
+            while i3 < n_el:
+                qe = elig[i3]
+                i3 += 1
                 if qe.serviced:
                     continue
                 entry = qe.rob
                 if entry.state == 2:
                     continue
-                akt = qe.addr_known_time
-                if akt < 0 or akt > now:
-                    continue
                 if entry.seq > unknown_seq:
+                    elig[wi] = qe
+                    wi += 1
                     continue  # earlier unknown-address store
-                if qe.penalty and now < akt + qe.penalty:
+                if qe.penalty and now < qe.addr_known_time + qe.penalty:
+                    elig[wi] = qe
+                    wi += 1
                     continue  # misprediction recovery
                 # Port-exhaustion hoist (see LVAQ note): a stalled load
                 # charges the same counter on the forward and access
@@ -442,6 +645,8 @@ def bind(state: CoreState):
                 if ports_exhausted or (l1_simple and l1_avail == 0):
                     n_stall_lsq_port += 1
                     ports_exhausted = True
+                    elig[wi] = qe
+                    wi += 1
                     continue
                 bucket = lsq_words_get(qe.word)
                 fwd = False
@@ -460,6 +665,8 @@ def bind(state: CoreState):
                             1, line=qe.line, is_store=False):
                         n_stall_lsq_port += 1
                         ports_exhausted = True
+                        elig[wi] = qe
+                        wi += 1
                         continue
                     qe.serviced = True
                     serviced += 1
@@ -477,6 +684,8 @@ def bind(state: CoreState):
                         1, line=qe.line, is_store=False):
                     n_stall_lsq_port += 1
                     ports_exhausted = True
+                    elig[wi] = qe
+                    wi += 1
                     continue
                 addr = qe.word << 2
                 line_no = addr >> l1_shift
@@ -513,6 +722,8 @@ def bind(state: CoreState):
                         overflow[ready] = [entry]
                     else:
                         bucket.append(entry)
+            if wi < n_el:
+                del elig[wi:]
             if serviced:
                 lsq_unserviced -= serviced
 

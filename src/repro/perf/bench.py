@@ -16,6 +16,11 @@ Methodology notes, learned the hard way on shared hardware:
   cost.  Means/medians are reported for context only.
 * **Warmup.**  The first round touches cold code objects (and the trace
   builder's caches); warmup rounds are run and discarded.
+* **Trimmed mean.**  Best-of-N is the right point estimate but says
+  nothing about stability; the interquartile-trimmed mean (middle half
+  of the sorted rounds) is reported alongside it as the noise-robust
+  average the CI gate can compare without chasing outliers.  Raise
+  ``--min-repeat`` when stdev is large relative to the mean.
 
 Results are emitted as ``BENCH_core.json`` so CI can diff throughput
 against a committed baseline (:func:`check_regression`).
@@ -34,7 +39,7 @@ from repro.core.processor import Processor
 from repro.perf.golden import FIG9_CONFIG, golden_config
 
 #: Schema tag for BENCH_core.json; bump on incompatible layout changes.
-SCHEMA = "repro.perf.bench/1"
+SCHEMA = "repro.perf.bench/2"
 
 #: Workloads benchmarked by default: the paper's full SPEC95 subset.
 DEFAULT_WORKLOADS = (
@@ -57,6 +62,20 @@ def _time_run(processor_cls, insts, config: MachineConfig,
     t0 = perf_counter_ns()
     core.run(insts, workload)
     return perf_counter_ns() - t0
+
+
+def trimmed_mean(samples: Sequence[int]) -> int:
+    """Interquartile-trimmed mean: the mean of the middle half.
+
+    The quarter of rounds at each end of the sorted samples is dropped
+    (at least one round survives), so a co-tenant spike or a lucky
+    quiet round moves the estimate far less than it moves the plain
+    mean.  With fewer than four samples nothing can be trimmed.
+    """
+    ordered = sorted(samples)
+    drop = len(ordered) // 4
+    kept = ordered[drop:len(ordered) - drop] if drop else ordered
+    return int(statistics.fmean(kept))
 
 
 def bench_workload(
@@ -89,13 +108,16 @@ def bench_workload(
 
     def _stats(samples: List[int]) -> Dict:
         best = min(samples)
+        trimmed = trimmed_mean(samples)
         return {
             "best_ns": best,
             "mean_ns": int(statistics.fmean(samples)),
+            "trimmed_mean_ns": trimmed,
             "median_ns": int(statistics.median(samples)),
             "stdev_ns": int(statistics.stdev(samples)) if len(samples) > 1
             else 0,
             "kips": round(n_insts / best * 1e6, 1),
+            "trimmed_kips": round(n_insts / trimmed * 1e6, 1),
         }
 
     entry = {
@@ -120,15 +142,19 @@ def run_benchmark(
     repeat: int = 3,
     compare: bool = True,
     replay: bool = False,
+    min_repeat: int = 0,
 ) -> Dict:
     """Full benchmark sweep; returns the BENCH_core.json document.
 
     The aggregate ``speedup_vs_reference`` is the ratio of summed
     best-round times (total work done per unit time), with the geometric
-    mean of per-workload ratios alongside it.
+    mean of per-workload ratios alongside it.  ``min_repeat`` raises the
+    round count floor (``--min-repeat``) so noisy machines can buy
+    stability without editing every call site's ``repeat``.
     """
     from repro.workloads.builder import build_trace
 
+    repeat = max(repeat, min_repeat)
     if config is None:
         config = golden_config(config_name)
     entries = []
@@ -140,9 +166,12 @@ def run_benchmark(
 
     total_insts = sum(e["instructions"] for e in entries)
     total_new = sum(e["optimized"]["best_ns"] for e in entries)
+    total_new_trimmed = sum(e["optimized"]["trimmed_mean_ns"]
+                            for e in entries)
     aggregate = {
         "instructions": total_insts,
         "kips": round(total_insts / total_new * 1e6, 1),
+        "trimmed_kips": round(total_insts / total_new_trimmed * 1e6, 1),
     }
     if compare:
         total_ref = sum(e["reference"]["best_ns"] for e in entries)
@@ -164,7 +193,8 @@ def run_benchmark(
     if replay:
         report["replay"] = bench_replay(
             workloads=workloads, config=config, config_name=config_name,
-            length=length, seed=seed, warmup=warmup, repeat=repeat)
+            length=length, seed=seed, warmup=warmup, repeat=repeat,
+            min_repeat=min_repeat)
     return report
 
 
@@ -176,73 +206,109 @@ def bench_replay(
     seed: int = 1,
     warmup: int = 1,
     repeat: int = 3,
+    min_repeat: int = 0,
 ) -> Dict:
     """Replay-mode vs execution-driven throughput (the tentpole ratio).
 
-    Both paths are timed end to end, cold per round:
+    Three lanes, timed end to end and interleaved per round (same
+    drift-cancelling argument as :func:`bench_workload`):
 
     * **execution-driven** — run the functional frontend (uncached) and
       simulate the stream it produces;
-    * **replay** — decode a captured trace's flat tables and simulate.
+    * **replay** — decode a captured trace's flat tables, cold each
+      round, and simulate;
+    * **replay_fast** — :func:`repro.trace.replay.replay_fast` against
+      the stored trace + pre-decoded sidecar: after the warmup round
+      the materialized stream is a per-process memo hit, which is
+      exactly what a benchmark repeat or a config sweep pays per point.
 
-    kips here is dynamic instructions over *total* wall time, which is
-    what an experiment sweep actually pays per point; the replay/
-    execution ratio is the speedup the trace subsystem buys.  Rounds
-    interleave the two paths (same drift-cancelling argument as
-    :func:`bench_workload`).
+    kips here is dynamic instructions over *total* wall time per point;
+    the replay/execution ratios are the speedups the trace subsystem
+    buys.
     """
-    from repro.trace.format import decode_trace, encode_trace
+    import os
+    import tempfile
+
+    from repro.trace import predecode as _predecode
+    from repro.trace.format import decode_trace, encode_trace, write_trace
+    from repro.trace.replay import replay_fast
     from repro.workloads.builder import build_trace_uncached
 
+    repeat = max(repeat, min_repeat)
     if config is None:
         config = golden_config(config_name)
     entries = []
-    for workload in workloads:
-        trace = build_trace_uncached(workload, length=length, seed=seed)
-        data = encode_trace(trace)
-        n_insts = len(trace.insts)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmpdir:
+        for workload in workloads:
+            trace = build_trace_uncached(workload, length=length,
+                                         seed=seed)
+            data = encode_trace(trace)
+            n_insts = len(trace.insts)
+            path = os.path.join(tmpdir, workload + ".trace")
+            write_trace(trace, path)
+            _predecode.write_predecoded(
+                _predecode.predecode_trace(data, origin=path),
+                path[:-len(".trace")] + ".pdt")
 
-        def _execution_ns() -> int:
-            t0 = perf_counter_ns()
-            insts = build_trace_uncached(workload, length=length,
-                                         seed=seed).insts
-            Processor(config).run(insts, workload)
-            return perf_counter_ns() - t0
+            def _execution_ns() -> int:
+                t0 = perf_counter_ns()
+                insts = build_trace_uncached(workload, length=length,
+                                             seed=seed).insts
+                Processor(config).run(insts, workload)
+                return perf_counter_ns() - t0
 
-        def _replay_ns() -> int:
-            t0 = perf_counter_ns()
-            insts = decode_trace(data, origin=workload).insts
-            Processor(config).run(insts, workload)
-            return perf_counter_ns() - t0
+            def _replay_ns() -> int:
+                t0 = perf_counter_ns()
+                insts = decode_trace(data, origin=workload).insts
+                Processor(config).run(insts, workload)
+                return perf_counter_ns() - t0
 
-        for _ in range(warmup):
-            _execution_ns()
-            _replay_ns()
-        execution_ns: List[int] = []
-        replay_ns: List[int] = []
-        for _ in range(repeat):
-            execution_ns.append(_execution_ns())
-            replay_ns.append(_replay_ns())
-        best_execution = min(execution_ns)
-        best_replay = min(replay_ns)
-        entries.append({
-            "workload": workload,
-            "instructions": n_insts,
-            "execution_driven": {
-                "best_ns": best_execution,
-                "kips": round(n_insts / best_execution * 1e6, 1),
-            },
-            "replay": {
-                "best_ns": best_replay,
-                "kips": round(n_insts / best_replay * 1e6, 1),
-            },
-            "ratio": round(best_execution / best_replay, 3),
-        })
+            def _fast_ns() -> int:
+                t0 = perf_counter_ns()
+                replay_fast(path, config, workload)
+                return perf_counter_ns() - t0
+
+            for _ in range(warmup):
+                _execution_ns()
+                _replay_ns()
+                _fast_ns()
+            execution_ns: List[int] = []
+            replay_ns: List[int] = []
+            fast_ns: List[int] = []
+            for _ in range(repeat):
+                execution_ns.append(_execution_ns())
+                replay_ns.append(_replay_ns())
+                fast_ns.append(_fast_ns())
+            best_execution = min(execution_ns)
+            best_replay = min(replay_ns)
+            best_fast = min(fast_ns)
+            entries.append({
+                "workload": workload,
+                "instructions": n_insts,
+                "execution_driven": {
+                    "best_ns": best_execution,
+                    "trimmed_mean_ns": trimmed_mean(execution_ns),
+                    "kips": round(n_insts / best_execution * 1e6, 1),
+                },
+                "replay": {
+                    "best_ns": best_replay,
+                    "trimmed_mean_ns": trimmed_mean(replay_ns),
+                    "kips": round(n_insts / best_replay * 1e6, 1),
+                },
+                "replay_fast": {
+                    "best_ns": best_fast,
+                    "trimmed_mean_ns": trimmed_mean(fast_ns),
+                    "kips": round(n_insts / best_fast * 1e6, 1),
+                },
+                "ratio": round(best_execution / best_replay, 3),
+                "fast_ratio": round(best_execution / best_fast, 3),
+            })
 
     total_insts = sum(e["instructions"] for e in entries)
     total_execution = sum(e["execution_driven"]["best_ns"]
                           for e in entries)
     total_replay = sum(e["replay"]["best_ns"] for e in entries)
+    total_fast = sum(e["replay_fast"]["best_ns"] for e in entries)
     return {
         "workloads": entries,
         "aggregate": {
@@ -250,7 +316,9 @@ def bench_replay(
             "execution_kips": round(total_insts / total_execution * 1e6,
                                     1),
             "replay_kips": round(total_insts / total_replay * 1e6, 1),
+            "replay_fast_kips": round(total_insts / total_fast * 1e6, 1),
             "ratio": round(total_execution / total_replay, 3),
+            "fast_ratio": round(total_execution / total_fast, 3),
         },
     }
 
@@ -276,6 +344,22 @@ def check_regression(current: Dict, baseline: Dict,
             f"aggregate throughput regressed: {cur_kips:.0f} kips vs "
             f"baseline {base_kips:.0f} kips "
             f"(floor {floor:.0f} at {tolerance:.0%} tolerance)")
+    # The replay lanes are gated too whenever both reports carry them,
+    # so the fast path cannot silently regress while execution-driven
+    # throughput holds.
+    base_replay = baseline.get("replay", {}).get("aggregate", {})
+    cur_replay = current.get("replay", {}).get("aggregate", {})
+    for lane in ("replay_kips", "replay_fast_kips"):
+        base_lane = base_replay.get(lane)
+        cur_lane = cur_replay.get(lane)
+        if not base_lane or not cur_lane:
+            continue
+        floor = base_lane * (1.0 - tolerance)
+        if cur_lane < floor:
+            failures.append(
+                f"{lane.replace('_kips', '')} throughput regressed: "
+                f"{cur_lane:.0f} kips vs baseline {base_lane:.0f} kips "
+                f"(floor {floor:.0f} at {tolerance:.0%} tolerance)")
     return failures
 
 
@@ -330,18 +414,23 @@ def format_report(report: Dict) -> str:
     if replay:
         lines.append("")
         lines.append(f"{'replay-mode':<14} {'insts':>8} {'exec kips':>10} "
-                     f"{'rply kips':>10} {'ratio':>8}")
+                     f"{'rply kips':>10} {'fast kips':>10} {'ratio':>8}")
         for e in replay["workloads"]:
+            fast = e.get("replay_fast", {}).get("kips", float("nan"))
             lines.append(
                 f"{e['workload']:<14} {e['instructions']:>8} "
                 f"{e['execution_driven']['kips']:>10.1f} "
                 f"{e['replay']['kips']:>10.1f} "
-                f"{e['ratio']:>8.2f}")
+                f"{fast:>10.1f} "
+                f"{e.get('fast_ratio', e['ratio']):>8.2f}")
         ragg = replay["aggregate"]
         lines.append(
-            f"replay aggregate: {ragg['replay_kips']:.1f} kips vs "
-            f"{ragg['execution_kips']:.1f} execution-driven "
-            f"({ragg['ratio']:.2f}x)")
+            f"replay aggregate: {ragg['replay_kips']:.1f} kips "
+            f"(fast path {ragg.get('replay_fast_kips', float('nan')):.1f}) "
+            f"vs {ragg['execution_kips']:.1f} execution-driven "
+            f"({ragg['ratio']:.2f}x"
+            + (f", fast {ragg['fast_ratio']:.2f}x"
+               if "fast_ratio" in ragg else "") + ")")
     return "\n".join(lines)
 
 

@@ -31,7 +31,10 @@ stage does not rescan every resident entry:
 * ``_stores_by_word`` — known-address stores bucketed by word, fed by
   ``note_store_addr`` and consumed by ``forward_source_fast``;
 * ``_sp_stores`` / ``_nonsp_stores`` — the two store populations fast
-  forwarding compares, consumed by ``fast_forward_source_fast``.
+  forwarding compares, consumed by ``fast_forward_source_fast``;
+* ``_addr_ready`` — loads bucketed by the cycle their address becomes
+  known, fed by the issue stage's address generation and drained by the
+  memory stage's event-driven eligibility walk.
 
 The ``*_fast`` lookups give the same answers as the original scanning
 methods **provided** the processor discipline is followed: entries enter
@@ -118,6 +121,11 @@ class MemQueue:
         self._ns_head = 0
         self._stores_by_word: Dict[int, List[MemQueueEntry]] = {}
         self._sp_stores: Dict[Tuple[int, int], List[MemQueueEntry]] = {}
+        #: Loads becoming address-ready, bucketed by that cycle: filled
+        #: by the issue stage's address generation, drained by the
+        #: memory stage's eligibility walk (event-driven alternative to
+        #: rescanning ``_loads`` every cycle).
+        self._addr_ready: Dict[int, List[MemQueueEntry]] = {}
 
     @property
     def full(self) -> bool:

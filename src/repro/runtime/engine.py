@@ -34,7 +34,7 @@ from repro.core.metrics import SimResult
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import SimJob
 from repro.runtime.signature import code_salt
-from repro.runtime.worker import execute_job
+from repro.runtime.worker import execute_job, run_job_batch
 
 ProgressFn = Callable[[str, "JobOutcome", int, int], None]
 
@@ -117,15 +117,18 @@ class JobEngine:
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None, retries: int = 1,
                  progress: Optional[ProgressFn] = None,
-                 max_pool_rebuilds: int = 3):
+                 max_pool_rebuilds: int = 3, batch: int = 1):
         if jobs < 1:
             raise ValueError("worker count must be >= 1")
+        if batch < 1:
+            raise ValueError("batch size must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
         self.max_pool_rebuilds = max_pool_rebuilds
+        self.batch = batch
         self._rebuilds = 0
 
     # -- public entry -------------------------------------------------------
@@ -162,7 +165,11 @@ class JobEngine:
             # single pending job still goes parallel when one is set.
             if self.jobs > 1 and (len(pending) > 1
                                   or self.timeout is not None):
-                self._run_pool(unique, pending, outcomes, execute)
+                if self.batch > 1:
+                    self._run_pool_batched(unique, pending, outcomes,
+                                           execute)
+                else:
+                    self._run_pool(unique, pending, outcomes, execute)
             else:
                 self._run_inline(unique, pending, outcomes, execute)
         ordered = {key: outcomes[key] for key in unique}
@@ -233,6 +240,89 @@ class JobEngine:
         if self._rebuilds > self.max_pool_rebuilds:
             return None
         return self._make_pool()
+
+    def _run_pool_batched(self, unique: Dict[str, SimJob],
+                          pending: List[str],
+                          outcomes: Dict[str, JobOutcome],
+                          execute: Callable[[SimJob], SimResult]) -> None:
+        """Chunked fan-out: ``batch`` jobs per worker round trip.
+
+        One submission amortizes IPC plus the worker's warm per-process
+        state (trace memo, specialized-kernel cache).  This loop only
+        handles the happy path; any anomaly — a worker death, a blown
+        deadline, a per-job error — routes the affected keys back
+        through the proven single-job pool machinery, which owns
+        retries and pool rebuilds.
+        """
+        pool = self._make_pool()
+        if pool is None:
+            self._run_inline(unique, pending, outcomes, execute)
+            return
+        chunks = deque(
+            pending[i:i + self.batch]
+            for i in range(0, len(pending), self.batch))
+        in_flight: Dict[object, tuple] = {}  # future -> (keys, t0, ddl)
+        fallback: List[str] = []
+        try:
+            while chunks or in_flight:
+                while chunks and len(in_flight) < self.jobs:
+                    chunk = chunks.popleft()
+                    now = time.monotonic()
+                    deadline = (now + self.timeout * len(chunk)
+                                if self.timeout is not None else None)
+                    try:
+                        future = pool.submit(
+                            run_job_batch, execute,
+                            [unique[key] for key in chunk])
+                    except Exception:  # noqa: BLE001 - pool broken
+                        fallback.extend(chunk)
+                        continue
+                    in_flight[future] = (chunk, now, deadline)
+                if not in_flight:
+                    continue
+                wait_for = None
+                now = time.monotonic()
+                deadlines = [d for (_k, _t, d) in in_flight.values()
+                             if d is not None]
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines) - now)
+                done, _ = wait(set(in_flight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                anomaly = False
+                for future in done:
+                    chunk, _t0, _deadline = in_flight.pop(future)
+                    try:
+                        statuses = future.result()
+                    except Exception:  # noqa: BLE001 - incl. broken pool
+                        anomaly = True
+                        fallback.extend(chunk)
+                        continue
+                    for key, (status, payload, wall) in zip(chunk,
+                                                            statuses):
+                        if status == "ok":
+                            self._finish(outcomes, key,
+                                         JobOutcome(unique[key], "ran",
+                                                    payload, wall, 1,
+                                                    "pool"))
+                        else:
+                            # Give the failure the single-job path's
+                            # full retry budget.
+                            fallback.append(key)
+                if not done:
+                    now = time.monotonic()
+                    if any(d is not None and now >= d
+                           for (_k, _t, d) in in_flight.values()):
+                        anomaly = True
+                if anomaly:
+                    for _future, (chunk, _t0, _d) in in_flight.items():
+                        fallback.extend(chunk)
+                    in_flight.clear()
+                    while chunks:
+                        fallback.extend(chunks.popleft())
+        finally:
+            self._stop_pool(pool)
+        if fallback:
+            self._run_pool(unique, fallback, outcomes, execute)
 
     def _run_pool(self, unique: Dict[str, SimJob], pending: List[str],
                   outcomes: Dict[str, JobOutcome],
@@ -354,11 +444,13 @@ class RuntimeSession:
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  no_cache: bool = False, timeout: Optional[float] = None,
-                 retries: int = 1, progress: Optional[ProgressFn] = None):
+                 retries: int = 1, progress: Optional[ProgressFn] = None,
+                 batch: int = 1):
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
+        self.batch = max(1, batch)
         self.salt = code_salt()
         if no_cache:
             self.cache: Optional[ResultCache] = None
@@ -374,7 +466,7 @@ class RuntimeSession:
         """A fresh engine with this session's knobs."""
         return JobEngine(jobs=self.jobs, cache=self.cache,
                          timeout=self.timeout, retries=self.retries,
-                         progress=self.progress)
+                         progress=self.progress, batch=self.batch)
 
     def simulate(self, job: SimJob) -> SimResult:
         """Run one job inline, going through the cache."""

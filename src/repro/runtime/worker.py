@@ -72,6 +72,32 @@ def execute_job(job: SimJob) -> SimResult:
     return Processor(job.config).run(trace.insts, job.workload)
 
 
+def run_job_batch(execute, jobs):
+    """Run several jobs in one worker round trip.
+
+    One submission amortizes the per-job IPC plus the worker's warm
+    state: the per-process trace memo and the specialized-kernel cache
+    (:mod:`repro.core.stages.specialize`) are both keyed so that every
+    job after the first with the same workload or machine config reuses
+    them.  Returns one ``("ok", result, wall_s)`` or
+    ``("error", message, wall_s)`` triple per job, in order — a failed
+    job never takes its batch siblings down with it.
+    """
+    from time import monotonic
+
+    out = []
+    for job in jobs:
+        t0 = monotonic()
+        try:
+            result = execute(job)
+        except Exception as exc:  # noqa: BLE001 - reported per job
+            out.append(("error", f"{type(exc).__name__}: {exc}",
+                        monotonic() - t0))
+        else:
+            out.append(("ok", result, monotonic() - t0))
+    return out
+
+
 def execute_mix_job(job):
     """Run one multi-programmed mix to completion (pure; no cache I/O).
 

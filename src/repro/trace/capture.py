@@ -14,6 +14,13 @@ the sources that can change a committed stream (lang/vm/isa/asm/
 workloads — see ``TRACE_SALT_SOURCES``) plus the trace-format version,
 so editing the timing kernel keeps captured traces valid while editing
 the compiler or VM — or bumping the format — invalidates them all.
+
+Next to each ``.trace`` the store keeps a derived ``.pdt`` sidecar
+(:mod:`repro.trace.predecode`): the pre-decoded struct-of-arrays tables
+the replay fast path indexes instead of re-parsing the trace.  Sidecars
+are content-addressed to the trace's payload hash and re-derived on
+demand, so they are pure cache — deleting one costs a rebuild, never
+correctness.
 """
 
 from __future__ import annotations
@@ -135,6 +142,7 @@ class TraceStore:
     """
 
     SUFFIX = ".trace"
+    PREDECODE_SUFFIX = ".pdt"
 
     def __init__(self, root: Optional[str] = None,
                  salt: Optional[str] = None):
@@ -145,6 +153,11 @@ class TraceStore:
     def path(self, key: str) -> str:
         """Where the trace for *key* lives (whether or not it exists)."""
         return os.path.join(self.dir, key[:2], key + self.SUFFIX)
+
+    def predecoded_path(self, key: str) -> str:
+        """Where the pre-decoded sidecar for *key* lives."""
+        return os.path.join(self.dir, key[:2],
+                            key + self.PREDECODE_SUFFIX)
 
     def lookup(self, key: str) -> Optional[str]:
         """The stored trace path for *key*, or None."""
@@ -161,6 +174,35 @@ class TraceStore:
                 os.path.join(os.path.dirname(path), key + ".json"),
                 (canonical_json(meta) + "\n").encode("utf-8"))
         return path
+
+    def ensure_predecoded(self, key: str) -> Optional[str]:
+        """Derive (or find) the sidecar for *key*'s stored trace.
+
+        Returns the sidecar path, or None when no trace is stored.  An
+        existing sidecar is trusted only if its ``source_sha256``
+        matches the stored trace's payload hash — a re-captured trace
+        invalidates its stale sidecar automatically.
+        """
+        from repro.trace.format import read_trace_header
+        from repro.trace import predecode as _pd
+
+        trace_path = self.lookup(key)
+        if trace_path is None:
+            return None
+        source_sha = read_trace_header(trace_path).get("payload_sha256")
+        sidecar = self.predecoded_path(key)
+        if os.path.exists(sidecar):
+            try:
+                existing = _pd.read_predecoded(sidecar, verify=False)
+                if existing.source_sha256 == source_sha:
+                    return sidecar
+            except TraceError:
+                pass  # corrupt or stale — rewrite below
+        with open(trace_path, "rb") as handle:
+            data = handle.read()
+        _pd.write_predecoded(
+            _pd.predecode_trace(data, origin=trace_path), sidecar)
+        return sidecar
 
     def __repr__(self) -> str:
         return f"TraceStore({self.dir!r})"
@@ -201,10 +243,12 @@ def capture_trace(job: TraceJob, cache_dir: Optional[str] = None,
     if not force:
         existing = store.lookup(job.key)
         if existing is not None:
+            store.ensure_predecoded(job.key)
             return existing, True
     trace = build_capture(job)
     if not len(trace):
         raise TraceError(f"capture of {job.workload!r} produced an "
                          f"empty trace")
     path = store.put(job.key, trace, meta=job.describe())
+    store.ensure_predecoded(job.key)
     return path, False

@@ -379,6 +379,28 @@ def read_trace(path: str, verify: bool = True) -> Trace:
     return decode_trace(data, origin=path, verify=verify)
 
 
+def read_trace_header(path: str) -> Dict[str, Any]:
+    """Parsed header of a trace file without reading the payload.
+
+    The cheap identity probe: ``payload_sha256`` from the returned
+    header is what derived artifacts (the predecode sidecar) are
+    content-addressed to.
+    """
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(len(MAGIC) + _HEADER_LEN.size)
+            if len(prefix) < len(MAGIC) + _HEADER_LEN.size:
+                raise TraceError(f"{path}: truncated trace (no header)")
+            if prefix[:len(MAGIC)] != MAGIC:
+                raise TraceError(f"{path}: not a repro trace (bad magic)")
+            (header_len,) = _HEADER_LEN.unpack_from(prefix, len(MAGIC))
+            header_bytes = handle.read(header_len)
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path!r}: {exc}") from None
+    header, _offset = _parse_header(prefix + header_bytes, origin=path)
+    return header
+
+
 def write_trace(trace: Trace, path: str,
                 meta: Optional[Dict[str, Any]] = None) -> str:
     """Serialize *trace* to *path* atomically; returns the path."""

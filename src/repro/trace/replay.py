@@ -47,6 +47,61 @@ def replay(source: TraceSource, config: MachineConfig,
         trace.insts, workload if workload else trace.name)
 
 
+def replay_insts(source: TraceSource,
+                 verify: bool = True) -> Tuple[List, str]:
+    """The committed stream for *source* via the pre-decoded fast path.
+
+    Returns ``(insts, workload name)``.  A trace file path is routed
+    through :mod:`repro.trace.predecode`: a ``.pdt`` sidecar next to
+    the file is used when present and matching (checksummed, source-
+    hash-checked), else the tables are derived in memory from the raw
+    trace; either way the ``DynInst`` materialization is memoized per
+    process, so repeats and config sweeps over one trace decode it
+    once.  The stream is bit-identical to ``load_trace(...).insts``.
+    """
+    if isinstance(source, Trace):
+        return source.insts, source.name
+    from repro.errors import TraceError
+    from repro.trace import predecode as _pd
+    from repro.trace.format import read_trace_header
+
+    header = read_trace_header(source)
+    source_sha = header.get("payload_sha256")
+    if source_sha:
+        cached = _pd.materialized_cached(source_sha)
+        if cached is not None:
+            return cached, header.get("workload", "<trace>")
+    pdt = None
+    if source.endswith(".trace"):
+        sidecar = source[:-len(".trace")] + ".pdt"
+        try:
+            with open(sidecar, "rb") as handle:
+                pdt = _pd.decode_predecoded(
+                    handle.read(), origin=sidecar, verify=verify)
+            if pdt.source_sha256 != source_sha:
+                pdt = None  # sidecar derived from an older capture
+        except (OSError, TraceError):
+            pdt = None  # absent, stale, or corrupt — derive below
+    if pdt is None:
+        with open(source, "rb") as handle:
+            data = handle.read()
+        pdt = _pd.predecode_trace(data, origin=source, verify=verify)
+    return _pd.materialized_insts(pdt), pdt.workload
+
+
+def replay_fast(source: TraceSource, config: MachineConfig,
+                workload: Optional[str] = None,
+                verify: bool = True) -> SimResult:
+    """:func:`replay` through the pre-decoded fast path.
+
+    Same result bit for bit; the difference is cost shape — sidecar
+    tables instead of trace parsing, and a memoized stream shared
+    across repeats in this process.
+    """
+    insts, name = replay_insts(source, verify=verify)
+    return Processor(config).run(insts, workload if workload else name)
+
+
 def check_replay_equivalence(
     workloads: Sequence[str],
     configs: Optional[Iterable[Tuple[str, Dict]]] = None,

@@ -75,6 +75,49 @@ def test_check_regression_rejects_malformed():
     assert bench.check_regression({"aggregate": {"kips": 1.0}}, {})
 
 
+def test_trimmed_mean_drops_outliers():
+    # 8 samples: the top and bottom quarter (2 each) are trimmed, so
+    # one wild outlier cannot move the estimate.
+    assert bench.trimmed_mean([100, 101, 99, 100, 102, 98, 5000, 1]) == 100
+    # Fewer than four samples: nothing to trim, plain mean.
+    assert bench.trimmed_mean([10, 20, 30]) == 20
+    assert bench.trimmed_mean([7]) == 7
+
+
+def test_report_carries_trimmed_stats(quick_report):
+    stats = quick_report["workloads"][0]["optimized"]
+    assert stats["trimmed_mean_ns"] >= stats["best_ns"]
+    assert 0 < stats["trimmed_kips"] <= stats["kips"]
+    assert quick_report["aggregate"]["trimmed_kips"] > 0
+
+
+def test_min_repeat_raises_round_floor():
+    r = bench.run_benchmark(workloads=["129.compress"], length=2_000,
+                            warmup=0, repeat=1, compare=False,
+                            min_repeat=4)
+    assert r["repeat"] == 4
+
+
+def test_replay_lanes_and_regression_gate():
+    r = bench.run_benchmark(workloads=["129.compress"], length=3_000,
+                            warmup=1, repeat=2, compare=False,
+                            replay=True)
+    entry = r["replay"]["workloads"][0]
+    for lane in ("execution_driven", "replay", "replay_fast"):
+        assert entry[lane]["best_ns"] > 0
+        assert entry[lane]["kips"] > 0
+    agg = r["replay"]["aggregate"]
+    assert agg["replay_kips"] > 0 and agg["replay_fast_kips"] > 0
+    assert bench.check_regression(r, r) == []
+    # A fast-path-only collapse is caught even when the execution lane
+    # and the plain replay lane hold.
+    slow = json.loads(json.dumps(r))
+    slow["replay"]["aggregate"]["replay_fast_kips"] = (
+        agg["replay_fast_kips"] / 10)
+    failures = bench.check_regression(slow, r, tolerance=0.20)
+    assert failures and "replay_fast" in failures[0]
+
+
 def test_format_report_renders(quick_report):
     text = bench.format_report(quick_report)
     assert "129.compress" in text
