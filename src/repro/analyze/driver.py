@@ -102,13 +102,15 @@ def _dynamic_crosscheck(report: AnalysisReport, trace) -> None:
 
 def analyze_source(source: str, name: str = "<mini-c>",
                    optimize: bool = True, static_only: bool = False,
-                   max_instructions: int = 2_000_000) -> AnalysisReport:
+                   max_instructions: int = 2_000_000,
+                   opt_level=None) -> AnalysisReport:
     """Compile *source* and verify it; optionally run it and cross-check."""
     from repro.lang import CompilerOptions, compile_source
 
     ir_map: Dict[str, object] = {}
     program = compile_source(
-        source, CompilerOptions(source_name=name, optimize=optimize),
+        source, CompilerOptions(source_name=name, optimize=optimize,
+                                opt_level=opt_level),
         ir_out=ir_map)
     trace = None
     budget_note = None
@@ -133,11 +135,12 @@ def analyze_source(source: str, name: str = "<mini-c>",
 
 def analyze_workload(workload: str, optimize: bool = True,
                      static_only: bool = False,
-                     max_instructions: int = 20_000_000
-                     ) -> AnalysisReport:
+                     max_instructions: int = 20_000_000,
+                     opt_level=None) -> AnalysisReport:
     """Verify one named mini-C workload (see repro.workloads.minic)."""
     from repro.workloads.minic import minic_source
 
     return analyze_source(minic_source(workload), name=workload,
                           optimize=optimize, static_only=static_only,
-                          max_instructions=max_instructions)
+                          max_instructions=max_instructions,
+                          opt_level=opt_level)

@@ -47,22 +47,31 @@ def _load_source(path: str) -> Tuple[str, str]:
         return handle.read(), path
 
 
-def _build_text(source: str, name: str,
-                optimize: bool = True) -> Tuple[Program, CompileStats]:
+def _build_text(source: str, name: str, optimize: bool = True,
+                opt_level=None) -> Tuple[Program, CompileStats]:
     stats = CompileStats()
     if name.endswith(".s"):
         program = assemble(source, source_name=name)
     else:
         program = compile_source(
-            source, CompilerOptions(source_name=name, optimize=optimize),
+            source, CompilerOptions(source_name=name, optimize=optimize,
+                                    opt_level=opt_level),
             stats=stats,
         )
     return program, stats
 
 
-def _build(path: str, optimize: bool = True) -> Tuple[Program, CompileStats]:
+def _build(path: str, optimize: bool = True,
+           opt_level=None) -> Tuple[Program, CompileStats]:
     source, name = _load_source(path)
-    return _build_text(source, name, optimize)
+    return _build_text(source, name, optimize, opt_level)
+
+
+def _opt_level(args):
+    """Resolve -O / --no-opt into the CompilerOptions opt_level."""
+    if args.opt_level is not None:
+        return args.opt_level
+    return 0 if args.no_opt else None  # None -> compiler default (O2)
 
 
 def _parse_config(text: str) -> MachineConfig:
@@ -83,7 +92,8 @@ def _parse_config(text: str) -> MachineConfig:
 
 
 def cmd_run(args) -> int:
-    program, _ = _build(args.file, optimize=not args.no_opt)
+    program, _ = _build(args.file, optimize=not args.no_opt,
+                        opt_level=_opt_level(args))
     vm = Machine(program, trace=False)
     code = vm.run(max_instructions=args.max_instructions)
     sys.stdout.write(vm.stdout)
@@ -95,7 +105,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_disasm(args) -> int:
-    program, stats = _build(args.file, optimize=not args.no_opt)
+    program, stats = _build(args.file, optimize=not args.no_opt,
+                            opt_level=_opt_level(args))
     print(disassemble_program(program))
     if stats.functions:
         print(f"\n# {stats.functions} functions, "
@@ -106,7 +117,8 @@ def cmd_disasm(args) -> int:
 
 def cmd_sim(args) -> int:
     source, name = _load_source(args.file)
-    program, _ = _build_text(source, name, optimize=not args.no_opt)
+    program, _ = _build_text(source, name, optimize=not args.no_opt,
+                             opt_level=_opt_level(args))
     vm = Machine(program, trace=True)
     vm.run(max_instructions=args.max_instructions)
     trace = vm.trace
@@ -144,6 +156,7 @@ def _sim_results(args, source, trace, configs):
         for text, config in configs:
             job = SimJob(args.file, config, source_text=source,
                          optimize=not args.no_opt,
+                         opt_level=_opt_level(args),
                          max_instructions=args.max_instructions)
             # Fork-started workers inherit this memo, so they skip the
             # recompile/re-execute and go straight to timing simulation.
@@ -162,7 +175,8 @@ def _sim_results(args, source, trace, configs):
 
 
 def cmd_stats(args) -> int:
-    program, _ = _build(args.file, optimize=not args.no_opt)
+    program, _ = _build(args.file, optimize=not args.no_opt,
+                        opt_level=_opt_level(args))
     vm = Machine(program, trace=True)
     vm.run(max_instructions=args.max_instructions)
     trace = vm.trace
@@ -390,6 +404,7 @@ def cmd_analyze(args) -> int:
         if target in MINIC_PROGRAMS:
             report = analyze_workload(
                 target, optimize=not args.no_opt,
+                opt_level=_opt_level(args),
                 static_only=args.static_only,
                 max_instructions=args.max_instructions)
         else:
@@ -402,6 +417,7 @@ def cmd_analyze(args) -> int:
             else:
                 report = analyze_source(
                     source, name=name, optimize=not args.no_opt,
+                    opt_level=_opt_level(args),
                     static_only=args.static_only,
                     max_instructions=args.max_instructions)
         reports.append(report)
@@ -428,7 +444,11 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("file", help="mini-C source (.mc), assembly (.s), "
                                     "or - for stdin")
         p.add_argument("--no-opt", action="store_true",
-                       help="disable the IR optimizer")
+                       help="disable the IR optimizer (same as -O0)")
+        p.add_argument("-O", dest="opt_level", type=int,
+                       choices=(0, 1, 2), default=None,
+                       help="optimization level: 0=none, 1=local folder, "
+                            "2=full SSA pipeline (default 2)")
         p.add_argument("--max-instructions", type=int, default=5_000_000,
                        help="execution budget (default 5M)")
 
@@ -610,7 +630,11 @@ def make_parser() -> argparse.ArgumentParser:
     ana_p.add_argument("--workloads", action="store_true",
                        help="also verify every built-in mini workload")
     ana_p.add_argument("--no-opt", action="store_true",
-                       help="disable the IR optimizer")
+                       help="disable the IR optimizer (same as -O0)")
+    ana_p.add_argument("-O", dest="opt_level", type=int,
+                       choices=(0, 1, 2), default=None,
+                       help="optimization level: 0=none, 1=local folder, "
+                            "2=full SSA pipeline (default 2)")
     ana_p.add_argument("--static-only", action="store_true",
                        help="skip the VM run / dynamic cross-check")
     ana_p.add_argument("--max-instructions", type=int, default=20_000_000,

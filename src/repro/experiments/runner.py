@@ -36,6 +36,7 @@ from repro.experiments import (
     fig10_latency,
     fig11_programs,
     mix_interference,
+    opt_levels,
     table1_config,
     table2_workloads,
     table3_forwarding,
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "ablation-window": ablation_window.main,
     "disc-small-l1": disc_small_l1.main,
     "mix-interference": mix_interference.main,
+    "opt-levels": opt_levels.main,
 }
 
 DEFAULT_MANIFEST = os.path.join("results", "run_manifest.json")

@@ -60,6 +60,7 @@ class FuzzProgram:
     Statements are mutable lists so the shrinker can splice them::
 
         ["decl", name, expr]          int name = expr;
+        ["adecl", name]               int name[ARRAY_LEN];   (local array)
         ["assign", name, expr]        name = expr;
         ["astore", arr, idx, expr]    arr[(idx) & mask] = expr;
         ["print", expr]               print(expr); printc(10);
@@ -146,6 +147,8 @@ def _render_block(body: Sequence[list], lines: List[str], depth: int) -> None:
         kind = stmt[0]
         if kind == "decl":
             lines.append(f"{pad}int {stmt[1]} = {render_expr(stmt[2])};")
+        elif kind == "adecl":
+            lines.append(f"{pad}int {stmt[1]}[{ARRAY_LEN}];")
         elif kind == "assign":
             lines.append(f"{pad}{stmt[1]} = {render_expr(stmt[2])};")
         elif kind == "astore":
@@ -196,6 +199,14 @@ class _Generator:
         self.rng = random.Random(seed)
         self.size = size
         self.program = FuzzProgram(seed)
+        #: Arrays declared in the function body under construction.
+        #: Stressing the SSA mid-end needs *frame* arrays: store
+        #: forwarding and dead-store elimination only reason about
+        #: unescaped frame slots, which globals never are.
+        self.local_arrays: List[str] = []
+
+    def _arrays(self) -> List[str]:
+        return self.program.arrays + self.local_arrays
 
     # -- expressions ---------------------------------------------------------
 
@@ -210,12 +221,13 @@ class _Generator:
         roll = rng.random()
         if scope and roll < 0.55:
             return ("var", rng.choice(list(scope)))
-        if self.program.arrays and roll < 0.65:
+        arrays = self._arrays()
+        if arrays and roll < 0.65:
             # the index must be a *simple* expression: anything recursive
             # here has no depth budget and could run away
             index = (("var", rng.choice(list(scope)))
                      if scope and rng.random() < 0.5 else self._literal())
-            return ("aload", rng.choice(self.program.arrays), index)
+            return ("aload", rng.choice(arrays), index)
         return self._literal()
 
     def _expr(self, scope: Sequence[str], depth: int,
@@ -244,8 +256,9 @@ class _Generator:
         rng = self.rng
         roll = rng.random()
         expr = self._expr(scope, 3, callees)
-        if self.program.arrays and roll < 0.2:
-            return ["astore", rng.choice(self.program.arrays),
+        arrays = self._arrays()
+        if arrays and roll < 0.2:
+            return ["astore", rng.choice(arrays),
                     self._expr(scope, 2), expr]
         targets = writable + self.program.globals
         if targets and roll < 0.75:
@@ -261,21 +274,103 @@ class _Generator:
         body: List[list] = []
         for _ in range(count):
             roll = rng.random()
-            if roll < 0.14 and loop_depth < 2:
+            if roll < 0.12 and loop_depth < 2:
                 var = f"i{self._fresh()}"
                 inner = self._block(scope + [var], writable, callees,
                                     rng.randint(1, 3), loop_depth + 1)
                 body.append(["loop", var, rng.randint(1, 4), inner])
-            elif roll < 0.28:
+            elif roll < 0.18 and loop_depth < 2:
+                body.extend(self._hoistable_loop(scope, writable, callees,
+                                                 loop_depth))
+            elif roll < 0.30:
                 cond = self._expr(scope, 2, callees)
                 then = self._block(scope, writable, callees,
                                    rng.randint(1, 2), loop_depth)
                 else_ = (self._block(scope, writable, callees, 1, loop_depth)
                          if rng.random() < 0.5 else [])
                 body.append(["if", cond, then, else_])
+            elif writable and roll < 0.37:
+                body.append(self._diamond(scope, writable, callees))
+            elif self._arrays() and writable and roll < 0.44:
+                body.extend(self._store_load_pair(scope, writable, callees))
             else:
                 body.append(self._simple_stmt(scope, writable, callees))
         return body
+
+    # -- pass-stressing shapes -----------------------------------------------
+
+    def _fresh_local_array(self, scope: Sequence[str],
+                           callees: Sequence[FuzzFunction]) -> List[list]:
+        """Declare a frame array and initialize every slot.
+
+        Frame layouts differ across optimization levels, so a read of an
+        uninitialized slot would let the opt oracle diverge on stale
+        stack bytes rather than a real miscompile — full initialization
+        keeps safety by construction.
+        """
+        name = f"la{self._fresh()}"
+        index = f"i{self._fresh()}"
+        seed_expr = self._expr(list(scope), 2, callees)
+        init = ["loop", index, ARRAY_LEN,
+                [["astore", name, ("var", index),
+                  ("bin", "^", seed_expr, ("var", index))]]]
+        self.local_arrays.append(name)
+        return [["adecl", name], init]
+
+    def _hoistable_loop(self, scope: List[str], writable: List[str],
+                        callees: Sequence[FuzzFunction],
+                        loop_depth: int) -> List[list]:
+        """A loop whose body opens with a computation over values the loop
+        never writes — exactly what LICM must hoist (and must *not* hoist
+        wrongly when the folder turns it into a trapping ``/``/``%``)."""
+        rng = self.rng
+        hold = f"h{self._fresh()}"
+        body: List[list] = [["decl", hold, self._expr(scope, 2, callees)]]
+        var = f"i{self._fresh()}"
+        inner_writable = [w for w in writable if w != hold]
+        inv = ("bin", rng.choice(_COMMON_OPS + ("/", "%")),
+               ("var", hold),
+               ("bin", rng.choice(_COMMON_OPS), ("var", hold),
+                self._literal()))
+        temp = f"t{self._fresh()}"
+        inner: List[list] = [["decl", temp, inv]]
+        if inner_writable:
+            inner.append(["assign", rng.choice(inner_writable),
+                          ("bin", "+", ("var", temp), ("var", var))])
+        inner.extend(self._block(scope + [hold, var], inner_writable,
+                                 callees, rng.randint(1, 2),
+                                 loop_depth + 1))
+        return body + [["loop", var, rng.randint(2, 4), inner]]
+
+    def _diamond(self, scope: List[str], writable: List[str],
+                 callees: Sequence[FuzzFunction]) -> list:
+        """``if/else`` assigning the same variable in both arms — the join
+        is a phi, and with literal arms a partially- or fully-constant one
+        (sparse conditional constant propagation's favourite food)."""
+        rng = self.rng
+        target = rng.choice(writable)
+        then_val = (self._literal() if rng.random() < 0.7
+                    else self._expr(scope, 2, callees))
+        else_val = (then_val if rng.random() < 0.3
+                    else self._literal() if rng.random() < 0.5
+                    else self._expr(scope, 2, callees))
+        return ["if", self._expr(scope, 2, callees),
+                [["assign", target, then_val]],
+                [["assign", target, else_val]]]
+
+    def _store_load_pair(self, scope: List[str], writable: List[str],
+                         callees: Sequence[FuzzFunction]) -> List[list]:
+        """A store immediately re-loaded at the same literal index (store
+        forwarding), optionally overwritten first (a dead store)."""
+        rng = self.rng
+        arr = rng.choice(self._arrays())
+        index = ("lit", rng.randrange(ARRAY_LEN))
+        out: List[list] = []
+        if rng.random() < 0.4:
+            out.append(["astore", arr, index, self._expr(scope, 2, callees)])
+        out.append(["astore", arr, index, self._expr(scope, 2, callees)])
+        out.append(["assign", rng.choice(writable), ("aload", arr, index)])
+        return out
 
     _counter = 0
 
@@ -291,6 +386,9 @@ class _Generator:
         params = [f"a{i}" for i in range(rng.randint(1, 3))]
         scope = list(params)
         body: List[list] = []
+        self.local_arrays = []
+        if rng.random() < 0.4:
+            body.extend(self._fresh_local_array(scope, callees))
         for i in range(rng.randint(1, 3)):
             name = f"t{self._fresh()}"
             body.append(["decl", name, self._expr(scope, 2, callees)])
@@ -298,6 +396,7 @@ class _Generator:
         body.extend(self._block(scope, list(scope), callees,
                                 rng.randint(1, 3), 0))
         body.append(["ret", self._expr(scope, 3, callees)])
+        self.local_arrays = []
         return FuzzFunction(f"fn{index}", params, body)
 
     def _make_recursive(self, index: int,
@@ -339,6 +438,9 @@ class _Generator:
         plain = [f for f in helpers if f.params != ["n", "x"]]
         scope: List[str] = []
         main: List[list] = []
+        self.local_arrays = []
+        if rng.random() < 0.7:
+            main.extend(self._fresh_local_array(scope, plain))
         for i in range(rng.randint(4, 4 + self.size // 3)):
             name = f"v{i}"
             main.append(["decl", name, self._expr(scope, 3, plain)])
@@ -356,7 +458,7 @@ class _Generator:
             main.append(["print", ("var", name)])
         for name in program.globals:
             main.append(["print", ("var", name)])
-        for arr in program.arrays:
+        for arr in program.arrays + self.local_arrays:
             var = f"ck_{arr}"
             main.append(["decl", var, ("lit", 0)])
             idx = f"i{self._fresh()}"

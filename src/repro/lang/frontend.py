@@ -10,20 +10,31 @@ from repro.isa.program import DataItem, Program
 from repro.lang.codegen import FloatPool, FunctionCodegen, generate_startup
 from repro.lang.ir import IrFunction
 from repro.lang.lowering import lower_function
-from repro.lang.optimizer import optimize
 from repro.lang.parser import parse
+from repro.lang.pipeline import normalize_opt_level, run_pipeline
 from repro.lang.provenance import annotate_localities
 from repro.lang.regalloc import allocate
 from repro.lang.semantics import analyze
 
 
 class CompilerOptions:
-    """Compilation knobs."""
+    """Compilation knobs.
+
+    ``opt_level`` accepts ``0``/``1``/``2`` or the spellings ``"O0"`` /
+    ``"O1"`` / ``"O2"`` (see :mod:`repro.lang.pipeline`).  When omitted
+    it is derived from the legacy ``optimize`` flag: ``True`` means the
+    full pipeline (**O2**), ``False`` means **O0** — so every caller of
+    ``CompilerOptions(optimize=...)`` keeps working and the optimized
+    default exercises the SSA mid-end.  ``optimize`` is kept coherent
+    (``opt_level > 0``) for code that still reads it.
+    """
 
     def __init__(self, source_name: str = "<mini-c>",
-                 optimize: bool = True):
+                 optimize: bool = True, opt_level=None):
         self.source_name = source_name
-        self.optimize = optimize
+        self.opt_level = normalize_opt_level(
+            opt_level, default=2 if optimize else 0)
+        self.optimize = self.opt_level > 0
 
 
 class CompileStats:
@@ -38,6 +49,8 @@ class CompileStats:
         self.ops_folded = 0
         self.ops_removed = 0
         self.localities_refined = 0
+        self.ssa_phis = 0
+        self.ssa_hoisted = 0
 
 
 def compile_source(source: str, options: CompilerOptions = None,
@@ -70,11 +83,12 @@ def compile_source(source: str, options: CompilerOptions = None,
 
     for func in ast.functions:
         ir = lower_function(func, analyzer)
-        if options.optimize:
-            folded, removed = optimize(ir)
-            if stats is not None:
-                stats.ops_folded += folded
-                stats.ops_removed += removed
+        pstats = run_pipeline(ir, options.opt_level)
+        if stats is not None:
+            stats.ops_folded += pstats.folded
+            stats.ops_removed += pstats.removed
+            stats.ssa_phis += pstats.phis
+            stats.ssa_hoisted += pstats.hoisted
         # Authoritative locality bits: lowering's linear approximation is
         # unsound at joins, so this flow-sensitive pass always runs.
         _, refined = annotate_localities(ir)

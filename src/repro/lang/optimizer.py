@@ -15,8 +15,30 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.errors import CompileError
 from repro.lang.ir import IrFunction, IrInstr, VReg
 from repro.utils import to_signed32
+
+# The constant/copy maps below key on VReg *objects*.  That is only sound
+# because VReg deliberately has no ``__eq__``/``__hash__`` — dict and set
+# membership is object identity — and because every virtual register in a
+# function is interned: it is created exactly once by
+# ``IrFunction.new_vreg`` and shared by reference between its def and all
+# of its uses.  Precolored registers are the exception (lowering creates a
+# fresh ``VReg(0, phys=...)`` per use site, so two ``$a0`` mentions are
+# *not* identical), which is why every tracking path guards on
+# ``.precolored`` before touching the maps.  Enforce the identity half of
+# the invariant at import time so a future "convenience" __eq__ cannot
+# silently turn identity keying into value keying.
+assert VReg.__eq__ is object.__eq__ and VReg.__hash__ is object.__hash__, \
+    "optimizer state keys on VReg identity; VReg must not define __eq__/__hash__"
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """Truncating (toward zero) division, exactly the VM's DIV."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
 
 # Folding rules mirror the VM's execution semantics exactly: operands are
 # signed 32-bit values, results are wrapped through ``to_signed32`` at the
@@ -24,10 +46,16 @@ from repro.utils import to_signed32
 # way).  ``shr`` is the *logical* shift (SRL/SRLV: the operand is viewed
 # unsigned), ``sra`` the arithmetic one (SRA/SRAV: Python's ``>>`` on a
 # sign-extended int); shift counts are masked to 5 bits like the hardware.
+# ``div``/``rem`` truncate toward zero (the remainder takes the dividend's
+# sign: ``rem = a - trunc(a/b)*b``); INT_MIN / -1 overflows to INT_MIN via
+# the same 32-bit wrap the VM applies on writeback.  Division by zero
+# traps at runtime, so ``_div_ok`` keeps those folds from ever happening.
 _FOLDABLE_INT = {
     "add": lambda a, b: a + b,
     "sub": lambda a, b: a - b,
     "mul": lambda a, b: a * b,
+    "div": _trunc_div,
+    "rem": lambda a, b: a - _trunc_div(a, b) * b,
     "and": lambda a, b: a & b,
     "or": lambda a, b: a | b,
     "xor": lambda a, b: a ^ b,
@@ -128,7 +156,7 @@ def fold_and_propagate(func: IrFunction) -> int:
                 kind = "bini"
         elif kind == "bini" and instr.op in _FOLDABLE_INT:
             a = state.constants.get(instr.a)
-            if a is not None:
+            if a is not None and _div_ok(a, instr.imm, instr.op):
                 value = to_signed32(_FOLDABLE_INT[instr.op](a, instr.imm))
                 instr.kind = "li"
                 instr.imm = value
@@ -183,11 +211,26 @@ def eliminate_dead_code(func: IrFunction) -> int:
     return removed
 
 
-def optimize(func: IrFunction, max_rounds: int = 4) -> Tuple[int, int]:
-    """Run folding/propagation and DCE to a fixpoint.
+def optimize(func: IrFunction,
+             max_rounds: Optional[int] = None) -> Tuple[int, int]:
+    """Run folding/propagation and DCE to a true fixpoint.
+
+    Each round is individually monotone but can expose work for the next
+    one (a fold makes a def dead; DCE's single used-set sweep removes one
+    link of a dead chain per round; ``resolve`` follows at most 8 copy
+    hops per round), so a fixed round count silently under-optimizes deep
+    chains.  *max_rounds* is therefore only a safety net: ``None`` (the
+    default) derives a cap generous enough that hitting it can only mean
+    the passes stopped being monotone, and raises instead of returning a
+    half-optimized function.
 
     Returns (total folded/propagated, total removed).
     """
+    if max_rounds is None:
+        # Worst observed requirements are ~len(body) rounds (a dead chain
+        # retires one instruction per round); double it and pad so tiny
+        # functions still get slack.
+        max_rounds = 2 * len(func.body) + 16
     total_folded = 0
     total_removed = 0
     for _ in range(max_rounds):
@@ -196,5 +239,7 @@ def optimize(func: IrFunction, max_rounds: int = 4) -> Tuple[int, int]:
         total_folded += folded
         total_removed += removed
         if not folded and not removed:
-            break
-    return total_folded, total_removed
+            return total_folded, total_removed
+    raise CompileError(
+        f"optimizer did not reach a fixpoint on {func.name!r} after "
+        f"{max_rounds} rounds; a pass is oscillating")

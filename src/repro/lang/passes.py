@@ -1,0 +1,754 @@
+"""Global optimization passes over SSA form.
+
+Each pass takes a :class:`repro.lang.ssa.SsaFunction`, mutates it in
+place, and returns a change count so the pipeline driver can iterate to
+a fixpoint.  Shared ground rules (see also the SSA invariants in
+:mod:`repro.lang.ssa`):
+
+* precolored registers are ABI plumbing: no pass tracks, renames, moves,
+  or merges an instruction that reads or writes one (the single
+  exception: a ``mov`` *into* a precolored register may have its source
+  rewritten or be folded to ``li`` — the destination never changes);
+* ``div``/``rem`` can trap (divide by zero), so they are never folded
+  with a zero divisor and never hoisted speculatively; removing a *dead*
+  one follows the local optimizer's precedent that ``bin`` is pure;
+* memory is touched only through the frame-slot machinery: a slot whose
+  address is never taken (no ``la_frame``) cannot be reached by calls or
+  pointer accesses, which is what makes store forwarding and dead-store
+  elimination sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import CompileError
+from repro.lang.ir import IrInstr, VReg
+from repro.lang.optimizer import _FOLDABLE_INT, _div_ok
+from repro.lang.ssa import Phi, SsaBlock, SsaFunction
+from repro.utils import to_signed32
+
+#: ``bin`` ops codegen can take in register+immediate form (must mirror
+#: ``_BINI_OPS`` in repro.lang.codegen).
+_BINI_SAFE = ("add", "and", "or", "xor", "shl", "shr", "sra", "slt")
+
+#: Commutative integer ops (operand order can be canonicalized/swapped).
+_COMMUTATIVE = ("add", "mul", "and", "or", "xor", "seq", "sne")
+
+#: Kinds with no side effects (safe to CSE / remove when dead).
+_SSA_PURE = ("li", "lfi", "mov", "bin", "bini", "cvt",
+             "la_frame", "la_global")
+
+#: ``bin`` ops that may trap at runtime: never execute speculatively.
+_TRAPPING = ("div", "rem", "fdiv")
+
+_BOTTOM = object()  # constant lattice: absent=TOP, int=constant, _BOTTOM
+
+
+def _virtual(reg) -> bool:
+    return isinstance(reg, VReg) and not reg.precolored
+
+
+def _rewrite_uses(ssa: SsaFunction, resolve) -> int:
+    """Replace every virtual-register use by ``resolve(use)``."""
+    changed = 0
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            for pred, arg in list(phi.args.items()):
+                rep = resolve(arg)
+                if rep is not arg and _virtual(rep):
+                    phi.args[pred] = rep
+                    changed += 1
+        for instr in block.instrs:
+            for field in ("a", "b", "base"):
+                reg = getattr(instr, field)
+                if _virtual(reg):
+                    rep = resolve(reg)
+                    if rep is not reg and _virtual(rep):
+                        setattr(instr, field, rep)
+                        changed += 1
+    return changed
+
+
+def _frame_key(instr: IrInstr, untracked: Set[int]) -> Optional[Tuple]:
+    """Trackable (slot, offset) key of a frame load/store, else None.
+
+    Only slots in no way aliasable participate — unescaped, and accessed
+    exclusively at word-aligned constant offsets inside the slot (see
+    :func:`_untracked_slots`); those are exactly the accesses nothing
+    else (calls, pointer loads/stores, the VM) can touch.
+    """
+    base = instr.base
+    if not (isinstance(base, tuple) and base[0] == "frame"):
+        return None
+    slot = base[1]
+    if id(slot) in untracked:
+        return None
+    imm = instr.imm
+    if not isinstance(imm, int) or imm % 4 != 0 or imm < 0 \
+            or imm + 4 > 4 * slot.words:
+        return None
+    return (id(slot), imm)
+
+
+def _untracked_slots(ssa: SsaFunction) -> Set[int]:
+    """Slots the memory passes must leave alone.
+
+    Escaped slots (address taken via ``la_frame``) can be read or
+    written through pointers and calls.  Slots with any irregular
+    structural access (non-constant, unaligned, or out-of-bounds offset
+    — lowering emits none, but hand-built IR might) are excluded
+    entirely so a partial-word overlap can never slip past the
+    per-word tracking.
+    """
+    bad: Set[int] = set()
+    for block in ssa.live_blocks():
+        for instr in block.instrs:
+            base = instr.base
+            if not (isinstance(base, tuple) and base[0] == "frame"):
+                continue
+            if instr.kind == "la_frame":
+                bad.add(id(base[1]))
+            elif instr.kind in ("load", "store"):
+                slot = base[1]
+                imm = instr.imm
+                if not isinstance(imm, int) or imm % 4 != 0 or imm < 0 \
+                        or imm + 4 > 4 * slot.words:
+                    bad.add(id(slot))
+    return bad
+
+
+# -- sparse constant propagation + branch folding ----------------------------
+
+
+def propagate_constants(ssa: SsaFunction) -> int:
+    """Optimistic sparse constant propagation over SSA def-use edges.
+
+    Constant defs become ``li``; ``bin`` with one constant operand is
+    strength-reduced to ``bini`` where codegen has an immediate form;
+    branches on constants fold to ``jmp`` (or disappear) and newly
+    unreachable blocks are pruned.
+    """
+    values: Dict[VReg, object] = {}  # absent = TOP
+    def_of: Dict[VReg, Tuple[str, object]] = {}
+    users: Dict[VReg, List[Tuple[str, object]]] = {}
+
+    def note_use(reg, entry) -> None:
+        if _virtual(reg):
+            users.setdefault(reg, []).append(entry)
+
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            entry = ("p", phi)
+            def_of[phi.dst] = entry
+            for arg in phi.args.values():
+                note_use(arg, entry)
+        for instr in block.instrs:
+            entry = ("i", instr)
+            if _virtual(instr.dst):
+                def_of[instr.dst] = entry
+            for reg in instr.uses():
+                note_use(reg, entry)
+
+    def val(reg):
+        if not _virtual(reg):
+            return _BOTTOM
+        return values.get(reg)
+
+    def evaluate(entry):
+        tag, obj = entry
+        if tag == "p":
+            out = None  # TOP
+            for arg in obj.args.values():
+                v = val(arg)
+                if v is None:
+                    continue
+                if v is _BOTTOM or (out is not None and v != out):
+                    return _BOTTOM
+                out = v
+            return out
+        instr = obj
+        kind = instr.kind
+        if kind == "li":
+            return to_signed32(instr.imm)
+        if kind == "mov" and not instr.is_float:
+            return val(instr.a)
+        if kind == "bin" and instr.op in _FOLDABLE_INT:
+            a, b = val(instr.a), val(instr.b)
+            if a is _BOTTOM or b is _BOTTOM:
+                return _BOTTOM
+            if a is None or b is None:
+                return None
+            if not _div_ok(a, b, instr.op):
+                return _BOTTOM
+            return to_signed32(_FOLDABLE_INT[instr.op](a, b))
+        if kind == "bini" and instr.op in _FOLDABLE_INT:
+            a = val(instr.a)
+            if a is _BOTTOM or a is None:
+                return a
+            if not _div_ok(a, instr.imm, instr.op):
+                return _BOTTOM
+            return to_signed32(_FOLDABLE_INT[instr.op](a, instr.imm))
+        return _BOTTOM
+
+    work = list(def_of.keys())
+    while work:
+        reg = work.pop()
+        new = evaluate(def_of[reg])
+        if new is None or new == values.get(reg):
+            continue
+        # monotone: TOP -> constant -> BOTTOM only
+        values[reg] = new
+        for entry in users.get(reg, ()):
+            tag, obj = entry
+            dst = obj.dst if tag == "p" else obj.dst
+            if _virtual(dst):
+                work.append(dst)
+
+    changed = 0
+
+    # Constant phis become li at the top of their block.
+    for block in ssa.live_blocks():
+        keep: List[Phi] = []
+        consts: List[IrInstr] = []
+        for phi in block.phis:
+            v = values.get(phi.dst)
+            if isinstance(v, int) and not phi.dst.is_float:
+                consts.append(IrInstr("li", dst=phi.dst, imm=v))
+                changed += 1
+            else:
+                keep.append(phi)
+        if consts:
+            block.phis = keep
+            block.instrs[:0] = consts
+
+    # Constant defs become li; one-constant bins become bini.
+    for block in ssa.live_blocks():
+        for instr in block.instrs:
+            kind = instr.kind
+            if kind in ("bin", "bini", "mov") and not instr.is_float \
+                    and instr.dst is not None:
+                v = values.get(instr.dst) if _virtual(instr.dst) else None
+                if v is None and kind == "mov" and instr.dst.precolored:
+                    v = values.get(instr.a) if _virtual(instr.a) else None
+                if isinstance(v, int):
+                    instr.kind = "li"
+                    instr.imm = v
+                    instr.op = ""
+                    instr.a = None
+                    instr.b = None
+                    changed += 1
+                    continue
+            if kind == "bin" and instr.op in _FOLDABLE_INT:
+                a = values.get(instr.a) if _virtual(instr.a) else None
+                b = values.get(instr.b) if _virtual(instr.b) else None
+                a = a if isinstance(a, int) else None
+                b = b if isinstance(b, int) else None
+                if b is not None and -32768 <= b <= 32767 \
+                        and instr.op in _BINI_SAFE:
+                    instr.kind = "bini"
+                    instr.imm = b
+                    instr.b = None
+                    changed += 1
+                elif b is not None and instr.op == "sub" \
+                        and -32768 <= -b <= 32767:
+                    instr.kind = "bini"
+                    instr.op = "add"
+                    instr.imm = -b
+                    instr.b = None
+                    changed += 1
+                elif a is not None and -32768 <= a <= 32767 \
+                        and instr.op in _COMMUTATIVE \
+                        and instr.op in _BINI_SAFE:
+                    instr.kind = "bini"
+                    instr.imm = a
+                    instr.a = instr.b
+                    instr.b = None
+                    changed += 1
+
+    changed += _fold_branches(ssa, values)
+    return changed
+
+
+def _fold_branches(ssa: SsaFunction, values: Dict[VReg, object]) -> int:
+    changed = 0
+    for block in ssa.live_blocks():
+        if not block.instrs:
+            continue
+        last = block.instrs[-1]
+        if last.kind != "br" or not _virtual(last.a):
+            continue
+        v = values.get(last.a)
+        if not isinstance(v, int):
+            continue
+        taken_block = ssa.block_by_label(last.sym).index
+        fall = [s for s in block.succ if s != taken_block]
+        taken = (v == 0) if last.invert else (v != 0)
+        if taken:
+            last.kind = "jmp"
+            last.a = None
+            last.invert = False
+            for succ in fall:
+                ssa.remove_edge(block.index, succ)
+        else:
+            block.instrs.pop()
+            if fall:  # degenerate br (both arms equal) keeps its edge
+                ssa.remove_edge(block.index, taken_block)
+        changed += 1
+    if changed:
+        ssa.prune_unreachable()
+        ssa.recompute_dominators()
+    return changed
+
+
+# -- copy propagation (incl. single-source phis) -----------------------------
+
+
+def copy_propagate(ssa: SsaFunction) -> int:
+    """Rewrite uses of SSA copies to their source.
+
+    Covers ``mov`` between virtual registers and phis whose arguments
+    (ignoring self-references) are all the same name — both are pure
+    renames in SSA.  The movs themselves die in DCE; redundant phis are
+    removed here.
+    """
+    mapping: Dict[VReg, VReg] = {}
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            sources = {arg for arg in phi.args.values()
+                       if arg is not phi.dst}
+            if len(sources) == 1:
+                src = sources.pop()
+                if _virtual(src):
+                    mapping[phi.dst] = src
+        for instr in block.instrs:
+            if instr.kind == "mov" and _virtual(instr.dst) \
+                    and _virtual(instr.a):
+                mapping[instr.dst] = instr.a
+    if not mapping:
+        return 0
+
+    def resolve(reg):
+        seen: Set[int] = set()
+        while reg in mapping and id(reg) not in seen:
+            seen.add(id(reg))
+            reg = mapping[reg]
+        return reg
+
+    changed = _rewrite_uses(ssa, resolve)
+    for block in ssa.live_blocks():
+        keep = [phi for phi in block.phis if phi.dst not in mapping]
+        changed += len(block.phis) - len(keep)
+        block.phis = keep
+    return changed
+
+
+# -- global value numbering --------------------------------------------------
+
+
+def value_number(ssa: SsaFunction) -> int:
+    """Dominator-scoped value numbering with commutative canonicalization.
+
+    A pure instruction whose value key was already computed somewhere on
+    the dominator path becomes a ``mov`` from the earlier name; identical
+    phis in the same block merge the same way.  Uses are rewritten to
+    representatives afterwards (sound globally: a representative's
+    definition always dominates the definitions it replaces).
+    """
+    ssa.recompute_dominators()
+    children = ssa.dom_children()
+    vn: Dict[VReg, VReg] = {}
+
+    def rep(reg):
+        if not _virtual(reg):
+            return reg
+        chain = []
+        while reg in vn and vn[reg] is not reg:
+            chain.append(reg)
+            reg = vn[reg]
+        for link in chain:
+            vn[link] = reg
+        return reg
+
+    def key_of(instr: IrInstr) -> Optional[Tuple]:
+        kind = instr.kind
+        if kind == "li":
+            return ("li", to_signed32(instr.imm))
+        if kind == "lfi":
+            return ("lfi", repr(float(instr.imm)))
+        if kind == "la_global":
+            return ("lag", instr.sym, instr.imm)
+        if kind == "la_frame":
+            if isinstance(instr.base, tuple):
+                return ("laf", id(instr.base[1]), instr.imm)
+            return None
+        if kind == "cvt":
+            a = rep(instr.a)
+            if not _virtual(a):
+                return None
+            return ("cvt", instr.op, id(a))
+        if kind == "bini":
+            a = rep(instr.a)
+            if not _virtual(a):
+                return None
+            return ("bini", instr.op, id(a), instr.imm)
+        if kind == "bin":
+            a, b = rep(instr.a), rep(instr.b)
+            if not (_virtual(a) and _virtual(b)):
+                return None
+            ids = (id(a), id(b))
+            if instr.op in _COMMUTATIVE:
+                ids = tuple(sorted(ids))
+            return ("bin", instr.op, ids)
+        return None
+
+    scopes: List[Dict[Tuple, VReg]] = []
+
+    def lookup(key):
+        for scope in reversed(scopes):
+            hit = scope.get(key)
+            if hit is not None:
+                return hit
+        return None
+
+    changed = 0
+    walk: List[Tuple[int, bool]] = [(0, False)]
+    while walk:
+        index, leaving = walk.pop()
+        if leaving:
+            scopes.pop()
+            continue
+        walk.append((index, True))
+        scopes.append({})
+        block = ssa.blocks[index]
+        for phi in block.phis:
+            args = {p: rep(a) for p, a in phi.args.items()}
+            sources = {id(a) for a in args.values() if a is not phi.dst}
+            if len(sources) == 1:
+                continue  # copy_propagate's case; avoid double handling
+            key = ("phi", index,
+                   tuple(sorted((p, id(a)) for p, a in args.items())))
+            hit = lookup(key)
+            if hit is not None:
+                vn[phi.dst] = hit
+                changed += 1
+            else:
+                scopes[-1][key] = phi.dst
+        for instr in block.instrs:
+            if instr.kind == "mov":
+                if _virtual(instr.dst) and _virtual(instr.a):
+                    vn[instr.dst] = rep(instr.a)
+                continue
+            if instr.kind not in _SSA_PURE or not _virtual(instr.dst):
+                continue
+            key = key_of(instr)
+            if key is None:
+                continue
+            hit = lookup(key)
+            if hit is not None:
+                instr.kind = "mov"
+                instr.a = hit
+                instr.b = None
+                instr.op = ""
+                instr.imm = 0
+                instr.sym = ""
+                instr.base = None
+                vn[instr.dst] = rep(hit)
+                changed += 1
+            else:
+                scopes[-1][key] = instr.dst
+        for child in children[index]:
+            walk.append((child, False))
+
+    changed += _rewrite_uses(ssa, rep)
+    # Phis that merged keep their (now redundant) bodies until DCE; the
+    # mapped dst has no remaining uses after the rewrite above.
+    return changed
+
+
+# -- dead code elimination ---------------------------------------------------
+
+
+def _safe_dead_load(instr: IrInstr) -> bool:
+    """True when a dead *load* may be removed (cannot trap).
+
+    Frame accesses at constant in-bounds offsets always hit valid stack
+    memory; anything else (pointer loads, incoming-area reads) is kept,
+    matching the local optimizer's conservatism.
+    """
+    base = instr.base
+    return (isinstance(base, tuple) and base[0] == "frame"
+            and isinstance(instr.imm, int) and instr.imm >= 0
+            and instr.imm + 4 <= 4 * base[1].words)
+
+
+def eliminate_dead(ssa: SsaFunction) -> int:
+    """Mark-and-sweep DCE over instructions *and* phis."""
+    def_of: Dict[VReg, Tuple[str, object]] = {}
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            def_of[phi.dst] = ("p", phi)
+        for instr in block.instrs:
+            if _virtual(instr.dst):
+                def_of[instr.dst] = ("i", instr)
+
+    live: Set[int] = set()
+    work: List[Tuple[str, object]] = []
+
+    def mark(reg) -> None:
+        if not _virtual(reg):
+            return
+        entry = def_of.get(reg)
+        if entry is not None and id(entry[1]) not in live:
+            live.add(id(entry[1]))
+            work.append(entry)
+
+    for block in ssa.live_blocks():
+        for instr in block.instrs:
+            kind = instr.kind
+            root = (kind not in _SSA_PURE
+                    and not (kind == "load" and _safe_dead_load(instr)))
+            if not root and instr.dst is not None \
+                    and instr.dst.precolored:
+                root = True
+            if root:
+                live.add(id(instr))
+                for reg in instr.uses():
+                    mark(reg)
+
+    while work:
+        tag, obj = work.pop()
+        if tag == "p":
+            for arg in obj.args.values():
+                mark(arg)
+        else:
+            for reg in obj.uses():
+                mark(reg)
+
+    removed = 0
+    for block in ssa.live_blocks():
+        keep_phis = [p for p in block.phis if id(p) in live]
+        removed += len(block.phis) - len(keep_phis)
+        block.phis = keep_phis
+        keep: List[IrInstr] = []
+        for instr in block.instrs:
+            if id(instr) in live:
+                keep.append(instr)
+            else:
+                removed += 1
+        block.instrs = keep
+    return removed
+
+
+# -- store-to-load forwarding + dead store elimination -----------------------
+
+
+def forward_stores(ssa: SsaFunction) -> int:
+    """Block-local store-to-load and load-load forwarding on frame slots.
+
+    Only unescaped slots participate (see module docstring), so calls
+    and pointer stores cannot invalidate a tracked fact; a fact only
+    dies when the same word is overwritten.
+    """
+    untracked = _untracked_slots(ssa)
+    changed = 0
+    for block in ssa.live_blocks():
+        avail: Dict[Tuple, VReg] = {}
+        for instr in block.instrs:
+            kind = instr.kind
+            if kind not in ("load", "store"):
+                continue
+            key = _frame_key(instr, untracked)
+            if key is None:
+                continue
+            typed = key + (instr.is_float,)
+            if kind == "store":
+                # Defensive: a store invalidates the other-typed view of
+                # the same word too (lowering never type-puns a slot,
+                # but stale facts must be impossible, not just unlikely).
+                avail.pop(key + (not instr.is_float,), None)
+                if _virtual(instr.a):
+                    avail[typed] = instr.a
+                else:
+                    avail.pop(typed, None)
+            else:
+                known = avail.get(typed)
+                if known is not None and _virtual(instr.dst):
+                    instr.kind = "mov"
+                    instr.a = known
+                    instr.base = None
+                    instr.imm = 0
+                    instr.locality = False
+                    changed += 1
+                elif _virtual(instr.dst):
+                    avail[typed] = instr.dst
+    return changed
+
+
+def eliminate_dead_stores(ssa: SsaFunction) -> int:
+    """Remove stores to unescaped frame words never loaded afterwards.
+
+    Backward may-read dataflow at (slot, offset) granularity; the frame
+    dies at function exit, so nothing is live out of exit blocks.
+    """
+    untracked = _untracked_slots(ssa)
+    live_in: Dict[int, Set[Tuple]] = {b.index: set()
+                                      for b in ssa.live_blocks()}
+
+    def transfer(block: SsaBlock, live: Set[Tuple],
+                 remove: bool) -> Tuple[Set[Tuple], int]:
+        removed = 0
+        keep: List[IrInstr] = []
+        for instr in reversed(block.instrs):
+            key = None
+            if instr.kind in ("load", "store"):
+                key = _frame_key(instr, untracked)
+            if key is not None and instr.kind == "load":
+                live.add(key)
+            elif key is not None and instr.kind == "store":
+                if key not in live:
+                    if remove:
+                        removed += 1
+                        continue
+                else:
+                    live.discard(key)
+            keep.append(instr)
+        if remove:
+            keep.reverse()
+            block.instrs = keep
+        return live, removed
+
+    changed = True
+    while changed:
+        changed = False
+        for block in ssa.live_blocks():
+            out: Set[Tuple] = set()
+            for succ in block.succ:
+                out |= live_in[succ]
+            new_in, _ = transfer(block, out, remove=False)
+            if new_in != live_in[block.index]:
+                live_in[block.index] = new_in
+                changed = True
+
+    removed = 0
+    for block in ssa.live_blocks():
+        out: Set[Tuple] = set()
+        for succ in block.succ:
+            out |= live_in[succ]
+        _, r = transfer(block, out, remove=True)
+        removed += r
+    return removed
+
+
+# -- loop-invariant code motion ----------------------------------------------
+
+
+def _hoistable(instr: IrInstr) -> bool:
+    if instr.kind not in _SSA_PURE or not _virtual(instr.dst):
+        return False
+    if instr.kind == "bin" and instr.op in _TRAPPING:
+        return False  # a trap must not be executed speculatively
+    for reg in instr.uses():
+        if isinstance(reg, VReg) and reg.precolored:
+            return False
+    return True
+
+
+def hoist_invariants(ssa: SsaFunction) -> int:
+    """Loop-invariant code motion into freshly created preheaders.
+
+    Natural loops come from back edges over the dominator tree; a loop
+    is only processed when its header has exactly one outside
+    predecessor (always true for lowered structured code), so the
+    preheader splice never needs its own phis.  Hoisted instructions are
+    pure and non-trapping, making execution on loop-skipping paths safe.
+    """
+    ssa.recompute_dominators()
+    loops: Dict[int, Set[int]] = {}
+    for block in ssa.live_blocks():
+        for succ in block.succ:
+            if not ssa.dominates(succ, block.index):
+                continue
+            body = loops.setdefault(succ, {succ})
+            stack = [block.index]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(ssa.blocks[node].pred)
+    if not loops:
+        return 0
+
+    def_block: Dict[VReg, int] = {}
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            def_block[phi.dst] = block.index
+        for instr in block.instrs:
+            if _virtual(instr.dst):
+                def_block[instr.dst] = block.index
+
+    hoisted = 0
+    # Inner loops first: their invariants can then bubble outward when
+    # the pipeline runs another round.
+    for header in sorted(loops, key=lambda h: len(loops[h])):
+        body = loops[header]
+        hblock = ssa.blocks[header]
+        outside = [p for p in hblock.pred if p not in body]
+        if len(outside) != 1 or header == 0:
+            continue
+        pre: Optional[SsaBlock] = None
+        moving = True
+        while moving:
+            moving = False
+            for bi in sorted(body):
+                block = ssa.blocks[bi]
+                remaining: List[IrInstr] = []
+                for instr in block.instrs:
+                    if not _hoistable(instr) or any(
+                            def_block.get(reg, -1) in body
+                            for reg in instr.uses() if _virtual(reg)):
+                        remaining.append(instr)
+                        continue
+                    if pre is None:
+                        pre = _make_preheader(ssa, header, outside[0])
+                        # The preheader sits on the old outside->header
+                        # edge: any *enclosing* loop that contained both
+                        # endpoints now contains the preheader too.  The
+                        # body sets must see that, or an outer-loop pass
+                        # would treat values parked in this preheader as
+                        # loop-invariant and hoist their users above
+                        # them.
+                        for other in loops.values():
+                            if header in other and outside[0] in other:
+                                other.add(pre.index)
+                    pre.instrs.append(instr)
+                    def_block[instr.dst] = pre.index
+                    hoisted += 1
+                    moving = True
+                block.instrs = remaining
+    if hoisted:
+        ssa.recompute_dominators()
+    return hoisted
+
+
+def _make_preheader(ssa: SsaFunction, header: int, outside: int) -> SsaBlock:
+    pre = SsaBlock(len(ssa.blocks), ssa.new_label(), [])
+    ssa.blocks.append(pre)
+    ssa.idom.append(None)
+    hblock = ssa.blocks[header]
+    pblock = ssa.blocks[outside]
+
+    pblock.succ[pblock.succ.index(header)] = pre.index
+    pre.pred = [outside]
+    hblock.pred[hblock.pred.index(outside)] = pre.index
+    pre.succ = [header]
+    if pblock.instrs:
+        last = pblock.instrs[-1]
+        if last.kind in ("jmp", "br") and last.sym == hblock.label:
+            last.sym = pre.label
+    for phi in hblock.phis:
+        if outside in phi.args:
+            phi.args[pre.index] = phi.args.pop(outside)
+    ssa.layout.insert(ssa.layout.index(header), pre.index)
+    return pre

@@ -1,0 +1,111 @@
+"""The optimization pipeline behind the ``-O`` knob.
+
+Levels:
+
+* **O0** — nothing: lowering's naive IR goes straight to regalloc.
+* **O1** — the local (per basic block) folder in
+  :mod:`repro.lang.optimizer`, the pre-SSA behavior.
+* **O2** — the full mid-end: the function is converted to pruned SSA
+  (:mod:`repro.lang.ssa`) and the global passes in
+  :mod:`repro.lang.passes` run to a fixpoint —
+
+      constants -> copies -> value numbering -> copies
+                -> store forwarding -> dead stores -> DCE -> LICM
+
+  — before SSA destruction; the local folder then runs once more to
+  clean up the out-of-SSA copies and strength-reduce anything the
+  global constants exposed.
+
+The default compile (``CompilerOptions(optimize=True)``) is **O2**, so
+every existing oracle — opt/timing/golden/analyze/replay fuzzing, the
+golden config matrix, the IR lints — exercises the SSA stack
+automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.errors import CompileError
+from repro.lang import passes
+from repro.lang.ir import IrFunction
+from repro.lang.optimizer import optimize
+from repro.lang.ssa import build_ssa, destroy_ssa
+
+#: Safety cap for pipeline rounds.  Every pass is structurally monotone
+#: (instructions only ever become movs/lis or disappear), so genuine
+#: inputs converge in a handful of rounds; hitting the cap means a pass
+#: regressed into oscillation and the compile must fail loudly.
+_MAX_ROUNDS = 64
+
+
+class PipelineStats:
+    """Counters from one function's trip through the pipeline."""
+
+    __slots__ = ("folded", "removed", "phis", "hoisted")
+
+    def __init__(self) -> None:
+        self.folded = 0
+        self.removed = 0
+        self.phis = 0
+        self.hoisted = 0
+
+
+def normalize_opt_level(level: Union[int, str, None],
+                        default: int = 2) -> int:
+    """Coerce an ``-O`` spelling (``2``, ``"2"``, ``"O2"``) to 0/1/2."""
+    if level is None:
+        return default
+    if isinstance(level, str):
+        text = level.strip().lstrip("Oo-")
+        if not text.isdigit():
+            raise CompileError(f"bad optimization level {level!r}")
+        level = int(text)
+    if level not in (0, 1, 2):
+        raise CompileError(f"bad optimization level {level!r}")
+    return level
+
+
+def run_pipeline(func: IrFunction, level: int) -> PipelineStats:
+    """Optimize *func* in place at *level*; returns counters."""
+    stats = PipelineStats()
+    if level <= 0:
+        return stats
+    folded, removed = optimize(func)
+    stats.folded += folded
+    stats.removed += removed
+    if level == 1:
+        return stats
+
+    ssa = build_ssa(func)
+    stats.phis = sum(len(b.phis) for b in ssa.live_blocks())
+    for _ in range(_MAX_ROUNDS):
+        changed = passes.propagate_constants(ssa)
+        changed += passes.copy_propagate(ssa)
+        changed += passes.value_number(ssa)
+        changed += passes.copy_propagate(ssa)
+        stats.folded += changed
+        forwarded = passes.forward_stores(ssa)
+        stats.folded += forwarded
+        changed += forwarded
+        removed = passes.eliminate_dead_stores(ssa)
+        removed += passes.eliminate_dead(ssa)
+        stats.removed += removed
+        changed += removed
+        hoisted = passes.hoist_invariants(ssa)
+        stats.hoisted += hoisted
+        changed += hoisted
+        if not changed:
+            break
+    else:
+        raise CompileError(
+            f"SSA pipeline did not converge on {func.name!r} within "
+            f"{_MAX_ROUNDS} rounds; a pass is oscillating")
+    destroy_ssa(ssa)
+
+    # Local cleanup: the out-of-SSA copies are block-local by
+    # construction, exactly what the per-block folder coalesces.
+    folded, removed = optimize(func)
+    stats.folded += folded
+    stats.removed += removed
+    return stats

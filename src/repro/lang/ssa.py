@@ -1,0 +1,540 @@
+"""SSA construction and destruction for the mini-C IR.
+
+The linear IR from lowering becomes a block graph (via
+:mod:`repro.analyze.ircfg` — the same CFG the static verifier uses), gets
+pruned-SSA phis (dominance frontiers over the CHK idoms from
+:mod:`repro.analyze.cfg`, a phi only where the variable is live into the
+join), is renamed so every virtual register has exactly one definition,
+and is finally lowered back to the linear form codegen expects.
+
+SSA invariants the passes in :mod:`repro.lang.passes` rely on:
+
+* every non-precolored ``VReg`` has exactly one definition (a phi or an
+  instruction), and that definition dominates every use;
+* precolored registers are *outside* SSA entirely — they are ABI
+  plumbing, created fresh per use site by lowering, and no pass may
+  rename, move, or merge an instruction that reads or writes one;
+* phi arguments are keyed by predecessor block index and every live
+  predecessor has an entry;
+* block 0 is the entry; the block carrying ``func.exit_label`` is kept
+  alive (even if branch folding makes it unreachable) and is emitted
+  last, because codegen attaches the epilogue to that label.
+
+Out-of-SSA uses the isolation-temp (two copy) scheme: for each phi
+``d = phi(a_p...)`` a fresh temp ``t`` is created, each predecessor gets
+``mov t <- a_p`` ahead of its terminator, and the join block starts with
+``mov d <- t``.  The temps make parallel phi semantics sequential without
+edge splitting (lost-copy and swap problems cannot occur), and the local
+optimizer plus the register allocator's same-color mov elision clean up
+the copies that remain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analyze.cfg import dominates, dominators
+from repro.analyze.ircfg import ir_cfg
+from repro.errors import CompileError
+from repro.lang.ir import IrFunction, IrInstr, VReg
+
+# Same identity-keying contract as the local optimizer: every map below
+# keys VRegs by object identity (see repro.lang.optimizer).
+assert VReg.__eq__ is object.__eq__ and VReg.__hash__ is object.__hash__, \
+    "SSA maps key on VReg identity; VReg must not define __eq__/__hash__"
+
+#: Instruction kinds that end a block when they appear last.
+_TERMINATORS = ("jmp", "br", "ret")
+
+
+class Phi:
+    """``dst <- phi(args)`` with arguments keyed by predecessor index."""
+
+    __slots__ = ("dst", "args")
+
+    def __init__(self, dst: VReg, args: Dict[int, VReg]):
+        self.dst = dst
+        self.args = args
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}:{a}" for p, a in sorted(self.args.items()))
+        return f"Phi({self.dst} <- {inner})"
+
+
+class SsaBlock:
+    """One basic block: optional label, phis, straight-line instructions."""
+
+    __slots__ = ("index", "label", "phis", "instrs", "succ", "pred", "dead")
+
+    def __init__(self, index: int, label: Optional[str],
+                 instrs: List[IrInstr]):
+        self.index = index
+        self.label = label
+        self.phis: List[Phi] = []
+        self.instrs = instrs
+        self.succ: List[int] = []
+        self.pred: List[int] = []
+        self.dead = False
+
+    def terminator_at(self) -> int:
+        """Index of the first trailing terminator (insertion point for
+        edge copies): everything from here on is ``ret``/``jmp``/``br``."""
+        i = len(self.instrs)
+        while i > 0 and self.instrs[i - 1].kind in _TERMINATORS:
+            i -= 1
+        return i
+
+    def __repr__(self) -> str:
+        return (f"SsaBlock(#{self.index} {self.label or '<anon>'} "
+                f"{len(self.phis)} phis, {len(self.instrs)} instrs)")
+
+
+class SsaFunction:
+    """A function in SSA form: block graph + dominator info.
+
+    Exposes ``blocks`` / ``rpo()`` with the same shapes
+    :func:`repro.analyze.cfg.dominators` expects, so the CHK computation
+    is reused rather than duplicated.
+    """
+
+    def __init__(self, func: IrFunction, blocks: List[SsaBlock]):
+        self.func = func
+        self.blocks = blocks
+        #: Emission order for destruction; preheaders are spliced in here.
+        self.layout: List[int] = [b.index for b in blocks]
+        self.idom: List[Optional[int]] = []
+        self._label_counter = 0
+        self.recompute_dominators()
+
+    # -- graph maintenance ---------------------------------------------------
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder over live blocks (duck-typed for CHK)."""
+        order: List[int] = []
+        visited = {0}
+        stack: List[Tuple[int, int]] = [(0, 0)]
+        while stack:
+            block, pos = stack[-1]
+            succs = self.blocks[block].succ
+            if pos < len(succs):
+                stack[-1] = (block, pos + 1)
+                nxt = succs[pos]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(block)
+        return list(reversed(order))
+
+    def recompute_dominators(self) -> None:
+        self.idom = dominators(self)
+
+    def dominates(self, a: int, b: int) -> bool:
+        return dominates(self.idom, a, b)
+
+    def dom_children(self) -> List[List[int]]:
+        """Dominator-tree children per block (entry's self-idom excluded)."""
+        children: List[List[int]] = [[] for _ in self.blocks]
+        for block in self.blocks:
+            if block.dead or block.index == 0:
+                continue
+            parent = self.idom[block.index]
+            if parent is not None:
+                children[parent].append(block.index)
+        return children
+
+    def live_blocks(self) -> List[SsaBlock]:
+        return [b for b in self.blocks if not b.dead]
+
+    def new_label(self) -> str:
+        self._label_counter += 1
+        return f"{self.func.name}__ssa{self._label_counter}"
+
+    def ensure_label(self, block: SsaBlock) -> str:
+        if block.label is None:
+            block.label = self.new_label()
+        return block.label
+
+    def block_by_label(self, sym: str) -> SsaBlock:
+        for block in self.blocks:
+            if block.label == sym and not block.dead:
+                return block
+        raise CompileError(f"no live block labelled {sym!r}")
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        """Unlink ``src -> dst`` and drop dst's phi args for that edge."""
+        self.blocks[src].succ.remove(dst)
+        self.blocks[dst].pred.remove(src)
+        for phi in self.blocks[dst].phis:
+            phi.args.pop(src, None)
+
+    def prune_unreachable(self) -> int:
+        """Mark blocks unreachable from the entry dead; returns count.
+
+        The exit-label block is kept (codegen hangs the epilogue off that
+        label), just emptied and detached like any other dead block.
+        """
+        reachable = {0}
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].succ:
+                if succ not in reachable:
+                    reachable.add(succ)
+                    stack.append(succ)
+        removed = 0
+        for block in self.blocks:
+            if block.dead or block.index in reachable:
+                continue
+            if block.label == self.func.exit_label:
+                for succ in list(block.succ):
+                    self.remove_edge(block.index, succ)
+                block.instrs = []
+                block.phis = []
+                continue
+            removed += 1
+            block.dead = True
+            for succ in list(block.succ):
+                self.remove_edge(block.index, succ)
+            for pred in list(block.pred):
+                self.remove_edge(pred, block.index)
+            block.instrs = []
+            block.phis = []
+            self.layout.remove(block.index)
+        if removed:
+            self.recompute_dominators()
+        return removed
+
+
+# -- construction ------------------------------------------------------------
+
+
+def _split_blocks(func: IrFunction) -> List[SsaBlock]:
+    """Cut the linear body into SsaBlocks using the analyzer's CFG."""
+    cfg = ir_cfg(func.body)
+    blocks: List[SsaBlock] = []
+    for b in cfg.blocks:
+        instrs = [func.body[i] for i in range(b.start, b.end)]
+        label = None
+        if instrs and instrs[0].kind == "label":
+            label = instrs[0].sym
+            instrs = instrs[1:]
+        block = SsaBlock(b.index, label, instrs)
+        block.succ = list(b.succ)
+        block.pred = list(b.pred)
+        blocks.append(block)
+    ssa = SsaFunction(func, blocks)
+    # Dead code behind an unconditional return etc. never gets phis or
+    # renaming; drop it up front (keeps the rest of the passes honest).
+    ssa.prune_unreachable()
+    return ssa
+
+
+def _block_liveness(ssa: SsaFunction) -> Dict[int, Set[VReg]]:
+    """Per-block live-in sets of *virtual* registers (pre-SSA names).
+
+    Drives pruned phi insertion: a phi for ``v`` at join ``B`` is only
+    needed when ``v`` is live into ``B``.
+    """
+    gen: Dict[int, Set[VReg]] = {}
+    kill: Dict[int, Set[VReg]] = {}
+    for block in ssa.live_blocks():
+        g: Set[VReg] = set()
+        k: Set[VReg] = set()
+        for instr in block.instrs:
+            for reg in instr.uses():
+                if isinstance(reg, VReg) and not reg.precolored \
+                        and reg not in k:
+                    g.add(reg)
+            dst = instr.dst
+            if dst is not None and not dst.precolored:
+                k.add(dst)
+        gen[block.index] = g
+        kill[block.index] = k
+    live_in: Dict[int, Set[VReg]] = {b.index: set()
+                                     for b in ssa.live_blocks()}
+    changed = True
+    while changed:
+        changed = False
+        for block in ssa.live_blocks():
+            out: Set[VReg] = set()
+            for succ in block.succ:
+                out |= live_in[succ]
+            new_in = gen[block.index] | (out - kill[block.index])
+            if new_in != live_in[block.index]:
+                live_in[block.index] = new_in
+                changed = True
+    return live_in
+
+
+def _dominance_frontiers(ssa: SsaFunction) -> Dict[int, Set[int]]:
+    df: Dict[int, Set[int]] = {b.index: set() for b in ssa.blocks}
+    for block in ssa.live_blocks():
+        if len(block.pred) < 2:
+            continue
+        target_idom = ssa.idom[block.index]
+        for pred in block.pred:
+            runner: Optional[int] = pred
+            while runner is not None and runner != target_idom:
+                df[runner].add(block.index)
+                if runner == 0:
+                    break
+                runner = ssa.idom[runner]
+    return df
+
+
+def _rewrite_use(instr: IrInstr, field: str, stacks, undef, func) -> None:
+    reg = getattr(instr, field)
+    if not isinstance(reg, VReg) or reg.precolored:
+        return
+    stack = stacks.get(reg)
+    if stack:
+        setattr(instr, field, stack[-1])
+    else:
+        setattr(instr, field, _undef_for(reg, undef, func))
+
+
+def _undef_for(var: VReg, undef: Dict[VReg, VReg],
+               func: IrFunction) -> VReg:
+    """SSA name for a variable used on a path with no definition.
+
+    Lowering initialises every register-resident local at its
+    declaration, so this only triggers for hand-built IR; semantics
+    match lowering's default (zero).  The defining ``li``/``lfi`` is
+    collected in *undef* and spliced into the entry block after the
+    renaming walk (never mid-iteration).
+    """
+    name = undef.get(var)
+    if name is None:
+        name = func.new_vreg(var.is_float)
+        undef[var] = name
+    return name
+
+
+def build_ssa(func: IrFunction) -> SsaFunction:
+    """Convert *func* (linear IR) into pruned SSA form."""
+    ssa = _split_blocks(func)
+    live_in = _block_liveness(ssa)
+    df = _dominance_frontiers(ssa)
+
+    # Definition sites per variable (virtual regs only).
+    defsites: Dict[VReg, Set[int]] = {}
+    for block in ssa.live_blocks():
+        for instr in block.instrs:
+            dst = instr.dst
+            if dst is not None and not dst.precolored:
+                defsites.setdefault(dst, set()).add(block.index)
+
+    # Pruned phi placement: iterated dominance frontier gated on live-in.
+    for var, sites in defsites.items():
+        work = list(sites)
+        has_phi: Set[int] = set()
+        while work:
+            site = work.pop()
+            for join in df.get(site, ()):
+                if join in has_phi or ssa.blocks[join].dead:
+                    continue
+                if var not in live_in[join]:
+                    continue
+                has_phi.add(join)
+                args = {p: var for p in ssa.blocks[join].pred}
+                ssa.blocks[join].phis.append(Phi(var, args))
+                if join not in sites:
+                    work.append(join)
+
+    # Renaming: dominator-tree walk with per-variable name stacks.
+    children = ssa.dom_children()
+    stacks: Dict[VReg, List[VReg]] = {}
+    undef: Dict[VReg, VReg] = {}
+
+    def _push(var: VReg, pushed: List[VReg]) -> VReg:
+        name = func.new_vreg(var.is_float)
+        stacks.setdefault(var, []).append(name)
+        pushed.append(var)
+        return name
+
+    walk: List[Tuple[int, Optional[List[VReg]]]] = [(0, None)]
+    while walk:
+        index, pushed = walk.pop()
+        if pushed is not None:  # post-visit: pop this block's names
+            for var in pushed:
+                stacks[var].pop()
+            continue
+        block = ssa.blocks[index]
+        pushed = []
+        for phi in block.phis:
+            phi.dst = _push(phi.dst, pushed)
+        for instr in block.instrs:
+            _rewrite_use(instr, "a", stacks, undef, func)
+            if instr.kind == "bin":
+                _rewrite_use(instr, "b", stacks, undef, func)
+            if isinstance(instr.base, VReg):
+                _rewrite_use(instr, "base", stacks, undef, func)
+            for reg in instr.args:
+                if not reg.precolored:
+                    raise CompileError(
+                        f"non-precolored arg {reg!r} in {instr!r}")
+            dst = instr.dst
+            if dst is not None and not dst.precolored:
+                instr.dst = _push(dst, pushed)
+        for succ in block.succ:
+            for phi in ssa.blocks[succ].phis:
+                var = phi.args.get(index)
+                if var is None:
+                    continue
+                stack = stacks.get(var)
+                if stack:
+                    phi.args[index] = stack[-1]
+                else:
+                    phi.args[index] = _undef_for(var, undef, func)
+        walk.append((index, pushed))
+        for child in children[index]:
+            walk.append((child, None))
+
+    if undef:
+        defs = []
+        for var, name in undef.items():
+            kind = "lfi" if var.is_float else "li"
+            imm = 0.0 if var.is_float else 0
+            defs.append(IrInstr(kind, dst=name, imm=imm,
+                                is_float=var.is_float))
+        ssa.blocks[0].instrs[:0] = defs
+    return ssa
+
+
+# -- verification ------------------------------------------------------------
+
+
+def verify_ssa(ssa: SsaFunction) -> None:
+    """Check core SSA invariants; raises :class:`CompileError` on breach.
+
+    Used by the pass tests (and cheap enough to call after any pass while
+    debugging): single definition per virtual register, definitions
+    dominate uses, phi args keyed exactly by the live predecessors.
+    """
+    def_block: Dict[VReg, int] = {}
+    def_pos: Dict[VReg, int] = {}
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            if phi.dst in def_block:
+                raise CompileError(f"multiple defs of {phi.dst!r}")
+            def_block[phi.dst] = block.index
+            def_pos[phi.dst] = -1
+        for pos, instr in enumerate(block.instrs):
+            dst = instr.dst
+            if dst is not None and not dst.precolored:
+                if dst in def_block:
+                    raise CompileError(f"multiple defs of {dst!r}")
+                def_block[dst] = block.index
+                def_pos[dst] = pos
+
+    def check_use(reg: VReg, block: int, pos: int, where: str) -> None:
+        if not isinstance(reg, VReg) or reg.precolored:
+            return
+        if reg not in def_block:
+            raise CompileError(f"{where}: use of undefined {reg!r}")
+        db = def_block[reg]
+        if db == block:
+            if not def_pos[reg] < pos:
+                raise CompileError(f"{where}: {reg!r} used before def")
+        elif not ssa.dominates(db, block):
+            raise CompileError(
+                f"{where}: def of {reg!r} (block {db}) does not dominate "
+                f"use in block {block}")
+
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            if set(phi.args) != set(block.pred):
+                raise CompileError(
+                    f"phi {phi!r} args {sorted(phi.args)} do not match "
+                    f"preds {sorted(block.pred)} of block {block.index}")
+            for pred, arg in phi.args.items():
+                # A phi use happens "at the end of" the predecessor.
+                check_use(arg, pred, len(ssa.blocks[pred].instrs),
+                          f"phi in block {block.index}")
+        for pos, instr in enumerate(block.instrs):
+            for reg in instr.uses():
+                check_use(reg, block.index, pos, f"{instr!r}")
+
+
+# -- destruction -------------------------------------------------------------
+
+
+def destroy_ssa(ssa: SsaFunction) -> None:
+    """Replace phis with copies and rebuild ``func.body`` linear IR."""
+    func = ssa.func
+    for block in ssa.live_blocks():
+        if not block.phis:
+            continue
+        temps = [func.new_vreg(phi.dst.is_float) for phi in block.phis]
+        for pred_index in block.pred:
+            pred = ssa.blocks[pred_index]
+            at = pred.terminator_at()
+            for phi, temp in zip(block.phis, temps):
+                arg = phi.args.get(pred_index)
+                if arg is None:
+                    raise CompileError(
+                        f"phi {phi!r} missing arg for pred {pred_index}")
+                pred.instrs.insert(
+                    at, IrInstr("mov", dst=temp, a=arg,
+                                is_float=temp.is_float))
+                at += 1
+        head = [IrInstr("mov", dst=phi.dst, a=temp,
+                        is_float=temp.is_float)
+                for phi, temp in zip(block.phis, temps)]
+        block.instrs[:0] = head
+        block.phis = []
+    func.body = _linearize(ssa)
+
+
+def _linearize(ssa: SsaFunction) -> List[IrInstr]:
+    """Emit blocks in layout order, patching fallthrough with jmps.
+
+    The exit-label block is forced last (codegen's epilogue contract);
+    any block whose fallthrough successor is no longer adjacent gets an
+    explicit ``jmp``.
+    """
+    order = [i for i in ssa.layout if not ssa.blocks[i].dead]
+    exit_blocks = [i for i in order
+                   if ssa.blocks[i].label == ssa.func.exit_label]
+    for i in exit_blocks:
+        order.remove(i)
+        order.append(i)
+
+    # Pass 1: decide which blocks need a patch jmp appended (fallthrough
+    # successor no longer adjacent) and make sure every target has a
+    # label *before* any emission.
+    patches: Dict[int, str] = {}
+    for pos, index in enumerate(order):
+        block = ssa.blocks[index]
+        last = block.instrs[-1] if block.instrs else None
+        if last is not None and last.kind == "jmp":
+            continue  # unconditional: no fallthrough to patch
+        if last is not None and last.kind == "br":
+            taken = ssa.block_by_label(last.sym).index
+            fall = [s for s in block.succ if s != taken]
+            # Degenerate br (both arms reach the same block): the
+            # not-taken path still needs to get there physically.
+            through = fall[0] if fall else taken
+        else:
+            fall = list(block.succ)
+            if len(fall) > 1:
+                raise CompileError(
+                    f"block {index} has {len(fall)} fallthrough successors")
+            if not fall:
+                continue
+            through = fall[0]
+        nxt = order[pos + 1] if pos + 1 < len(order) else None
+        if through != nxt:
+            patches[index] = ssa.ensure_label(ssa.blocks[through])
+
+    # Pass 2: emit.
+    body: List[IrInstr] = []
+    for index in order:
+        block = ssa.blocks[index]
+        if block.label is not None:
+            body.append(IrInstr("label", sym=block.label))
+        body.extend(block.instrs)
+        if index in patches:
+            body.append(IrInstr("jmp", sym=patches[index]))
+    return body

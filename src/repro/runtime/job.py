@@ -19,7 +19,7 @@ class SimJob:
     """Spec of one (workload x config) timing simulation."""
 
     __slots__ = ("workload", "config", "scale", "seed", "source_text",
-                 "optimize", "max_instructions", "_key")
+                 "optimize", "opt_level", "max_instructions", "_key")
 
     def __init__(
         self,
@@ -29,6 +29,7 @@ class SimJob:
         seed: int = 1,
         source_text: Optional[str] = None,
         optimize: bool = True,
+        opt_level: Optional[int] = None,
         max_instructions: Optional[int] = None,
     ):
         self.workload = workload
@@ -37,6 +38,10 @@ class SimJob:
         self.seed = seed
         self.source_text = source_text
         self.optimize = optimize
+        # None lets the compiler derive the level from ``optimize``
+        # (True -> O2, False -> O0); an explicit 0/1/2 wins.  Named
+        # workloads instead carry the level in the name ("mini.x@O0").
+        self.opt_level = opt_level
         self.max_instructions = max_instructions
         self._key: Optional[str] = None
 
@@ -53,6 +58,7 @@ class SimJob:
             body["source"] = {
                 "sha256": digest(self.source_text),
                 "optimize": self.optimize,
+                "opt_level": self.opt_level,
                 "max_instructions": self.max_instructions,
             }
         return body

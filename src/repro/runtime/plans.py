@@ -25,6 +25,7 @@ from repro.experiments import (
     fig8_combining,
     fig11_programs,
     mix_interference,
+    opt_levels,
 )
 from repro.experiments.common import nm_config
 from repro.runtime.job import SimJob
@@ -134,6 +135,13 @@ def _plan_mix_interference(scale: float) -> List[SimJob]:
     return _jobs(programs, configs, scale)
 
 
+def _plan_opt_levels(scale: float) -> List[SimJob]:
+    workloads = [f"{name}@O{level}"
+                 for name in opt_levels.PROGRAMS
+                 for level in opt_levels.LEVELS]
+    return _jobs(workloads, opt_levels.configs().values(), scale)
+
+
 #: Experiments absent here (table1/table2/fig2/fig3/fig6) run no timing
 #: simulations in their ``main()`` — there is nothing to prewarm.
 PLANNERS: Dict[str, Callable[[float], List[SimJob]]] = {
@@ -149,6 +157,7 @@ PLANNERS: Dict[str, Callable[[float], List[SimJob]]] = {
     "ablation-window": _plan_ablation_window,
     "disc-small-l1": _plan_disc_small_l1,
     "mix-interference": _plan_mix_interference,
+    "opt-levels": _plan_opt_levels,
 }
 
 

@@ -25,7 +25,7 @@ def trace_for_job(job: SimJob) -> Trace:
         from repro.experiments.common import trace_for
 
         return trace_for(job.workload, job.scale, job.seed)
-    key = (job.workload, job.source_text, job.optimize,
+    key = (job.workload, job.source_text, job.optimize, job.opt_level,
            job.max_instructions)
     cached = _SOURCE_TRACES.get(key)
     if cached is not None:
@@ -43,7 +43,7 @@ def seed_source_trace(job: SimJob, trace: Trace) -> None:
     workers inherit the trace instead of recompiling.
     """
     _SOURCE_TRACES[(job.workload, job.source_text, job.optimize,
-                    job.max_instructions)] = trace
+                    job.opt_level, job.max_instructions)] = trace
 
 
 def _trace_from_source(job: SimJob) -> Trace:
@@ -57,7 +57,8 @@ def _trace_from_source(job: SimJob) -> Trace:
         program = compile_source(
             job.source_text,
             CompilerOptions(source_name=job.workload,
-                            optimize=job.optimize),
+                            optimize=job.optimize,
+                            opt_level=job.opt_level),
         )
     vm = Machine(program, trace=True)
     vm.run(max_instructions=job.max_instructions or 5_000_000)

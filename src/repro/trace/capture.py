@@ -71,7 +71,7 @@ class TraceJob:
     """
 
     __slots__ = ("workload", "scale", "seed", "source_text", "optimize",
-                 "max_instructions", "_key")
+                 "opt_level", "max_instructions", "_key")
 
     def __init__(
         self,
@@ -80,6 +80,7 @@ class TraceJob:
         seed: int = 1,
         source_text: Optional[str] = None,
         optimize: bool = True,
+        opt_level: Optional[int] = None,
         max_instructions: Optional[int] = None,
     ):
         self.workload = workload
@@ -87,6 +88,7 @@ class TraceJob:
         self.seed = seed
         self.source_text = source_text
         self.optimize = optimize
+        self.opt_level = opt_level
         self.max_instructions = max_instructions
         self._key: Optional[str] = None
 
@@ -103,6 +105,7 @@ class TraceJob:
             body["source"] = {
                 "sha256": digest(self.source_text),
                 "optimize": self.optimize,
+                "opt_level": self.opt_level,
                 "max_instructions": self.max_instructions,
             }
         return body

@@ -5,6 +5,13 @@ SPEC95-like names (``"130.li"``) produce calibrated synthetic traces;
 ``"mini.*"`` names compile and execute the corresponding mini-C program.
 Traces are cached in-process because a dozen experiments sweep dozens of
 machine configurations over the same streams.
+
+Mini-C names may carry an optimization-level suffix — ``"mini.qsort@O0"``
+compiles at O0, ``"mini.qsort@O2"`` at O2 (the bare name is the compiler
+default, O2).  Because the level rides in the workload *name*, everything
+keyed by name — the in-process memo here, SimJob descriptions, the
+on-disk result cache, trace capture — distinguishes levels with no extra
+plumbing.
 """
 
 from __future__ import annotations
@@ -56,11 +63,28 @@ def build_trace_uncached(name: str, length: Optional[int] = None,
     return generate_trace(get_spec(name), length, seed)
 
 
+def split_opt_suffix(name: str) -> Tuple[str, Optional[int]]:
+    """Split ``"mini.qsort@O0"`` into ``("mini.qsort", 0)``.
+
+    Names without a suffix come back with ``None`` (compiler default).
+    """
+    base, sep, tail = name.partition("@")
+    if not sep:
+        return name, None
+    if len(tail) == 2 and tail[0] in "Oo" and tail[1] in "012":
+        return base, int(tail[1])
+    raise WorkloadError(
+        f"bad optimization suffix in workload {name!r}; "
+        f"expected '@O0', '@O1' or '@O2'")
+
+
 def _build_minic(name: str, length: Optional[int]) -> Trace:
-    if name not in MINIC_PROGRAMS:
-        raise WorkloadError(f"unknown mini-C program {name!r}")
-    source = MINIC_PROGRAMS[name][0]
-    program = compile_source(source, CompilerOptions(source_name=name))
+    base, opt_level = split_opt_suffix(name)
+    if base not in MINIC_PROGRAMS:
+        raise WorkloadError(f"unknown mini-C program {base!r}")
+    source = MINIC_PROGRAMS[base][0]
+    program = compile_source(
+        source, CompilerOptions(source_name=name, opt_level=opt_level))
     vm = Machine(program, trace=True)
     vm.run(max_instructions=length if length else 5_000_000)
     trace = vm.trace

@@ -150,5 +150,25 @@ def test_runner_lists_every_experiment():
     expected = {"table1", "table2", "table3", "fig2", "fig3", "fig5",
                 "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "ablation-multiport", "ablation-realism",
-                "ablation-window", "disc-small-l1", "mix-interference"}
+                "ablation-window", "disc-small-l1", "mix-interference",
+                "opt-levels"}
     assert set(EXPERIMENTS) == expected
+
+
+def test_opt_levels_rows():
+    from repro.experiments import opt_levels
+
+    # hashdb keeps a high local (frame) fraction at both levels, so the
+    # LVAQ columns are meaningful; pointer-chasing minis sit near zero.
+    rows = opt_levels.run(scale=SCALE, programs=("mini.hashdb",))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.program == "mini.hashdb"
+    assert row.instructions[2] < row.instructions[0]
+    assert 0 < row.inst_ratio < 1
+    for level in opt_levels.LEVELS:
+        assert 0 < row.local_fraction[level] <= 1
+        assert row.lvaq_speedup[level] > 0.9
+    rendered = opt_levels.render(rows)
+    assert "mini.hashdb" in rendered
+    assert "average" in rendered

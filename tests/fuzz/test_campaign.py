@@ -70,10 +70,14 @@ def test_campaign_no_cache_ignores_directory(tmp_path, monkeypatch):
 
 
 def test_campaign_surfaces_divergences(monkeypatch):
+    # Seed 41 generates a program whose output depends on a constant
+    # arithmetic shift of a negative value — the exact shape the broken
+    # fold miscompiles.  (Seed-sensitive: regenerate with a scan over
+    # run_oracles when the generator's random stream changes.)
     monkeypatch.setitem(optimizer._FOLDABLE_INT, "sra", BROKEN_SRA)
-    report = run_campaign(seed=10, count=5, oracles=("opt",), shard_size=5,
+    report = run_campaign(seed=39, count=5, oracles=("opt",), shard_size=5,
                           no_cache=True)
     assert not report.clean
-    assert 12 in report.diverging_seeds()
+    assert 41 in report.diverging_seeds()
     assert all(d.oracle == "opt" for d in report.divergences)
     assert all(d.seed is not None for d in report.divergences)

@@ -11,7 +11,7 @@ from repro.fuzz import ALL_ORACLES, generate_program, run_oracles
 
 #: A seed whose program exercises ``>>`` folding (found by the campaign
 #: when the folder is deliberately broken below).
-SRA_SENSITIVE_SEED = 12
+SRA_SENSITIVE_SEED = 41
 
 #: The historical bug: folding ``sra`` logically instead of arithmetically.
 BROKEN_SRA = staticmethod(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))

@@ -33,11 +33,15 @@ BOUNDARY = (INT_MIN, -INT_MAX, -65536, -32768, -2, -1, 0, 1, 2, 3,
             31, 32, 33, 65535, INT_MAX - 1, INT_MAX)
 
 #: IR op -> register-register mnemonic (ops the ISA encodes directly).
+#: ``div``/``rem`` trap on a zero divisor, so matrix tests over this
+#: table must filter ``b == 0`` pairs for them.
 _RRR_MNEMONIC = {
-    "add": "add", "sub": "sub", "mul": "mul", "and": "and", "or": "or",
-    "xor": "xor", "shl": "sllv", "shr": "srlv", "sra": "srav",
-    "slt": "slt",
+    "add": "add", "sub": "sub", "mul": "mul", "div": "div", "rem": "rem",
+    "and": "and", "or": "or", "xor": "xor", "shl": "sllv", "shr": "srlv",
+    "sra": "srav", "slt": "slt",
 }
+
+_TRAPPING = ("div", "rem")
 
 
 def fold_bin(op: str, a: int, b: int) -> int:
@@ -79,7 +83,8 @@ def vm_bin(op: str, pairs) -> list:
 @pytest.mark.parametrize("op", sorted(_RRR_MNEMONIC))
 def test_folder_matches_vm(op):
     """The fold of every boundary pair equals the VM's RRR execution."""
-    pairs = [(a, b) for a in BOUNDARY for b in BOUNDARY]
+    pairs = [(a, b) for a in BOUNDARY for b in BOUNDARY
+             if not (op in _TRAPPING and b == 0)]
     executed = vm_bin(op, pairs)
     for (a, b), ran in zip(pairs, executed):
         folded = fold_bin(op, a, b)
@@ -179,6 +184,91 @@ def test_regression_variable_shift_count():
         "    return 0;\n"
         "}\n")
     assert lines == ["-8192", "524288"]
+
+
+# -- division and remainder ----------------------------------------------------
+
+
+def test_div_rem_fold_truncates_toward_zero():
+    """Quotients round toward zero; the remainder takes the dividend's
+    sign (``rem = a - trunc(a/b)*b``), exactly the VM's DIV/REM."""
+    cases = {
+        (7, 2): (3, 1), (-7, 2): (-3, -1),
+        (7, -2): (-3, 1), (-7, -2): (3, -1),
+        (1, INT_MAX): (0, 1), (INT_MIN, 1): (INT_MIN, 0),
+    }
+    for (a, b), (q, r) in cases.items():
+        assert fold_bin("div", a, b) == q, (a, b)
+        assert fold_bin("rem", a, b) == r, (a, b)
+
+
+def test_div_int_min_by_minus_one_wraps():
+    """INT_MIN / -1 overflows; the fold wraps to INT_MIN like the VM's
+    32-bit writeback (and the remainder is 0), not Python's 2**31."""
+    assert fold_bin("div", INT_MIN, -1) == INT_MIN
+    assert fold_bin("rem", INT_MIN, -1) == 0
+    assert vm_bin("div", [(INT_MIN, -1)]) == [INT_MIN]
+    assert vm_bin("rem", [(INT_MIN, -1)]) == [0]
+
+
+@pytest.mark.parametrize("op", ("div", "rem"))
+def test_zero_divisor_never_folds(op):
+    """A constant ÷0 must stay a runtime trap, not a compile-time fold
+    (or worse, a compile-time crash)."""
+    func = IrFunction("f")
+    ra, rb, rc, rd = (func.new_vreg() for _ in range(4))
+    func.body = [
+        IrInstr(kind="li", dst=ra, imm=5),
+        IrInstr(kind="li", dst=rb, imm=0),
+        IrInstr(kind="bin", op=op, dst=rc, a=ra, b=rb),
+        IrInstr(kind="bini", op=op, dst=rd, a=ra, imm=0),
+        IrInstr(kind="ret", args=[rc]),
+    ]
+    fold_and_propagate(func)
+    assert func.body[2].kind == "bin"
+    assert func.body[3].kind == "bini"
+
+
+@pytest.mark.parametrize("opt_level", (0, 1, 2))
+def test_division_by_zero_traps_at_every_level(opt_level):
+    from repro.errors import VmError
+
+    source = ("int main() {\n"
+              "    int z = 0;\n"
+              "    print(1 / z);\n"
+              "    return 0;\n"
+              "}\n")
+    program = compile_source(source, CompilerOptions(opt_level=opt_level))
+    with pytest.raises(VmError):
+        run_program(program, max_instructions=10_000)
+
+
+# -- hypothesis: the folder is a model of the VM for arbitrary operands --------
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    _HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the base image
+    _HAVE_HYPOTHESIS = False
+
+#: Source operator -> the IR op lowering emits (``>>`` is arithmetic).
+_IR_FROM_C = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+              "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "sra"}
+
+if _HAVE_HYPOTHESIS:
+
+    @settings(max_examples=300, deadline=None)
+    @given(op=st.sampled_from(sorted(_IR_FROM_C)),
+           a=st.integers(INT_MIN, INT_MAX),
+           b=st.integers(INT_MIN, INT_MAX))
+    def test_fold_matches_c_model_on_random_operands(op, a, b):
+        """Differential check: for arbitrary 32-bit operands the folder
+        computes exactly the C-on-32-bit model (the same model the
+        boundary matrix ties to the VM)."""
+        if op in ("/", "%") and b == 0:
+            return  # traps at runtime; the folder refuses (tested above)
+        assert fold_bin(_IR_FROM_C[op], a, b) == c_semantics(op, a, b)
 
 
 def test_regression_fold_wraps_to_32_bits():

@@ -158,6 +158,64 @@ def test_optimize_reaches_fixpoint():
     assert removed > 0  # regs[3] is dead (and mov chain collapses)
 
 
+def test_deep_dead_chain_fully_removed():
+    """Regression: DCE retires one link of a dead chain per round, so a
+    fixed round count used to leave long chains half-removed.  ``optimize``
+    must iterate to a true fixpoint regardless of chain length."""
+    f = IrFunction("f")
+    live = f.new_vreg()
+    chain = [f.new_vreg() for _ in range(30)]
+    f.body = [IrInstr(kind="li", dst=live, imm=7),
+              IrInstr(kind="li", dst=chain[0], imm=1)]
+    for prev, cur in zip(chain, chain[1:]):
+        f.body.append(IrInstr(kind="mov", dst=cur, a=prev))
+    f.body.append(IrInstr(kind="ret", args=[live]))
+    folded, removed = optimize(f)
+    assert removed == len(chain)
+    assert [i.kind for i in f.body] == ["li", "ret"]
+
+
+def test_optimize_round_cap_raises_loudly():
+    """Hitting the safety cap is a compiler bug, never a silent
+    half-optimized function."""
+    from repro.errors import CompileError
+
+    f = IrFunction("f")
+    live = f.new_vreg()
+    chain = [f.new_vreg() for _ in range(12)]
+    f.body = [IrInstr(kind="li", dst=live, imm=7),
+              IrInstr(kind="li", dst=chain[0], imm=1)]
+    for prev, cur in zip(chain, chain[1:]):
+        f.body.append(IrInstr(kind="mov", dst=cur, a=prev))
+    f.body.append(IrInstr(kind="ret", args=[live]))
+    with pytest.raises(CompileError):
+        optimize(f, max_rounds=2)
+
+
+def test_distinct_vregs_never_alias():
+    """Optimizer state keys on VReg *identity*: two distinct registers
+    that happen to share an id number must track separate constants."""
+    f = IrFunction("f")
+    a, b = VReg(7), VReg(7)  # same number, different objects
+    c = f.new_vreg()
+    f.body = [
+        IrInstr(kind="li", dst=a, imm=1),
+        IrInstr(kind="li", dst=b, imm=2),
+        IrInstr(kind="bin", op="add", dst=c, a=a, b=b),
+        IrInstr(kind="ret", args=[c]),
+    ]
+    fold_and_propagate(f)
+    assert f.body[2].kind == "li"
+    assert f.body[2].imm == 3
+
+
+def test_vreg_keys_by_identity_at_class_level():
+    """The import-time guard the optimizer and SSA modules both assert:
+    a value-semantics VReg would silently merge optimizer facts."""
+    assert VReg.__eq__ is object.__eq__
+    assert VReg.__hash__ is object.__hash__
+
+
 # -- end to end: optimization must not change observable behaviour ------------
 
 _PROGRAMS = [
@@ -180,8 +238,8 @@ int main() { print(twice(10) + twice(11)); return 0; }
 
 @pytest.mark.parametrize("source,expected", _PROGRAMS)
 def test_optimized_matches_unoptimized(source, expected):
-    for flag in (True, False):
-        program = compile_source(source, CompilerOptions(optimize=flag))
+    for level in (0, 1, 2):
+        program = compile_source(source, CompilerOptions(opt_level=level))
         vm, _ = run_program(program)
         assert vm.stdout == expected
         assert vm.exit_code == 0

@@ -79,3 +79,16 @@ def test_collect_covers_all(monkeypatch):
     for job in all_jobs:
         assert job.scale == SCALE
         assert job.seed == 1
+
+
+def test_opt_levels_plan_matches_execution(observed_jobs, monkeypatch):
+    from repro.experiments import opt_levels
+
+    monkeypatch.setattr(opt_levels, "PROGRAMS", ("mini.linkedlist",))
+    planned = {job.key for job in plans.jobs_for("opt-levels", SCALE)}
+    opt_levels.run(scale=SCALE)
+    executed = {job.key for job in observed_jobs}
+    assert executed == planned
+    # Both levels of the same program are distinct workloads in the plan.
+    names = {job.workload for job in plans.jobs_for("opt-levels", SCALE)}
+    assert names == {"mini.linkedlist@O0", "mini.linkedlist@O2"}

@@ -120,3 +120,24 @@ def test_code_salt_override_and_stability(monkeypatch):
     assert code_salt() == "pinned-salt"
     monkeypatch.delenv("REPRO_CACHE_SALT")
     assert code_salt() == computed
+
+
+def test_ssa_mid_end_sources_are_salted():
+    """Every module the -O pipeline runs must enter both the result-cache
+    salt and the trace-capture salt: a pass edit that changes generated
+    code has to invalidate cached sims *and* captured traces."""
+    import repro.runtime.signature as sig
+
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(sig.__file__)))
+    mid_end = {os.path.join("lang", name) for name in (
+        "ssa.py", "passes.py", "pipeline.py", "optimizer.py",
+        "frontend.py", "codegen.py")}
+    for sources in (sig._SALT_SOURCES, sig.TRACE_SALT_SOURCES):
+        walked = set()
+        for entry in sources:
+            for path in sig._python_files(
+                    os.path.join(package_root, entry)):
+                walked.add(os.path.relpath(path, package_root))
+        missing = mid_end - walked
+        assert not missing, f"unsalted mid-end sources: {sorted(missing)}"

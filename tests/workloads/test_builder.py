@@ -43,3 +43,33 @@ def test_unknown_names_rejected():
         build_trace("mini.ghost")
     with pytest.raises(WorkloadError):
         build_trace("777.ghost")
+
+
+def test_opt_suffix_split():
+    from repro.workloads.builder import split_opt_suffix
+
+    assert split_opt_suffix("mini.qsort") == ("mini.qsort", None)
+    assert split_opt_suffix("mini.qsort@O0") == ("mini.qsort", 0)
+    assert split_opt_suffix("mini.qsort@o2") == ("mini.qsort", 2)
+    for bad in ("mini.qsort@", "mini.qsort@O3", "mini.qsort@2",
+                "mini.qsort@Ox"):
+        with pytest.raises(WorkloadError):
+            split_opt_suffix(bad)
+
+
+def test_opt_levels_are_distinct_cache_entries():
+    """``@O0`` and ``@O2`` streams must never collide in the memo (the
+    level rides in the name, so the name must stay on the trace too)."""
+    o0 = build_trace("mini.linkedlist@O0", length=100_000)
+    o2 = build_trace("mini.linkedlist@O2", length=100_000)
+    bare = build_trace("mini.linkedlist", length=100_000)
+    assert o0.name == "mini.linkedlist@O0"
+    assert o2.name == "mini.linkedlist@O2"
+    assert o0 is not o2 and o2 is not bare
+    assert len(o0) > len(o2)  # the optimizer shortened the stream
+    assert len(bare) == len(o2)  # the bare name is the default, O2
+
+
+def test_bad_opt_suffix_rejected_by_builder():
+    with pytest.raises(WorkloadError):
+        build_trace("mini.linkedlist@O7")

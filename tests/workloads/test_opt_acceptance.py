@@ -1,0 +1,36 @@
+"""PR acceptance gate for the SSA mid-end: on every mini workload the
+-O2 build must reach the *bit-identical* architectural result of the -O0
+build (exit code, stdout, final global memory) while executing strictly
+fewer dynamic instructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.oracles import check_opt
+from repro.lang import CompilerOptions, compile_source
+from repro.vm.machine import Machine
+from repro.workloads import MINIC_PROGRAMS
+
+
+def _run(source: str, level: int) -> Machine:
+    program = compile_source(source, CompilerOptions(opt_level=level))
+    vm = Machine(program, trace=False)
+    vm.run(max_instructions=5_000_000)
+    return vm
+
+
+@pytest.mark.parametrize("name", sorted(MINIC_PROGRAMS))
+def test_o2_identical_state_and_strictly_fewer_instructions(name):
+    source = MINIC_PROGRAMS[name][0]
+    vm_o0 = _run(source, 0)
+    vm_o2 = _run(source, 2)
+    assert check_opt(vm_o2, vm_o0) == []
+    assert vm_o2.instructions_executed < vm_o0.instructions_executed, (
+        f"{name}: O2 executed {vm_o2.instructions_executed}, "
+        f"O0 {vm_o0.instructions_executed}")
+
+
+def test_mini_suite_is_at_least_eight_workloads():
+    """The strict-improvement claim must quantify over >= 8 programs."""
+    assert len(MINIC_PROGRAMS) >= 8
