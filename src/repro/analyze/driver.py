@@ -103,15 +103,22 @@ def _dynamic_crosscheck(report: AnalysisReport, trace) -> None:
 def analyze_source(source: str, name: str = "<mini-c>",
                    optimize: bool = True, static_only: bool = False,
                    max_instructions: int = 2_000_000,
-                   opt_level=None) -> AnalysisReport:
-    """Compile *source* and verify it; optionally run it and cross-check."""
-    from repro.lang import CompilerOptions, compile_source
+                   opt_level=None, verify: str = "off") -> AnalysisReport:
+    """Compile *source* and verify it; optionally run it and cross-check.
+
+    ``verify`` turns on translation validation of the SSA pipeline
+    (``"ssa"`` or ``"tv"``, see :mod:`repro.analyze.tv`): every pass
+    certificate's findings land in the report as error diagnostics and
+    the ``tv.*`` metrics summarize the certificate log.
+    """
+    from repro.lang import CompileStats, CompilerOptions, compile_source
 
     ir_map: Dict[str, object] = {}
+    cstats = CompileStats() if verify != "off" else None
     program = compile_source(
         source, CompilerOptions(source_name=name, optimize=optimize,
-                                opt_level=opt_level),
-        ir_out=ir_map)
+                                opt_level=opt_level, verify=verify),
+        stats=cstats, ir_out=ir_map)
     trace = None
     budget_note = None
     if not static_only:
@@ -128,19 +135,39 @@ def analyze_source(source: str, name: str = "<mini-c>",
             trace = vm.trace
     report = analyze_program(program, ir_map=ir_map, trace=trace,
                              name=name)
+    if cstats is not None:
+        _merge_certificates(report, cstats)
     if budget_note is not None:
         report.add(budget_note)
     return report
 
 
+def _merge_certificates(report: AnalysisReport, cstats) -> None:
+    """Fold the translation-validation certificate log into *report*."""
+    certs = cstats.certificates
+    findings = 0
+    events = 0
+    for _fname, cert in certs:
+        events += cert.events
+        for diag in cert.findings:
+            findings += 1
+            report.add(diag)
+    report.metrics.update({
+        "tv.certificates": len(certs),
+        "tv.events": events,
+        "tv.findings": findings,
+        "tv.certified": 1.0 if certs and not findings else 0.0,
+    })
+
+
 def analyze_workload(workload: str, optimize: bool = True,
                      static_only: bool = False,
                      max_instructions: int = 20_000_000,
-                     opt_level=None) -> AnalysisReport:
+                     opt_level=None, verify: str = "off") -> AnalysisReport:
     """Verify one named mini-C workload (see repro.workloads.minic)."""
     from repro.workloads.minic import minic_source
 
     return analyze_source(minic_source(workload), name=workload,
                           optimize=optimize, static_only=static_only,
                           max_instructions=max_instructions,
-                          opt_level=opt_level)
+                          opt_level=opt_level, verify=verify)

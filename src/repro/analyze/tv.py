@@ -1,0 +1,2149 @@
+"""Translation validation for the SSA mid-end.
+
+Instead of trusting the optimization passes in :mod:`repro.lang.passes`,
+this module *certifies* each application: the pipeline snapshots the SSA
+function before a pass, runs it, and hands both states to
+:func:`certify_pass`, which
+
+1. re-checks structural well-formedness (:func:`check_wellformed`: SSA
+   invariants, CFG consistency, terminator placement, opcode/operand and
+   register-class discipline, precolored-register rules), and
+2. diffs the two states into a stream of events (rewrites, removals,
+   insertions, moves, phi edits, CFG edits) and replays each event
+   against an independent semantic justification — a constant lattice
+   for SCCP, copy chains for copy propagation, a coinductive congruence
+   for GVN, per-word backward/forward memory scans for store forwarding
+   and dead-store elimination, and purity + dominance proofs for DCE and
+   LICM.
+
+Passes mutate ``IrInstr``/``Phi`` objects in place, so object identity
+links the before and after states; the snapshot stores pre-pass field
+tuples keyed by ``id()``.
+
+Every finding carries a stable rule id from :data:`RULES` so tests, CI,
+and the fuzz ``tv`` oracle can match on it without parsing messages.
+Findings are :class:`repro.analyze.report.Diagnostic` errors; a
+:class:`PassCertificate` with no findings means the pass application is
+certified.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analyze.cfg import dominates as _dom_query
+from repro.analyze.cfg import dominators as _dominators
+from repro.analyze.report import Diagnostic
+from repro.errors import CompileError
+from repro.lang.ir import BIN_FLOAT_OPS, BIN_INT_OPS, IrInstr, VReg
+from repro.lang.optimizer import _FOLDABLE_INT, _div_ok
+from repro.lang.passes import (_BINI_SAFE, _COMMUTATIVE, _SSA_PURE,
+                               _TRAPPING, _virtual)
+from repro.lang.ssa import SsaFunction, verify_ssa
+from repro.utils import to_signed32
+
+#: Stable rule ids and what each one certifies.
+RULES = {
+    "tv.wf.ssa": "SSA invariants (single def, def dominates use, phi "
+                 "args keyed by live predecessors)",
+    "tv.wf.cfg": "successor/predecessor lists mutually consistent, no "
+                 "edges to dead blocks, live entry block",
+    "tv.wf.terminator": "jmp/br only at block ends, targets resolve to "
+                        "live blocks and match the successor edges",
+    "tv.wf.opcode": "instruction operand shape and opcode discipline "
+                    "(bini immediate range, li signed-32 range, ...)",
+    "tv.wf.type": "register-class discipline (int vs float operands "
+                  "and destinations)",
+    "tv.wf.precolored": "precolored registers never appear in phis; "
+                        "call/ret args are precolored",
+    "tv.sccp.const-fold": "a constant fold matches the independently "
+                          "recomputed constant lattice",
+    "tv.sccp.branch-fold": "a folded branch goes the direction the "
+                           "lattice proves",
+    "tv.sccp.cfg": "CFG edits are exactly the fallout of certified "
+                   "branch folds (unreachability witness)",
+    "tv.copy.not-copy": "a rewritten use follows a transitive "
+                        "copy/single-source-phi chain to its new name",
+    "tv.gvn.not-congruent": "merged names are structurally congruent "
+                            "(coinductive over the pre-pass SSA graph)",
+    "tv.fwd.stale": "a forwarded load receives the nearest preceding "
+                    "same-word value with no intervening clobber",
+    "tv.dse.live-store": "a removed store reaches no later load of the "
+                         "word before a surviving overwrite",
+    "tv.dce.live": "a removed definition has no remaining uses",
+    "tv.dce.effectful": "removed instructions are pure (or provably "
+                        "safe dead frame loads)",
+    "tv.licm.trapping": "no trapping op (div/rem/fdiv) is hoisted",
+    "tv.licm.unsafe-hoist": "hoisted instructions are pure, "
+                            "precolored-free, and their operands' "
+                            "definitions dominate the preheader",
+    "tv.licm.preheader": "new blocks are single-entry/single-exit "
+                         "preheaders dominating their loop",
+    "tv.diff.unjustified": "a structural change no rule of the claimed "
+                           "pass accounts for",
+}
+
+#: Pipeline pass function name -> certifier key.
+PASS_KEYS = {
+    "propagate_constants": "sccp",
+    "copy_propagate": "copy",
+    "value_number": "gvn",
+    "forward_stores": "fwd",
+    "eliminate_dead_stores": "dse",
+    "eliminate_dead": "dce",
+    "hoist_invariants": "licm",
+}
+
+#: Float comparisons produce an *integer* (0/1) destination.
+_F_COMPARES = ("fslt", "fsle", "fsgt", "fsge", "fseq", "fsne")
+
+_BOTTOM = object()  # constant lattice: absent=TOP, int=constant, _BOTTOM
+
+# Snapshot field-tuple layout (indices into the tuples in
+# ``Snapshot.fields``).
+K, OP, DST, A, B, IMM, SYM, BASE, INV, ISF, ARGS, LOC = range(12)
+
+
+def _base_key(base) -> Optional[Tuple]:
+    if isinstance(base, VReg):
+        return ("reg", id(base))
+    if isinstance(base, tuple):
+        if base[0] == "frame":
+            return ("frame", id(base[1]))
+        return ("global", base[1])
+    return None
+
+
+def _fields(instr: IrInstr) -> Tuple:
+    return (instr.kind, instr.op,
+            id(instr.dst) if instr.dst is not None else None,
+            id(instr.a) if instr.a is not None else None,
+            id(instr.b) if instr.b is not None else None,
+            instr.imm, instr.sym, _base_key(instr.base),
+            instr.invert, instr.is_float,
+            tuple(id(r) for r in instr.args),
+            instr.locality)
+
+
+#: C-speed bulk fetch of the semantically tracked attributes (``args``
+#: excluded: it is a mutable list, so a stored reference would alias the
+#: live object and mask in-place mutation — a copy is kept instead).
+#: Registers/bases compare by identity (no ``__eq__`` on VReg/FrameSlot),
+#: matching the id-keyed field tuples.
+_RAW = attrgetter("kind", "op", "dst", "a", "b", "imm", "sym", "base",
+                  "invert", "is_float", "locality")
+
+#: C-speed bulk fetch of the mutable args lists (compared against the
+#: stored copies separately from ``_RAW``).
+_ARGS = attrgetter("args")
+
+#: Shared stand-in for the (overwhelmingly common) empty args list —
+#: never mutated, only compared, so one object serves every record and
+#: the snapshot avoids thousands of tracked empty-list allocations.
+_NO_ARGS: List = []
+
+
+# -- snapshots ----------------------------------------------------------------
+
+
+class _BlockSnap:
+    __slots__ = ("index", "label", "succ", "pred", "instr_ids", "phi_ids",
+                 "raw0", "args0")
+
+    def __init__(self, index: int, label: Optional[str],
+                 succ: List[int], pred: List[int]):
+        self.index = index
+        self.label = label
+        self.succ = succ
+        self.pred = pred
+        self.instr_ids: List[int] = []
+        self.phi_ids: List[int] = []
+        #: Per-position ``_RAW`` tuples / args copies, kept in step with
+        #: ``instr_ids`` — lets :func:`diff_snapshot` compare a whole
+        #: identity-stable block with two C-level list comparisons.
+        self.raw0: List[Tuple] = []
+        self.args0: List[List] = []
+
+
+class Snapshot:
+    """The pre-pass state of one SSA function, keyed by object identity."""
+
+    __slots__ = ("function", "fields", "raw", "objs", "block_of", "pos_of",
+                 "phi_args", "phi_dst", "phi_objs", "phi_block",
+                 "blocks", "labels", "vreg", "slots", "def_of")
+
+    def __init__(self, function: str):
+        self.function = function
+        self.fields: Dict[int, Tuple] = {}
+        #: ``iid -> (_RAW(instr), list(instr.args))`` — the fast
+        #: "unchanged?" compare used by :func:`diff_snapshot`.
+        self.raw: Dict[int, Tuple] = {}
+        self.objs: Dict[int, IrInstr] = {}
+        self.block_of: Dict[int, int] = {}
+        self.pos_of: Dict[int, int] = {}
+        self.phi_args: Dict[int, Dict[int, int]] = {}
+        self.phi_dst: Dict[int, int] = {}
+        self.phi_objs: Dict[int, Any] = {}
+        self.phi_block: Dict[int, int] = {}
+        self.blocks: Dict[int, _BlockSnap] = {}
+        self.labels: Dict[str, int] = {}
+        self.vreg: Dict[int, VReg] = {}
+        self.slots: Dict[int, Any] = {}
+        self.def_of: Dict[int, Tuple[str, int]] = {}
+
+
+def _snap_block(snap: Snapshot, block,
+                dirty: Optional[Set[int]] = None) -> None:
+    """Capture (or re-capture) one live block into *snap*.
+
+    With *dirty* given (a re-capture after a pass), field tuples and
+    register registrations are recomputed only for instructions/phis in
+    *dirty* or new to the snapshot — everything else keeps its stored
+    record and only its placement (block/position) is refreshed.
+    """
+    bs = _BlockSnap(block.index, block.label,
+                    list(block.succ), list(block.pred))
+    snap.blocks[block.index] = bs
+    for phi in block.phis:
+        pid = id(phi)
+        bs.phi_ids.append(pid)
+        snap.phi_block[pid] = block.index
+        if dirty is None or pid in dirty or pid not in snap.phi_args:
+            _register_phi(snap, pid, phi)
+    instrs = block.instrs
+    ids = list(map(id, instrs))
+    bs.instr_ids = ids
+    index = block.index
+    block_of = snap.block_of
+    pos_of = snap.pos_of
+    fields = snap.fields
+    raw = snap.raw
+    raw0 = bs.raw0
+    args0 = bs.args0
+    pos = 0
+    for iid, instr in zip(ids, instrs):
+        block_of[iid] = index
+        pos_of[iid] = pos
+        pos += 1
+        if dirty is not None and iid not in dirty and iid in fields:
+            r = raw[iid]
+        else:
+            r = _register_instr(snap, iid, instr)
+        raw0.append(r[0])
+        args0.append(r[1])
+
+
+def _register_instr(snap: Snapshot, iid: int, instr: IrInstr) -> Tuple:
+    """(Re-)record one instruction's content in *snap*."""
+    snap.objs[iid] = instr
+    snap.fields[iid] = _fields(instr)
+    args = instr.args
+    snap.raw[iid] = r = (_RAW(instr), list(args) if args else _NO_ARGS)
+    for reg in (instr.dst, instr.a, instr.b):
+        if isinstance(reg, VReg):
+            snap.vreg[id(reg)] = reg
+    if isinstance(instr.base, VReg):
+        snap.vreg[id(instr.base)] = instr.base
+    elif isinstance(instr.base, tuple) and instr.base[0] == "frame":
+        snap.slots[id(instr.base[1])] = instr.base[1]
+    for reg in instr.args:
+        snap.vreg[id(reg)] = reg
+    if instr.dst is not None and not instr.dst.precolored:
+        snap.def_of[id(instr.dst)] = ("i", iid)
+    return r
+
+
+def _register_phi(snap: Snapshot, pid: int, phi) -> None:
+    """(Re-)record one phi's content in *snap*."""
+    snap.phi_objs[pid] = phi
+    snap.phi_dst[pid] = id(phi.dst)
+    snap.phi_args[pid] = {p: id(a) for p, a in phi.args.items()}
+    snap.vreg[id(phi.dst)] = phi.dst
+    for arg in phi.args.values():
+        snap.vreg[id(arg)] = arg
+    if not phi.dst.precolored:
+        snap.def_of[id(phi.dst)] = ("p", pid)
+
+
+def snapshot(ssa: SsaFunction) -> Snapshot:
+    """Capture the current state of *ssa* for a later :func:`certify_pass`."""
+    snap = Snapshot(ssa.func.name)
+    for block in ssa.live_blocks():
+        _snap_block(snap, block)
+        if block.label is not None:
+            snap.labels[block.label] = block.index
+    return snap
+
+
+def _rid_virtual(snap: Snapshot, rid: Optional[int]) -> bool:
+    if rid is None:
+        return False
+    reg = snap.vreg.get(rid)
+    return reg is not None and not reg.precolored
+
+
+# -- certificates -------------------------------------------------------------
+
+
+class PassCertificate:
+    """The verdict on one pass application (one pass, one round)."""
+
+    __slots__ = ("function", "pass_name", "round", "events", "findings")
+
+    def __init__(self, function: str, pass_name: str, round_index: int = 0):
+        self.function = function
+        self.pass_name = pass_name
+        self.round = round_index
+        self.events = 0
+        self.findings: List[Diagnostic] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def fail(self, rule: str, message: str,
+             index: Optional[int] = None) -> None:
+        assert rule in RULES, rule
+        self.findings.append(
+            Diagnostic("error", rule, self.function, index, message))
+
+    def describe(self) -> Dict[str, Any]:
+        return {"pass": self.pass_name, "round": self.round,
+                "events": self.events, "ok": self.ok,
+                "findings": [d.describe() for d in self.findings]}
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"{len(self.findings)} findings"
+        return (f"PassCertificate({self.function!r}, {self.pass_name!r}, "
+                f"round {self.round}, {self.events} events, {state})")
+
+
+# -- layer 1: well-formedness -------------------------------------------------
+
+
+def check_wellformed(ssa: SsaFunction,
+                     recompute: bool = True) -> List[Diagnostic]:
+    """Structural IR/SSA/CFG well-formedness of *ssa* right now.
+
+    ``recompute=False`` skips the dominator refresh; only valid when the
+    caller knows ``ssa.idom`` already reflects the current graph (the
+    pipeline's build anchor, where ``build_ssa`` just computed it with
+    the same algorithm — a recompute adds no independence there).
+    """
+    name = ssa.func.name
+    out: List[Diagnostic] = []
+
+    def fail(rule: str, message: str, index: Optional[int] = None) -> None:
+        out.append(Diagnostic("error", rule, name, index, message))
+
+    # A sabotaged pass may leave ssa.idom stale; dominance-based checks
+    # must run against the graph as it is *now*.
+    if recompute:
+        ssa.recompute_dominators()
+
+    live = {b.index for b in ssa.live_blocks()}
+    if 0 not in live:
+        fail("tv.wf.cfg", "entry block is dead")
+        return out
+
+    labels: Dict[str, int] = {}
+    for block in ssa.live_blocks():
+        if block.label is not None:
+            if block.label in labels:
+                fail("tv.wf.cfg",
+                     f"duplicate label {block.label!r}", block.index)
+            labels[block.label] = block.index
+
+    for block in ssa.live_blocks():
+        _check_block(ssa, block, labels, live, name, out)
+        for instr in block.instrs:
+            _check_instr(instr, name, block.index, out)
+
+    try:
+        verify_ssa(ssa)
+    except CompileError as exc:
+        fail("tv.wf.ssa", str(exc))
+    return out
+
+
+def _check_block(ssa: SsaFunction, block, labels: Dict[str, int],
+                 live: Set[int], name: str,
+                 out: List[Diagnostic]) -> None:
+    """Structural checks local to one block (edges, terminator, phis)."""
+
+    def fail(rule: str, message: str) -> None:
+        out.append(Diagnostic("error", rule, name, block.index, message))
+
+    if len(set(block.succ)) != len(block.succ):
+        fail("tv.wf.cfg", "duplicate successor edge")
+    if len(set(block.pred)) != len(block.pred):
+        fail("tv.wf.cfg", "duplicate predecessor edge")
+    for succ in block.succ:
+        if succ not in live:
+            fail("tv.wf.cfg", f"edge to dead block {succ}")
+        elif block.index not in ssa.blocks[succ].pred:
+            fail("tv.wf.cfg",
+                 f"edge {block.index}->{succ} missing from pred list")
+    for pred in block.pred:
+        if pred not in live:
+            fail("tv.wf.cfg", f"edge from dead block {pred}")
+        elif block.index not in ssa.blocks[pred].succ:
+            fail("tv.wf.cfg",
+                 f"edge {pred}->{block.index} missing from succ list")
+
+    n = len(block.instrs)
+    for pos, instr in enumerate(block.instrs):
+        if instr.kind in ("jmp", "br") and pos != n - 1:
+            fail("tv.wf.terminator",
+                 f"{instr.kind} in the middle of a block")
+    last = block.instrs[-1] if block.instrs else None
+    if last is not None and last.kind == "jmp":
+        target = labels.get(last.sym)
+        if target is None:
+            fail("tv.wf.terminator",
+                 f"jmp to unknown label {last.sym!r}")
+        elif set(block.succ) != {target}:
+            fail("tv.wf.terminator",
+                 f"jmp target {target} does not match successors "
+                 f"{block.succ}")
+    elif last is not None and last.kind == "br":
+        target = labels.get(last.sym)
+        if target is None:
+            fail("tv.wf.terminator",
+                 f"br to unknown label {last.sym!r}")
+        elif target not in block.succ:
+            fail("tv.wf.terminator",
+                 f"br target {target} not a successor of {block.succ}")
+        if len(block.succ) not in (1, 2):
+            fail("tv.wf.terminator",
+                 f"br block has {len(block.succ)} successors")
+    elif len(block.succ) > 1:
+        fail("tv.wf.terminator",
+             f"fallthrough block has {len(block.succ)} successors")
+
+    for phi in block.phis:
+        if phi.dst.precolored:
+            fail("tv.wf.precolored",
+                 f"phi defines precolored {phi.dst!r}")
+        for arg in phi.args.values():
+            if not isinstance(arg, VReg):
+                fail("tv.wf.opcode",
+                     f"phi arg {arg!r} is not a register")
+            elif arg.precolored:
+                fail("tv.wf.precolored",
+                     f"phi reads precolored {arg!r}")
+            elif arg.is_float != phi.dst.is_float:
+                fail("tv.wf.type",
+                     f"phi {phi!r} mixes register classes")
+        if len(phi.args) != len(block.pred):
+            fail("tv.wf.ssa",
+                 f"phi has {len(phi.args)} args for "
+                 f"{len(block.pred)} predecessors")
+
+
+def _check_instr(instr: IrInstr, function: str, index: int,
+                 out: List[Diagnostic]) -> None:
+    kind = instr.kind
+
+    def fail(rule: str, message: str) -> None:
+        out.append(Diagnostic("error", rule, function, index, message))
+
+    if kind == "bin":
+        if instr.op not in BIN_INT_OPS and instr.op not in BIN_FLOAT_OPS:
+            fail("tv.wf.opcode", f"bin with unknown op {instr.op!r}")
+            return
+        if not isinstance(instr.a, VReg) or not isinstance(instr.b, VReg) \
+                or instr.dst is None:
+            fail("tv.wf.opcode", f"bin missing operands: {instr!r}")
+            return
+        if instr.op in BIN_FLOAT_OPS:
+            if not (instr.a.is_float and instr.b.is_float):
+                fail("tv.wf.type",
+                     f"float bin reads an int register: {instr!r}")
+            want_float = instr.op not in _F_COMPARES
+            if instr.dst.is_float != want_float:
+                fail("tv.wf.type",
+                     f"float {instr.op} writes wrong class: {instr!r}")
+        else:
+            if instr.a.is_float or instr.b.is_float or instr.dst.is_float:
+                fail("tv.wf.type",
+                     f"int bin touches a float register: {instr!r}")
+    elif kind == "bini":
+        if instr.op not in _BINI_SAFE:
+            fail("tv.wf.opcode",
+                 f"bini op {instr.op!r} has no immediate form")
+        if not isinstance(instr.imm, int) \
+                or not -32768 <= instr.imm <= 32767:
+            fail("tv.wf.opcode",
+                 f"bini immediate {instr.imm!r} out of range")
+        if not isinstance(instr.a, VReg) or instr.dst is None:
+            fail("tv.wf.opcode", f"bini missing operands: {instr!r}")
+        elif instr.a.is_float or instr.dst.is_float:
+            fail("tv.wf.type",
+                 f"bini touches a float register: {instr!r}")
+    elif kind == "li":
+        if instr.dst is None or instr.dst.is_float:
+            fail("tv.wf.type", f"li must target an int register: {instr!r}")
+        if not isinstance(instr.imm, int) \
+                or to_signed32(instr.imm) != instr.imm:
+            fail("tv.wf.opcode",
+                 f"li immediate {instr.imm!r} is not signed 32-bit")
+    elif kind == "lfi":
+        if instr.dst is None or not instr.dst.is_float:
+            fail("tv.wf.type",
+                 f"lfi must target a float register: {instr!r}")
+    elif kind == "mov":
+        if not isinstance(instr.a, VReg) or instr.dst is None:
+            fail("tv.wf.opcode", f"mov missing operands: {instr!r}")
+        elif instr.dst.is_float != instr.a.is_float:
+            fail("tv.wf.type", f"mov mixes register classes: {instr!r}")
+    elif kind == "cvt":
+        if not isinstance(instr.a, VReg) or instr.dst is None \
+                or instr.op not in ("if", "fi"):
+            fail("tv.wf.opcode", f"malformed cvt: {instr!r}")
+        elif instr.op == "if" and \
+                (instr.a.is_float or not instr.dst.is_float):
+            fail("tv.wf.type", f"cvt if must be int->float: {instr!r}")
+        elif instr.op == "fi" and \
+                (not instr.a.is_float or instr.dst.is_float):
+            fail("tv.wf.type", f"cvt fi must be float->int: {instr!r}")
+    elif kind == "load":
+        if instr.dst is None or instr.base is None:
+            fail("tv.wf.opcode", f"load missing operands: {instr!r}")
+    elif kind == "store":
+        if not isinstance(instr.a, VReg) or instr.base is None:
+            fail("tv.wf.opcode", f"store missing operands: {instr!r}")
+    elif kind == "la_frame":
+        if instr.dst is None or instr.dst.is_float \
+                or not (isinstance(instr.base, tuple)
+                        and instr.base[0] == "frame"):
+            fail("tv.wf.opcode", f"malformed la_frame: {instr!r}")
+    elif kind == "la_global":
+        if instr.dst is None or instr.dst.is_float or not instr.sym:
+            fail("tv.wf.opcode", f"malformed la_global: {instr!r}")
+    elif kind == "br":
+        if not isinstance(instr.a, VReg):
+            fail("tv.wf.opcode", f"br without a condition register")
+    elif kind in ("call", "ret"):
+        for reg in instr.args:
+            if not reg.precolored:
+                fail("tv.wf.precolored",
+                     f"{kind} arg {reg!r} is not precolored")
+    elif kind == "jmp":
+        pass
+    elif kind == "label":
+        fail("tv.wf.opcode", "label instruction inside a block body")
+    else:
+        fail("tv.wf.opcode", f"unknown instruction kind {kind!r}")
+
+
+# -- layer 2: the semantic diff -----------------------------------------------
+
+
+class Diff:
+    """Every structural change between a snapshot and the current state."""
+
+    __slots__ = ("rewrites", "removed", "inserted", "moved",
+                 "phi_removed", "phi_inserted", "phi_arg_changes",
+                 "phi_moved", "new_blocks", "killed_blocks",
+                 "edge_removed", "edge_added", "order_bad",
+                 "label_changed")
+
+    def __init__(self) -> None:
+        self.rewrites: List[Tuple[int, Tuple, IrInstr]] = []
+        self.removed: List[int] = []
+        self.inserted: List[Tuple[int, IrInstr, int]] = []
+        self.moved: List[Tuple[int, int, int]] = []
+        self.phi_removed: List[int] = []
+        self.phi_inserted: List[Tuple[int, Any, int]] = []
+        self.phi_arg_changes: List[Tuple[int, Any]] = []
+        self.phi_moved: List[Tuple[int, int, int]] = []
+        self.new_blocks: Set[int] = set()
+        self.killed_blocks: Set[int] = set()
+        self.edge_removed: Set[Tuple[int, int]] = set()
+        self.edge_added: Set[Tuple[int, int]] = set()
+        self.order_bad: List[int] = []
+        self.label_changed: List[int] = []
+
+    def count(self) -> int:
+        return (len(self.rewrites) + len(self.removed) + len(self.inserted)
+                + len(self.moved) + len(self.phi_removed)
+                + len(self.phi_inserted) + len(self.phi_arg_changes)
+                + len(self.phi_moved) + len(self.new_blocks)
+                + len(self.killed_blocks) + len(self.edge_removed)
+                + len(self.edge_added))
+
+
+def _same_fields(f: Tuple, instr: IrInstr) -> bool:
+    """``_fields(instr) == f`` without allocating the tuple."""
+    fk, fop, fdst, fa_, fb_, fimm, fsym, fbase, finv, fisf, fargs, floc = f
+    dst = instr.dst
+    a = instr.a
+    b = instr.b
+    if (instr.kind != fk or instr.op != fop
+            or (id(dst) if dst is not None else None) != fdst
+            or (id(a) if a is not None else None) != fa_
+            or (id(b) if b is not None else None) != fb_
+            or instr.imm != fimm or instr.sym != fsym
+            or instr.invert != finv or instr.is_float != fisf
+            or instr.locality != floc):
+        return False
+    base = instr.base
+    if (None if base is None else _base_key(base)) != fbase:
+        return False
+    args = instr.args
+    if len(args) != len(fargs):
+        return False
+    for r, rid in zip(args, fargs):
+        if id(r) != rid:
+            return False
+    return True
+
+
+def diff_snapshot(snap: Snapshot, ssa: SsaFunction) -> Diff:
+    """Compute the event stream from *snap* to the current state of *ssa*.
+
+    One walk over the current state; everything the walk does not visit
+    but the snapshot recorded is a removal.
+    """
+    d = Diff()
+    live: Set[int] = set()
+    survivors = 0
+    phi_survivors = 0
+    fields_get = snap.fields.get
+    raw_get = snap.raw.get
+    block_of = snap.block_of
+    pos_of = snap.pos_of
+    phi_args_get = snap.phi_args.get
+    blocks_get = snap.blocks.get
+    live_add = live.add
+    for block in ssa.live_blocks():
+        index = block.index
+        live_add(index)
+        bs = blocks_get(index)
+        if bs is None:
+            d.new_blocks.add(index)
+            for dst in block.succ:
+                d.edge_added.add((index, dst))
+        else:
+            if bs.label != block.label:
+                d.label_changed.append(index)
+            if bs.succ != block.succ:
+                before = set(bs.succ)
+                now = set(block.succ)
+                for dst in before - now:
+                    d.edge_removed.add((index, dst))
+                for dst in now - before:
+                    d.edge_added.add((index, dst))
+        for phi in block.phis:
+            pid = id(phi)
+            old_args = phi_args_get(pid)
+            if old_args is None:
+                d.phi_inserted.append((pid, phi, index))
+                continue
+            phi_survivors += 1
+            ob = snap.phi_block[pid]
+            if ob != index:
+                d.phi_moved.append((pid, ob, index))
+            if id(phi.dst) != snap.phi_dst[pid] \
+                    or len(phi.args) != len(old_args):
+                d.phi_arg_changes.append((pid, phi))
+            else:
+                for p, arg in phi.args.items():
+                    if old_args.get(p) != id(arg):
+                        d.phi_arg_changes.append((pid, phi))
+                        break
+        instrs = block.instrs
+        ids = list(map(id, instrs))
+        if bs is not None and bs.instr_ids == ids:
+            # Identity-stable block: membership, placement and order
+            # all match the snapshot — only in-place rewrites can hide
+            # here.  Two C-level list comparisons (attrgetter map vs the
+            # stored per-position tuples, then the args copies) settle
+            # the common nothing-changed case without a Python-level
+            # per-instruction loop; mismatches fall back to the raw
+            # compare to locate the rewrites.
+            survivors += len(ids)
+            if list(map(_RAW, instrs)) == bs.raw0 \
+                    and list(map(_ARGS, instrs)) == bs.args0:
+                continue
+            for iid, instr in zip(ids, instrs):
+                r = raw_get(iid)
+                if (r is None or _RAW(instr) != r[0]
+                        or instr.args != r[1]) \
+                        and not _same_fields(fields_get(iid), instr):
+                    d.rewrites.append((iid, fields_get(iid), instr))
+            continue
+        # Surviving instructions that stayed in their block must keep
+        # their relative order (no pass reorders straight-line code).
+        last = -1
+        order_ok = True
+        for iid, instr in zip(ids, instrs):
+            f = fields_get(iid)
+            if f is None:
+                d.inserted.append((iid, instr, index))
+                continue
+            survivors += 1
+            ob = block_of[iid]
+            if ob != index:
+                d.moved.append((iid, ob, index))
+            elif order_ok:
+                pos = pos_of[iid]
+                if pos < last:
+                    d.order_bad.append(index)
+                    order_ok = False
+                else:
+                    last = pos
+            r = raw_get(iid)
+            if (r is None or _RAW(instr) != r[0] or instr.args != r[1]) \
+                    and not _same_fields(f, instr):
+                # The raw compare is the C-speed fast path; the field
+                # tuple is authoritative (it id-keys registers, so it
+                # tolerates e.g. equal-but-distinct symbol strings).
+                d.rewrites.append((iid, f, instr))
+    # Anything recorded but not revisited was removed.  The counters
+    # make the common nothing-removed case free: a second sweep to
+    # name the victims runs only when the tallies disagree.
+    if survivors != len(snap.fields) or phi_survivors != len(snap.phi_args):
+        seen: Set[int] = set()
+        seen_phis: Set[int] = set()
+        for block in ssa.live_blocks():
+            seen_phis.update(map(id, block.phis))
+            seen.update(map(id, block.instrs))
+        for iid in snap.fields:
+            if iid not in seen:
+                d.removed.append(iid)
+        for pid in snap.phi_args:
+            if pid not in seen_phis:
+                d.phi_removed.append(pid)
+    for index in snap.blocks:
+        if index not in live:
+            d.killed_blocks.add(index)
+    return d
+
+
+def _touched_blocks(snap: Snapshot, d: Diff) -> Set[int]:
+    """Every block index named (directly or as an endpoint) by *d*."""
+    touched: Set[int] = set()
+    touched |= d.new_blocks | d.killed_blocks
+    for a, b in d.edge_added | d.edge_removed:
+        touched.add(a)
+        touched.add(b)
+    for k in d.killed_blocks:
+        bs = snap.blocks.get(k)
+        if bs is not None:
+            touched.update(bs.succ)
+            touched.update(bs.pred)
+    for iid, _f, _instr in d.rewrites:
+        touched.add(snap.block_of[iid])
+    for iid in d.removed:
+        touched.add(snap.block_of[iid])
+    for _iid, _instr, b in d.inserted:
+        touched.add(b)
+    for _iid, fb, tb in d.moved:
+        touched.add(fb)
+        touched.add(tb)
+    for pid in d.phi_removed:
+        touched.add(snap.phi_block[pid])
+    for _pid, _phi, b in d.phi_inserted:
+        touched.add(b)
+    for pid, _phi in d.phi_arg_changes:
+        touched.add(snap.phi_block[pid])
+    for _pid, fb, tb in d.phi_moved:
+        touched.add(fb)
+        touched.add(tb)
+    touched.update(d.label_changed)
+    touched.update(d.order_bad)
+    return touched
+
+
+def apply_diff(snap: Snapshot, ssa: SsaFunction, d: Diff) -> Set[int]:
+    """Update *snap* in place so it matches the current state of *ssa*.
+
+    Equivalent to ``snapshot(ssa)`` but O(changed blocks) instead of
+    O(function): only blocks named by an event in *d* are re-captured.
+    Register/slot identity maps are never pruned — keeping dead objects
+    referenced means their ids cannot be recycled for new IR objects,
+    which keeps identity-keyed lookups unambiguous.  Returns
+    ``(touched, placement)``: every touched block index (pre-update, so
+    killed blocks may appear) and the subset whose instruction/phi
+    placement changed.
+    """
+    if not (d.count() or d.order_bad or d.label_changed):
+        return set(), set()
+    touched = _touched_blocks(snap, d)
+    for iid, f, instr in d.rewrites:
+        # A rewritten dst leaves a stale single-def record behind.
+        new_dst = id(instr.dst) if instr.dst is not None else None
+        if f[DST] is not None and f[DST] != new_dst \
+                and snap.def_of.get(f[DST]) == ("i", iid):
+            del snap.def_of[f[DST]]
+    for pid, phi in d.phi_arg_changes:
+        old_dst = snap.phi_dst.get(pid)
+        if old_dst is not None and old_dst != id(phi.dst) \
+                and snap.def_of.get(old_dst) == ("p", pid):
+            del snap.def_of[old_dst]
+
+    # Blocks whose instruction/phi *placement* changed need a full
+    # re-capture; pure in-place rewrites only need their per-object
+    # records refreshed (no block walk at all).
+    placement: Set[int] = set(d.new_blocks)
+    for _iid, _instr, b in d.inserted:
+        placement.add(b)
+    for _iid, fb, tb in d.moved:
+        placement.add(fb)
+        placement.add(tb)
+    for _pid, _phi, b in d.phi_inserted:
+        placement.add(b)
+    for _pid, fb, tb in d.phi_moved:
+        placement.add(fb)
+        placement.add(tb)
+    placement.update(d.order_bad)
+
+    # Drop per-object records of removed instructions and phis first —
+    # re-capture below re-adds every survivor in a re-captured block.
+    for iid in d.removed:
+        b = snap.block_of.pop(iid, None)
+        if b is not None:
+            placement.add(b)
+        f = snap.fields.pop(iid, None)
+        snap.raw.pop(iid, None)
+        snap.objs.pop(iid, None)
+        snap.pos_of.pop(iid, None)
+        if f is not None and f[DST] is not None \
+                and snap.def_of.get(f[DST]) == ("i", iid):
+            del snap.def_of[f[DST]]
+    for pid in d.phi_removed:
+        rid = snap.phi_dst.pop(pid, None)
+        snap.phi_args.pop(pid, None)
+        snap.phi_objs.pop(pid, None)
+        b = snap.phi_block.pop(pid, None)
+        if b is not None:
+            placement.add(b)
+        if rid is not None and snap.def_of.get(rid) == ("p", pid):
+            del snap.def_of[rid]
+
+    for iid, _f, instr in d.rewrites:
+        r = _register_instr(snap, iid, instr)
+        b = snap.block_of[iid]
+        if b not in placement:
+            # Keep the block's bulk-compare lists in step; placement
+            # blocks are fully re-captured below and rebuild theirs.
+            bs = snap.blocks[b]
+            pos = snap.pos_of[iid]
+            bs.raw0[pos] = r[0]
+            bs.args0[pos] = r[1]
+    for pid, phi in d.phi_arg_changes:
+        _register_phi(snap, pid, phi)
+
+    live = {block.index: block for block in ssa.live_blocks()}
+    no_dirty: Set[int] = set()
+    for index in touched:
+        block = live.get(index)
+        if block is None:
+            snap.blocks.pop(index, None)
+        elif index in placement:
+            # Rewrites were refreshed above, so nothing is "dirty" —
+            # the re-capture only redoes placement and new objects.
+            _snap_block(snap, block, no_dirty)
+        else:
+            # Touched by a rewrite, an edge endpoint or a label change:
+            # placement is untouched, refresh structure only.
+            bs = snap.blocks[index]
+            bs.label = block.label
+            bs.succ = list(block.succ)
+            bs.pred = list(block.pred)
+    snap.labels = {bs.label: i for i, bs in snap.blocks.items()
+                   if bs.label is not None}
+    return touched, placement
+
+
+def _check_events_ssa(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                      cert: PassCertificate) -> None:
+    """Single-assignment audit of the changed defs, O(events).
+
+    Runs against the *pre-pass* snapshot: a def introduced or
+    retargeted by the pass must not collide with a def that survives
+    the pass, and no two changed defs may name the same register.  No
+    pipeline pass legitimately retargets a destination, so a hit here
+    is always a pass writing over someone else's SSA name.
+    """
+    name = snap.function
+    out = cert.findings
+    removed_iids = set(d.removed)
+    removed_pids = set(d.phi_removed)
+    seen: Dict[int, int] = {}
+
+    def check_def(dst, kind: str, oid: int,
+                  index: Optional[int]) -> None:
+        if dst is None or dst.precolored:
+            return
+        rid = id(dst)
+        prev = seen.get(rid)
+        if prev is not None and prev != oid:
+            out.append(Diagnostic(
+                "error", "tv.wf.ssa", name, index,
+                f"multiple changed defs of {dst!r}"))
+        seen[rid] = oid
+        site = snap.def_of.get(rid)
+        if site is None or site == (kind, oid):
+            return
+        skind, soid = site
+        survives = (soid not in removed_iids if skind == "i"
+                    else soid not in removed_pids)
+        if survives:
+            out.append(Diagnostic(
+                "error", "tv.wf.ssa", name, index,
+                f"changed def of {dst!r} shadows a surviving def"))
+
+    for iid, _f, instr in d.rewrites:
+        check_def(instr.dst, "i", iid, snap.block_of.get(iid))
+    for iid, instr, b in d.inserted:
+        check_def(instr.dst, "i", iid, b)
+    for iid, _fb, tb in d.moved:
+        obj = snap.objs.get(iid)
+        if obj is not None:
+            check_def(obj.dst, "i", iid, tb)
+    for pid, phi in d.phi_arg_changes:
+        check_def(phi.dst, "p", pid, snap.phi_block.get(pid))
+    for pid, phi, b in d.phi_inserted:
+        check_def(phi.dst, "p", pid, b)
+
+
+def _check_events_wf(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                     cert: PassCertificate, touched: Set[int],
+                     placement: Set[int]) -> None:
+    """Event-scoped well-formedness: O(changed blocks), not O(function).
+
+    Runs *after* :func:`apply_diff`, so *snap* mirrors the current
+    state of *ssa* — def sites and instruction positions come straight
+    from the snapshot's maps with no block walks.  Only blocks named by
+    the diff get structural checks and only changed instructions and
+    phis get use/dominance checks.  The pipeline anchors this with a
+    full :func:`check_wellformed` on the post-build state and on the
+    final fixpoint state, and :func:`_check_events_ssa` audits the
+    changed defs against the pre-pass state.
+    """
+    name = snap.function
+    out = cert.findings
+
+    def fail(rule: str, message: str, index: Optional[int] = None) -> None:
+        out.append(Diagnostic("error", rule, name, index, message))
+
+    if d.edge_added or d.edge_removed or d.new_blocks or d.killed_blocks:
+        # Dominance checks below must see the graph as it is now.
+        ssa.recompute_dominators()
+    live = set(snap.blocks)
+    if d.new_blocks or d.killed_blocks or d.label_changed:
+        labels: Dict[str, int] = {}
+        for block in ssa.live_blocks():
+            if block.label is not None:
+                if block.label in labels:
+                    fail("tv.wf.cfg",
+                         f"duplicate label {block.label!r}", block.index)
+                labels[block.label] = block.index
+    else:
+        # No block-level events: the snapshot's label map is current.
+        labels = snap.labels
+    if 0 not in live:
+        fail("tv.wf.cfg", "entry block is dead")
+        return
+
+    block_of = snap.block_of
+    pos_of = snap.pos_of
+    phi_block = snap.phi_block
+    def_of = snap.def_of
+
+    # Full structural checks only where structure could have changed:
+    # placement events, CFG/label events, and any rewrite touching a
+    # terminator kind.  Pure value rewrites and phi-arg updates cannot
+    # move terminators or edges; their phis are checked inline below.
+    if d.killed_blocks:
+        structural = set(touched)  # rare; neighbors are unrecoverable
+    else:
+        structural = set(placement)
+        structural.update(d.label_changed)
+        for a, b in d.edge_added:
+            structural.add(a)
+            structural.add(b)
+        for a, b in d.edge_removed:
+            structural.add(a)
+            structural.add(b)
+        for iid, f, instr in d.rewrites:
+            if f[K] in ("jmp", "br") or instr.kind in ("jmp", "br"):
+                b = block_of.get(iid)
+                if b is not None:
+                    structural.add(b)
+    structural &= live
+    for index in structural:
+        _check_block(ssa, ssa.blocks[index], labels, live, name, out)
+
+    def check_use(reg, ub: int, upos: int, where) -> None:
+        if not isinstance(reg, VReg) or reg.precolored:
+            return
+        site = def_of.get(id(reg))
+        if site is None:
+            fail("tv.wf.ssa",
+                 f"{where!r}: use of undefined {reg!r}", ub)
+            return
+        kind, oid = site
+        if kind == "i":
+            db = block_of.get(oid)
+            dpos = pos_of.get(oid, 0)
+        else:
+            db = phi_block.get(oid)
+            dpos = -1
+        if db is None:
+            fail("tv.wf.ssa",
+                 f"{where!r}: use of undefined {reg!r}", ub)
+        elif db == ub:
+            if not dpos < upos:
+                fail("tv.wf.ssa",
+                     f"{where!r}: {reg!r} used before def", ub)
+        elif not ssa.dominates(db, ub):
+            fail("tv.wf.ssa",
+                 f"{where!r}: def of {reg!r} (block {db}) does not "
+                 f"dominate use in block {ub}", ub)
+
+    changed: Dict[int, IrInstr] = {}
+    for iid, _f, instr in d.rewrites:
+        changed[iid] = instr
+    for iid, instr, _b in d.inserted:
+        changed[iid] = instr
+    for iid, _fb, _tb in d.moved:
+        obj = snap.objs.get(iid)
+        if obj is not None:
+            changed[iid] = obj
+    for iid, instr in changed.items():
+        b = block_of.get(iid)
+        if b is None:
+            continue  # vanished again; the diff covers it elsewhere
+        _check_instr(instr, name, b, out)
+        pos = pos_of[iid]
+        for reg in instr.uses():
+            check_use(reg, b, pos, instr)
+
+    changed_phis: Dict[int, Any] = {}
+    for pid, phi in d.phi_arg_changes:
+        changed_phis[pid] = phi
+    for pid, phi, _b in d.phi_inserted:
+        changed_phis[pid] = phi
+    for pid, _fb, _tb in d.phi_moved:
+        obj = snap.phi_objs.get(pid)
+        if obj is not None:
+            changed_phis[pid] = obj
+    for pid, phi in changed_phis.items():
+        b = phi_block.get(pid)
+        if b is None:
+            continue
+        if b not in structural:
+            # Mirrors _check_block's phi discipline for blocks that get
+            # no structural pass of their own.
+            if phi.dst.precolored:
+                fail("tv.wf.precolored",
+                     f"phi defines precolored {phi.dst!r}", b)
+            for arg in phi.args.values():
+                if not isinstance(arg, VReg):
+                    fail("tv.wf.opcode",
+                         f"phi arg {arg!r} is not a register", b)
+                elif arg.precolored:
+                    fail("tv.wf.precolored",
+                         f"phi reads precolored {arg!r}", b)
+                elif arg.is_float != phi.dst.is_float:
+                    fail("tv.wf.type",
+                         f"phi {phi!r} mixes register classes", b)
+            preds = ssa.blocks[b].pred
+            if len(phi.args) != len(preds) \
+                    or set(phi.args) != set(preds):
+                fail("tv.wf.ssa",
+                     f"phi args {sorted(phi.args)} do not match "
+                     f"predecessors {sorted(preds)}", b)
+        for pred, arg in phi.args.items():
+            if pred in live:
+                check_use(arg, pred, len(ssa.blocks[pred].instrs), phi)
+
+
+def _instr_use_ids(instr: IrInstr, used: Set[int]) -> None:
+    for reg in instr.uses():
+        if isinstance(reg, VReg):
+            used.add(id(reg))
+    if isinstance(instr.base, VReg):
+        used.add(id(instr.base))
+
+
+def _after_use_ids(snap: Snapshot, d: Diff) -> Set[int]:
+    """ids of every register read anywhere in the *post-pass* state.
+
+    Derived from the pre-pass snapshot plus the event stream — dict and
+    field-tuple traffic only, no walk of the IR objects: survivors
+    contribute their recorded uses, rewritten/inserted sites contribute
+    their current operands.  (Moves keep their content, so they count
+    as survivors; killed-block instructions appear in ``d.removed``.)
+    """
+    used: Set[int] = set()
+    gone: Set[int] = set(d.removed)
+    for iid, _f, _instr in d.rewrites:
+        gone.add(iid)
+    for iid, f in snap.fields.items():
+        if iid not in gone:
+            used.update(_field_uses(f))
+    changed_phis: Set[int] = set(d.phi_removed)
+    for pid, _phi in d.phi_arg_changes:
+        changed_phis.add(pid)
+    for pid, args in snap.phi_args.items():
+        if pid not in changed_phis:
+            used.update(args.values())
+    for _iid, _f, instr in d.rewrites:
+        _instr_use_ids(instr, used)
+    for _iid, instr, _b in d.inserted:
+        _instr_use_ids(instr, used)
+    for _pid, phi in d.phi_arg_changes:
+        used.update(map(id, phi.args.values()))
+    for _pid, phi, _b in d.phi_inserted:
+        used.update(map(id, phi.args.values()))
+    used.discard(None)
+    return used
+
+
+_EVENT_KINDS = ("rewrites", "removed", "inserted", "moved", "phi_removed",
+                "phi_inserted", "phi_arg_changes", "new_blocks",
+                "killed_blocks", "edge_removed", "edge_added")
+
+
+def _flag_all(cert: PassCertificate, snap: Snapshot, d: Diff,
+              skip: Set[str]) -> None:
+    """Flag every event category the certifier did not claim to handle."""
+    name = cert.pass_name
+    if "rewrites" not in skip:
+        for iid, f, instr in d.rewrites:
+            cert.fail("tv.diff.unjustified",
+                      f"{name} rewrote {f[K]} -> {instr.kind}",
+                      snap.block_of.get(iid))
+    if "removed" not in skip:
+        for iid in d.removed:
+            cert.fail("tv.diff.unjustified",
+                      f"{name} removed a {snap.fields[iid][K]} instruction",
+                      snap.block_of.get(iid))
+    if "inserted" not in skip:
+        for _iid, instr, b in d.inserted:
+            cert.fail("tv.diff.unjustified",
+                      f"{name} inserted {instr!r}", b)
+    if "moved" not in skip:
+        for iid, fb, tb in d.moved:
+            cert.fail("tv.diff.unjustified",
+                      f"{name} moved an instruction from block {fb} to "
+                      f"{tb}", tb)
+    if "phi_removed" not in skip:
+        for pid in d.phi_removed:
+            cert.fail("tv.diff.unjustified",
+                      f"{name} removed a phi", snap.phi_block.get(pid))
+    if "phi_inserted" not in skip:
+        for _pid, phi, b in d.phi_inserted:
+            cert.fail("tv.diff.unjustified", f"{name} inserted {phi!r}", b)
+    if "phi_arg_changes" not in skip:
+        for pid, _phi in d.phi_arg_changes:
+            cert.fail("tv.diff.unjustified",
+                      f"{name} rewrote a phi", snap.phi_block.get(pid))
+    if "new_blocks" not in skip:
+        for index in sorted(d.new_blocks):
+            cert.fail("tv.diff.unjustified",
+                      f"{name} created block {index}", index)
+    if "killed_blocks" not in skip:
+        for index in sorted(d.killed_blocks):
+            cert.fail("tv.diff.unjustified",
+                      f"{name} killed block {index}", index)
+    if "edge_removed" not in skip:
+        for src, dst in sorted(d.edge_removed):
+            cert.fail("tv.diff.unjustified",
+                      f"{name} removed edge {src}->{dst}", src)
+    if "edge_added" not in skip:
+        for src, dst in sorted(d.edge_added):
+            cert.fail("tv.diff.unjustified",
+                      f"{name} added edge {src}->{dst}", src)
+
+
+# -- helpers shared by several certifiers -------------------------------------
+
+
+def _operand_only_change(f: Tuple, nf: Tuple) -> bool:
+    """True when only register operands (a, b, reg base) differ."""
+    for i in range(12):
+        if i in (A, B):
+            continue
+        if i == BASE:
+            if f[i] != nf[i]:
+                if not (isinstance(f[i], tuple) and f[i][0] == "reg"
+                        and isinstance(nf[i], tuple) and nf[i][0] == "reg"):
+                    return False
+            continue
+        if f[i] != nf[i]:
+            return False
+    return True
+
+
+def _operand_changes(f: Tuple, instr: IrInstr):
+    """Yield ``(old_rid, new_reg)`` for each changed register operand."""
+    if f[A] != (id(instr.a) if instr.a is not None else None):
+        yield f[A], instr.a
+    if f[B] != (id(instr.b) if instr.b is not None else None):
+        yield f[B], instr.b
+    nb = _base_key(instr.base)
+    if f[BASE] != nb and isinstance(f[BASE], tuple) \
+            and f[BASE][0] == "reg":
+        yield f[BASE][1], instr.base
+
+
+def _untracked_from_snap(snap: Snapshot) -> Set[int]:
+    """Mirror of ``passes._untracked_slots`` over the snapshot."""
+    bad: Set[int] = set()
+    for f in snap.fields.values():
+        base = f[BASE]
+        if not (isinstance(base, tuple) and base[0] == "frame"):
+            continue
+        if f[K] == "la_frame":
+            bad.add(base[1])
+        elif f[K] in ("load", "store"):
+            slot = snap.slots[base[1]]
+            imm = f[IMM]
+            if not isinstance(imm, int) or imm % 4 != 0 or imm < 0 \
+                    or imm + 4 > 4 * slot.words:
+                bad.add(base[1])
+    return bad
+
+
+def _snap_frame_key(snap: Snapshot, f: Tuple,
+                    untracked: Set[int]) -> Optional[Tuple]:
+    """Mirror of ``passes._frame_key`` over a snapshot field tuple."""
+    base = f[BASE]
+    if not (isinstance(base, tuple) and base[0] == "frame"):
+        return None
+    sid = base[1]
+    if sid in untracked:
+        return None
+    slot = snap.slots[sid]
+    imm = f[IMM]
+    if not isinstance(imm, int) or imm % 4 != 0 or imm < 0 \
+            or imm + 4 > 4 * slot.words:
+        return None
+    return (sid, imm)
+
+
+# -- SCCP ---------------------------------------------------------------------
+
+
+def _field_uses(f: Tuple) -> List[Optional[int]]:
+    kind = f[K]
+    if kind in ("mov", "cvt", "bini"):
+        return [f[A]]
+    if kind == "bin":
+        return [f[A], f[B]]
+    if kind == "load":
+        base = f[BASE]
+        return [base[1]] if isinstance(base, tuple) \
+            and base[0] == "reg" else []
+    if kind == "store":
+        out = [f[A]]
+        base = f[BASE]
+        if isinstance(base, tuple) and base[0] == "reg":
+            out.append(base[1])
+        return out
+    if kind == "br":
+        return [f[A]]
+    if kind in ("call", "ret"):
+        return list(f[ARGS])
+    return []
+
+
+def _const_lattice(snap: Snapshot,
+                   needed: Optional[List[Optional[int]]] = None
+                   ) -> Dict[int, Any]:
+    """Recompute SCCP's optimistic constant lattice over the snapshot.
+
+    Returned map: register id -> int constant or ``_BOTTOM`` (absent
+    means TOP / never evaluated).  Mirrors
+    ``passes.propagate_constants`` exactly, including the optimistic
+    TOP-skipping phi meet, so every fold the pass may legitimately claim
+    is derivable here — and nothing else is.
+
+    With *needed* given, only the backward dataflow closure of those
+    register ids is solved.  The dataflow value of a register depends
+    only on its transitive operands, so the sliced fixpoint is
+    identical to the full one on every queried register.
+    """
+    values: Dict[int, Any] = {}
+    users: Dict[int, List[int]] = {}
+    def_entry: Dict[int, Tuple[str, int]] = {}
+    # One sweep beats a _rid_virtual dict probe per operand visit.
+    virt = {rid for rid, reg in snap.vreg.items() if not reg.precolored}
+
+    for pid, args in snap.phi_args.items():
+        def_entry[snap.phi_dst[pid]] = ("p", pid)
+    for iid, f in snap.fields.items():
+        dst = f[DST]
+        if dst in virt:
+            def_entry[dst] = ("i", iid)
+
+    def entry_operands(entry: Tuple[str, int]):
+        tag, key = entry
+        if tag == "p":
+            return snap.phi_args[key].values()
+        return _field_uses(snap.fields[key])
+
+    if needed is None:
+        members = set(def_entry)
+    else:
+        members = {rid for rid in needed
+                   if rid is not None and rid in def_entry}
+        frontier = list(members)
+        while frontier:
+            rid = frontier.pop()
+            for op_ in entry_operands(def_entry[rid]):
+                if op_ in virt and op_ in def_entry                         and op_ not in members:
+                    members.add(op_)
+                    frontier.append(op_)
+    for rid in members:
+        for op_ in entry_operands(def_entry[rid]):
+            if op_ in virt:
+                users.setdefault(op_, []).append(rid)
+
+    def val(rid: Optional[int]) -> Any:
+        if rid not in virt:
+            return _BOTTOM
+        return values.get(rid)
+
+    def evaluate(entry: Tuple[str, int]) -> Any:
+        tag, key = entry
+        if tag == "p":
+            out = None
+            for aid in snap.phi_args[key].values():
+                v = val(aid)
+                if v is None:
+                    continue
+                if v is _BOTTOM or (out is not None and v != out):
+                    return _BOTTOM
+                out = v
+            return out
+        f = snap.fields[key]
+        kind = f[K]
+        if kind == "li":
+            return to_signed32(f[IMM])
+        if kind == "mov" and not f[ISF]:
+            return val(f[A])
+        if kind == "bin" and f[OP] in _FOLDABLE_INT:
+            a, b = val(f[A]), val(f[B])
+            if a is _BOTTOM or b is _BOTTOM:
+                return _BOTTOM
+            if a is None or b is None:
+                return None
+            if not _div_ok(a, b, f[OP]):
+                return _BOTTOM
+            return to_signed32(_FOLDABLE_INT[f[OP]](a, b))
+        if kind == "bini" and f[OP] in _FOLDABLE_INT:
+            a = val(f[A])
+            if a is _BOTTOM or a is None:
+                return a
+            if not _div_ok(a, f[IMM], f[OP]):
+                return _BOTTOM
+            return to_signed32(_FOLDABLE_INT[f[OP]](a, f[IMM]))
+        return _BOTTOM
+
+    work = list(members)
+    while work:
+        rid = work.pop()
+        new = evaluate(def_entry[rid])
+        if new is None or new == values.get(rid):
+            continue
+        values[rid] = new
+        for dst in users.get(rid, ()):
+            if dst in virt:
+                work.append(dst)  # type: ignore[arg-type]
+    return values
+
+
+def _certify_sccp(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                  cert: PassCertificate) -> None:
+    # Everything cval() below may be asked about: operands/dsts of
+    # rewrites, conditions of removed branches, dsts of removed phis.
+    needed: List[Optional[int]] = []
+    for _iid, f, _instr in d.rewrites:
+        needed.extend((f[DST], f[A], f[B]))
+    for iid in d.removed:
+        needed.append(snap.fields[iid][A])
+    for pid in d.phi_removed:
+        needed.append(snap.phi_dst[pid])
+    values = _const_lattice(snap, needed)
+
+    def cval(rid: Optional[int]) -> Optional[int]:
+        if rid is None:
+            return None
+        v = values.get(rid)
+        return v if isinstance(v, int) else None
+
+    fold_edges: Set[Tuple[int, int]] = set()
+
+    for iid, f, instr in d.rewrites:
+        block = snap.block_of[iid]
+        nkind = instr.kind
+        ndst = id(instr.dst) if instr.dst is not None else None
+        if nkind == "li" and f[K] in ("bin", "bini", "mov"):
+            if f[DST] != ndst:
+                cert.fail("tv.sccp.const-fold",
+                          "fold changed the destination register", block)
+                continue
+            if f[K] == "mov" and instr.dst is not None \
+                    and instr.dst.precolored:
+                want = cval(f[A])
+            else:
+                want = cval(f[DST])
+            if f[ISF] or want is None or instr.imm != want:
+                cert.fail("tv.sccp.const-fold",
+                          f"folded to li {instr.imm!r} but the lattice "
+                          f"proves {want!r}", block)
+            continue
+        if nkind == "bini" and f[K] == "bin":
+            ok = False
+            aid = id(instr.a) if instr.a is not None else None
+            if f[DST] == ndst and isinstance(instr.imm, int) \
+                    and -32768 <= instr.imm <= 32767:
+                if instr.op == f[OP] and f[OP] in _BINI_SAFE \
+                        and aid == f[A] and cval(f[B]) == instr.imm:
+                    ok = True
+                elif f[OP] == "sub" and instr.op == "add" and aid == f[A] \
+                        and cval(f[B]) is not None \
+                        and instr.imm == -cval(f[B]):
+                    ok = True
+                elif instr.op == f[OP] and f[OP] in _COMMUTATIVE \
+                        and f[OP] in _BINI_SAFE and aid == f[B] \
+                        and cval(f[A]) == instr.imm:
+                    ok = True
+            if not ok:
+                cert.fail("tv.sccp.const-fold",
+                          f"bin -> bini {instr.op!r} imm {instr.imm!r} "
+                          f"not justified by the lattice", block)
+            continue
+        if nkind == "jmp" and f[K] == "br":
+            v = cval(f[A])
+            taken = None if v is None else \
+                ((v == 0) if f[INV] else (v != 0))
+            if instr.sym != f[SYM] or taken is not True:
+                cert.fail("tv.sccp.branch-fold",
+                          f"br folded to jmp but the lattice proves "
+                          f"condition={v!r} taken={taken!r}", block)
+            else:
+                target = snap.labels.get(f[SYM])
+                for succ in snap.blocks[block].succ:
+                    if succ != target:
+                        fold_edges.add((block, succ))
+            continue
+        cert.fail("tv.diff.unjustified",
+                  f"sccp rewrote {f[K]} -> {nkind}", block)
+
+    # Removed instructions: a popped not-taken br, or fallout of a
+    # certified-unreachable block (checked below).  A br-at-end whose
+    # not-taken proof fails is *deferred*, not failed outright: brs
+    # inside blocks that die as unreachability fallout land in
+    # ``d.removed`` too, and for those no fold proof exists or is
+    # needed — the unreachability witness excuses them like any other
+    # dead-block instruction.
+    removed_rest: List[int] = []
+    unproven_br: List[Tuple[int, int, Optional[int]]] = []
+    for iid in d.removed:
+        f = snap.fields[iid]
+        block = snap.block_of[iid]
+        at_end = snap.pos_of[iid] == len(snap.blocks[block].instr_ids) - 1
+        if f[K] == "br" and at_end:
+            v = cval(f[A])
+            taken = None if v is None else \
+                ((v == 0) if f[INV] else (v != 0))
+            if taken is False:
+                target = snap.labels.get(f[SYM])
+                fall = [s for s in snap.blocks[block].succ if s != target]
+                if fall:  # degenerate br (both arms equal) keeps its edge
+                    fold_edges.add((block, target))
+                continue
+            unproven_br.append((iid, block, v))
+            continue
+        removed_rest.append(iid)
+
+    # Inserted li instructions must materialize a constant phi.
+    const_phi = {snap.phi_dst[pid]: pid for pid in d.phi_removed}
+    justified_phi: Set[int] = set()
+    for _iid, instr, b in d.inserted:
+        ok = False
+        if instr.kind == "li" and instr.dst is not None \
+                and not instr.dst.is_float:
+            pid = const_phi.get(id(instr.dst))
+            if pid is not None and snap.phi_block[pid] == b \
+                    and cval(snap.phi_dst[pid]) == instr.imm:
+                justified_phi.add(pid)
+                ok = True
+        if not ok:
+            cert.fail("tv.sccp.const-fold",
+                      f"inserted {instr!r} does not materialize a "
+                      f"constant phi", b)
+
+    # Unreachability witness: reachability over the *before* graph minus
+    # only the certified fold edges.  Anything the pass killed must be
+    # unreachable in that graph — justifying kills by the after graph
+    # would be circular.
+    reach = {0}
+    stack = [0]
+    while stack:
+        b = stack.pop()
+        for succ in snap.blocks[b].succ:
+            if (b, succ) in fold_edges or succ in reach:
+                continue
+            reach.add(succ)
+            stack.append(succ)
+    unreachable = set(snap.blocks) - reach
+
+    for index in sorted(d.killed_blocks):
+        if index not in unreachable:
+            cert.fail("tv.sccp.cfg",
+                      f"killed block {index} is still reachable", index)
+    for _iid, block, v in unproven_br:
+        if block not in unreachable:
+            cert.fail("tv.sccp.branch-fold",
+                      f"br removed as not-taken but the lattice proves "
+                      f"condition={v!r}", block)
+    for iid in removed_rest:
+        block = snap.block_of[iid]
+        if block not in unreachable:
+            cert.fail("tv.sccp.cfg",
+                      f"removed a {snap.fields[iid][K]} from reachable "
+                      f"block {block}", block)
+    for pid in d.phi_removed:
+        if pid in justified_phi:
+            continue
+        block = snap.phi_block[pid]
+        if block not in unreachable:
+            cert.fail("tv.sccp.cfg",
+                      f"removed a live phi from reachable block {block}",
+                      block)
+    for src, dst in sorted(d.edge_removed):
+        if (src, dst) in fold_edges or src in unreachable \
+                or dst in unreachable:
+            continue
+        cert.fail("tv.sccp.cfg",
+                  f"removed edge {src}->{dst} without a branch-fold "
+                  f"witness", src)
+
+    # Surviving phis may only lose the args of removed edges.
+    for pid, phi in d.phi_arg_changes:
+        block = snap.phi_block[pid]
+        before = snap.phi_args[pid]
+        expected = {p: aid for p, aid in before.items()
+                    if (p, block) not in d.edge_removed
+                    and p not in unreachable}
+        now = {p: id(a) for p, a in phi.args.items()}
+        if id(phi.dst) != snap.phi_dst[pid] or now != expected:
+            cert.fail("tv.sccp.cfg",
+                      f"phi args changed beyond removed-edge fallout in "
+                      f"block {block}", block)
+
+    _flag_all(cert, snap, d, skip={
+        "rewrites", "removed", "inserted", "phi_removed",
+        "phi_arg_changes", "killed_blocks", "edge_removed"})
+
+
+# -- copy propagation ---------------------------------------------------------
+
+
+def _copy_step(snap: Snapshot, rid: int) -> Optional[int]:
+    """One step along the copy chain: the source *rid* is a copy of."""
+    entry = snap.def_of.get(rid)
+    if entry is None:
+        return None
+    tag, key = entry
+    if tag == "i":
+        f = snap.fields[key]
+        if f[K] == "mov" and _rid_virtual(snap, f[A]) \
+                and _rid_virtual(snap, f[DST]):
+            return f[A]
+        return None
+    sources = {aid for aid in snap.phi_args[key].values()
+               if aid != snap.phi_dst[key]}
+    if len(sources) == 1:
+        src = sources.pop()
+        if _rid_virtual(snap, src):
+            return src
+    return None
+
+
+def _copy_reaches(snap: Snapshot, old: Optional[int],
+                  new: Optional[int]) -> bool:
+    """True when *old* resolves to *new* through the pre-pass copy chain."""
+    if old is None or new is None:
+        return False
+    seen: Set[int] = set()
+    cur: Optional[int] = old
+    while cur is not None and cur not in seen:
+        if cur == new:
+            return True
+        seen.add(cur)
+        cur = _copy_step(snap, cur)
+    return False
+
+
+def _certify_copy(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                  cert: PassCertificate) -> None:
+    used_after = _after_use_ids(snap, d) if d.phi_removed else ()
+
+    for iid, f, instr in d.rewrites:
+        block = snap.block_of[iid]
+        if not _operand_only_change(f, _fields(instr)):
+            cert.fail("tv.diff.unjustified",
+                      f"copy-prop rewrote non-operand fields of "
+                      f"{instr!r}", block)
+            continue
+        for old, new in _operand_changes(f, instr):
+            if not (_virtual(new) and _copy_reaches(snap, old, id(new))):
+                cert.fail("tv.copy.not-copy",
+                          f"use rewritten to {new!r}, which the copy "
+                          f"chain does not prove equal", block)
+
+    for pid, phi in d.phi_arg_changes:
+        block = snap.phi_block[pid]
+        before = snap.phi_args[pid]
+        now = {p: id(a) for p, a in phi.args.items()}
+        if id(phi.dst) != snap.phi_dst[pid] or set(now) != set(before):
+            cert.fail("tv.diff.unjustified",
+                      f"copy-prop restructured {phi!r}", block)
+            continue
+        for p, aid in now.items():
+            if aid != before[p] and not (
+                    _rid_virtual(snap, aid)
+                    and _copy_reaches(snap, before[p], aid)):
+                cert.fail("tv.copy.not-copy",
+                          f"phi arg rewritten without a copy-chain "
+                          f"witness in block {block}", block)
+
+    for pid in d.phi_removed:
+        block = snap.phi_block[pid]
+        sources = {aid for aid in snap.phi_args[pid].values()
+                   if aid != snap.phi_dst[pid]}
+        single = len(sources) == 1 and _rid_virtual(snap, next(iter(sources)))
+        if not single:
+            cert.fail("tv.copy.not-copy",
+                      f"removed phi in block {block} is not a "
+                      f"single-source copy", block)
+        elif snap.phi_dst[pid] in used_after:
+            cert.fail("tv.copy.not-copy",
+                      f"removed phi in block {block} still has uses",
+                      block)
+
+    _flag_all(cert, snap, d,
+              skip={"rewrites", "phi_arg_changes", "phi_removed"})
+
+
+# -- global value numbering ---------------------------------------------------
+
+
+def _resolve_mov(snap: Snapshot, rid: int) -> int:
+    seen: Set[int] = set()
+    while rid not in seen:
+        seen.add(rid)
+        entry = snap.def_of.get(rid)
+        if entry is None or entry[0] != "i":
+            return rid
+        f = snap.fields[entry[1]]
+        if f[K] == "mov" and _rid_virtual(snap, f[A]) \
+                and _rid_virtual(snap, f[DST]):
+            rid = f[A]
+        else:
+            return rid
+    return rid
+
+
+def _congruent(snap: Snapshot, x: Optional[int], y: Optional[int],
+               memo: Dict[Tuple[int, int], bool]) -> bool:
+    """Coinductive structural congruence over the pre-pass SSA graph."""
+    if x is None or y is None:
+        return False
+    if not (_rid_virtual(snap, x) and _rid_virtual(snap, y)):
+        return False
+    x = _resolve_mov(snap, x)
+    y = _resolve_mov(snap, y)
+    if x == y:
+        return True
+    key = (x, y) if x <= y else (y, x)
+    if key in memo:
+        return memo[key]
+    memo[key] = True  # coinductive assumption for cyclic (phi) terms
+    ok = _structural_congruence(snap, x, y, memo)
+    memo[key] = ok
+    return ok
+
+
+def _structural_congruence(snap: Snapshot, x: int, y: int,
+                           memo: Dict[Tuple[int, int], bool]) -> bool:
+    dx = snap.def_of.get(x)
+    dy = snap.def_of.get(y)
+    if dx is None or dy is None or dx[0] != dy[0]:
+        return False
+    if snap.vreg[x].is_float != snap.vreg[y].is_float:
+        return False
+    if dx[0] == "p":
+        ax, ay = snap.phi_args[dx[1]], snap.phi_args[dy[1]]
+        if snap.phi_block[dx[1]] != snap.phi_block[dy[1]] \
+                or set(ax) != set(ay):
+            return False
+        return all(_congruent(snap, ax[p], ay[p], memo) for p in ax)
+    fx, fy = snap.fields[dx[1]], snap.fields[dy[1]]
+    if fx[K] != fy[K]:
+        return False
+    kind = fx[K]
+    if kind == "li":
+        return to_signed32(fx[IMM]) == to_signed32(fy[IMM])
+    if kind == "lfi":
+        return repr(float(fx[IMM])) == repr(float(fy[IMM]))
+    if kind == "la_global":
+        return fx[SYM] == fy[SYM] and fx[IMM] == fy[IMM]
+    if kind == "la_frame":
+        return fx[BASE] == fy[BASE] and fx[IMM] == fy[IMM]
+    if kind == "cvt":
+        return fx[OP] == fy[OP] and _congruent(snap, fx[A], fy[A], memo)
+    if kind == "bini":
+        return fx[OP] == fy[OP] and fx[IMM] == fy[IMM] \
+            and _congruent(snap, fx[A], fy[A], memo)
+    if kind == "bin":
+        if fx[OP] != fy[OP]:
+            return False
+        if _congruent(snap, fx[A], fy[A], memo) \
+                and _congruent(snap, fx[B], fy[B], memo):
+            return True
+        return fx[OP] in _COMMUTATIVE \
+            and _congruent(snap, fx[A], fy[B], memo) \
+            and _congruent(snap, fx[B], fy[A], memo)
+    return False
+
+
+def _certify_gvn(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                 cert: PassCertificate) -> None:
+    memo: Dict[Tuple[int, int], bool] = {}
+
+    for iid, f, instr in d.rewrites:
+        block = snap.block_of[iid]
+        if instr.kind == "mov" and f[K] in _SSA_PURE and f[K] != "mov":
+            ndst = id(instr.dst) if instr.dst is not None else None
+            if f[DST] != ndst or not _virtual(instr.a) \
+                    or not _congruent(snap, f[DST], id(instr.a), memo):
+                cert.fail("tv.gvn.not-congruent",
+                          f"{f[K]} merged into mov from {instr.a!r} "
+                          f"without a congruence witness", block)
+            continue
+        if _operand_only_change(f, _fields(instr)):
+            for old, new in _operand_changes(f, instr):
+                if not (_virtual(new)
+                        and _congruent(snap, old, id(new), memo)):
+                    cert.fail("tv.gvn.not-congruent",
+                              f"use rewritten to non-congruent "
+                              f"{new!r}", block)
+            continue
+        cert.fail("tv.diff.unjustified",
+                  f"value numbering rewrote {f[K]} -> {instr.kind}", block)
+
+    for pid, phi in d.phi_arg_changes:
+        block = snap.phi_block[pid]
+        before = snap.phi_args[pid]
+        now = {p: id(a) for p, a in phi.args.items()}
+        if id(phi.dst) != snap.phi_dst[pid] or set(now) != set(before):
+            cert.fail("tv.diff.unjustified",
+                      f"value numbering restructured {phi!r}", block)
+            continue
+        for p, aid in now.items():
+            if aid != before[p] and not (
+                    _rid_virtual(snap, aid)
+                    and _congruent(snap, before[p], aid, memo)):
+                cert.fail("tv.gvn.not-congruent",
+                          f"phi arg rewritten to a non-congruent name "
+                          f"in block {block}", block)
+
+    _flag_all(cert, snap, d, skip={"rewrites", "phi_arg_changes"})
+
+
+# -- store-to-load forwarding -------------------------------------------------
+
+
+def _certify_fwd(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                 cert: PassCertificate) -> None:
+    untracked = _untracked_from_snap(snap)
+    # Loads forwarded in this same run do not refresh the available
+    # value, so the backward scan skips them.
+    forwarded = {iid for iid, f, instr in d.rewrites
+                 if f[K] == "load" and instr.kind == "mov"}
+
+    for iid, f, instr in d.rewrites:
+        block = snap.block_of[iid]
+        ndst = id(instr.dst) if instr.dst is not None else None
+        if f[K] != "load" or instr.kind != "mov" or f[DST] != ndst \
+                or not _virtual(instr.a):
+            cert.fail("tv.diff.unjustified",
+                      f"store forwarding rewrote {f[K]} -> "
+                      f"{instr.kind}", block)
+            continue
+        key = _snap_frame_key(snap, f, untracked)
+        if key is None:
+            cert.fail("tv.fwd.stale",
+                      "forwarded a load of an untracked slot", block)
+            continue
+        want = id(instr.a)
+        ok = False
+        reason = "no earlier same-word access in the block"
+        ids = snap.blocks[block].instr_ids
+        for jid in reversed(ids[:snap.pos_of[iid]]):
+            g = snap.fields[jid]
+            if g[K] not in ("load", "store"):
+                continue
+            if _snap_frame_key(snap, g, untracked) != key:
+                continue
+            if g[K] == "store":
+                if g[ISF] != f[ISF]:
+                    reason = "an other-typed store clobbers the word"
+                elif not _rid_virtual(snap, g[A]):
+                    reason = "the nearest store writes a non-virtual value"
+                else:
+                    ok = g[A] == want
+                    reason = "the nearest store writes a different register"
+                break
+            if g[ISF] != f[ISF] or jid in forwarded:
+                continue
+            ok = g[DST] == want and _rid_virtual(snap, g[DST])
+            reason = "the nearest load produced a different register"
+            break
+        if not ok:
+            cert.fail("tv.fwd.stale",
+                      f"load -> mov from {instr.a!r}: {reason}", block)
+
+    _flag_all(cert, snap, d, skip={"rewrites"})
+
+
+# -- dead store elimination ---------------------------------------------------
+
+
+def _certify_dse(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                 cert: PassCertificate) -> None:
+    untracked = _untracked_from_snap(snap)
+    removed = set(d.removed)
+
+    def scan(block: int, start: int, key: Tuple) -> str:
+        for jid in snap.blocks[block].instr_ids[start:]:
+            g = snap.fields[jid]
+            if g[K] not in ("load", "store"):
+                continue
+            if _snap_frame_key(snap, g, untracked) != key:
+                continue
+            if g[K] == "load":
+                return "load"
+            if jid not in removed:  # only surviving stores kill the word
+                return "killed"
+        return "fall"
+
+    for iid in d.removed:
+        f = snap.fields[iid]
+        block = snap.block_of[iid]
+        if f[K] != "store":
+            cert.fail("tv.diff.unjustified",
+                      f"dead-store elimination removed a {f[K]}", block)
+            continue
+        key = _snap_frame_key(snap, f, untracked)
+        if key is None:
+            cert.fail("tv.dse.live-store",
+                      "removed a store to an untracked slot", block)
+            continue
+        state = scan(block, snap.pos_of[iid] + 1, key)
+        if state == "fall":
+            visited: Set[int] = set()
+            stack = list(snap.blocks[block].succ)
+            while stack and state != "load":
+                b = stack.pop()
+                if b in visited:
+                    continue
+                visited.add(b)
+                state = scan(b, 0, key)
+                if state == "fall":
+                    stack.extend(snap.blocks[b].succ)
+        if state == "load":
+            cert.fail("tv.dse.live-store",
+                      f"removed store to slot word {key[1]} reaches a "
+                      f"later load", block)
+
+    _flag_all(cert, snap, d, skip={"removed"})
+
+
+# -- dead code elimination ----------------------------------------------------
+
+
+def _snap_safe_dead_load(snap: Snapshot, f: Tuple) -> bool:
+    base = f[BASE]
+    if not (isinstance(base, tuple) and base[0] == "frame"):
+        return False
+    slot = snap.slots[base[1]]
+    imm = f[IMM]
+    return isinstance(imm, int) and imm >= 0 and imm + 4 <= 4 * slot.words
+
+
+def _certify_dce(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                 cert: PassCertificate) -> None:
+    used_after = _after_use_ids(snap, d)
+
+    for iid in d.removed:
+        f = snap.fields[iid]
+        block = snap.block_of[iid]
+        pure = f[K] in _SSA_PURE \
+            or (f[K] == "load" and _snap_safe_dead_load(snap, f))
+        if not pure:
+            cert.fail("tv.dce.effectful",
+                      f"removed a {f[K]} with side effects", block)
+            continue
+        dst = f[DST]
+        if dst is not None and snap.vreg[dst].precolored:
+            cert.fail("tv.dce.effectful",
+                      "removed a definition of a precolored register",
+                      block)
+            continue
+        if dst is not None and dst in used_after:
+            cert.fail("tv.dce.live",
+                      f"removed {snap.vreg[dst]!r} but it still has uses",
+                      block)
+
+    for pid in d.phi_removed:
+        if snap.phi_dst[pid] in used_after:
+            cert.fail("tv.dce.live",
+                      "removed a phi whose value still has uses",
+                      snap.phi_block[pid])
+
+    _flag_all(cert, snap, d, skip={"removed", "phi_removed"})
+
+
+# -- loop-invariant code motion -----------------------------------------------
+
+
+def _certify_licm(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                  cert: PassCertificate) -> None:
+    after_label = {b.label: b.index for b in ssa.live_blocks()
+                   if b.label is not None}
+    pre_info: Dict[int, Tuple[int, int]] = {}
+    for index in sorted(d.new_blocks):
+        block = ssa.blocks[index]
+        if len(block.pred) != 1 or len(block.succ) != 1 or block.phis:
+            cert.fail("tv.licm.preheader",
+                      f"new block {index} is not a single-entry, "
+                      f"single-exit preheader", index)
+            continue
+        pre_info[index] = (block.pred[0], block.succ[0])
+
+    # Fresh dominators over the after graph (non-mutating).
+    idom = _dominators(ssa)
+
+    def_site: Dict[int, Tuple[int, int]] = {}
+    pos_after: Dict[int, Tuple[int, int]] = {}
+    for block in ssa.live_blocks():
+        for phi in block.phis:
+            def_site[id(phi.dst)] = (block.index, -1)
+        for pos, instr in enumerate(block.instrs):
+            pos_after[id(instr)] = (block.index, pos)
+            if instr.dst is not None:
+                def_site[id(instr.dst)] = (block.index, pos)
+
+    for iid, from_b, to_b in d.moved:
+        f = snap.fields[iid]
+        instr = snap.objs[iid]
+        if to_b not in pre_info:
+            cert.fail("tv.licm.preheader",
+                      f"instruction moved to non-preheader block {to_b}",
+                      to_b)
+            continue
+        if f[K] == "bin" and f[OP] in _TRAPPING:
+            cert.fail("tv.licm.trapping",
+                      f"hoisted trapping {f[OP]} into block {to_b}", to_b)
+            continue
+        if f[K] not in _SSA_PURE:
+            cert.fail("tv.licm.unsafe-hoist",
+                      f"hoisted effectful {f[K]} into block {to_b}", to_b)
+            continue
+        if instr.dst is not None and instr.dst.precolored:
+            cert.fail("tv.licm.unsafe-hoist",
+                      "hoisted a definition of a precolored register",
+                      to_b)
+            continue
+        here = pos_after[iid][1]
+        for reg in instr.uses():
+            if not isinstance(reg, VReg):
+                continue
+            if reg.precolored:
+                cert.fail("tv.licm.unsafe-hoist",
+                          f"hoisted instruction reads precolored "
+                          f"{reg!r}", to_b)
+                continue
+            site = def_site.get(id(reg))
+            if site is None:
+                continue  # undefined use: the wf layer reports it
+            db, dpos = site
+            invariant = (db == to_b and dpos < here) \
+                or (db != to_b and _dom_query(idom, db, to_b))
+            if not invariant:
+                cert.fail("tv.licm.unsafe-hoist",
+                          f"operand {reg!r} of hoisted instruction is "
+                          f"defined inside the loop", to_b)
+        if not _dom_query(idom, to_b, from_b):
+            cert.fail("tv.licm.preheader",
+                      f"preheader {to_b} does not dominate source "
+                      f"block {from_b}", to_b)
+
+    # Terminator retargets: old header label -> the preheader's label.
+    for iid, f, instr in d.rewrites:
+        block = snap.block_of[iid]
+        nf = _fields(instr)
+        ok = False
+        if f[K] in ("jmp", "br") \
+                and nf[:SYM] == f[:SYM] and nf[SYM + 1:] == f[SYM + 1:]:
+            target = after_label.get(instr.sym)
+            old_target = snap.labels.get(f[SYM])
+            if target in pre_info \
+                    and pre_info[target] == (block, old_target):
+                ok = True
+        if not ok:
+            cert.fail("tv.diff.unjustified",
+                      f"LICM rewrote {f[K]} -> {instr.kind}", block)
+
+    # Edges: exactly the preheader rewires.
+    expect_removed = {(o, h) for o, h in pre_info.values()}
+    expect_added: Set[Tuple[int, int]] = set()
+    for nb, (o, h) in pre_info.items():
+        expect_added.add((o, nb))
+        expect_added.add((nb, h))
+    for edge in sorted(d.edge_removed - expect_removed):
+        cert.fail("tv.licm.preheader",
+                  f"removed edge {edge[0]}->{edge[1]} is not a "
+                  f"preheader rewire", edge[0])
+    for edge in sorted(d.edge_added - expect_added):
+        cert.fail("tv.licm.preheader",
+                  f"added edge {edge[0]}->{edge[1]} is not a "
+                  f"preheader rewire", edge[0])
+
+    # Header phis: the outside-pred key moves to the preheader key.
+    for pid, phi in d.phi_arg_changes:
+        block = snap.phi_block[pid]
+        before = snap.phi_args[pid]
+        expected = dict(before)
+        for nb, (o, h) in pre_info.items():
+            if h == block and o in expected:
+                expected[nb] = expected.pop(o)
+        now = {p: id(a) for p, a in phi.args.items()}
+        if id(phi.dst) != snap.phi_dst[pid] or now != expected:
+            cert.fail("tv.diff.unjustified",
+                      f"LICM rewrote phi args beyond the preheader "
+                      f"rekey in block {block}", block)
+
+    _flag_all(cert, snap, d, skip={
+        "rewrites", "moved", "phi_arg_changes", "new_blocks",
+        "edge_removed", "edge_added"})
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def _certify_fixpoint(snap: Snapshot, ssa: SsaFunction, d: Diff,
+                      cert: PassCertificate) -> None:
+    """Certifier for the pipeline's end-of-fixpoint audit.
+
+    Passes that report zero changes are not diffed individually — the
+    snapshot is carried forward and this certificate diffs the whole
+    quiet span at once.  A pass that mutated the function while
+    claiming no changes surfaces here: *every* event is unjustified.
+    """
+    _flag_all(cert, snap, d, skip=set())
+
+
+_CERTIFIERS = {
+    "sccp": _certify_sccp,
+    "copy": _certify_copy,
+    "gvn": _certify_gvn,
+    "fwd": _certify_fwd,
+    "dse": _certify_dse,
+    "dce": _certify_dce,
+    "licm": _certify_licm,
+    "fixpoint": _certify_fixpoint,
+}
+
+
+def certify_pass(pass_name: str, snap: Snapshot, ssa: SsaFunction,
+                 round_index: int = 0,
+                 semantic: bool = True,
+                 update_snapshot: bool = False,
+                 wf: str = "full") -> PassCertificate:
+    """Certify one pass application from *snap* to the state of *ssa*.
+
+    *pass_name* is a certifier key from :data:`PASS_KEYS` values (or a
+    pipeline pass function name, which is mapped through
+    :data:`PASS_KEYS`).  With ``semantic=False`` only the
+    well-formedness layer runs (used for the post-``build_ssa`` state,
+    which has no pass to diff against).  With ``update_snapshot=True``
+    *snap* is brought up to date with the certified state afterwards
+    (:func:`apply_diff`), so the caller can reuse it for the next pass
+    without paying for a full re-snapshot.
+
+    *wf* selects the well-formedness layer: ``"full"`` (the default)
+    runs :func:`check_wellformed` whenever the diff is non-empty;
+    ``"events"`` runs the event-scoped :func:`_check_events_wf`
+    instead (what the pipeline uses between passes); ``"always"`` runs
+    the full check even on an empty diff (the pipeline's trailing
+    fixpoint certificate, so the final state is fully verified).
+    """
+    key = PASS_KEYS.get(pass_name, pass_name)
+    cert = PassCertificate(snap.function, key, round_index)
+    if not semantic:
+        cert.findings.extend(check_wellformed(ssa))
+        return cert
+    d = diff_snapshot(snap, ssa)
+    cert.events = d.count()
+    if (not cert.events and not d.order_bad and not d.phi_moved
+            and not d.label_changed):
+        # The pass changed nothing: the state is byte-identical to one
+        # already certified well-formed (post-build or post-previous
+        # pass), so re-verifying it proves nothing new.  Late fixpoint
+        # rounds are mostly no-ops, so this keeps verification cheap.
+        if wf == "always":
+            cert.findings.extend(check_wellformed(ssa))
+        return cert
+    try:
+        if wf == "events":
+            _check_events_ssa(snap, ssa, d, cert)
+        else:
+            cert.findings.extend(check_wellformed(ssa))
+        _certify_events(pass_name, key, snap, ssa, d, cert)
+    finally:
+        applied = apply_diff(snap, ssa, d) if update_snapshot else None
+    if wf == "events":
+        if applied is None:
+            # The event-scoped structural checks read the *updated*
+            # snapshot; without update_snapshot fall back to the full
+            # walk rather than verify against a stale state.
+            cert.findings.extend(check_wellformed(ssa))
+        else:
+            touched, placement = applied
+            _check_events_wf(snap, ssa, d, cert, touched, placement)
+    return cert
+
+
+def _certify_events(pass_name: str, key: str, snap: Snapshot,
+                    ssa: SsaFunction, d: Diff,
+                    cert: PassCertificate) -> None:
+    for index in d.order_bad:
+        cert.fail("tv.diff.unjustified",
+                  f"surviving instructions reordered in block {index}",
+                  index)
+    for pid, fb, tb in d.phi_moved:
+        cert.fail("tv.diff.unjustified",
+                  f"phi moved from block {fb} to {tb}", tb)
+    for index in d.label_changed:
+        cert.fail("tv.diff.unjustified",
+                  f"label of block {index} changed", index)
+    certifier = _CERTIFIERS.get(key)
+    if certifier is None:
+        cert.fail("tv.diff.unjustified",
+                  f"no certifier for pass {pass_name!r}")
+        return
+    certifier(snap, ssa, d, cert)

@@ -11,13 +11,14 @@ Subcommands:
 * ``perf``             — benchmark the simulator core itself against the
   frozen seed model (see :mod:`repro.perf`);
 * ``fuzz``             — differential fuzzing campaign: random programs
-  checked by the ``opt``/``timing``/``golden``/``analyze``/``replay``
-  oracles (see :mod:`repro.fuzz`);
+  checked by the ``opt``/``timing``/``golden``/``analyze``/``replay``/
+  ``tv`` oracles (see :mod:`repro.fuzz`);
 * ``trace``            — capture, inspect, replay, and mix serialized
   traces (see :mod:`repro.trace` and docs/trace.md);
 * ``analyze``          — static verification: stack discipline, frame
-  metadata, ``local_hint`` soundness, IR lints, and a dynamic
-  cross-check (see :mod:`repro.analyze` and docs/static_analysis.md).
+  metadata, ``local_hint`` soundness, IR lints, a dynamic cross-check,
+  and (with ``--tv``) translation validation of the SSA optimization
+  pipeline (see :mod:`repro.analyze` and docs/static_analysis.md).
 
 ``file.mc`` may be ``-`` to read from stdin.  Assembly files (``.s``) are
 accepted everywhere a ``.mc`` file is.
@@ -400,13 +401,15 @@ def cmd_analyze(args) -> int:
         return 2
 
     reports = []
+    verify = "tv" if args.tv else "off"
     for target in targets:
         if target in MINIC_PROGRAMS:
             report = analyze_workload(
                 target, optimize=not args.no_opt,
                 opt_level=_opt_level(args),
                 static_only=args.static_only,
-                max_instructions=args.max_instructions)
+                max_instructions=args.max_instructions,
+                verify=verify)
         else:
             source, name = _load_source(target)
             if name.endswith(".s"):
@@ -419,7 +422,8 @@ def cmd_analyze(args) -> int:
                     source, name=name, optimize=not args.no_opt,
                     opt_level=_opt_level(args),
                     static_only=args.static_only,
-                    max_instructions=args.max_instructions)
+                    max_instructions=args.max_instructions,
+                    verify=verify)
         reports.append(report)
 
     if args.json:
@@ -445,10 +449,11 @@ def make_parser() -> argparse.ArgumentParser:
                                     "or - for stdin")
         p.add_argument("--no-opt", action="store_true",
                        help="disable the IR optimizer (same as -O0)")
-        p.add_argument("-O", dest="opt_level", type=int,
-                       choices=(0, 1, 2), default=None,
-                       help="optimization level: 0=none, 1=local folder, "
-                            "2=full SSA pipeline (default 2)")
+        p.add_argument("-O", dest="opt_level", metavar="LEVEL",
+                       default=None,
+                       help="optimization level O0/O1/O2: 0=none, "
+                            "1=local folder, 2=full SSA pipeline "
+                            "(default 2); unknown levels are rejected")
         p.add_argument("--max-instructions", type=int, default=5_000_000,
                        help="execution budget (default 5M)")
 
@@ -542,7 +547,7 @@ def make_parser() -> argparse.ArgumentParser:
                         help="run shards on N worker processes")
     fuzz_p.add_argument("--oracle", action="append", metavar="NAME",
                         choices=("opt", "timing", "golden", "analyze",
-                                 "replay"),
+                                 "replay", "tv"),
                         help="oracle to run (repeatable; default: all)")
     fuzz_p.add_argument("--shrink", action="store_true",
                         help="minimize each diverging program and print it")
@@ -631,10 +636,15 @@ def make_parser() -> argparse.ArgumentParser:
                        help="also verify every built-in mini workload")
     ana_p.add_argument("--no-opt", action="store_true",
                        help="disable the IR optimizer (same as -O0)")
-    ana_p.add_argument("-O", dest="opt_level", type=int,
-                       choices=(0, 1, 2), default=None,
-                       help="optimization level: 0=none, 1=local folder, "
-                            "2=full SSA pipeline (default 2)")
+    ana_p.add_argument("-O", dest="opt_level", metavar="LEVEL",
+                       default=None,
+                       help="optimization level O0/O1/O2: 0=none, "
+                            "1=local folder, 2=full SSA pipeline "
+                            "(default 2); unknown levels are rejected")
+    ana_p.add_argument("--tv", action="store_true",
+                       help="translation validation: certify every SSA "
+                            "pass application (adds tv.* metrics; "
+                            "findings are errors)")
     ana_p.add_argument("--static-only", action="store_true",
                        help="skip the VM run / dynamic cross-check")
     ana_p.add_argument("--max-instructions", type=int, default=20_000_000,

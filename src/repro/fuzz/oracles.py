@@ -1,4 +1,4 @@
-"""The differential oracles: five independent ways to catch a bug.
+"""The differential oracles: six independent ways to catch a bug.
 
 ``opt``
     Compile the program at ``-O0`` and with the optimizer on, run both on
@@ -36,6 +36,15 @@
     trace format against freshly generated programs, not just the
     golden workloads.
 
+``tv``
+    Recompile at ``-O2`` with full translation validation
+    (``CompilerOptions(verify="tv")``, see :mod:`repro.analyze.tv`):
+    every SSA pass application is snapshot-diffed and its claimed
+    rewrites are re-proved against the pre/post states.  Any
+    certificate finding is a divergence — this is the oracle that
+    catches a pass that *lies* about what it did, even when the
+    miscompile happens not to change architectural results.
+
 A divergence is **data**, not an exception: campaigns collect and report
 them; only infrastructure failures raise.
 """
@@ -51,7 +60,7 @@ from repro.lang import CompilerOptions, compile_source
 from repro.vm.machine import Machine
 
 #: Every oracle, in the order campaigns run them.
-ALL_ORACLES = ("opt", "timing", "golden", "analyze", "replay")
+ALL_ORACLES = ("opt", "timing", "golden", "analyze", "replay", "tv")
 
 #: The paper's Figure 9 machine — fast forwarding and combining on, which
 #: exercises the most timing-core machinery per fuzzed trace.
@@ -267,6 +276,30 @@ def check_analyze(source: str, vm: Machine, name: str) -> List[Divergence]:
     return [Divergence("analyze", diag.render()) for diag in report.errors]
 
 
+def check_tv(source: str, name: str) -> List[Divergence]:
+    """Full translation validation of the ``-O2`` pipeline on *source*.
+
+    Recompiles with ``verify="tv"`` (compile-only — no VM run needed)
+    and surfaces every pass-certificate finding.  The certificate log
+    itself must also be non-trivial: a fuzzed compile that produced no
+    certificates at all means the verification hook silently fell off.
+    """
+    from repro.lang import CompileStats
+
+    stats = CompileStats()
+    compile_source(
+        source, CompilerOptions(source_name=name, optimize=True,
+                                verify="tv"),
+        stats=stats)
+    out = [Divergence("tv", diag.render())
+           for _fname, cert in stats.certificates
+           for diag in cert.findings]
+    if not stats.certificates:
+        out.append(Divergence(
+            "tv", "verified compile produced no pass certificates"))
+    return out
+
+
 def run_oracles(
     source: str,
     name: str = "<fuzz>",
@@ -318,6 +351,8 @@ def run_oracles(
             divergences.extend(check_replay(vm_opt, machine_config, name))
     if "analyze" in oracles:
         divergences.extend(check_analyze(source, vm_opt, name))
+    if "tv" in oracles:
+        divergences.extend(check_tv(source, name))
     return divergences
 
 

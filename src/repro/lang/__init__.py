@@ -14,6 +14,7 @@ callee-saved save/restore and argument passing — is precisely the local
 variable traffic the paper decouples.
 """
 
-from repro.lang.frontend import CompilerOptions, compile_source
+from repro.lang.frontend import (CompileStats, CompilerOptions,
+                                 compile_source)
 
-__all__ = ["CompilerOptions", "compile_source"]
+__all__ = ["CompileStats", "CompilerOptions", "compile_source"]

@@ -11,7 +11,9 @@ from repro.lang.codegen import FloatPool, FunctionCodegen, generate_startup
 from repro.lang.ir import IrFunction
 from repro.lang.lowering import lower_function
 from repro.lang.parser import parse
-from repro.lang.pipeline import normalize_opt_level, run_pipeline
+from repro.errors import CompileError
+from repro.lang.pipeline import (VERIFY_MODES, normalize_opt_level,
+                                 run_pipeline)
 from repro.lang.provenance import annotate_localities
 from repro.lang.regalloc import allocate
 from repro.lang.semantics import analyze
@@ -27,14 +29,25 @@ class CompilerOptions:
     ``CompilerOptions(optimize=...)`` keeps working and the optimized
     default exercises the SSA mid-end.  ``optimize`` is kept coherent
     (``opt_level > 0``) for code that still reads it.
+
+    ``verify`` selects translation validation of the SSA pipeline:
+    ``"off"`` (default), ``"ssa"`` (well-formedness between passes), or
+    ``"tv"`` (full per-pass semantic certification); certificates land
+    in ``CompileStats.certificates``.
     """
 
     def __init__(self, source_name: str = "<mini-c>",
-                 optimize: bool = True, opt_level=None):
+                 optimize: bool = True, opt_level=None,
+                 verify: str = "off"):
         self.source_name = source_name
         self.opt_level = normalize_opt_level(
             opt_level, default=2 if optimize else 0)
         self.optimize = self.opt_level > 0
+        if verify not in VERIFY_MODES:
+            raise CompileError(
+                f"bad verify mode {verify!r}: accepted modes are "
+                f"{', '.join(VERIFY_MODES)}")
+        self.verify = verify
 
 
 class CompileStats:
@@ -51,6 +64,15 @@ class CompileStats:
         self.localities_refined = 0
         self.ssa_phis = 0
         self.ssa_hoisted = 0
+        #: ``(function name, PassCertificate)`` pairs from translation
+        #: validation, in application order; empty unless
+        #: ``CompilerOptions(verify=...)`` was on.
+        self.certificates: List = []
+
+    @property
+    def certified(self) -> bool:
+        """True when every collected pass certificate is clean."""
+        return all(cert.ok for _name, cert in self.certificates)
 
 
 def compile_source(source: str, options: CompilerOptions = None,
@@ -83,12 +105,15 @@ def compile_source(source: str, options: CompilerOptions = None,
 
     for func in ast.functions:
         ir = lower_function(func, analyzer)
-        pstats = run_pipeline(ir, options.opt_level)
+        pstats = run_pipeline(ir, options.opt_level,
+                              verify=options.verify)
         if stats is not None:
             stats.ops_folded += pstats.folded
             stats.ops_removed += pstats.removed
             stats.ssa_phis += pstats.phis
             stats.ssa_hoisted += pstats.hoisted
+            stats.certificates.extend(
+                (func.name, cert) for cert in pstats.certificates)
         # Authoritative locality bits: lowering's linear approximation is
         # unsound at joins, so this flow-sensitive pass always runs.
         _, refined = annotate_localities(ir)

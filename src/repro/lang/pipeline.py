@@ -20,17 +20,32 @@ The default compile (``CompilerOptions(optimize=True)``) is **O2**, so
 every existing oracle — opt/timing/golden/analyze/replay fuzzing, the
 golden config matrix, the IR lints — exercises the SSA stack
 automatically.
+
+Translation validation (the ``verify=`` knob of :func:`run_pipeline`):
+
+* ``"off"`` — trust the passes (the default).
+* ``"ssa"`` — run the :mod:`repro.analyze.tv` well-formedness layer
+  after SSA construction and after every pass.
+* ``"tv"`` — full translation validation: snapshot the function before
+  each pass and certify the pass's semantic diff as well.
+
+Verification never raises on findings; each pass application's
+:class:`repro.analyze.tv.PassCertificate` is appended to
+``PipelineStats.certificates`` and callers (the analyze driver, the
+``tv`` fuzz oracle, ``repro-cc analyze --tv``) decide how loud to be.
+A linear-IR structural check (:func:`repro.lang.ssa.verify_linear`)
+always runs after SSA destruction when verification is on.
 """
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import List, Union
 
 from repro.errors import CompileError
 from repro.lang import passes
 from repro.lang.ir import IrFunction
 from repro.lang.optimizer import optimize
-from repro.lang.ssa import build_ssa, destroy_ssa
+from repro.lang.ssa import build_ssa, destroy_ssa, verify_linear
 
 #: Safety cap for pipeline rounds.  Every pass is structurally monotone
 #: (instructions only ever become movs/lis or disappear), so genuine
@@ -38,36 +53,98 @@ from repro.lang.ssa import build_ssa, destroy_ssa
 #: regressed into oscillation and the compile must fail loudly.
 _MAX_ROUNDS = 64
 
+#: Accepted ``verify=`` values for :func:`run_pipeline`.
+VERIFY_MODES = ("off", "ssa", "tv")
+
+#: The O2 pass schedule.  Resolved through ``getattr(passes, name)`` at
+#: run time — never bound at import — so tests can monkeypatch a pass
+#: and the pipeline (and its verifier) sees the patched version.
+_PASS_SEQUENCE = (
+    "propagate_constants",
+    "copy_propagate",
+    "value_number",
+    "copy_propagate",
+    "forward_stores",
+    "eliminate_dead_stores",
+    "eliminate_dead",
+    "hoist_invariants",
+)
+
+#: Which PipelineStats counter each pass's change count feeds.
+_PASS_STAT = {
+    "propagate_constants": "folded",
+    "copy_propagate": "folded",
+    "value_number": "folded",
+    "forward_stores": "folded",
+    "eliminate_dead_stores": "removed",
+    "eliminate_dead": "removed",
+    "hoist_invariants": "hoisted",
+}
+
 
 class PipelineStats:
     """Counters from one function's trip through the pipeline."""
 
-    __slots__ = ("folded", "removed", "phis", "hoisted")
+    __slots__ = ("folded", "removed", "phis", "hoisted", "certificates")
 
     def __init__(self) -> None:
         self.folded = 0
         self.removed = 0
         self.phis = 0
         self.hoisted = 0
+        #: Per-pass :class:`repro.analyze.tv.PassCertificate` log, in
+        #: application order; empty unless ``verify`` was on.
+        self.certificates: List = []
+
+    @property
+    def certified(self) -> bool:
+        """True when every collected certificate is clean."""
+        return all(cert.ok for cert in self.certificates)
+
+    def certificate_findings(self) -> List:
+        """All diagnostics across the certificate log, in order."""
+        out: List = []
+        for cert in self.certificates:
+            out.extend(cert.findings)
+        return out
 
 
 def normalize_opt_level(level: Union[int, str, None],
                         default: int = 2) -> int:
-    """Coerce an ``-O`` spelling (``2``, ``"2"``, ``"O2"``) to 0/1/2."""
+    """Coerce an ``-O`` spelling (``2``, ``"2"``, ``"O2"``) to 0/1/2.
+
+    Unknown spellings (``"O3"``, ``"Ox"``, ``"fast"``, ``7``...) raise a
+    :class:`CompileError` naming the accepted levels.
+    """
     if level is None:
         return default
+    original = level
     if isinstance(level, str):
         text = level.strip().lstrip("Oo-")
         if not text.isdigit():
-            raise CompileError(f"bad optimization level {level!r}")
+            raise CompileError(
+                f"bad optimization level {original!r}: accepted levels "
+                f"are O0, O1, and O2")
         level = int(text)
     if level not in (0, 1, 2):
-        raise CompileError(f"bad optimization level {level!r}")
+        raise CompileError(
+            f"bad optimization level {original!r}: accepted levels "
+            f"are O0, O1, and O2")
     return level
 
 
-def run_pipeline(func: IrFunction, level: int) -> PipelineStats:
-    """Optimize *func* in place at *level*; returns counters."""
+def run_pipeline(func: IrFunction, level: int,
+                 verify: str = "off") -> PipelineStats:
+    """Optimize *func* in place at *level*; returns counters.
+
+    ``verify`` selects translation validation (see module docstring):
+    certificates land in ``PipelineStats.certificates``; findings never
+    raise here.
+    """
+    if verify not in VERIFY_MODES:
+        raise CompileError(
+            f"bad verify mode {verify!r}: accepted modes are "
+            f"{', '.join(VERIFY_MODES)}")
     stats = PipelineStats()
     if level <= 0:
         return stats
@@ -77,31 +154,71 @@ def run_pipeline(func: IrFunction, level: int) -> PipelineStats:
     if level == 1:
         return stats
 
+    tv = None
+    if verify != "off":
+        # Lazy import: repro.analyze.tv imports repro.lang modules; a
+        # top-level import here would be a cycle.
+        from repro.analyze import tv as tv_module
+        tv = tv_module
+
     ssa = build_ssa(func)
     stats.phis = sum(len(b.phis) for b in ssa.live_blocks())
-    for _ in range(_MAX_ROUNDS):
-        changed = passes.propagate_constants(ssa)
-        changed += passes.copy_propagate(ssa)
-        changed += passes.value_number(ssa)
-        changed += passes.copy_propagate(ssa)
-        stats.folded += changed
-        forwarded = passes.forward_stores(ssa)
-        stats.folded += forwarded
-        changed += forwarded
-        removed = passes.eliminate_dead_stores(ssa)
-        removed += passes.eliminate_dead(ssa)
-        stats.removed += removed
-        changed += removed
-        hoisted = passes.hoist_invariants(ssa)
-        stats.hoisted += hoisted
-        changed += hoisted
+    if tv is not None:
+        cert = tv.PassCertificate(func.name, "build", 0)
+        # build_ssa computed dominators on this exact graph moments ago
+        # with the same algorithm — recomputing here buys nothing.
+        cert.findings.extend(tv.check_wellformed(ssa, recompute=False))
+        stats.certificates.append(cert)
+    # Passes that report zero changes are not certified individually:
+    # the pre-pass snapshot is carried forward and the quiet span is
+    # diffed once by the trailing "fixpoint" certificate, so a pass
+    # that mutates the function while claiming no changes still gets
+    # caught (with span- rather than pass-level attribution).  This is
+    # what keeps full verification within the compile-time budget —
+    # late fixpoint rounds are almost entirely no-ops.
+    snap = None
+    last_round = 0
+    for round_index in range(_MAX_ROUNDS):
+        last_round = round_index
+        changed = 0
+        for name in _PASS_SEQUENCE:
+            pass_fn = getattr(passes, name)
+            if tv is not None and verify == "tv" and snap is None:
+                snap = tv.snapshot(ssa)
+            delta = pass_fn(ssa)
+            if tv is not None and delta:
+                if verify == "tv":
+                    cert = tv.certify_pass(name, snap, ssa, round_index,
+                                           update_snapshot=True,
+                                           wf="events")
+                else:
+                    cert = tv.PassCertificate(
+                        func.name, tv.PASS_KEYS.get(name, name),
+                        round_index)
+                    cert.findings.extend(tv.check_wellformed(ssa))
+                stats.certificates.append(cert)
+            bucket = _PASS_STAT[name]
+            setattr(stats, bucket, getattr(stats, bucket) + delta)
+            changed += delta
         if not changed:
             break
     else:
         raise CompileError(
             f"SSA pipeline did not converge on {func.name!r} within "
             f"{_MAX_ROUNDS} rounds; a pass is oscillating")
+    if tv is not None:
+        if verify == "tv":
+            if snap is None:
+                snap = tv.snapshot(ssa)
+            cert = tv.certify_pass("fixpoint", snap, ssa, last_round,
+                                   wf="always")
+        else:
+            cert = tv.PassCertificate(func.name, "fixpoint", last_round)
+            cert.findings.extend(tv.check_wellformed(ssa))
+        stats.certificates.append(cert)
     destroy_ssa(ssa)
+    if verify != "off":
+        verify_linear(func)
 
     # Local cleanup: the out-of-SSA copies are block-local by
     # construction, exactly what the per-block folder coalesces.

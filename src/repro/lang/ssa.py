@@ -428,33 +428,106 @@ def verify_ssa(ssa: SsaFunction) -> None:
                 def_block[dst] = block.index
                 def_pos[dst] = pos
 
-    def check_use(reg: VReg, block: int, pos: int, where: str) -> None:
+    # O(1) dominance queries: one DFS over the idom tree beats walking
+    # the idom chain per use (the chains get deep in loop nests).  A
+    # block the DFS never reaches keeps ``tin == 0`` and dominates
+    # nothing, matching :func:`repro.analyze.cfg.dominates` (its idom
+    # chain is ``None``-terminated without passing through the entry).
+    n = len(ssa.blocks)
+    tin = [0] * n
+    tout = [0] * n
+    children: List[List[int]] = [[] for _ in range(n)]
+    for block in ssa.live_blocks():
+        i = block.index
+        parent = ssa.idom[i] if i < len(ssa.idom) else None
+        if i != 0 and parent is not None:
+            children[parent].append(i)
+    clock = 1
+    stack: List[Tuple[int, bool]] = [(0, False)]
+    while stack:
+        node, done = stack.pop()
+        if done:
+            tout[node] = clock
+            clock += 1
+            continue
+        tin[node] = clock
+        clock += 1
+        stack.append((node, True))
+        for child in children[node]:
+            stack.append((child, False))
+
+    def check_use(reg: VReg, block: int, pos: int, where) -> None:
+        # *where* is the using instruction/phi, formatted only on error
+        # (eager f-strings here dominated verification cost).
         if not isinstance(reg, VReg) or reg.precolored:
             return
         if reg not in def_block:
-            raise CompileError(f"{where}: use of undefined {reg!r}")
+            raise CompileError(f"{where!r}: use of undefined {reg!r}")
         db = def_block[reg]
         if db == block:
             if not def_pos[reg] < pos:
-                raise CompileError(f"{where}: {reg!r} used before def")
-        elif not ssa.dominates(db, block):
+                raise CompileError(f"{where!r}: {reg!r} used before def")
+        elif not (tin[db] and tin[db] <= tin[block]
+                  and tout[block] <= tout[db]):
             raise CompileError(
-                f"{where}: def of {reg!r} (block {db}) does not dominate "
-                f"use in block {block}")
+                f"{where!r}: def of {reg!r} (block {db}) does not "
+                f"dominate use in block {block}")
 
     for block in ssa.live_blocks():
         for phi in block.phis:
+            if phi.dst.precolored:
+                raise CompileError(
+                    f"phi {phi!r} defines a precolored register")
             if set(phi.args) != set(block.pred):
                 raise CompileError(
                     f"phi {phi!r} args {sorted(phi.args)} do not match "
                     f"preds {sorted(block.pred)} of block {block.index}")
+            # Length too: a duplicated predecessor edge would survive the
+            # set comparison above with one arg silently covering both.
+            if len(phi.args) != len(block.pred):
+                raise CompileError(
+                    f"phi {phi!r} has {len(phi.args)} args for "
+                    f"{len(block.pred)} predecessor edges of block "
+                    f"{block.index}")
             for pred, arg in phi.args.items():
+                if isinstance(arg, VReg) and arg.precolored:
+                    raise CompileError(
+                        f"phi {phi!r} reads a precolored register")
+                if isinstance(arg, VReg) \
+                        and arg.is_float != phi.dst.is_float:
+                    raise CompileError(
+                        f"phi {phi!r} mixes register classes")
                 # A phi use happens "at the end of" the predecessor.
-                check_use(arg, pred, len(ssa.blocks[pred].instrs),
-                          f"phi in block {block.index}")
+                check_use(arg, pred, len(ssa.blocks[pred].instrs), phi)
         for pos, instr in enumerate(block.instrs):
             for reg in instr.uses():
-                check_use(reg, block.index, pos, f"{instr!r}")
+                check_use(reg, block.index, pos, instr)
+
+
+def verify_linear(func: IrFunction) -> None:
+    """Structural sanity of the linear IR after SSA destruction.
+
+    The full SSA invariants cannot hold post-destruction (the isolation
+    temps deliberately have one definition per predecessor edge), so
+    this checks what still must be true of ``func.body``: labels are
+    unique and every ``jmp``/``br`` targets one that exists.  Raises
+    :class:`CompileError` on breach.
+    """
+    labels: Set[str] = set()
+    for instr in func.body:
+        if instr.kind == "label":
+            if instr.sym in labels:
+                raise CompileError(
+                    f"duplicate label {instr.sym!r} in {func.name!r}")
+            labels.add(instr.sym)
+    for instr in func.body:
+        if instr.kind in ("jmp", "br") and instr.sym not in labels:
+            raise CompileError(
+                f"{instr.kind} to unknown label {instr.sym!r} "
+                f"in {func.name!r}")
+        if instr.kind == "br" and not isinstance(instr.a, VReg):
+            raise CompileError(
+                f"br without a condition register in {func.name!r}")
 
 
 # -- destruction -------------------------------------------------------------

@@ -1,0 +1,523 @@
+"""Translation validation of the SSA mid-end (:mod:`repro.analyze.tv`).
+
+Two halves.  The *sabotage suite* hand-builds SSA, mutates it the way a
+buggy pass would, and asserts the certifier rejects the mutation with
+the documented rule id — each test is the mutation that proves one rule
+pulls its weight.  The *certification suite* proves the honest pipeline
+passes with zero findings everywhere the repo compiles code: every
+bundled mini at -O2, the analyze driver, the fuzz oracle, and the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import tv
+from repro.analyze.driver import analyze_source
+from repro.cli import main
+from repro.errors import CompileError
+from repro.isa.registers import Reg
+from repro.lang import CompileStats, CompilerOptions, compile_source
+from repro.lang import passes
+from repro.lang.ir import IrFunction, IrInstr, VReg
+from repro.lang.passes import hoist_invariants
+from repro.lang.pipeline import run_pipeline
+from repro.lang.ssa import build_ssa
+from repro.workloads import MINIC_PROGRAMS
+
+
+def v0_reg() -> VReg:
+    return VReg(0, phys=int(Reg.V0))
+
+
+def rules(cert) -> set:
+    return {d.rule for d in cert.findings}
+
+
+def find_instr(ssa, **attrs):
+    for block in ssa.live_blocks():
+        for instr in block.instrs:
+            if all(getattr(instr, k) == v for k, v in attrs.items()):
+                return block, instr
+    raise AssertionError(f"no instruction matching {attrs}")
+
+
+def straightline_func() -> IrFunction:
+    """``return 2 + 3`` with the add left for the mid-end to fold."""
+    f = IrFunction("f")
+    a, b, c = (f.new_vreg() for _ in range(3))
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="li", dst=a, imm=2),
+        IrInstr(kind="li", dst=b, imm=3),
+        IrInstr(kind="bin", op="add", dst=c, a=a, b=b),
+        IrInstr(kind="mov", dst=v0, a=c),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    return f
+
+
+def diamond_func(cond_imm: int = 1) -> IrFunction:
+    f = IrFunction("f")
+    c, x = f.new_vreg(), f.new_vreg()
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="li", dst=c, imm=cond_imm),
+        IrInstr(kind="br", a=c, sym="then"),
+        IrInstr(kind="li", dst=x, imm=1),
+        IrInstr(kind="jmp", sym="join"),
+        IrInstr(kind="label", sym="then"),
+        IrInstr(kind="li", dst=x, imm=2),
+        IrInstr(kind="label", sym="join"),
+        IrInstr(kind="mov", dst=v0, a=x),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    return f
+
+
+def loop_func() -> IrFunction:
+    """A do-while loop with one loop-invariant multiply in the body."""
+    f = IrFunction("f")
+    n, i, a, inv, t = (f.new_vreg() for _ in range(5))
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="li", dst=n, imm=10),
+        IrInstr(kind="li", dst=i, imm=0),
+        IrInstr(kind="la_frame", dst=a, base=("frame", f.new_slot("p", 1))),
+        IrInstr(kind="label", sym="head"),
+        IrInstr(kind="bin", op="mul", dst=inv, a=a, b=a),
+        IrInstr(kind="bini", op="add", dst=i, a=i, imm=1),
+        IrInstr(kind="bin", op="slt", dst=t, a=i, b=n),
+        IrInstr(kind="br", a=t, sym="head"),
+        IrInstr(kind="mov", dst=v0, a=inv),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    return f
+
+
+def store_load_func() -> IrFunction:
+    """Store a value to an unescaped slot, load it straight back."""
+    f = IrFunction("f")
+    val, out = f.new_vreg(), f.new_vreg()
+    slot = f.new_slot("s", 1)
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="li", dst=val, imm=5),
+        IrInstr(kind="store", a=val, base=("frame", slot), imm=0),
+        IrInstr(kind="load", dst=out, base=("frame", slot), imm=0),
+        IrInstr(kind="mov", dst=v0, a=out),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    return f
+
+
+# -- sabotage suite: each mutation must be rejected with its rule id ----------
+
+
+def test_sccp_accepts_true_constant_fold():
+    ssa = build_ssa(straightline_func())
+    snap = tv.snapshot(ssa)
+    _, add = find_instr(ssa, kind="bin", op="add")
+    add.kind, add.op, add.a, add.b, add.imm = "li", None, None, None, 5
+    cert = tv.certify_pass("propagate_constants", snap, ssa)
+    assert cert.ok and cert.events == 1
+
+
+def test_sccp_rejects_wrong_constant():
+    ssa = build_ssa(straightline_func())
+    snap = tv.snapshot(ssa)
+    _, add = find_instr(ssa, kind="bin", op="add")
+    add.kind, add.op, add.a, add.b, add.imm = "li", None, None, None, 7
+    cert = tv.certify_pass("propagate_constants", snap, ssa)
+    assert "tv.sccp.const-fold" in rules(cert)
+
+
+def test_sccp_rejects_branch_folded_the_wrong_way():
+    # The lattice proves the branch *taken*; a pass claiming it fell
+    # through (dropping the br) has miscompiled the function.
+    ssa = build_ssa(diamond_func(cond_imm=1))
+    snap = tv.snapshot(ssa)
+    entry, br = find_instr(ssa, kind="br")
+    entry.instrs.remove(br)
+    cert = tv.certify_pass("propagate_constants", snap, ssa)
+    assert "tv.sccp.branch-fold" in rules(cert)
+
+
+def test_copy_prop_rejects_rewrite_to_unrelated_name():
+    f = IrFunction("f")
+    a, b, c, d, e = (f.new_vreg() for _ in range(5))
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="la_frame", dst=a, base=("frame", f.new_slot("p", 1))),
+        IrInstr(kind="la_frame", dst=e, base=("frame", f.new_slot("q", 1))),
+        IrInstr(kind="mov", dst=b, a=a),
+        IrInstr(kind="mov", dst=c, a=b),
+        IrInstr(kind="bin", op="add", dst=d, a=c, b=c),
+        IrInstr(kind="mov", dst=v0, a=d),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    ssa = build_ssa(f)
+    snap = tv.snapshot(ssa)
+    _, add = find_instr(ssa, kind="bin", op="add")
+    la_frames = [i for blk in ssa.live_blocks() for i in blk.instrs
+                 if i.kind == "la_frame"]
+    add.a = la_frames[1].dst  # e: never on c's copy chain (c -> b -> a)
+    cert = tv.certify_pass("copy_propagate", snap, ssa)
+    assert "tv.copy.not-copy" in rules(cert)
+
+
+def gvn_func() -> IrFunction:
+    f = IrFunction("f")
+    a, b, x, y, z = (f.new_vreg() for _ in range(5))
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="la_frame", dst=a, base=("frame", f.new_slot("p", 1))),
+        IrInstr(kind="la_frame", dst=b, base=("frame", f.new_slot("q", 1))),
+        IrInstr(kind="bin", op="add", dst=x, a=a, b=b),
+        IrInstr(kind="bin", op="add", dst=y, a=b, b=a),  # commuted dup
+        IrInstr(kind="bin", op="xor", dst=z, a=x, b=y),
+        IrInstr(kind="mov", dst=v0, a=z),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    return f
+
+
+def test_gvn_accepts_commuted_congruent_merge():
+    ssa = build_ssa(gvn_func())
+    snap = tv.snapshot(ssa)
+    _, first_add = find_instr(ssa, kind="bin", op="add")
+    dup = [i for blk in ssa.live_blocks() for i in blk.instrs
+           if i.kind == "bin" and i.op == "add" and i is not first_add][0]
+    dup.kind, dup.op, dup.a, dup.b = "mov", None, first_add.dst, None
+    cert = tv.certify_pass("value_number", snap, ssa)
+    assert cert.ok
+
+
+def test_gvn_rejects_non_congruent_merge():
+    ssa = build_ssa(gvn_func())
+    snap = tv.snapshot(ssa)
+    _, first_add = find_instr(ssa, kind="bin", op="add")
+    _, xor = find_instr(ssa, kind="bin", op="xor")
+    xor.kind, xor.op, xor.a, xor.b = "mov", None, first_add.dst, None
+    cert = tv.certify_pass("value_number", snap, ssa)
+    assert "tv.gvn.not-congruent" in rules(cert)
+
+
+def test_fwd_rejects_forwarding_a_clobbered_store():
+    f = IrFunction("f")
+    v1, v2, out = (f.new_vreg() for _ in range(3))
+    slot = f.new_slot("s", 1)
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="li", dst=v1, imm=5),
+        IrInstr(kind="li", dst=v2, imm=6),
+        IrInstr(kind="store", a=v1, base=("frame", slot), imm=0),
+        IrInstr(kind="store", a=v2, base=("frame", slot), imm=0),
+        IrInstr(kind="load", dst=out, base=("frame", slot), imm=0),
+        IrInstr(kind="mov", dst=v0, a=out),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    ssa = build_ssa(f)
+    snap = tv.snapshot(ssa)
+    _, first_li = find_instr(ssa, kind="li", imm=5)
+    _, load = find_instr(ssa, kind="load")
+    # Forward the *overwritten* value: the nearest store wrote v2.
+    load.kind, load.a, load.base, load.imm = "mov", first_li.dst, None, None
+    cert = tv.certify_pass("forward_stores", snap, ssa)
+    assert "tv.fwd.stale" in rules(cert)
+
+
+def test_dse_rejects_removing_a_live_store():
+    ssa = build_ssa(store_load_func())
+    snap = tv.snapshot(ssa)
+    block, store = find_instr(ssa, kind="store")
+    block.instrs.remove(store)
+    cert = tv.certify_pass("eliminate_dead_stores", snap, ssa)
+    assert "tv.dse.live-store" in rules(cert)
+
+
+def test_dce_rejects_removing_a_used_definition():
+    ssa = build_ssa(straightline_func())
+    snap = tv.snapshot(ssa)
+    block, add = find_instr(ssa, kind="bin", op="add")
+    block.instrs.remove(add)  # its dst feeds the return mov
+    cert = tv.certify_pass("eliminate_dead", snap, ssa)
+    assert "tv.dce.live" in rules(cert)
+
+
+def test_dce_rejects_removing_an_effectful_instruction():
+    ssa = build_ssa(store_load_func())
+    snap = tv.snapshot(ssa)
+    block, store = find_instr(ssa, kind="store")
+    block.instrs.remove(store)
+    cert = tv.certify_pass("eliminate_dead", snap, ssa)
+    assert "tv.dce.effectful" in rules(cert)
+
+
+def test_licm_rejects_hoisting_a_loop_variant():
+    ssa = build_ssa(loop_func())
+    snap = tv.snapshot(ssa)
+    assert hoist_invariants(ssa) == 1  # legitimately hoists the mul
+    header = ssa.block_by_label("head")
+    inc = [i for i in header.instrs if i.kind == "bini"][0]
+    header.instrs.remove(inc)
+    pre, mul = find_instr(ssa, kind="bin", op="mul")
+    pre.instrs.insert(pre.instrs.index(mul) + 1, inc)  # i is loop-variant
+    cert = tv.certify_pass("hoist_invariants", snap, ssa)
+    assert "tv.licm.unsafe-hoist" in rules(cert)
+
+
+def test_licm_rejects_hoisting_a_trapping_op():
+    f = IrFunction("f")
+    n, i, a, inv, q, t = (f.new_vreg() for _ in range(6))
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="li", dst=n, imm=10),
+        IrInstr(kind="li", dst=i, imm=0),
+        IrInstr(kind="la_frame", dst=a, base=("frame", f.new_slot("p", 1))),
+        IrInstr(kind="label", sym="head"),
+        IrInstr(kind="bin", op="mul", dst=inv, a=a, b=a),
+        IrInstr(kind="bin", op="div", dst=q, a=a, b=a),  # may trap
+        IrInstr(kind="bini", op="add", dst=i, a=i, imm=1),
+        IrInstr(kind="bin", op="slt", dst=t, a=i, b=n),
+        IrInstr(kind="br", a=t, sym="head"),
+        IrInstr(kind="mov", dst=v0, a=inv),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    ssa = build_ssa(f)
+    snap = tv.snapshot(ssa)
+    assert hoist_invariants(ssa) == 1  # the mul, never the div
+    header = ssa.block_by_label("head")
+    div = [ins for ins in header.instrs if ins.op == "div"][0]
+    header.instrs.remove(div)
+    pre, mul = find_instr(ssa, kind="bin", op="mul")
+    pre.instrs.insert(pre.instrs.index(mul) + 1, div)
+    cert = tv.certify_pass("hoist_invariants", snap, ssa)
+    assert "tv.licm.trapping" in rules(cert)
+
+
+def test_unjustified_insertion_is_flagged():
+    ssa = build_ssa(diamond_func())
+    snap = tv.snapshot(ssa)
+    entry = ssa.blocks[0]
+    entry.instrs.insert(
+        0, IrInstr(kind="li", dst=ssa.func.new_vreg(), imm=1))
+    cert = tv.certify_pass("copy_propagate", snap, ssa)
+    assert "tv.diff.unjustified" in rules(cert)
+
+
+def test_wellformedness_catches_duplicate_definition():
+    ssa = build_ssa(diamond_func())
+    snap = tv.snapshot(ssa)
+    entry = ssa.blocks[0]
+    dup = entry.instrs[0].dst
+    entry.instrs.insert(1, IrInstr(kind="li", dst=dup, imm=9))
+    cert = tv.certify_pass("eliminate_dead", snap, ssa)
+    assert "tv.wf.ssa" in rules(cert)
+
+
+def test_every_finding_carries_a_documented_rule_id():
+    # PassCertificate.fail asserts membership; pin the table itself so a
+    # rule can't be dropped while call sites still reference it.
+    for rule, doc in tv.RULES.items():
+        assert rule.startswith("tv.") and doc
+
+
+# -- pipeline wiring: certificates, lying passes, the fixpoint cap ------------
+
+
+def _lying_pass():
+    """A pass that changes one li's constant while claiming to hoist."""
+    fired = []
+
+    def evil(ssa):
+        if fired:
+            return 0
+        for block in ssa.live_blocks():
+            for instr in block.instrs:
+                if instr.kind == "li" and instr.dst is not None \
+                        and not instr.dst.precolored:
+                    instr.imm = (instr.imm or 0) + 1
+                    fired.append(True)
+                    return 1
+        return 0
+
+    return evil
+
+
+def test_pipeline_certifies_honest_passes(monkeypatch):
+    stats = run_pipeline(loop_func(), 2, verify="tv")
+    assert stats.certificates
+    assert stats.certified
+    assert stats.certificates[0].pass_name == "build"
+    assert stats.certificates[-1].pass_name == "fixpoint"
+
+
+def test_pipeline_catches_a_lying_pass(monkeypatch):
+    monkeypatch.setattr(passes, "hoist_invariants", _lying_pass())
+    stats = run_pipeline(loop_func(), 2, verify="tv")
+    assert not stats.certified
+    findings = stats.certificate_findings()
+    assert any(d.rule == "tv.diff.unjustified" for d in findings)
+    assert any(cert.pass_name == "licm" and not cert.ok
+               for cert in stats.certificates)
+
+
+def test_pipeline_fixpoint_cap_fails_loudly_on_oscillation(monkeypatch):
+    def oscillate(ssa):
+        for block in ssa.live_blocks():
+            for instr in block.instrs:
+                if instr.kind == "li" and instr.dst is not None \
+                        and not instr.dst.precolored:
+                    instr.imm = (instr.imm or 0) ^ 1
+                    return 1
+        return 0
+
+    monkeypatch.setattr(passes, "hoist_invariants", oscillate)
+    with pytest.raises(CompileError, match="did not converge"):
+        run_pipeline(loop_func(), 2)
+
+
+def test_bad_verify_mode_is_rejected():
+    with pytest.raises(CompileError, match="bad verify mode"):
+        run_pipeline(loop_func(), 2, verify="paranoid")
+    with pytest.raises(CompileError, match="bad verify mode"):
+        CompilerOptions(verify="paranoid")
+
+
+# -- certification suite: the honest compiler is machine-checked --------------
+
+
+def test_every_mini_certifies_clean_at_o2():
+    for name, (source, _scale) in sorted(MINIC_PROGRAMS.items()):
+        stats = CompileStats()
+        compile_source(source,
+                       CompilerOptions(source_name=name, opt_level=2,
+                                       verify="tv"),
+                       stats=stats)
+        bad = [cert for _f, cert in stats.certificates if not cert.ok]
+        assert stats.certificates, name
+        assert not bad, (name, [c.findings[:3] for c in bad])
+        # Satellite: pipeline counters must reach CompileStats on every
+        # mini — the O2 mid-end is demonstrably on, not silently skipped.
+        assert stats.ssa_phis > 0, name
+        assert stats.ops_folded + stats.ops_removed > 0, name
+
+
+def _assert_snap_equal(snap, fresh) -> None:
+    assert snap.fields == fresh.fields
+    assert snap.raw == fresh.raw
+    assert snap.block_of == fresh.block_of
+    assert snap.pos_of == fresh.pos_of
+    assert snap.phi_args == fresh.phi_args
+    assert snap.phi_dst == fresh.phi_dst
+    assert snap.phi_block == fresh.phi_block
+    assert snap.labels == fresh.labels
+    assert set(snap.blocks) == set(fresh.blocks)
+    for index, bs in snap.blocks.items():
+        fb = fresh.blocks[index]
+        assert (bs.label, bs.succ, bs.pred) == (fb.label, fb.succ, fb.pred)
+        assert bs.instr_ids == fb.instr_ids
+        assert bs.phi_ids == fb.phi_ids
+        assert bs.raw0 == fb.raw0
+        assert bs.args0 == fb.args0
+    # apply_diff may keep stale def_of entries for removed names (they
+    # can no longer be referenced); every *live* definition must agree.
+    for rid, where in fresh.def_of.items():
+        assert snap.def_of.get(rid) == where
+
+
+def test_incrementally_updated_snapshot_matches_fresh(monkeypatch):
+    """``apply_diff`` must leave the snapshot bit-identical to a rebuild.
+
+    This is the invariant the pipeline's snapshot-reuse fast path rests
+    on; a drift here silently weakens every later certificate.
+    """
+    orig = tv.apply_diff
+    checked = []
+
+    def checking(snap, ssa, d):
+        out = orig(snap, ssa, d)
+        _assert_snap_equal(snap, tv.snapshot(ssa))
+        checked.append(1)
+        return out
+
+    monkeypatch.setattr(tv, "apply_diff", checking)
+    for name in ("mini.qsort", "mini.matmul"):
+        source, _scale = MINIC_PROGRAMS[name]
+        compile_source(source, CompilerOptions(opt_level=2, verify="tv"),
+                       stats=CompileStats())
+    assert checked
+
+
+LOOPY = """
+int main() {
+    int total = 0;
+    int i;
+    for (i = 1; i <= 10; i++) total += i;
+    print(total);
+    return 0;
+}
+"""
+
+
+def test_tv_oracle_is_registered_and_clean_on_honest_compiler():
+    from repro.fuzz.oracles import ALL_ORACLES, check_tv, run_oracles
+
+    assert "tv" in ALL_ORACLES
+    assert check_tv(LOOPY, "loopy") == []
+    assert run_oracles(LOOPY, "loopy", oracles=("tv",)) == []
+
+
+def test_tv_oracle_flags_a_sabotaged_pass(monkeypatch):
+    from repro.fuzz.oracles import check_tv
+
+    monkeypatch.setattr(passes, "hoist_invariants", _lying_pass())
+    divergences = check_tv(LOOPY, "loopy")
+    assert divergences
+    assert all(d.oracle == "tv" for d in divergences)
+    assert any("tv." in d.detail for d in divergences)
+
+
+def test_analyze_source_merges_certificate_metrics():
+    report = analyze_source(LOOPY, name="loopy", static_only=True,
+                            verify="tv")
+    assert report.ok
+    assert report.metrics["tv.certificates"] > 0
+    assert report.metrics["tv.findings"] == 0
+    assert report.metrics["tv.certified"] == 1.0
+
+
+def test_analyze_source_without_verify_has_no_tv_metrics():
+    report = analyze_source(LOOPY, name="loopy", static_only=True)
+    assert "tv.certificates" not in report.metrics
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_analyze_tv_flag_reports_metrics(capsys):
+    assert main(["analyze", "mini.stencil", "--static-only", "--tv"]) == 0
+    out = capsys.readouterr().out
+    assert "tv.certificates" in out
+    assert "tv.certified" in out
+
+
+def test_cli_fuzz_accepts_tv_oracle(capsys):
+    assert main(["fuzz", "--count", "2", "--seed", "7",
+                 "--oracle", "tv"]) == 0
+
+
+@pytest.mark.parametrize("level", ("O3", "Ox"))
+def test_cli_rejects_unknown_opt_levels(level, capsys):
+    assert main(["analyze", "mini.stencil", "--static-only",
+                 "-O", level]) == 1
+    err = capsys.readouterr().err
+    assert "accepted levels are O0, O1, and O2" in err
+
+
+def test_cli_accepts_each_known_opt_level(capsys):
+    for level in ("O0", "O1", "O2", "2"):
+        assert main(["analyze", "mini.stencil", "--static-only",
+                     "-O", level]) == 0
+        capsys.readouterr()

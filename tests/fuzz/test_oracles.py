@@ -1,5 +1,5 @@
-"""The four differential oracles: green on a healthy toolchain, and
-each able to catch the class of bug it exists for."""
+"""The differential oracles: green on a healthy toolchain, and each
+able to catch the class of bug it exists for."""
 
 from __future__ import annotations
 
@@ -52,11 +52,12 @@ def test_oracle_subset_runs_only_requested():
     assert run_oracles(source, oracles=("opt",)) == []
     assert run_oracles(source, oracles=("timing", "golden")) == []
     assert set(ALL_ORACLES) == {"opt", "timing", "golden", "analyze",
-                                "replay"}
+                                "replay", "tv"}
 
 
 def test_analyze_is_a_registered_oracle():
-    assert ALL_ORACLES == ("opt", "timing", "golden", "analyze", "replay")
+    assert ALL_ORACLES == ("opt", "timing", "golden", "analyze", "replay",
+                           "tv")
 
 
 def test_replay_oracle_clean_on_healthy_toolchain():

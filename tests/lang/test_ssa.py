@@ -25,7 +25,7 @@ from repro.lang.passes import (
     value_number,
 )
 from repro.lang.pipeline import normalize_opt_level, run_pipeline
-from repro.lang.ssa import build_ssa, destroy_ssa, verify_ssa
+from repro.lang.ssa import build_ssa, destroy_ssa, verify_linear, verify_ssa
 from repro.vm import run_program
 
 
@@ -144,6 +144,19 @@ def test_verify_catches_double_definition():
     entry = ssa.blocks[0]
     dup = entry.instrs[0].dst
     entry.instrs.append(IrInstr(kind="li", dst=dup, imm=9))
+    with pytest.raises(CompileError):
+        verify_ssa(ssa)
+
+
+def test_verify_catches_use_not_dominated_by_def():
+    """Moving the join's use of the phi up into the entry block leaves
+    every def unique but breaks def-dominates-use."""
+    ssa = build_ssa(diamond_func())
+    join = ssa.block_by_label("join")
+    mov = [i for i in join.instrs if i.kind == "mov"][0]
+    join.instrs.remove(mov)
+    entry = ssa.blocks[0]
+    entry.instrs.insert(len(entry.instrs) - 1, mov)
     with pytest.raises(CompileError):
         verify_ssa(ssa)
 
@@ -335,6 +348,44 @@ def test_destroy_produces_linear_ir_with_phi_copies():
     assert kinds.count("mov") >= 3
 
 
+def test_verify_linear_catches_duplicate_label():
+    f = IrFunction("f")
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="label", sym="a"),
+        IrInstr(kind="label", sym="a"),
+        IrInstr(kind="li", dst=v0, imm=0),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    with pytest.raises(CompileError, match="duplicate label"):
+        verify_linear(f)
+
+
+def test_verify_linear_catches_jump_to_unknown_label():
+    f = IrFunction("f")
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="jmp", sym="nowhere"),
+        IrInstr(kind="li", dst=v0, imm=0),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    with pytest.raises(CompileError, match="unknown label"):
+        verify_linear(f)
+
+
+def test_verify_linear_catches_br_without_condition():
+    f = IrFunction("f")
+    v0 = v0_reg()
+    f.body = [
+        IrInstr(kind="label", sym="a"),
+        IrInstr(kind="br", sym="a"),
+        IrInstr(kind="li", dst=v0, imm=0),
+        IrInstr(kind="ret", args=[v0]),
+    ]
+    with pytest.raises(CompileError, match="condition"):
+        verify_linear(f)
+
+
 def test_roundtrip_preserves_behaviour_through_codegen():
     """build_ssa + destroy_ssa with *no* passes in between is a no-op
     semantically: the roundtripped program must behave identically."""
@@ -370,9 +421,10 @@ def test_normalize_opt_level_spellings():
     assert normalize_opt_level("-O1") == 1
 
 
-@pytest.mark.parametrize("bad", (3, -1, "fast", "O9", ""))
+@pytest.mark.parametrize("bad", (3, -1, "fast", "O9", "", "O3", "Ox",
+                                 "-O3"))
 def test_normalize_opt_level_rejects_garbage(bad):
-    with pytest.raises(CompileError):
+    with pytest.raises(CompileError, match="accepted levels"):
         normalize_opt_level(bad)
 
 
