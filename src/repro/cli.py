@@ -77,19 +77,9 @@ def _opt_level(args):
 
 def _parse_config(text: str) -> MachineConfig:
     """Parse "N+M[:opt]" — e.g. "2+0", "3+2", "2+2:opt"."""
-    optimized = text.endswith(":opt")
-    if optimized:
-        text = text[: -len(":opt")]
-    try:
-        n_text, m_text = text.split("+")
-        n, m = int(n_text), int(m_text)
-    except ValueError:
-        raise ReproError(f"bad configuration {text!r}; expected N+M") from None
-    return MachineConfig.baseline(
-        l1_ports=n, lvc_ports=m,
-        fast_forwarding=optimized and m > 0,
-        combining=2 if (optimized and m > 0) else 1,
-    )
+    from repro.runtime.job import parse_notation
+
+    return parse_notation(text)
 
 
 def cmd_run(args) -> int:
@@ -437,6 +427,125 @@ def cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args) -> int:
+    from repro.runtime.service import serve_forever
+
+    return serve_forever(
+        host=args.host, port=args.port, jobs=args.jobs,
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        timeout=args.timeout, retries=args.retries, batch=args.batch)
+
+
+def cmd_sweep(args) -> int:
+    from repro.runtime.sweep import (SweepSpec, expand, format_report,
+                                     run_sweep)
+
+    spec = SweepSpec(
+        workloads=args.workloads,
+        configs=args.config or ["2+0", "2+2:opt"],
+        frontends=args.frontend or [None],
+        lvaq_sizes=args.lvaq or [None],
+        opt_levels=args.opt_levels or [None],
+        scale=args.scale, seed=args.seed)
+    if args.dry_run:
+        import json
+
+        for payload in expand(spec):
+            print(json.dumps(payload, sort_keys=True))
+        return 0
+
+    def progress(status, outcome, done, total):
+        if not args.quiet:
+            print(f"  [{done}/{total}] {outcome.job.label()}: {status}",
+                  file=sys.stderr)
+
+    report = run_sweep(
+        spec, jobs=args.jobs, cache_dir=args.cache_dir,
+        no_cache=args.no_cache, timeout=args.timeout,
+        budget_points=args.budget_points,
+        budget_seconds=args.budget_seconds,
+        manifest_path=args.manifest, service_url=args.service,
+        chunk=args.chunk, progress=progress)
+    print(format_report(spec, report))
+    return 0 if report.failed == 0 else 1
+
+
+def _human_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024
+    return f"{count}B"
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse "500M"/"2G"/"100K"/plain-integer size arguments."""
+    body = text.strip().upper().rstrip("IB")
+    factor = 1
+    for suffix, mult in (("K", 1024), ("M", 1024 ** 2), ("G", 1024 ** 3)):
+        if body.endswith(suffix):
+            factor = mult
+            body = body[:-1]
+            break
+    try:
+        return int(float(body) * factor)
+    except ValueError:
+        raise ReproError(f"bad size {text!r}; expected e.g. "
+                         f"500M, 2G, or a byte count") from None
+
+
+def cmd_cache(args) -> int:
+    import json as _json
+
+    from repro.runtime.store import ResultStore, default_cache_dir
+    from repro.runtime.signature import code_salt
+
+    root = args.cache_dir or default_cache_dir()
+    store = ResultStore(root, args.salt or code_salt())
+
+    if args.verb == "stats":
+        stats = store.disk_stats()
+        print(f"store    : {stats['dir']}")
+        print(f"entries  : {stats['entries']} "
+              f"({_human_bytes(stats['bytes'])}, "
+              f"{stats['hits']} recorded hits)")
+        for kind, count in sorted(stats["kinds"].items()):
+            print(f"  kind {kind:8s}: {count}")
+        if args.verbose:
+            for shard, agg in sorted(stats["shards"].items()):
+                print(f"  shard {shard}: {agg['entries']} entries, "
+                      f"{_human_bytes(agg['bytes'])}, "
+                      f"{agg['hits']} hits")
+        return 0
+
+    if args.verb == "verify":
+        problems = store.verify()
+        checked = store.disk_stats()["entries"]
+        if not problems:
+            print(f"verified {checked} entries: all payloads hash, "
+                  f"unpickle, and type-check")
+            return 0
+        for problem in problems:
+            print(f"repro-cc cache: {problem.shard}/{problem.key[:12]}: "
+                  f"{problem.issue}", file=sys.stderr)
+        print(f"verified {checked} entries: {len(problems)} corrupt")
+        return 1
+
+    # verb == "gc"
+    budget = _parse_bytes(args.budget)
+    report = store.gc(budget, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"{verb} {len(report['evicted'])} entries "
+          f"({_human_bytes(report['freed_bytes'])}); "
+          f"{report['kept']} kept, "
+          f"{_human_bytes(report['bytes_after'])} / "
+          f"{_human_bytes(budget)} budget")
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cc",
@@ -656,6 +765,113 @@ def make_parser() -> argparse.ArgumentParser:
     ana_p.add_argument("--strict", action="store_true",
                        help="treat warnings as failures")
     ana_p.set_defaults(func=cmd_analyze)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the local async job service (see docs/runtime.md)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=7399,
+                         help="TCP port (default 7399; 0 = ephemeral)")
+    serve_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                         help="warm worker-pool size (default 1)")
+    serve_p.add_argument("--cache-dir", metavar="DIR",
+                         help="result store root (default: "
+                              "$REPRO_CACHE_DIR if set, else uncached)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="disable the result store")
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job deadline in seconds")
+    serve_p.add_argument("--retries", type=int, default=1,
+                         help="retries per failed job (default 1)")
+    serve_p.add_argument("--batch", type=int, default=1,
+                         help="jobs per worker round trip (default 1)")
+    serve_p.set_defaults(func=cmd_serve)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="budgeted design-space sweep: ports x frontend x LVAQ x opt")
+    sweep_p.add_argument("workloads", nargs="+", metavar="WORKLOAD",
+                         help="workload names (e.g. mini.qsort 130.li)")
+    sweep_p.add_argument("--config", action="append", metavar="N+M[:opt]",
+                         help="port configuration axis; repeatable "
+                              "(default: 2+0 and 2+2:opt)")
+    sweep_p.add_argument("--frontend", action="append", metavar="POLICY",
+                         help="frontend-policy axis; repeatable "
+                              "(default: each config's own)")
+    sweep_p.add_argument("--lvaq", action="append", type=int,
+                         metavar="SIZE",
+                         help="LVAQ-size axis; repeatable "
+                              "(default: each config's own)")
+    sweep_p.add_argument("--opt-level", action="append", type=int,
+                         dest="opt_levels", metavar="LEVEL",
+                         help="compiler opt-level axis (mini-C only); "
+                              "repeatable")
+    sweep_p.add_argument("--scale", type=float, default=1.0,
+                         help="workload length scale (default 1.0)")
+    sweep_p.add_argument("--seed", type=int, default=1,
+                         help="trace-generation seed (default 1)")
+    sweep_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                         help="worker processes for the local engine")
+    sweep_p.add_argument("--cache-dir", metavar="DIR",
+                         help="result store root (default: "
+                              "$REPRO_CACHE_DIR if set, else uncached)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="ignore the result store")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-point deadline in seconds")
+    sweep_p.add_argument("--budget-points", type=int, default=None,
+                         help="stop after this many executed points")
+    sweep_p.add_argument("--budget-seconds", type=float, default=None,
+                         help="stop starting new work after this long")
+    sweep_p.add_argument("--manifest", metavar="PATH",
+                         help="resumable sweep manifest (JSON); re-run "
+                              "with the same path to continue")
+    sweep_p.add_argument("--service", metavar="URL",
+                         help="submit points to a running repro-cc serve "
+                              "instead of simulating locally")
+    sweep_p.add_argument("--chunk", type=int, default=8,
+                         help="points per engine/service batch (default 8)")
+    sweep_p.add_argument("--dry-run", action="store_true",
+                         help="print the expanded job payloads and exit")
+    sweep_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-point progress on stderr")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect, verify, and garbage-collect the result store")
+    cache_sub = cache_p.add_subparsers(dest="verb", required=True)
+
+    def add_cache_common(p):
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="store root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+        p.add_argument("--salt", metavar="SALT",
+                       help="code-salt tree to operate on "
+                            "(default: the current code salt)")
+
+    cstats_p = cache_sub.add_parser(
+        "stats", help="shard sizes, entry counts, per-kind breakdown")
+    add_cache_common(cstats_p)
+    cstats_p.add_argument("--verbose", action="store_true",
+                          help="per-shard breakdown")
+    cstats_p.set_defaults(func=cmd_cache)
+
+    cverify_p = cache_sub.add_parser(
+        "verify", help="integrity-check every payload (hash, unpickle, "
+                       "type); corrupt entries reported, not fatal")
+    add_cache_common(cverify_p)
+    cverify_p.set_defaults(func=cmd_cache)
+
+    cgc_p = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries to a size budget")
+    add_cache_common(cgc_p)
+    cgc_p.add_argument("--budget", required=True, metavar="SIZE",
+                       help="target store size, e.g. 500M, 2G, or bytes")
+    cgc_p.add_argument("--dry-run", action="store_true",
+                       help="report what would be evicted; delete nothing")
+    cgc_p.add_argument("--json", action="store_true",
+                       help="also print the full GC report as JSON")
+    cgc_p.set_defaults(func=cmd_cache)
     return parser
 
 

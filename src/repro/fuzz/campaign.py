@@ -12,14 +12,13 @@ while touching the compiler, VM, cores, or the fuzzer re-runs honestly.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.fuzz.generator import generate_program
 from repro.fuzz.oracles import ALL_ORACLES, Divergence, run_oracles
-from repro.runtime.cache import ResultCache
 from repro.runtime.engine import EngineReport, JobEngine, ProgressFn
-from repro.runtime.signature import canonical_json, code_salt, digest
+from repro.runtime.registry import JobKind, register_kind
+from repro.runtime.signature import canonical_json, digest
 
 #: Seeds per shard: large enough to amortize worker-process startup,
 #: small enough that a campaign of a few hundred seeds still fans out.
@@ -37,6 +36,7 @@ class FuzzJob:
     __slots__ = ("seed_start", "count", "oracles", "size",
                  "max_instructions", "_key")
 
+    kind = "fuzz"
     workload = "fuzz"
     scale = 1.0
 
@@ -160,17 +160,18 @@ def make_shards(seed: int, count: int,
     return shards
 
 
-def fuzz_cache(cache_dir: Optional[str] = None) -> Optional[ResultCache]:
-    """The campaign result cache (None when caching is off).
+def fuzz_cache(cache_dir: Optional[str] = None):
+    """The campaign result store (None when caching is off).
 
     Mirrors ``RuntimeSession``'s policy: an explicit directory wins, then
-    ``$REPRO_CACHE_DIR``, else no cache — fuzzing stays side-effect-free
-    unless the caller opts in.
+    ``$REPRO_CACHE_DIR``, else no store — fuzzing stays side-effect-free
+    unless the caller opts in.  Fuzz shards share the sharded
+    :class:`repro.runtime.store.ResultStore` with every other job kind;
+    the registered ``result_type`` keeps families from cross-hitting.
     """
-    root = cache_dir or os.environ.get("REPRO_CACHE_DIR")
-    if not root:
-        return None
-    return ResultCache(root, code_salt(), result_type=FuzzShardResult)
+    from repro.runtime.store import runtime_store
+
+    return runtime_store(cache_dir)
 
 
 def run_campaign(
@@ -206,3 +207,34 @@ def run_campaign(
     divergences.sort(key=lambda d: (d.seed if d.seed is not None else -1,
                                     d.oracle))
     return CampaignReport(count, divergences, report)
+
+
+def fuzz_job_from_payload(payload: Dict[str, Any]) -> FuzzJob:
+    """The ``fuzz`` kind's submission decoder (one shard per payload)."""
+    return FuzzJob(
+        int(payload.get("seed_start", 0)),
+        int(payload.get("count", DEFAULT_SHARD_SIZE)),
+        oracles=tuple(payload.get("oracles", ALL_ORACLES)),
+        size=int(payload.get("size", 12)),
+        max_instructions=int(payload.get("max_instructions", 2_000_000)),
+    )
+
+
+def encode_fuzz_result(result: FuzzShardResult) -> Dict[str, Any]:
+    """The ``fuzz`` kind's JSON rendering: shard span plus divergences."""
+    return {
+        "seed_start": result.seed_start,
+        "count": result.count,
+        "clean": result.clean,
+        "divergences": [
+            {"seed": d.seed, "oracle": d.oracle, "detail": d.detail}
+            for d in result.divergences
+        ],
+    }
+
+
+register_kind(JobKind(
+    "fuzz", FuzzJob, FuzzShardResult, execute_fuzz_job,
+    decode_spec=fuzz_job_from_payload,
+    encode_result=encode_fuzz_result,
+))

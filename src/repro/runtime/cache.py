@@ -113,6 +113,25 @@ class ResultCache:
                 pass
             raise
 
+    # -- engine store protocol ----------------------------------------------
+    #
+    # The job engine talks to its cache through lookup(job)/store(job,
+    # result)/flush() — the sharded :class:`repro.runtime.store.ResultStore`
+    # is the primary implementation; these shims keep the legacy flat
+    # cache drop-in compatible (tests and pinned-salt tools still build
+    # one directly).
+
+    def lookup(self, job) -> Optional[Any]:
+        """Engine-protocol alias for :meth:`get`."""
+        return self.get(job.key)
+
+    def store(self, job, result: Any) -> None:
+        """Engine-protocol alias for :meth:`put`."""
+        self.put(job.key, result, meta=job.describe())
+
+    def flush(self) -> None:
+        """No-op: the flat cache writes through on every ``put``."""
+
     @property
     def hit_rate(self) -> float:
         """Hits over lookups this session (0.0 before any lookup)."""

@@ -1,10 +1,16 @@
-"""The unit of work the job engine schedules: one timing simulation.
+"""The units of work the job engine schedules.
 
 A :class:`SimJob` fully describes a simulation so that any worker process
 can reproduce it from scratch: either a named workload (``"130.li"``,
 ``"mini.qsort"``) at a scale/seed, or an inline mini-C / assembly source
 text (the ``repro-cc sim`` path — content-addressed by the source itself,
 so editing the file naturally misses the cache).
+
+Every job spec advertises its family with a ``kind`` class attribute
+(see :mod:`repro.runtime.registry`); the payload codecs at the bottom
+turn service-submission JSON into specs — the single place a machine
+configuration is parsed from the wire (``repro-cc`` and the sweep
+driver both delegate here).
 """
 
 from __future__ import annotations
@@ -12,11 +18,14 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.core.config import MachineConfig
+from repro.errors import ReproError
 from repro.runtime.signature import canonical_json, describe_config, digest
 
 
 class SimJob:
     """Spec of one (workload x config) timing simulation."""
+
+    kind = "sim"
 
     __slots__ = ("workload", "config", "scale", "seed", "source_text",
                  "optimize", "opt_level", "max_instructions", "_key")
@@ -95,10 +104,12 @@ class MixJob:
 
     Engine-compatible with :class:`SimJob` (key/describe/label plus the
     ``workload``/``scale``/``seed`` fields the scheduler sorts on); the
-    result is a :class:`repro.trace.mix.MixResult`, so mix jobs run
-    through a :class:`~repro.runtime.cache.ResultCache` built with that
-    ``result_type``.
+    result is a :class:`repro.trace.mix.MixResult` — the ``mix`` job
+    kind's registered result type, which the result store verifies on
+    the way back out.
     """
+
+    kind = "mix"
 
     __slots__ = ("workloads", "config", "scale", "seed", "_key")
 
@@ -151,3 +162,100 @@ class MixJob:
     def __repr__(self) -> str:
         return (f"MixJob({self.workloads!r}, {self.config.notation()}, "
                 f"scale={self.scale}, seed={self.seed})")
+
+
+# -- machine-config and job payload codecs ----------------------------------
+#
+# The service API and the sweep driver describe machine configurations as
+# JSON: either a bare notation string ("2+2:opt") or an object
+#
+#     {"notation": "2+0", "overrides": {"lvaq_size": 32,
+#                                       "frontend.policy": "gshare",
+#                                       "mem.l1_port_policy": "finite"}}
+#
+# Overrides are dotted attribute paths applied to the constructed config,
+# which is exactly how the experiment modules build their off-notation
+# sweeps (ablation-realism sets the same attributes in Python).
+
+
+def parse_notation(text: str) -> MachineConfig:
+    """Parse the paper's ``"N+M[:opt]"`` notation into a config."""
+    body = text.strip()
+    optimized = body.endswith(":opt")
+    if optimized:
+        body = body[: -len(":opt")]
+    try:
+        n_text, m_text = body.split("+")
+        n, m = int(n_text), int(m_text)
+    except ValueError:
+        raise ReproError(
+            f"bad configuration {text!r}; expected N+M[:opt]") from None
+    return MachineConfig.baseline(
+        l1_ports=n, lvc_ports=m,
+        fast_forwarding=optimized and m > 0,
+        combining=2 if (optimized and m > 0) else 1,
+    )
+
+
+def _apply_overrides(config: MachineConfig,
+                     overrides: Dict[str, Any]) -> MachineConfig:
+    for path in sorted(overrides):
+        target = config
+        parts = path.split(".")
+        for part in parts[:-1]:
+            target = getattr(target, part, None)
+            if target is None:
+                raise ReproError(f"bad config override path {path!r}")
+        if not hasattr(target, parts[-1]):
+            raise ReproError(f"bad config override path {path!r}")
+        setattr(target, parts[-1], overrides[path])
+    return config
+
+
+def config_from_spec(spec: Any) -> MachineConfig:
+    """A :class:`MachineConfig` from a wire-format description."""
+    if isinstance(spec, str):
+        return parse_notation(spec)
+    if isinstance(spec, dict):
+        notation = spec.get("notation")
+        if not isinstance(notation, str):
+            raise ReproError("config spec needs a 'notation' string")
+        config = parse_notation(notation)
+        overrides = spec.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            raise ReproError("config 'overrides' must be an object")
+        return _apply_overrides(config, overrides)
+    raise ReproError(
+        f"config spec must be a notation string or an object, "
+        f"got {type(spec).__name__}")
+
+
+def sim_job_from_payload(payload: Dict[str, Any]) -> SimJob:
+    """The ``sim`` kind's submission decoder (service + sweep driver)."""
+    workload = payload.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise ReproError("sim job payload needs a 'workload' name")
+    return SimJob(
+        workload,
+        config_from_spec(payload.get("config", "2+0")),
+        scale=float(payload.get("scale", 1.0)),
+        seed=int(payload.get("seed", 1)),
+        source_text=payload.get("source_text"),
+        optimize=bool(payload.get("optimize", True)),
+        opt_level=payload.get("opt_level"),
+        max_instructions=payload.get("max_instructions"),
+    )
+
+
+def mix_job_from_payload(payload: Dict[str, Any]) -> MixJob:
+    """The ``mix`` kind's submission decoder."""
+    workloads = payload.get("workloads")
+    if (not isinstance(workloads, (list, tuple)) or not workloads
+            or not all(isinstance(w, str) for w in workloads)):
+        raise ReproError("mix job payload needs a 'workloads' name list")
+    return MixJob(
+        tuple(workloads),
+        config_from_spec(payload.get("config", "2+2:opt")),
+        scale=float(payload.get("scale", 1.0)),
+        seed=int(payload.get("seed", 1)),
+    )

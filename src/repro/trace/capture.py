@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import TraceError
 from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.registry import JobKind, register_kind
 from repro.runtime.signature import (
     TRACE_SALT_SOURCES,
     canonical_json,
@@ -72,6 +73,8 @@ class TraceJob:
 
     __slots__ = ("workload", "scale", "seed", "source_text", "optimize",
                  "opt_level", "max_instructions", "_key")
+
+    kind = "trace"
 
     def __init__(
         self,
@@ -255,3 +258,58 @@ def capture_trace(job: TraceJob, cache_dir: Optional[str] = None,
     path = store.put(job.key, trace, meta=job.describe())
     store.ensure_predecoded(job.key)
     return path, False
+
+
+class CaptureResult:
+    """What one executed capture job reports (the trace stays on disk)."""
+
+    __slots__ = ("path", "cached")
+
+    def __init__(self, path: str, cached: bool):
+        self.path = path
+        self.cached = cached
+
+    def __repr__(self) -> str:
+        return f"CaptureResult({self.path!r}, cached={self.cached})"
+
+
+def execute_trace_job(job: TraceJob) -> CaptureResult:
+    """The ``trace`` kind's executor (top-level; pool-picklable).
+
+    Captures into the standard :class:`TraceStore` location; the result
+    is a small pointer record — the trace itself is owned by the trace
+    store, which is why this kind opts out of the result store
+    (``cacheable=False``): double-pickling a multi-megabyte trace next
+    to its canonical ``.trace`` file would only waste disk.
+    """
+    path, cached = capture_trace(job)
+    return CaptureResult(path, cached)
+
+
+def trace_job_from_payload(payload: Dict[str, Any]) -> TraceJob:
+    """The ``trace`` kind's submission decoder."""
+    workload = payload.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise TraceError("trace job payload needs a 'workload' name")
+    return TraceJob(
+        workload,
+        scale=float(payload.get("scale", 1.0)),
+        seed=int(payload.get("seed", 1)),
+        source_text=payload.get("source_text"),
+        optimize=bool(payload.get("optimize", True)),
+        opt_level=payload.get("opt_level"),
+        max_instructions=payload.get("max_instructions"),
+    )
+
+
+def encode_capture_result(result: CaptureResult) -> Dict[str, Any]:
+    """The ``trace`` kind's JSON rendering."""
+    return {"path": result.path, "cached": result.cached}
+
+
+register_kind(JobKind(
+    "trace", TraceJob, CaptureResult, execute_trace_job,
+    decode_spec=trace_job_from_payload,
+    encode_result=encode_capture_result,
+    cacheable=False,
+))

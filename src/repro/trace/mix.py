@@ -11,7 +11,6 @@ with a mix-typed result cache.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import SimResult
@@ -87,19 +86,15 @@ class MixResult:
 
 
 def mix_cache(cache_dir: Optional[str] = None):
-    """A mix-typed result cache in the standard location, or None.
+    """The result store mixes share with every other kind, or None.
 
     Mix results share the simulation code salt (any simulator change
-    invalidates them) but deserialize as :class:`MixResult`; the
-    ``result_type`` gate keeps the two families from cross-hitting.
+    invalidates them) but deserialize as :class:`MixResult`; the ``mix``
+    kind's registered ``result_type`` keeps families from cross-hitting.
     """
-    from repro.runtime.cache import ResultCache
-    from repro.runtime.signature import code_salt
+    from repro.runtime.store import runtime_store
 
-    root = cache_dir if cache_dir else os.environ.get("REPRO_CACHE_DIR")
-    if not root:
-        return None
-    return ResultCache(root, code_salt(), result_type=MixResult)
+    return runtime_store(cache_dir)
 
 
 def run_mix_jobs(jobs: Iterable[MixJob], engine_jobs: int = 1,

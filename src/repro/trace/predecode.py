@@ -116,6 +116,13 @@ class PredecodedTrace:
                 f"source={self.source_sha256[:12]})")
 
 
+#: Per-process count of decode work done: sidecar-table derivations plus
+#: ``DynInst`` materializations that missed the memo.  A warm repeat of
+#: identical replay work leaves this flat — the runtime's warm-state
+#: accounting (:func:`repro.runtime.worker.warm_snapshot`) reads it.
+decode_count = 0
+
+
 def predecode_trace(data: bytes, origin: str = "<bytes>",
                     verify: bool = True) -> PredecodedTrace:
     """Derive the sidecar tables from one *encoded* trace.
@@ -123,6 +130,9 @@ def predecode_trace(data: bytes, origin: str = "<bytes>",
     Works straight off the raw section tables — the intermediate
     ``DynInst`` list is never built.
     """
+    global decode_count
+    decode_count += 1
+
     from repro.trace import format as tf
 
     header, offset = tf._parse_header(data, origin)
@@ -360,10 +370,12 @@ def materialized_insts(pdt: PredecodedTrace) -> List[DynInst]:
     Repeated calls for the same source trace (benchmark rounds, config
     sweeps) return the same list object without rebuilding it.
     """
+    global decode_count
     cached = _MATERIALIZED.get(pdt.source_sha256)
     if cached is not None:
         _MATERIALIZED.move_to_end(pdt.source_sha256)
         return cached
+    decode_count += 1
     insts = _materialize(pdt)
     _MATERIALIZED[pdt.source_sha256] = insts
     while len(_MATERIALIZED) > _MATERIALIZED_CAP:

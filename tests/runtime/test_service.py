@@ -1,0 +1,166 @@
+"""The job service end to end: submit, stream, bit-identity, warmth.
+
+These tests run a real HTTP service on an ephemeral loopback port and
+drive it with the stdlib client — the same path ``repro-cc serve`` and
+the sweep driver's ``--service`` mode use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.golden import diff_results
+from repro.runtime.engine import run_sim_jobs
+from repro.runtime.registry import decode_job
+from repro.runtime.service import (
+    JobService,
+    ServiceClient,
+    ServiceError,
+    start_service,
+)
+
+SCALE = 0.12
+
+# The golden workload x config matrix the acceptance check runs on: the
+# paper's baseline and its optimized decoupled configuration.
+GOLDEN_PAYLOADS = [
+    {"kind": "sim", "workload": "mini.qsort", "config": "2+0",
+     "scale": SCALE},
+    {"kind": "sim", "workload": "mini.qsort", "config": "2+2:opt",
+     "scale": SCALE},
+]
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One warm service shared by the module (warmth is the point)."""
+    with start_service(port=0, jobs=2, no_cache=True) as handle:
+        yield handle
+
+
+def test_submit_stream_and_bit_identity(service):
+    """Results streamed out of the service must be byte-identical to the
+    direct ``run_sim_jobs`` path on the golden matrix."""
+    client = ServiceClient(service.url)
+    reply = client.submit(GOLDEN_PAYLOADS)
+    batch_id = reply["batch"]
+    keys = reply["keys"]
+    assert len(keys) == 2
+
+    events = list(client.stream(batch_id))
+    assert events[0]["event"] == "batch-start"
+    assert events[-1]["event"] == "batch-done"
+    job_events = [e for e in events if e["event"] == "job"]
+    assert len(job_events) == 2
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert {e["key"] for e in job_events} == set(keys)
+
+    status = client.status(batch_id)
+    assert status["state"] == "done"
+    assert status["done"] == status["total"] == 2
+
+    direct = run_sim_jobs([decode_job(p) for p in GOLDEN_PAYLOADS],
+                          no_cache=True)
+    direct_by_key = {job.key: result for job, result in direct}
+    assert set(direct_by_key) == set(keys)
+    for key in keys:
+        served = client.result_object(key)
+        expected = direct_by_key[key]
+        assert diff_results(expected.workload_name, expected.config_name,
+                            expected, served) == []
+
+
+def test_warm_second_submission_recompiles_nothing(service):
+    """The acceptance criterion: a warm repeat through the service shows
+    zero kernel compiles and zero trace decodes in its status output."""
+    client = ServiceClient(service.url)
+    first = client.submit(GOLDEN_PAYLOADS)
+    client.wait(first["batch"])
+
+    second = client.submit(GOLDEN_PAYLOADS)
+    status = client.wait(second["batch"])
+    assert status["state"] == "done"
+    warm = status["warm"]
+    assert warm["kernel_compiles"] == 0
+    assert warm["trace_builds"] == 0
+    assert warm["trace_decodes"] == 0
+
+    wide = client.status()
+    pool = wide["pool"]
+    assert pool["alive"] and pool["rebuilds"] == 0
+    assert pool["submissions"] >= 2
+
+
+def test_json_result_rendering(service):
+    client = ServiceClient(service.url)
+    reply = client.submit([GOLDEN_PAYLOADS[0]])
+    client.wait(reply["batch"])
+    body = client.result(reply["keys"][0])
+    assert body["format"] == "json"
+    result = body["result"]
+    assert result["workload"] == "mini.qsort"
+    assert result["config"] == "(2+0)"
+    assert result["cycles"] > 0
+    assert result["ipc"] > 0
+    assert isinstance(result["counters"], dict)
+
+
+def test_bad_submissions_are_client_errors(service):
+    client = ServiceClient(service.url)
+    with pytest.raises(ServiceError, match="non-empty 'jobs' list"):
+        client.submit([])
+    with pytest.raises(ServiceError, match="bad job payload"):
+        client.submit([{"kind": "no-such-kind"}])
+    with pytest.raises(ServiceError, match="bad job payload"):
+        client.submit([{"kind": "sim"}])  # no workload
+
+
+def test_unknown_batch_and_key_are_404(service):
+    client = ServiceClient(service.url)
+    with pytest.raises(ServiceError) as excinfo:
+        client.status("b9999")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client.result("deadbeef" * 8)
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        list(client.stream("b9999"))
+    assert excinfo.value.status == 404
+
+
+def test_batch_with_failing_job_reports_per_job_error(service):
+    client = ServiceClient(service.url)
+    reply = client.submit([
+        {"kind": "sim", "workload": "no.such.workload", "config": "2+0"},
+    ])
+    status = client.wait(reply["batch"])
+    # The batch completes; the job inside it failed and says why.
+    assert status["state"] == "done"
+    events = list(client.stream(reply["batch"]))
+    failures = [e for e in events
+                if e["event"] == "job" and e["status"] == "failed"]
+    assert len(failures) == 1
+    assert failures[0]["error"]
+
+
+def test_service_results_survive_in_store(tmp_path):
+    """With a store attached, results outlive the in-memory result map
+    and a fresh service instance can serve them from disk."""
+    cache_dir = str(tmp_path)
+    with start_service(port=0, jobs=1, cache_dir=cache_dir) as handle:
+        client = ServiceClient(handle.url)
+        reply = client.submit([GOLDEN_PAYLOADS[0]])
+        client.wait(reply["batch"])
+        key = reply["keys"][0]
+        first = client.result_object(key)
+
+    with start_service(port=0, jobs=1, cache_dir=cache_dir) as handle:
+        client = ServiceClient(handle.url)
+        # Same submission: the store answers, nothing re-runs.
+        reply = client.submit([GOLDEN_PAYLOADS[0]])
+        status = client.wait(reply["batch"])
+        assert status["summary"]["cached"] == 1
+        assert status["summary"]["ran"] == 0
+        again = client.result_object(key)
+    assert diff_results(first.workload_name, first.config_name,
+                        first, again) == []
